@@ -1,0 +1,50 @@
+// Ablation: Algorithm 2's acceptance slack (est < slack * ect).
+//
+// slack = 1.0 is the paper's literal Eq. (7) comparison; larger values
+// admit more low-locality fills. Sweeps KMeans (locality-sensitive
+// iterations, insensitive scans) and ConnectedComponent (I/O) under the
+// full Dagon stack.
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+
+using namespace dagon;
+
+int main() {
+  bench::experiment_header(
+      "Ablation — Algorithm 2 acceptance slack",
+      "too strict leaves executors idle on insensitive stages; too loose "
+      "floods sensitive stages with remote reads");
+
+  CsvWriter csv(bench::csv_path("ablation_ect_slack"),
+                {"workload", "slack", "jct_sec", "cpu_util",
+                 "high_locality_fraction"});
+
+  const double slacks[] = {1.0, 1.1, 1.3, 1.6, 2.5};
+  for (const WorkloadId id :
+       {WorkloadId::KMeans, WorkloadId::ConnectedComponent}) {
+    const Workload w = make_workload(id, bench::bench_scale());
+    TextTable t({"slack", "JCT [s]", "CPU util", "hi-locality share"});
+    for (const double slack : slacks) {
+      SimConfig config = bench::bench_testbed();
+      config.hdfs = case_study_cluster().hdfs;  // rep=1 + skew
+      config.scheduler = SchedulerKind::Dagon;
+      config.cache = CachePolicyKind::Lrp;
+      config.delay = DelayKind::SensitivityAware;
+      config.ect_slack = slack;
+      const RunMetrics m = run_workload(w, config).metrics;
+      t.add_row({TextTable::num(slack, 1),
+                 TextTable::num(to_seconds(m.jct), 1),
+                 TextTable::percent(m.cpu_utilization()),
+                 TextTable::percent(m.high_locality_fraction())});
+      csv.add_row({workload_name(id), TextTable::num(slack, 1),
+                   TextTable::num(to_seconds(m.jct), 2),
+                   TextTable::num(m.cpu_utilization(), 3),
+                   TextTable::num(m.high_locality_fraction(), 3)});
+    }
+    std::cout << workload_name(id) << ":\n";
+    t.print(std::cout);
+    std::cout << "\n";
+  }
+  std::cout << "CSV: " << bench::csv_path("ablation_ect_slack") << "\n";
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Fig. 2 reproduction: resource scheduling diagrams of the Fig. 1 DAG
+// on one 16-vCPU executor under FIFO and under the DAG-aware
+// (Dagon/Algorithm 1) assignment, as ASCII Gantt charts over
+// (time, vCPUs).
+//
+// Paper: FIFO wastes 4 vCPUs in [0,4] and fragments [4,13], finishing at
+// 13 min; the DAG-aware schedule overlaps the long S2->S3->S4 chain with
+// S1 and finishes at 9 min.
+#include <algorithm>
+
+#include "bench_util.hpp"
+#include "common/csv.hpp"
+
+using namespace dagon;
+
+namespace {
+
+void draw(const JobDag& dag, const char* label, const AssignmentTrace& tr,
+          Cpus capacity, CsvWriter& csv) {
+  std::cout << "-- " << label << " (makespan "
+            << format_duration(tr.makespan) << ", idle "
+            << tr.idle_cpu_time / kMinute << " vCPU-min) --\n";
+
+  // One row per vCPU, one column per minute; tasks render as the stage
+  // number. Greedy row packing for display only.
+  const auto minutes = static_cast<std::size_t>(tr.makespan / kMinute);
+  std::vector<std::string> grid(static_cast<std::size_t>(capacity),
+                                std::string(minutes, '.'));
+  std::vector<SimTime> row_free(static_cast<std::size_t>(capacity), 0);
+  auto placements = tr.placements;
+  std::sort(placements.begin(), placements.end(),
+            [](const PlacedTask& a, const PlacedTask& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.stage < b.stage;
+            });
+  for (const PlacedTask& p : placements) {
+    // Find `cpus` display rows free at p.start.
+    Cpus needed = p.cpus;
+    for (std::size_t r = 0; r < grid.size() && needed > 0; ++r) {
+      if (row_free[r] > p.start) continue;
+      for (SimTime m = p.start / kMinute; m < p.end / kMinute; ++m) {
+        grid[r][static_cast<std::size_t>(m)] =
+            static_cast<char>('1' + p.stage.value());
+      }
+      row_free[r] = p.end;
+      --needed;
+    }
+    csv.add_row({label, std::to_string(p.stage.value() + 1),
+                 std::to_string(p.index), std::to_string(p.start / kMinute),
+                 std::to_string(p.end / kMinute),
+                 std::to_string(p.cpus)});
+  }
+  std::cout << "        minute 0";
+  for (std::size_t m = 1; m < minutes; ++m) {
+    std::cout << (m % 5 == 0 ? std::to_string(m % 10) : " ");
+  }
+  std::cout << "\n";
+  for (std::size_t r = grid.size(); r-- > 0;) {
+    std::cout << "  vCPU " << (r < 9 ? " " : "") << r + 1 << "  "
+              << grid[r] << "\n";
+  }
+  std::cout << "  (digits = stage running on that vCPU; '.' = idle)\n\n";
+  (void)dag;
+}
+
+}  // namespace
+
+int main() {
+  bench::experiment_header(
+      "Fig. 2 — scheduling stages of the Fig. 1 DAG by two schedulers",
+      "FIFO: 4 idle vCPUs in [0,4], fragmentation until 13 min. "
+      "DAG-aware: full usage in [0,2], overlap of the long chain, done "
+      "at 9 min");
+
+  const Workload w = make_example_dag();
+  CsvWriter csv(bench::csv_path("fig2_schedule"),
+                {"scheduler", "stage", "task", "start_min", "end_min",
+                 "cpus"});
+
+  const auto fifo = trace_priority_assignment(w.dag, 16, SchedulerKind::Fifo);
+  const auto dagon =
+      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
+  draw(w.dag, "FIFO (Fig. 2a)", fifo, 16, csv);
+  draw(w.dag, "DAG-aware (Fig. 2b)", dagon, 16, csv);
+
+  TextTable t({"scheduler", "makespan (min)", "idle vCPU-min",
+               "vs lower bound"});
+  const SimTime bound = makespan_lower_bound(w.dag, 16);
+  for (const auto& [name, tr] :
+       {std::pair<const char*, const AssignmentTrace&>{"FIFO", fifo},
+        {"DAG-aware", dagon}}) {
+    t.add_row({name, std::to_string(tr.makespan / kMinute),
+               std::to_string(tr.idle_cpu_time / kMinute),
+               TextTable::num(static_cast<double>(tr.makespan) /
+                                  static_cast<double>(bound),
+                              2) +
+                   "x"});
+  }
+  t.print(std::cout);
+  std::cout << "CSV: " << bench::csv_path("fig2_schedule") << "\n";
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the table/figure bench harnesses.
+//
+// Every bench prints the paper-style rows to stdout and mirrors the
+// numbers into a CSV next to the binary so figures can be re-plotted.
+#pragma once
+
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/dagon.hpp"
+
+namespace dagon::bench {
+
+/// The benchmark cluster: the paper's 18-node testbed. Workloads run at
+/// `kBenchScale` so stages span multiple waves of the 288 vCPUs, as on
+/// the real testbed.
+inline SimConfig bench_testbed() { return paper_testbed(); }
+
+inline constexpr double kBenchScale = 2.0;
+
+inline WorkloadScale bench_scale() { return WorkloadScale{kBenchScale}; }
+
+/// Prints one experiment header with the reproduction context.
+inline void experiment_header(const std::string& id,
+                              const std::string& claim) {
+  print_banner(std::cout, id);
+  std::cout << "paper claim: " << claim << "\n\n";
+}
+
+/// CSV path helper (written into the current working directory).
+inline std::string csv_path(const std::string& name) {
+  return name + ".csv";
+}
+
+inline std::string seconds(SimTime t) { return TextTable::num(to_seconds(t), 1); }
+
+/// Formats a relative change of `now` vs `base` as "-12.3%" / "+4.5%".
+inline std::string delta(double now, double base) {
+  const double change = now / base - 1.0;
+  return (change <= 0 ? "-" : "+") +
+         TextTable::percent(std::abs(change));
+}
+
+}  // namespace dagon::bench

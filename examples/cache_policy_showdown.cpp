@@ -1,0 +1,60 @@
+// Example: all four cache policies (LRU / LRC / MRD / LRP) on one
+// I/O-intensive workload under both FIFO and Dagon scheduling — a wider
+// grid than the paper's Fig. 11, showing where each policy's assumption
+// breaks.
+//
+//   $ ./cache_policy_showdown
+#include <iostream>
+
+#include "core/dagon.hpp"
+
+int main() {
+  using namespace dagon;
+
+  const Workload w = make_connected_component(48);
+  std::cout << "ConnectedComponent: " << w.dag.num_stages()
+            << " stages (gather/scatter supersteps over two cached "
+               "adjacency views)\n\n";
+
+  SimConfig base = paper_testbed();
+  base.topology.racks = 1;
+  base.topology.nodes_per_rack = 3;
+  base.topology.executors_per_node = 2;
+  base.topology.cache_bytes_per_executor = 2 * kGiB;
+
+  TextTable t({"scheduler", "policy", "JCT", "hit ratio", "evictions",
+               "proactive", "prefetches"});
+  for (const SchedulerKind sched :
+       {SchedulerKind::Fifo, SchedulerKind::Dagon}) {
+    for (const CachePolicyKind policy :
+         {CachePolicyKind::Lru, CachePolicyKind::Lrc, CachePolicyKind::Mrd,
+          CachePolicyKind::Lrp}) {
+      SimConfig config = base;
+      config.scheduler = sched;
+      config.cache = policy;
+      config.delay = sched == SchedulerKind::Dagon
+                         ? DelayKind::SensitivityAware
+                         : DelayKind::Native;
+      const RunMetrics m = run_workload(w, config).metrics;
+      t.add_row({scheduler_name(sched), cache_policy_name(policy),
+                 format_duration(m.jct),
+                 TextTable::percent(m.cache.hit_ratio()),
+                 std::to_string(m.cache.evictions),
+                 std::to_string(m.cache.proactive_evictions),
+                 std::to_string(m.cache.prefetches)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout <<
+      "\nWhat to look for:\n"
+      "  * LRU keeps dead vertex-state blocks (recently written) and\n"
+      "    evicts the adjacency the next superstep needs;\n"
+      "  * LRC fixes the dead-block problem but is blind to WHEN blocks\n"
+      "    are needed;\n"
+      "  * MRD predicts 'when' by stage id — right under FIFO, wrong\n"
+      "    once Dagon reorders stages by priority value;\n"
+      "  * LRP uses the scheduler's own pv_i, so eviction, admission and\n"
+      "    prefetch all agree with what will actually run next.\n";
+  return 0;
+}

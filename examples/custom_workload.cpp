@@ -1,0 +1,111 @@
+// Example: building your own application DAG with JobDagBuilder and
+// running it through the middleware — the integration path a downstream
+// user follows to evaluate Dagon on their workload.
+//
+// The DAG below is a small ETL pipeline: two inputs (events, users) are
+// parsed in parallel, joined, aggregated along two branches of different
+// weight, and exported.
+//
+//   $ ./custom_workload
+#include <iostream>
+
+#include "core/dagon.hpp"
+
+int main() {
+  using namespace dagon;
+
+  JobDagBuilder b("etl-pipeline");
+
+  // Inputs: event log (large) and user table (small); neither persisted.
+  const RddId events = b.input_rdd("events", 64, 256 * kMiB);
+  const RddId users = b.input_rdd("users", 64, 32 * kMiB);
+  b.set_rdd_cacheable(events, false);
+  b.set_rdd_cacheable(users, false);
+
+  const StageId parse_events =
+      b.add_stage({.name = "parse-events",
+                   .inputs = {{events, DepKind::Narrow}},
+                   .num_tasks = 64,
+                   .task_cpus = 1,
+                   .task_duration = 2 * kSec,
+                   .output_bytes_per_partition = 96 * kMiB,
+                   .output_name = "clean_events"});
+  const StageId parse_users =
+      b.add_stage({.name = "parse-users",
+                   .inputs = {{users, DepKind::Narrow}},
+                   .num_tasks = 64,
+                   .task_cpus = 1,
+                   .task_duration = kSec,
+                   .output_bytes_per_partition = 16 * kMiB,
+                   .output_name = "clean_users"});
+
+  // Join is a wide dependency on both sides; its output is persisted and
+  // re-read by the two aggregation branches.
+  const StageId join = b.add_stage(
+      {.name = "join",
+       .inputs = {{b.output_of(parse_events), DepKind::Shuffle},
+                  {b.output_of(parse_users), DepKind::Shuffle}},
+       .num_tasks = 64,
+       .task_cpus = 2,
+       .task_duration = 3 * kSec,
+       .output_bytes_per_partition = 64 * kMiB,
+       .output_name = "joined"});
+
+  const StageId sessionize =
+      b.add_stage({.name = "sessionize",
+                   .inputs = {{b.output_of(join), DepKind::Narrow}},
+                   .num_tasks = 64,
+                   .task_cpus = 3,  // heavy branch
+                   .task_duration = 5 * kSec,
+                   .output_bytes_per_partition = 8 * kMiB,
+                   .cache_output = false});
+  const StageId daily_counts =
+      b.add_stage({.name = "daily-counts",
+                   .inputs = {{b.output_of(join), DepKind::Shuffle}},
+                   .num_tasks = 16,
+                   .task_cpus = 1,  // light branch
+                   .task_duration = 2 * kSec,
+                   .output_bytes_per_partition = kMiB,
+                   .cache_output = false});
+
+  b.add_stage({.name = "export",
+               .inputs = {{b.output_of(sessionize), DepKind::Shuffle},
+                          {b.output_of(daily_counts), DepKind::Shuffle}},
+               .num_tasks = 8,
+               .task_cpus = 1,
+               .task_duration = kSec,
+               .output_bytes_per_partition = 0});
+
+  const Workload workload{"etl-pipeline", WorkloadCategory::Mixed,
+                          b.build()};
+
+  const DagShape shape = analyze_shape(workload.dag);
+  std::cout << "DAG: " << shape.stages << " stages, " << shape.tasks
+            << " tasks, depth " << shape.depth << ", critical path "
+            << format_duration(shape.critical_path)
+            << ", parallelism ratio "
+            << TextTable::num(shape.parallelism_ratio, 1) << "\n\n";
+
+  SimConfig cluster = paper_testbed();
+  cluster.topology.racks = 1;
+  cluster.topology.nodes_per_rack = 4;
+  cluster.topology.executors_per_node = 2;
+
+  TextTable t({"system", "JCT", "CPU util", "cache hits", "lower bound x"});
+  const SimTime bound =
+      makespan_lower_bound(workload.dag, Topology(cluster.topology).total_cores());
+  for (const SystemCombo& combo : figure8_systems()) {
+    const RunMetrics m = run_system(workload, combo, cluster).metrics;
+    t.add_row({combo.label, format_duration(m.jct),
+               TextTable::percent(m.cpu_utilization()),
+               TextTable::percent(m.cache.hit_ratio()),
+               TextTable::num(static_cast<double>(m.jct) /
+                                  static_cast<double>(bound),
+                              2)});
+  }
+  t.print(std::cout);
+  std::cout << "\nThe heavy sessionize branch (d=3) fragments 4-core\n"
+               "executors; watch the DAG-aware systems fill the gaps with\n"
+               "daily-counts tasks while FIFO runs them serially.\n";
+  return 0;
+}

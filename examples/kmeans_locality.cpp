@@ -1,0 +1,59 @@
+// Example: the paper's §II-A KMeans case study, interactively.
+//
+// Runs KMeans on the 7-machine case-study cluster under a sweep of
+// spark.locality.wait values and shows how the two scan stages and the
+// fifteen iteration stages respond differently — the observation that
+// motivates sensitivity-aware delay scheduling.
+//
+//   $ ./kmeans_locality [wait_seconds...]      (default: 0 1.5 3 5)
+#include <cstdlib>
+#include <iostream>
+
+#include "core/dagon.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dagon;
+
+  std::vector<double> waits{0.0, 1.5, 3.0, 5.0};
+  if (argc > 1) {
+    waits.clear();
+    for (int i = 1; i < argc; ++i) waits.push_back(std::atof(argv[i]));
+  }
+
+  const Workload w = make_kmeans();
+  std::cout << "KMeans: " << w.dag.num_stages() << " stages, "
+            << w.dag.total_tasks() << " tasks\n"
+            << "cluster: 7 nodes x 4 executors x 4 vCPUs, HDFS "
+               "replication 1 (case study)\n\n";
+
+  TextTable t({"wait", "scan (s0)", "iter mean (s1-15)", "rescan (s16)",
+               "final (s17)", "JCT", "hi-locality"});
+  for (const double wait_s : waits) {
+    SimConfig config = case_study_cluster();
+    config.waits = LocalityWaits::uniform(from_seconds(wait_s));
+    const RunMetrics m = run_workload(w, config).metrics;
+    double iter_sum = 0.0;
+    for (std::int32_t s = 1; s <= 15; ++s) {
+      iter_sum += m.stage_duration_sec(StageId(s));
+    }
+    t.add_row({TextTable::num(wait_s, 1) + "s",
+               TextTable::num(m.stage_duration_sec(StageId(0)), 1) + "s",
+               TextTable::num(iter_sum / 15.0, 2) + "s",
+               TextTable::num(m.stage_duration_sec(StageId(16)), 1) + "s",
+               TextTable::num(m.stage_duration_sec(StageId(17)), 2) + "s",
+               format_duration(m.jct),
+               TextTable::percent(m.high_locality_fraction())});
+  }
+  t.print(std::cout);
+
+  std::cout <<
+      "\nReading the table (paper Fig. 3):\n"
+      "  * iteration stages re-read cached 64 MiB partitions: without a\n"
+      "    wait, idle executors grab them at node/rack level and pay the\n"
+      "    ~9x deserialization penalty;\n"
+      "  * the scan stages read raw HDFS blocks: a remote read pipelines\n"
+      "    over the 10 Gbps link, so waiting only idles executors.\n"
+      "Dagon's sensitivity-aware delay scheduling makes that call per\n"
+      "stage instead of per cluster-wide wait constant.\n";
+  return 0;
+}

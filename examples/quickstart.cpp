@@ -1,0 +1,60 @@
+// Quickstart: build the paper's Fig. 1 example DAG, run it through the
+// simulated cluster under stock Spark (FIFO+LRU) and under Dagon, and
+// print what the middleware changes.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "core/dagon.hpp"
+
+int main() {
+  using namespace dagon;
+
+  // Seconds instead of minutes so the example runs reflect Fig. 2's
+  // shape on a human-readable scale.
+  ExampleDagParams params;
+  params.minute = kSec;
+  const Workload workload = make_example_dag(params);
+
+  std::cout << "Fig. 1 example DAG: " << workload.dag.num_stages()
+            << " stages, " << workload.dag.total_tasks() << " tasks, depth "
+            << workload.dag.depth() << "\n";
+  const auto pv = initial_priority_values(workload.dag);
+  for (const Stage& s : workload.dag.stages()) {
+    std::cout << "  " << s.name << ": " << s.num_tasks << " tasks x <"
+              << s.task_cpus << " vCPU, "
+              << format_duration(s.task_duration) << ">, w="
+              << s.workload() / kSec << ", pv="
+              << pv[static_cast<std::size_t>(s.id.value())] / kSec << "\n";
+  }
+
+  // One 16-vCPU executor, as in the paper's walk-through.
+  SimConfig base;
+  base.topology.racks = 1;
+  base.topology.nodes_per_rack = 1;
+  base.topology.executors_per_node = 1;
+  base.topology.cores_per_executor = 16;
+  base.topology.cache_bytes_per_executor = 64 * kMiB;
+  base.hdfs.replication = 1;
+
+  for (const SystemCombo& combo : {stock_spark(), dagon_full()}) {
+    const RunResult result = run_system(workload, combo, base);
+    std::cout << "\n[" << combo.label << "]\n"
+              << "  job completion time: "
+              << format_duration(result.metrics.jct) << "\n"
+              << "  CPU utilization:     "
+              << TextTable::percent(result.metrics.cpu_utilization()) << "\n"
+              << "  avg parallelism:     "
+              << TextTable::num(result.metrics.avg_parallelism()) << "\n"
+              << "  cache hit ratio:     "
+              << TextTable::percent(result.metrics.cache.hit_ratio()) << "\n"
+              << "  busy vCPUs timeline: "
+              << sparkline(result.metrics.busy_cores, 0, result.metrics.jct,
+                           40, 16.0)
+              << "\n";
+  }
+  std::cout << "\nFIFO leaves 4 vCPUs idle early and serializes the long "
+               "S2->S3->S4 chain;\nDagon overlaps it with S1 "
+               "(Fig. 2) and finishes ~30% sooner.\n";
+  return 0;
+}

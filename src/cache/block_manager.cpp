@@ -1,0 +1,143 @@
+#include "cache/block_manager.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+BlockManager::BlockManager(ExecutorId executor, Bytes capacity,
+                           const CachePolicy& policy)
+    : executor_(executor), capacity_(capacity), policy_(&policy) {
+  DAGON_CHECK(capacity >= 0);
+}
+
+std::unordered_map<BlockId, BlockManager::CachedBlock>::const_iterator
+BlockManager::find_victim(const ReferenceOracle& oracle) const {
+  auto victim = blocks_.end();
+  double victim_ret = 0.0;
+  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
+    const double ret =
+        policy_->retention_priority(it->first, it->second.last_access, oracle);
+    const bool better =
+        victim == blocks_.end() || ret < victim_ret ||
+        (ret == victim_ret &&
+         (it->second.last_access < victim->second.last_access ||
+          (it->second.last_access == victim->second.last_access &&
+           it->first < victim->first)));
+    if (better) {
+      victim = it;
+      victim_ret = ret;
+    }
+  }
+  return victim;
+}
+
+double BlockManager::min_retention(const ReferenceOracle& oracle) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [id, meta] : blocks_) {
+    best = std::min(best,
+                    policy_->retention_priority(id, meta.last_access, oracle));
+  }
+  return best;
+}
+
+BlockManager::InsertResult BlockManager::insert(const BlockId& block,
+                                                Bytes bytes, SimTime now,
+                                                const ReferenceOracle& oracle,
+                                                bool strict_admission) {
+  InsertResult result;
+  DAGON_CHECK(bytes >= 0);
+  if (const auto it = blocks_.find(block); it != blocks_.end()) {
+    it->second.last_access = now;
+    result.admitted = true;
+    return result;
+  }
+  if (bytes > capacity_) return result;  // can never fit
+
+  // Select the victim set up-front (smallest retention first) so a
+  // refused admission leaves the cache untouched.
+  std::vector<BlockId> victims;
+  if (used_ + bytes > capacity_) {
+    struct Candidate {
+      double retention;
+      SimTime last_access;
+      BlockId block;
+      Bytes bytes;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(blocks_.size());
+    for (const auto& [id, meta] : blocks_) {
+      candidates.push_back(Candidate{
+          policy_->retention_priority(id, meta.last_access, oracle),
+          meta.last_access, id, meta.bytes});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                if (a.retention != b.retention) {
+                  return a.retention < b.retention;
+                }
+                if (a.last_access != b.last_access) {
+                  return a.last_access < b.last_access;
+                }
+                return a.block < b.block;
+              });
+    const double new_ret = policy_->retention_priority(block, now, oracle);
+    Bytes freed = 0;
+    for (const Candidate& c : candidates) {
+      if (used_ - freed + bytes <= capacity_) break;
+      // Value-aware policies (MRD/LRP) refuse to displace blocks that
+      // are at least as valuable as the incoming one — equal-value swaps
+      // would only churn the cache. LRU always admits (except on the
+      // strict prefetch path, which LRU never uses).
+      if ((strict_admission || !policy_->always_admit()) &&
+          c.retention >= new_ret) {
+        return result;
+      }
+      victims.push_back(c.block);
+      freed += c.bytes;
+    }
+  }
+  for (const BlockId& v : victims) {
+    const auto it = blocks_.find(v);
+    used_ -= it->second.bytes;
+    blocks_.erase(it);
+  }
+  result.evicted = std::move(victims);
+  blocks_.emplace(block, CachedBlock{bytes, now, now});
+  used_ += bytes;
+  result.admitted = true;
+  return result;
+}
+
+void BlockManager::touch(const BlockId& block, SimTime now) {
+  if (const auto it = blocks_.find(block); it != blocks_.end()) {
+    it->second.last_access = now;
+  }
+}
+
+bool BlockManager::remove(const BlockId& block) {
+  const auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;
+  used_ -= it->second.bytes;
+  blocks_.erase(it);
+  return true;
+}
+
+std::vector<BlockId> BlockManager::evict_dead(const ReferenceOracle& oracle) {
+  std::vector<BlockId> evicted;
+  if (!policy_->proactive_eviction()) return evicted;
+  for (auto it = blocks_.begin(); it != blocks_.end();) {
+    if (policy_->is_dead(it->first, oracle)) {
+      used_ -= it->second.bytes;
+      evicted.push_back(it->first);
+      it = blocks_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace dagon

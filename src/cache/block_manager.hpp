@@ -1,0 +1,87 @@
+// Per-executor in-memory block store — the simulator's analogue of
+// Spark's BlockManager memory store.
+//
+// Capacity is in bytes; victim selection and admission are delegated to
+// the configured CachePolicy. The manager never loses data: every block
+// also has a disk copy (input blocks on HDFS, produced blocks on the
+// producer's local disk), so eviction only drops the memory copy.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_policy.hpp"
+#include "common/strong_id.hpp"
+#include "common/units.hpp"
+
+namespace dagon {
+
+class BlockManager {
+ public:
+  BlockManager(ExecutorId executor, Bytes capacity,
+               const CachePolicy& policy);
+
+  struct CachedBlock {
+    Bytes bytes = 0;
+    SimTime last_access = 0;
+    SimTime inserted_at = 0;
+  };
+
+  struct InsertResult {
+    bool admitted = false;
+    std::vector<BlockId> evicted;
+  };
+
+  /// Tries to cache `block`. May evict lower-retention blocks; under
+  /// non-always-admit policies (MRD/LRP) the insert is refused when the
+  /// new block would displace strictly more valuable ones. With
+  /// `strict_admission` (prefetch path) the block must strictly beat
+  /// every victim — equal-value swaps would thrash.
+  InsertResult insert(const BlockId& block, Bytes bytes, SimTime now,
+                      const ReferenceOracle& oracle,
+                      bool strict_admission = false);
+
+  /// Smallest retention priority among cached blocks (+inf when empty);
+  /// lets callers predict whether an insert/prefetch would be admitted.
+  [[nodiscard]] double min_retention(const ReferenceOracle& oracle) const;
+
+  [[nodiscard]] bool contains(const BlockId& block) const {
+    return blocks_.contains(block);
+  }
+
+  /// Records an access for recency bookkeeping.
+  void touch(const BlockId& block, SimTime now);
+
+  /// Removes one block (no-op if absent); returns true if removed.
+  bool remove(const BlockId& block);
+
+  /// Proactively evicts blocks the policy declares dead (zero remaining
+  /// references / zero reference priority). Returns the evicted ids.
+  std::vector<BlockId> evict_dead(const ReferenceOracle& oracle);
+
+  [[nodiscard]] ExecutorId executor() const { return executor_; }
+  [[nodiscard]] Bytes capacity() const { return capacity_; }
+  [[nodiscard]] Bytes used_bytes() const { return used_; }
+  [[nodiscard]] Bytes free_bytes() const { return capacity_ - used_; }
+  [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
+
+  [[nodiscard]] const std::unordered_map<BlockId, CachedBlock>& blocks()
+      const {
+    return blocks_;
+  }
+
+  [[nodiscard]] const CachePolicy& policy() const { return *policy_; }
+
+ private:
+  /// The block with the smallest (retention, last_access) pair.
+  [[nodiscard]] std::unordered_map<BlockId, CachedBlock>::const_iterator
+  find_victim(const ReferenceOracle& oracle) const;
+
+  ExecutorId executor_;
+  Bytes capacity_;
+  const CachePolicy* policy_;
+  std::unordered_map<BlockId, CachedBlock> blocks_;
+  Bytes used_ = 0;
+};
+
+}  // namespace dagon

@@ -1,0 +1,142 @@
+// BlockManagerMaster: cluster-wide view of block copies and the decision
+// point for caching, lookup, proactive eviction and prefetch — the
+// simulator analogue of the paper's modified Spark component (Fig. 7).
+//
+// Physical data rules (see DESIGN.md §4):
+//  * input RDD blocks live on HDFS node disks per HdfsPlacement, forever;
+//  * every produced block is durably written to the producer node's disk;
+//  * memory copies are the cache: eviction drops the memory copy only.
+#pragma once
+
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/block_manager.hpp"
+#include "cluster/cost_model.hpp"
+#include "cluster/hdfs.hpp"
+#include "cluster/topology.hpp"
+
+namespace dagon {
+
+class BlockManagerMaster {
+ public:
+  /// `cache_enabled = false` models the paper's caching-disabled ablation
+  /// (Fig. 9/10): no block is ever admitted to memory.
+  BlockManagerMaster(const Topology& topo, const JobDag& dag,
+                     const HdfsPlacement& hdfs, ReferenceOracle& oracle,
+                     const CachePolicy& policy, bool cache_enabled = true);
+
+  /// Seeds memory with the DAG's initially-cached input partitions (the
+  /// black blocks of Fig. 1): each goes to the first executor of its
+  /// primary HDFS replica node.
+  void seed_initial_cache(SimTime now);
+
+  /// Where executor `reader` would read `block` from right now, best
+  /// source first. Throws InvariantError if the block exists nowhere
+  /// (reading a block before its producer finished is a scheduler bug).
+  struct Lookup {
+    BlockSource source = BlockSource::LocalDisk;
+    /// Holder executor for memory sources.
+    ExecutorId holder = ExecutorId::invalid();
+    /// Holder node for disk sources.
+    NodeId disk_node = NodeId::invalid();
+  };
+  [[nodiscard]] Lookup lookup(const BlockId& block, ExecutorId reader) const;
+
+  [[nodiscard]] bool exists(const BlockId& block) const;
+
+  /// A task on `exec` finished producing `block`: record the durable
+  /// disk copy and (for cacheable RDDs) try to admit it to memory.
+  void on_block_produced(const BlockId& block, ExecutorId exec, SimTime now);
+
+  /// A task on `exec` read `block` via `how`. Updates recency; on a disk
+  /// read of a cacheable RDD, admits the block into the reader's memory
+  /// (Spark caches a persisted partition where it is first materialized).
+  void on_block_read(const BlockId& block, ExecutorId exec,
+                     const Lookup& how, SimTime now);
+
+  /// Proactively evicts dead blocks everywhere (policies that opt in).
+  /// Returns the number of blocks dropped.
+  int proactive_sweep();
+
+  /// Best node-local prefetch candidate for `exec`: a disk-resident
+  /// block with no memory copy anywhere, ranked by the policy's prefetch
+  /// priority. Returns nullopt when the policy does not prefetch or no
+  /// candidate fits.
+  struct PrefetchChoice {
+    BlockId block;
+    Bytes bytes = 0;
+    NodeId from_disk = NodeId::invalid();
+  };
+  [[nodiscard]] std::optional<PrefetchChoice> prefetch_candidate(
+      ExecutorId exec) const;
+
+  /// Completes a prefetch: admit into `exec`'s memory (may be refused if
+  /// the cache filled up meanwhile).
+  bool finish_prefetch(const BlockId& block, ExecutorId exec, SimTime now);
+
+  /// Executors holding `block` in memory (for locality preferences).
+  [[nodiscard]] const std::vector<ExecutorId>& memory_holders(
+      const BlockId& block) const;
+
+  /// Nodes holding `block` on disk (HDFS replicas + produced copies,
+  /// deduplicated; allocates — prefer the two zero-copy views below in
+  /// hot paths).
+  [[nodiscard]] std::vector<NodeId> disk_holders(const BlockId& block) const;
+
+  /// HDFS replica nodes of `block` (empty for non-input blocks).
+  [[nodiscard]] const std::vector<NodeId>& hdfs_replicas(
+      const BlockId& block) const;
+
+  /// Nodes holding a produced durable copy of `block`.
+  [[nodiscard]] const std::vector<NodeId>& produced_disk_nodes(
+      const BlockId& block) const;
+
+  [[nodiscard]] BlockManager& manager(ExecutorId exec);
+  [[nodiscard]] const BlockManager& manager(ExecutorId exec) const;
+
+  [[nodiscard]] const ReferenceOracle& oracle() const { return *oracle_; }
+  [[nodiscard]] bool cache_enabled() const { return cache_enabled_; }
+
+  [[nodiscard]] Bytes block_bytes(const BlockId& block) const;
+
+  /// Lifetime counters for metrics.
+  struct Counters {
+    std::int64_t insertions = 0;
+    std::int64_t evictions = 0;
+    std::int64_t proactive_evictions = 0;
+    std::int64_t prefetches = 0;
+    std::int64_t rejected_admissions = 0;
+  };
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+ private:
+  void apply_insert(const BlockManager::InsertResult& result,
+                    const BlockId& block, ExecutorId exec);
+  void note_evicted(const BlockId& block, ExecutorId exec);
+
+  const Topology* topo_;
+  const JobDag* dag_;
+  const HdfsPlacement* hdfs_;
+  ReferenceOracle* oracle_;
+  const CachePolicy* policy_;
+  bool cache_enabled_;
+
+  std::vector<BlockManager> managers_;  // indexed by executor id
+  /// block -> executors holding a memory copy.
+  std::unordered_map<BlockId, std::vector<ExecutorId>> memory_copies_;
+  /// produced blocks' durable disk nodes (inputs are answered via hdfs_).
+  std::unordered_map<BlockId, std::vector<NodeId>> produced_disk_;
+  /// Cacheable blocks that have a durable disk copy but no memory copy
+  /// anywhere — the prefetch candidate set (ordered for determinism).
+  /// Kept small: blocks enter on eviction / refused admission and leave
+  /// when any executor caches them.
+  std::set<BlockId> prefetchable_;
+  std::vector<ExecutorId> no_holders_;
+  std::vector<NodeId> no_nodes_;
+  Counters counters_;
+};
+
+}  // namespace dagon

@@ -1,0 +1,63 @@
+#include "cache/cache_policy.hpp"
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+bool CachePolicy::is_dead(const BlockId& block,
+                          const ReferenceOracle& oracle) const {
+  return oracle.remaining_ref_count(block) == 0;
+}
+
+double LruPolicy::retention_priority(const BlockId& /*block*/,
+                                     SimTime last_access,
+                                     const ReferenceOracle& /*oracle*/) const {
+  return static_cast<double>(last_access);
+}
+
+double LrcPolicy::retention_priority(const BlockId& block,
+                                     SimTime /*last_access*/,
+                                     const ReferenceOracle& oracle) const {
+  return static_cast<double>(oracle.remaining_ref_count(block));
+}
+
+double MrdPolicy::retention_priority(const BlockId& block,
+                                     SimTime /*last_access*/,
+                                     const ReferenceOracle& oracle) const {
+  // Furthest reference distance evicted first -> smallest retention.
+  const int d = oracle.stage_distance(block);
+  if (d == ReferenceOracle::kNeverUsed) return -1e18;
+  return -static_cast<double>(d);
+}
+
+std::optional<double> MrdPolicy::prefetch_priority(
+    const BlockId& block, const ReferenceOracle& oracle) const {
+  const int d = oracle.stage_distance(block);
+  if (d == ReferenceOracle::kNeverUsed) return std::nullopt;
+  return -static_cast<double>(d);  // nearest first
+}
+
+double LrpPolicy::retention_priority(const BlockId& block,
+                                     SimTime /*last_access*/,
+                                     const ReferenceOracle& oracle) const {
+  return static_cast<double>(oracle.reference_priority(block));
+}
+
+std::optional<double> LrpPolicy::prefetch_priority(
+    const BlockId& block, const ReferenceOracle& oracle) const {
+  const CpuWork p = oracle.reference_priority(block);
+  if (p <= 0) return std::nullopt;
+  return static_cast<double>(p);
+}
+
+std::unique_ptr<CachePolicy> make_cache_policy(CachePolicyKind kind) {
+  switch (kind) {
+    case CachePolicyKind::Lru: return std::make_unique<LruPolicy>();
+    case CachePolicyKind::Lrc: return std::make_unique<LrcPolicy>();
+    case CachePolicyKind::Mrd: return std::make_unique<MrdPolicy>();
+    case CachePolicyKind::Lrp: return std::make_unique<LrpPolicy>();
+  }
+  throw ConfigError("unknown cache policy kind");
+}
+
+}  // namespace dagon

@@ -1,0 +1,140 @@
+#include "cache/ref_oracle.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dag/dag_analysis.hpp"
+
+namespace dagon {
+
+ReferenceOracle::ReferenceOracle(const JobDag& dag) : dag_(&dag) {
+  finished_.assign(dag.num_stages(), false);
+  pv_ = initial_priority_values(dag);
+  for (const Stage& s : dag.stages()) {
+    for (const RddRef& ref : s.inputs) {
+      const Rdd& parent = dag.rdd(ref.rdd);
+      if (ref.kind == DepKind::Narrow) {
+        // Block k is read by exactly task k.
+        for (std::int32_t t = 0; t < s.num_tasks; ++t) {
+          refs_[BlockId{ref.rdd, t}].push_back(Ref{s.id, 1});
+        }
+      } else {
+        // Every task pulls a slice of every parent block.
+        for (std::int32_t p = 0; p < parent.num_partitions; ++p) {
+          refs_[BlockId{ref.rdd, p}].push_back(Ref{s.id, s.num_tasks});
+        }
+      }
+    }
+  }
+  for (auto& [block, refs] : refs_) {
+    std::sort(refs.begin(), refs.end(),
+              [](const Ref& a, const Ref& b) { return a.stage < b.stage; });
+    // Merge duplicate (block, stage) records (a stage may reference one
+    // RDD through several edges; keep the max remaining count).
+    std::vector<Ref> merged;
+    for (const Ref& r : refs) {
+      if (!merged.empty() && merged.back().stage == r.stage) {
+        merged.back().remaining = std::max(merged.back().remaining,
+                                           r.remaining);
+      } else {
+        merged.push_back(r);
+      }
+    }
+    refs = std::move(merged);
+  }
+}
+
+void ReferenceOracle::on_task_launched(StageId stage, std::int32_t task) {
+  for (const TaskInput& in : dag_->task_inputs(stage, task)) {
+    const auto it = refs_.find(in.block);
+    if (it == refs_.end()) continue;
+    for (Ref& r : it->second) {
+      if (r.stage == stage && r.remaining > 0) {
+        --r.remaining;
+        break;
+      }
+    }
+  }
+}
+
+void ReferenceOracle::mark_stage_finished(StageId stage) {
+  DAGON_CHECK(stage.valid() &&
+              static_cast<std::size_t>(stage.value()) < finished_.size());
+  finished_[static_cast<std::size_t>(stage.value())] = true;
+}
+
+void ReferenceOracle::set_priority_values(std::vector<CpuWork> pv) {
+  DAGON_CHECK(pv.size() == finished_.size());
+  pv_ = std::move(pv);
+}
+
+void ReferenceOracle::set_current_stage(StageId stage) {
+  DAGON_CHECK(stage.valid());
+  current_stage_ord_ = stage.value();
+}
+
+const std::vector<ReferenceOracle::Ref>* ReferenceOracle::refs_of(
+    const BlockId& block) const {
+  const auto it = refs_.find(block);
+  return it == refs_.end() ? nullptr : &it->second;
+}
+
+int ReferenceOracle::remaining_ref_count(const BlockId& block) const {
+  const auto* refs = refs_of(block);
+  if (refs == nullptr) return 0;
+  int count = 0;
+  for (const Ref& r : *refs) {
+    if (live(r)) ++count;
+  }
+  return count;
+}
+
+int ReferenceOracle::stage_distance(const BlockId& block) const {
+  const auto* refs = refs_of(block);
+  if (refs == nullptr) return kNeverUsed;
+  int best = kNeverUsed;
+  for (const Ref& r : *refs) {
+    if (!live(r)) continue;
+    // MRD measures distance in stage-id (FIFO) order; a stage at or
+    // before the current one is about to run: distance 0.
+    const int d = std::max(0, r.stage.value() - current_stage_ord_);
+    best = std::min(best, d);
+  }
+  return best;
+}
+
+CpuWork ReferenceOracle::reference_priority(const BlockId& block) const {
+  const auto* refs = refs_of(block);
+  if (refs == nullptr) return 0;
+  CpuWork best = 0;
+  for (const Ref& r : *refs) {
+    if (!live(r)) continue;
+    best = std::max(best, pv_[static_cast<std::size_t>(r.stage.value())]);
+  }
+  return best;
+}
+
+std::vector<StageId> ReferenceOracle::live_readers(
+    const BlockId& block) const {
+  std::vector<StageId> out;
+  if (const auto* refs = refs_of(block)) {
+    for (const Ref& r : *refs) {
+      if (live(r)) out.push_back(r.stage);
+    }
+  }
+  return out;
+}
+
+bool ReferenceOracle::stage_finished(StageId stage) const {
+  DAGON_CHECK(stage.valid() &&
+              static_cast<std::size_t>(stage.value()) < finished_.size());
+  return finished_[static_cast<std::size_t>(stage.value())];
+}
+
+CpuWork ReferenceOracle::priority_value(StageId stage) const {
+  DAGON_CHECK(stage.valid() &&
+              static_cast<std::size_t>(stage.value()) < pv_.size());
+  return pv_[static_cast<std::size_t>(stage.value())];
+}
+
+}  // namespace dagon

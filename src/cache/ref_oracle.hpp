@@ -1,0 +1,98 @@
+// ReferenceOracle: the shared "who will still use this block" knowledge
+// base behind every DAG-aware cache policy.
+//
+// It is the simulator-side equivalent of the paper's reference-priority
+// profile maintained by BlockManagerMaster (Fig. 7): the DAG fixes which
+// stages read which blocks; the scheduler streams in live stage state
+// (task launches, finished stages, current stage, priority values pv_i),
+// and the policies query derived quantities:
+//   * remaining reference count          -> LRC
+//   * stage reference distance (FIFO)    -> MRD
+//   * reference priority (max pv)        -> LRP (Definition 1)
+//
+// References are tracked per (block, stage) pair and *consumed* as the
+// reading tasks launch: once every task of stage s that reads block b
+// has started, s no longer holds a reference on b — this is what lets
+// MRD/LRP discard data the moment its last reader has picked it up
+// (Fig. 6's per-stage reference deletion).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/units.hpp"
+#include "dag/job_dag.hpp"
+
+namespace dagon {
+
+class ReferenceOracle {
+ public:
+  /// Distance value meaning "no unfinished stage will ever read this".
+  static constexpr int kNeverUsed = std::numeric_limits<int>::max();
+
+  explicit ReferenceOracle(const JobDag& dag);
+
+  // -- updates streamed from the scheduler / simulation ------------------
+
+  /// A (non-speculative) task launched: consume its block references.
+  void on_task_launched(StageId stage, std::int32_t task);
+
+  /// Marks stage finished: all its remaining references disappear.
+  void mark_stage_finished(StageId stage);
+
+  /// Current priority values pv_i (Eq. 6), indexed by stage id. The
+  /// Dagon scheduler pushes these after every assignment; other
+  /// schedulers push the statically derived values so LRP stays
+  /// well-defined under any scheduler (used in ablations).
+  void set_priority_values(std::vector<CpuWork> pv);
+
+  /// The stage whose tasks are currently being launched, as a position
+  /// in FIFO (stage-id) order; MRD measures distances from here.
+  void set_current_stage(StageId stage);
+
+  // -- queries ------------------------------------------------------------
+
+  /// Number of live stage references on `block` (LRC's count).
+  [[nodiscard]] int remaining_ref_count(const BlockId& block) const;
+
+  /// MRD's stage reference distance: (next live reader's stage id) −
+  /// (current stage id), minimum over live references; >= 0; kNeverUsed
+  /// when no live reference remains.
+  [[nodiscard]] int stage_distance(const BlockId& block) const;
+
+  /// LRP's reference priority: max pv over live reader stages; 0 when
+  /// none (inactive data, proactively evictable).
+  [[nodiscard]] CpuWork reference_priority(const BlockId& block) const;
+
+  /// Stages still holding a live reference on `block`.
+  [[nodiscard]] std::vector<StageId> live_readers(const BlockId& block) const;
+
+  [[nodiscard]] bool stage_finished(StageId stage) const;
+
+  [[nodiscard]] const JobDag& dag() const { return *dag_; }
+
+  [[nodiscard]] CpuWork priority_value(StageId stage) const;
+
+ private:
+  struct Ref {
+    StageId stage;
+    /// Reading tasks that have not launched yet; 0 = consumed.
+    std::int32_t remaining = 0;
+  };
+
+  [[nodiscard]] const std::vector<Ref>* refs_of(const BlockId& block) const;
+  [[nodiscard]] bool live(const Ref& ref) const {
+    return ref.remaining > 0 && !stage_finished(ref.stage);
+  }
+
+  const JobDag* dag_;
+  /// block -> per-stage reference records, ascending stage id.
+  std::unordered_map<BlockId, std::vector<Ref>> refs_;
+  std::vector<bool> finished_;
+  std::vector<CpuWork> pv_;
+  std::int32_t current_stage_ord_ = 0;
+};
+
+}  // namespace dagon

@@ -1,0 +1,59 @@
+#include "cluster/cost_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+CostModel::CostModel(const CostModelSpec& spec) : spec_(spec) {
+  if (spec_.memory_bw <= 0 || spec_.disk_bw <= 0 || spec_.net_bw_rack <= 0 ||
+      spec_.net_bw_cross <= 0) {
+    throw ConfigError("CostModelSpec bandwidths must be positive");
+  }
+}
+
+SimTime CostModel::transfer(Bytes bytes, BytesPerSec bw) {
+  return static_cast<SimTime>(static_cast<double>(bytes) / bw *
+                              static_cast<double>(kSec));
+}
+
+SimTime CostModel::fetch_time(Bytes bytes, BlockSource source) const {
+  return fetch_time(bytes, source, spec_.serde_sec_per_byte);
+}
+
+SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
+                              double serde_sec_per_byte) const {
+  if (bytes <= 0) return 0;
+  const SimTime serde = static_cast<SimTime>(
+      serde_sec_per_byte * static_cast<double>(bytes) *
+      static_cast<double>(kSec));
+  switch (source) {
+    case BlockSource::LocalMemory:
+      return transfer(bytes, spec_.memory_bw);
+    case BlockSource::SameNodeMemory:
+      // Crosses process boundaries: pays serialization but no network.
+      return transfer(bytes, spec_.memory_bw) + serde;
+    case BlockSource::LocalDisk:
+      return spec_.disk_latency + transfer(bytes, spec_.disk_bw) + serde;
+    case BlockSource::RackMemory:
+      return spec_.net_latency + transfer(bytes, spec_.net_bw_rack) + serde;
+    case BlockSource::RackDisk:
+      // Remote disk read is pipelined with the transfer; the slower of
+      // the two paths dominates.
+      return spec_.net_latency + spec_.disk_latency +
+             std::max(transfer(bytes, spec_.net_bw_rack),
+                      transfer(bytes, spec_.disk_bw)) +
+             serde;
+    case BlockSource::RemoteMemory:
+      return spec_.net_latency + transfer(bytes, spec_.net_bw_cross) + serde;
+    case BlockSource::RemoteDisk:
+      return spec_.net_latency + spec_.disk_latency +
+             std::max(transfer(bytes, spec_.net_bw_cross),
+                      transfer(bytes, spec_.disk_bw)) +
+             serde;
+  }
+  return 0;
+}
+
+}  // namespace dagon

@@ -1,0 +1,44 @@
+#include "cluster/hdfs.hpp"
+
+#include <algorithm>
+
+namespace dagon {
+
+HdfsPlacement::HdfsPlacement(const JobDag& dag, const Topology& topo,
+                             const HdfsSpec& spec, Rng& rng) {
+  if (spec.replication <= 0) {
+    throw ConfigError("HDFS replication must be positive");
+  }
+  const auto num_nodes = static_cast<std::int32_t>(topo.num_nodes());
+  const std::int32_t replication = std::min(spec.replication, num_nodes);
+  const std::int32_t hot =
+      std::clamp(spec.hot_nodes, std::int32_t{1}, num_nodes);
+
+  for (const Rdd& rdd : dag.rdds()) {
+    if (!rdd.is_input) continue;
+    // Random starting offset per RDD, then round-robin — spreads blocks
+    // evenly but differently across runs/seeds.
+    const auto offset =
+        static_cast<std::int32_t>(rng.uniform_int(num_nodes));
+    for (std::int32_t p = 0; p < rdd.num_partitions; ++p) {
+      std::vector<NodeId> nodes;
+      std::int32_t first;
+      if (spec.skew > 0.0 && rng.bernoulli(spec.skew)) {
+        first = static_cast<std::int32_t>(rng.uniform_int(hot));
+      } else {
+        first = (offset + p) % num_nodes;
+      }
+      for (std::int32_t r = 0; r < replication; ++r) {
+        nodes.push_back(NodeId((first + r) % num_nodes));
+      }
+      placement_.emplace(BlockId{rdd.id, p}, std::move(nodes));
+    }
+  }
+}
+
+const std::vector<NodeId>& HdfsPlacement::replicas(const BlockId& block) const {
+  const auto it = placement_.find(block);
+  return it == placement_.end() ? empty_ : it->second;
+}
+
+}  // namespace dagon

@@ -1,0 +1,43 @@
+#include "common/csv.hpp"
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+std::string csv_escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : path_(path), out_(path), columns_(header.size()) {
+  if (!out_) {
+    throw ConfigError("cannot open CSV file for writing: " + path);
+  }
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  DAGON_CHECK_MSG(cells.size() == columns_,
+                  "CSV row width " << cells.size() << " != " << columns_);
+  write_row(cells);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace dagon

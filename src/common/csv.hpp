@@ -1,0 +1,33 @@
+// CSV export for bench results so figures can be re-plotted offline.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace dagon {
+
+/// Streams rows to a CSV file. Cells are escaped per RFC 4180 when they
+/// contain separators, quotes, or newlines.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header row. Throws
+  /// ConfigError if the file cannot be opened.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void write_row(const std::vector<std::string>& cells);
+
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Escapes a single CSV cell.
+[[nodiscard]] std::string csv_escape(const std::string& cell);
+
+}  // namespace dagon

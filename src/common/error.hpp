@@ -1,0 +1,61 @@
+// Error-handling primitives shared across all Dagon subsystems.
+//
+// The simulator is a library first: invariant violations are programming
+// errors and throw `dagon::InvariantError` (never abort), so tests can
+// assert on them and embedding applications can recover.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dagon {
+
+/// Thrown when an internal invariant is violated (a bug in the caller or
+/// in Dagon itself), e.g. scheduling a task onto an executor with fewer
+/// free vCPUs than the task demands.
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Thrown when user-supplied configuration is unusable, e.g. a DAG with a
+/// dependency cycle or an executor with zero cores.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace dagon
+
+/// Checks an internal invariant; throws dagon::InvariantError on failure.
+#define DAGON_CHECK(expr)                                              \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      ::dagon::detail::throw_invariant(#expr, __FILE__, __LINE__, ""); \
+    }                                                                  \
+  } while (false)
+
+/// Like DAGON_CHECK but with a streamed message, e.g.
+/// DAGON_CHECK_MSG(x > 0, "x=" << x).
+#define DAGON_CHECK_MSG(expr, stream_expr)                        \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      std::ostringstream os_;                                     \
+      os_ << stream_expr;                                         \
+      ::dagon::detail::throw_invariant(#expr, __FILE__, __LINE__, \
+                                       os_.str());                \
+    }                                                             \
+  } while (false)

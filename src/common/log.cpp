@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace dagon::logging {
+
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_sink_mutex;
+
+}  // namespace
+
+void set_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void emit(LogLevel level, const std::string& message) {
+  const std::scoped_lock lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace dagon::logging

@@ -1,0 +1,46 @@
+// Minimal leveled logging.
+//
+// The simulator is single-threaded per run but runs may execute in
+// parallel (benches sweep configurations), so the sink is guarded by a
+// mutex. Default level is Warn so tests and benches stay quiet; examples
+// raise it to Info to narrate what the middleware is doing.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace dagon {
+
+enum class LogLevel : int { Trace = 0, Debug, Info, Warn, Error, Off };
+
+namespace logging {
+
+/// Sets the process-wide minimum level.
+void set_level(LogLevel level);
+[[nodiscard]] LogLevel level();
+
+/// Emits one line to stderr; used by the DAGON_LOG macro.
+void emit(LogLevel level, const std::string& message);
+
+[[nodiscard]] const char* level_name(LogLevel level);
+
+}  // namespace logging
+
+}  // namespace dagon
+
+#define DAGON_LOG(lvl, stream_expr)                          \
+  do {                                                       \
+    if (static_cast<int>(lvl) >=                             \
+        static_cast<int>(::dagon::logging::level())) {       \
+      std::ostringstream os_;                                \
+      os_ << stream_expr;                                    \
+      ::dagon::logging::emit(lvl, os_.str());                \
+    }                                                        \
+  } while (false)
+
+#define DAGON_TRACE(s) DAGON_LOG(::dagon::LogLevel::Trace, s)
+#define DAGON_DEBUG(s) DAGON_LOG(::dagon::LogLevel::Debug, s)
+#define DAGON_INFO(s) DAGON_LOG(::dagon::LogLevel::Info, s)
+#define DAGON_WARN(s) DAGON_LOG(::dagon::LogLevel::Warn, s)
+#define DAGON_ERROR(s) DAGON_LOG(::dagon::LogLevel::Error, s)

@@ -1,0 +1,96 @@
+// Deterministic random-number generation.
+//
+// All stochastic choices in the simulator (HDFS placement, duration
+// noise, profiler error) flow through one seeded generator per run so
+// experiments are exactly reproducible. The core is SplitMix64, which is
+// tiny, fast, and has well-understood statistical quality.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+/// Deterministic PRNG (SplitMix64). Satisfies UniformRandomBitGenerator
+/// so it can also drive <random> distributions when needed, but the
+/// member helpers below are preferred: they are stable across standard
+/// library implementations.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  [[nodiscard]] static constexpr result_type min() { return 0; }
+  [[nodiscard]] static constexpr result_type max() { return UINT64_MAX; }
+
+  result_type operator()() { return next(); }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  std::int64_t uniform_int(std::int64_t bound) {
+    DAGON_CHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t ubound = static_cast<std::uint64_t>(bound);
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % ubound;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return static_cast<std::int64_t>(v % ubound);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi) {
+    DAGON_CHECK(lo <= hi);
+    return lo + uniform_int(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Box–Muller (stable across platforms).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// A derived generator for an independent stream (e.g. one per
+  /// subsystem) that does not perturb this generator's sequence.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const {
+    return Rng(state_ ^ (0xd1342543de82ef95ULL * (stream + 1)));
+  }
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[static_cast<std::size_t>(
+                              uniform_int(static_cast<std::int64_t>(i)))]);
+    }
+  }
+
+ private:
+  std::uint64_t state_;
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace dagon

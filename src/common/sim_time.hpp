@@ -1,0 +1,48 @@
+// Simulated-time representation.
+//
+// Integer microseconds: additions are exact, event ordering is total, and
+// two runs with the same seed produce bit-identical traces (a property
+// the test suite asserts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dagon {
+
+/// Simulated time or duration, in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kUsec = 1;
+inline constexpr SimTime kMsec = 1000 * kUsec;
+inline constexpr SimTime kSec = 1000 * kMsec;
+inline constexpr SimTime kMinute = 60 * kSec;
+
+/// The largest representable time; used as "never".
+inline constexpr SimTime kTimeInfinity = INT64_MAX;
+
+/// Converts fractional seconds to SimTime (rounds to nearest usec).
+[[nodiscard]] constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * static_cast<double>(kSec) + 0.5);
+}
+
+/// Converts SimTime to fractional seconds (for reporting only).
+[[nodiscard]] constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/// Renders a duration as a short human-readable string, e.g. "12.5s".
+[[nodiscard]] inline std::string format_duration(SimTime t) {
+  const double s = to_seconds(t);
+  char buf[32];
+  if (s >= 120.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", s / 60.0);
+  } else if (s >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms", s * 1e3);
+  }
+  return buf;
+}
+
+}  // namespace dagon

@@ -1,0 +1,142 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <string>
+
+namespace dagon {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(n_ + other.n_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / total;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double SampleSet::sum() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double SampleSet::quantile(double q) const {
+  DAGON_CHECK(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+void StepFunction::set(SimTime t, double value) {
+  DAGON_CHECK_MSG(t >= points_.back().time,
+                  "non-monotonic StepFunction update at t=" << t);
+  if (points_.back().time == t) {
+    points_.back().value = value;
+    // Collapse redundant points created by several updates at one instant.
+    if (points_.size() >= 2 && points_[points_.size() - 2].value == value) {
+      points_.pop_back();
+    }
+  } else if (points_.back().value != value) {
+    points_.push_back({t, value});
+  }
+  value_ = value;
+}
+
+double StepFunction::integral(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const SimTime seg_start = std::max(points_[i].time, from);
+    const SimTime seg_end =
+        std::min(i + 1 < points_.size() ? points_[i + 1].time : to, to);
+    if (seg_end > seg_start) {
+      acc += points_[i].value * static_cast<double>(seg_end - seg_start);
+    }
+    if (points_[i].time >= to) break;
+  }
+  return acc;
+}
+
+double StepFunction::average(SimTime from, SimTime to) const {
+  if (to <= from) return 0.0;
+  return integral(from, to) / static_cast<double>(to - from);
+}
+
+double StepFunction::at(SimTime t) const {
+  // Last point with time <= t (right-continuous).
+  auto it = std::upper_bound(
+      points_.begin(), points_.end(), t,
+      [](SimTime lhs, const Point& p) { return lhs < p.time; });
+  if (it == points_.begin()) return points_.front().value;
+  return std::prev(it)->value;
+}
+
+double StepFunction::max_over(SimTime from, SimTime to) const {
+  double best = at(from);
+  for (const Point& p : points_) {
+    if (p.time >= to) break;
+    if (p.time >= from) best = std::max(best, p.value);
+  }
+  return best;
+}
+
+std::string sparkline(const StepFunction& f, SimTime from, SimTime to,
+                      std::size_t bins, double scale_max) {
+  static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  std::string out;
+  if (bins == 0 || to <= from || scale_max <= 0.0) return out;
+  const double width = static_cast<double>(to - from) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    const auto lo = from + static_cast<SimTime>(width * static_cast<double>(i));
+    const auto hi =
+        from + static_cast<SimTime>(width * static_cast<double>(i + 1));
+    const double v = f.average(lo, std::max(hi, lo + 1));
+    const int idx = std::clamp(static_cast<int>(v / scale_max * 8.0 + 0.5), 0, 8);
+    out += kLevels[idx];
+  }
+  return out;
+}
+
+}  // namespace dagon

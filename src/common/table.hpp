@@ -1,0 +1,41 @@
+// ASCII table rendering for bench output.
+//
+// Every bench prints the paper's tables/figures as plain-text rows; this
+// keeps the formatting in one place so all benches look alike.
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dagon {
+
+/// Builds and prints a fixed-column ASCII table:
+///
+///   TextTable t({"workload", "FIFO+LRU", "Dagon"});
+///   t.add_row({"KMeans", "61.2", "35.5"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with `%.*f`.
+  static std::string num(double v, int precision = 2);
+  static std::string percent(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Prints a section banner used between experiment sub-figures.
+void print_banner(std::ostream& os, const std::string& title);
+
+}  // namespace dagon

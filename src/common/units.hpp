@@ -1,0 +1,25 @@
+// Byte-quantity helpers for data sizes and bandwidths.
+#pragma once
+
+#include <cstdint>
+
+namespace dagon {
+
+/// Data size in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+
+/// Bandwidth in bytes per simulated second.
+using BytesPerSec = double;
+
+/// Number of vCPUs (Spark "cores"); tasks hold an integral demand.
+using Cpus = std::int32_t;
+
+/// Stage workload in vCPU-microseconds (the paper's "vCPU-minutes",
+/// Eq. (2)); 64-bit because durations are microseconds.
+using CpuWork = std::int64_t;
+
+}  // namespace dagon

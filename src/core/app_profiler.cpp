@@ -1,0 +1,29 @@
+#include "core/app_profiler.hpp"
+
+#include <algorithm>
+
+namespace dagon {
+
+AppProfiler::AppProfiler(const ProfilerConfig& config) : config_(config) {
+  if (config_.noise < 0.0 || config_.min_factor <= 0.0 ||
+      config_.max_factor < config_.min_factor) {
+    throw ConfigError("invalid ProfilerConfig");
+  }
+}
+
+JobProfile AppProfiler::profile(const JobDag& dag) const {
+  JobProfile truth = exact_profile(dag);
+  if (config_.noise <= 0.0) return truth;
+  Rng rng(config_.seed);
+  for (StageEstimate& est : truth.stages) {
+    const double factor =
+        std::clamp(rng.normal(1.0, config_.noise), config_.min_factor,
+                   config_.max_factor);
+    est.task_duration = std::max<SimTime>(
+        kMsec, static_cast<SimTime>(
+                   static_cast<double>(est.task_duration) * factor));
+  }
+  return truth;
+}
+
+}  // namespace dagon

@@ -1,0 +1,53 @@
+// Resource-only schedule tracer: runs a stage-selection policy against a
+// single pool of vCPUs with exact task durations, ignoring locality and
+// caching. This isolates the paper's Algorithm 1 so that:
+//   * Table III's step-by-step (w_i, pv_i, free CPUs) bookkeeping can be
+//     printed verbatim, and
+//   * Fig. 2's FIFO vs DAG-aware schedule diagrams can be regenerated.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "dag/job_dag.hpp"
+#include "sched/stage_selector.hpp"
+
+namespace dagon {
+
+/// One Algorithm 1 assignment (Table III row).
+struct AssignmentStep {
+  int step = 0;
+  SimTime time = 0;
+  StageId chosen;
+  /// Remaining workloads w_i and priority values pv_i AFTER the
+  /// assignment, indexed by stage.
+  std::vector<CpuWork> w_after;
+  std::vector<CpuWork> pv_after;
+  Cpus free_after = 0;
+};
+
+/// One placed task (for the Fig. 2 schedule diagram).
+struct PlacedTask {
+  StageId stage;
+  std::int32_t index = -1;
+  SimTime start = 0;
+  SimTime end = 0;
+  Cpus cpus = 0;
+};
+
+struct AssignmentTrace {
+  std::vector<AssignmentStep> steps;
+  std::vector<PlacedTask> placements;
+  SimTime makespan = 0;
+  /// Integral of (capacity − busy) over [0, makespan): the resource
+  /// fragmentation the paper's Fig. 2 narration quantifies (vCPU·time).
+  CpuWork idle_cpu_time = 0;
+};
+
+/// Runs `kind` (Fifo / Fair / CriticalPath / Graphene / Dagon) over the
+/// DAG on one `capacity`-vCPU executor pool.
+[[nodiscard]] AssignmentTrace trace_priority_assignment(const JobDag& dag,
+                                                        Cpus capacity,
+                                                        SchedulerKind kind);
+
+}  // namespace dagon

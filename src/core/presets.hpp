@@ -1,0 +1,49 @@
+// Experiment presets: the paper's testbed and case-study clusters, and
+// the named scheduler+cache system combinations evaluated in §V.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/sim_config.hpp"
+
+namespace dagon {
+
+/// The §V-A testbed: 18 worker nodes (two racks), four 4-core executors
+/// per node, 10 Gbps Ethernet, HDD storage, HDFS replication 3.
+[[nodiscard]] SimConfig paper_testbed();
+
+/// The §II-A case-study cluster: 7 machines, HDFS replication 1 — the
+/// configuration that exposes the delay-scheduling pathology of
+/// Figs. 3/4.
+[[nodiscard]] SimConfig case_study_cluster();
+
+/// A named (scheduler, cache, delay) combination.
+struct SystemCombo {
+  std::string label;
+  SchedulerKind scheduler = SchedulerKind::Fifo;
+  CachePolicyKind cache = CachePolicyKind::Lru;
+  DelayKind delay = DelayKind::Native;
+};
+
+/// stock Spark: FIFO scheduling + LRU caching + native delay scheduling.
+[[nodiscard]] SystemCombo stock_spark();
+/// Graphene scheduling + LRU caching.
+[[nodiscard]] SystemCombo graphene_lru();
+/// Graphene scheduling + MRD caching (the paper's main competitor).
+[[nodiscard]] SystemCombo graphene_mrd();
+/// Dagon: priority-based assignment + LRP caching + sensitivity-aware
+/// delay scheduling.
+[[nodiscard]] SystemCombo dagon_full();
+
+/// The Fig. 8 lineup, in paper order.
+[[nodiscard]] std::vector<SystemCombo> figure8_systems();
+
+/// The Fig. 11 lineup: {FIFO,Dagon} × {LRU,MRD,LRP} subsets the paper
+/// compares (FIFO+LRU, FIFO+MRD, Dagon+MRD, Dagon+LRP).
+[[nodiscard]] std::vector<SystemCombo> figure11_systems();
+
+/// Applies a combo onto a base config.
+[[nodiscard]] SimConfig apply_combo(SimConfig base, const SystemCombo& combo);
+
+}  // namespace dagon

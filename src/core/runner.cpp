@@ -1,0 +1,28 @@
+#include "core/runner.hpp"
+
+namespace dagon {
+
+RunResult run_workload(const Workload& workload, const SimConfig& config,
+                       const AppProfiler& profiler) {
+  RunResult result;
+  result.profile = profiler.profile(workload.dag);
+  SimDriver driver(workload.dag, result.profile, config);
+  result.metrics = driver.run();
+  return result;
+}
+
+RunResult run_workload(const Workload& workload, const SimConfig& config) {
+  return run_workload(workload, config, AppProfiler{});
+}
+
+RunResult run_system(const Workload& workload, const SystemCombo& combo,
+                     const SimConfig& base, const AppProfiler& profiler) {
+  return run_workload(workload, apply_combo(base, combo), profiler);
+}
+
+RunResult run_system(const Workload& workload, const SystemCombo& combo,
+                     const SimConfig& base) {
+  return run_system(workload, combo, base, AppProfiler{});
+}
+
+}  // namespace dagon

@@ -1,0 +1,42 @@
+// Runner: the one-call public API — profile a workload, wire a
+// simulated cluster, run it under a system combination, return metrics.
+//
+//   auto workload = dagon::make_workload(dagon::WorkloadId::KMeans);
+//   auto result = dagon::run_system(workload, dagon::dagon_full(),
+//                                   dagon::paper_testbed());
+//   std::cout << dagon::to_seconds(result.metrics.jct) << "s\n";
+#pragma once
+
+#include "core/app_profiler.hpp"
+#include "core/presets.hpp"
+#include "sim/driver.hpp"
+#include "workloads/workload.hpp"
+
+namespace dagon {
+
+struct RunResult {
+  RunMetrics metrics;
+  JobProfile profile;
+};
+
+/// Runs `workload` under `config`, using `profiler` for the scheduler's
+/// estimates.
+[[nodiscard]] RunResult run_workload(const Workload& workload,
+                                     const SimConfig& config,
+                                     const AppProfiler& profiler);
+
+/// Same with a perfect (noiseless) profile.
+[[nodiscard]] RunResult run_workload(const Workload& workload,
+                                     const SimConfig& config);
+
+/// Convenience: applies a named system combo onto a base cluster config.
+[[nodiscard]] RunResult run_system(const Workload& workload,
+                                   const SystemCombo& combo,
+                                   const SimConfig& base,
+                                   const AppProfiler& profiler);
+
+[[nodiscard]] RunResult run_system(const Workload& workload,
+                                   const SystemCombo& combo,
+                                   const SimConfig& base);
+
+}  // namespace dagon

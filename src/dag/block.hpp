@@ -1,0 +1,41 @@
+// Block identity: one partition of one RDD.
+//
+// Blocks are the unit of caching, HDFS placement, and data access —
+// exactly Spark's `RDDBlockId(rddId, splitIndex)`.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+#include "common/strong_id.hpp"
+
+namespace dagon {
+
+struct BlockId {
+  RddId rdd;
+  std::int32_t partition = -1;
+
+  [[nodiscard]] bool valid() const { return rdd.valid() && partition >= 0; }
+
+  auto operator<=>(const BlockId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, const BlockId& b) {
+    return os << "rdd_" << b.rdd << '_' << b.partition;
+  }
+};
+
+}  // namespace dagon
+
+namespace std {
+
+template <>
+struct hash<dagon::BlockId> {
+  size_t operator()(const dagon::BlockId& b) const noexcept {
+    const auto h1 = static_cast<size_t>(b.rdd.value());
+    const auto h2 = static_cast<size_t>(b.partition);
+    return h1 * 0x9e3779b97f4a7c15ULL ^ (h2 + (h1 << 6) + (h1 >> 2));
+  }
+};
+
+}  // namespace std

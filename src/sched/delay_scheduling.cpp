@@ -1,0 +1,148 @@
+#include "sched/delay_scheduling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace dagon {
+
+namespace {
+
+/// Position of `l` in `levels`; levels.size()-1 (worst) if absent.
+std::size_t level_index(const std::vector<Locality>& levels, Locality l) {
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    if (levels[i] == l) return i;
+  }
+  return levels.empty() ? 0 : levels.size() - 1;
+}
+
+}  // namespace
+
+Locality DelayPolicy::allowed_locality(JobState& state,
+                                       const BlockManagerMaster& master,
+                                       StageId s, SimTime now) const {
+  StageRuntime& rt = state.stage(s);
+  const std::vector<Locality> levels =
+      valid_locality_levels(state.dag(), master, state.topology(), rt);
+  DAGON_CHECK(!levels.empty());
+  // Valid levels can change between calls (cache fills up, tasks drain);
+  // clamp the stored ladder position.
+  rt.locality_index = std::min(rt.locality_index, levels.size() - 1);
+  if (rt.locality_timer < rt.ready_time) rt.locality_timer = rt.ready_time;
+
+  // Spark's TaskSetManager::getAllowedLocalityLevel ladder walk.
+  while (rt.locality_index < levels.size() - 1) {
+    const SimTime wait = waits_.wait_for(levels[rt.locality_index]);
+    if (now - rt.locality_timer < wait) break;
+    rt.locality_timer += wait;
+    ++rt.locality_index;
+  }
+  return levels[rt.locality_index];
+}
+
+void DelayPolicy::on_launch(JobState& state, const BlockManagerMaster& master,
+                            StageId s, Locality l, SimTime now) const {
+  StageRuntime& rt = state.stage(s);
+  const std::vector<Locality> levels =
+      valid_locality_levels(state.dag(), master, state.topology(), rt);
+  if (levels.empty()) return;
+  rt.locality_index = std::min(level_index(levels, l), levels.size() - 1);
+  rt.locality_timer = now;
+}
+
+std::optional<Assignment> DelayPolicy::best_task_on(
+    const JobState& state, const BlockManagerMaster& master, StageId s,
+    ExecutorId exec) const {
+  const Cpus demand = state.dag().stage(s).task_cpus;
+  if (state.executor(exec).free_cores < demand) return std::nullopt;
+  std::optional<Assignment> best;
+  for (const std::int32_t index : state.stage(s).pending) {
+    const Locality l = task_locality_on(state.dag(), master,
+                                        state.topology(), s, index, exec);
+    if (!best || static_cast<int>(l) < static_cast<int>(best->locality)) {
+      best = Assignment{index, exec, l};
+      if (l == Locality::Process) break;  // cannot do better
+    }
+  }
+  return best;
+}
+
+std::vector<ExecutorId> DelayPolicy::executor_order(
+    const JobState& state) const {
+  std::vector<ExecutorId> order;
+  order.reserve(state.executors().size());
+  std::int64_t launched = 0;
+  for (const ExecutorRuntime& e : state.executors()) {
+    order.push_back(e.id);
+    launched += e.tasks_launched;
+  }
+  if (!order.empty()) {
+    const auto shift = static_cast<std::size_t>(
+        launched % static_cast<std::int64_t>(order.size()));
+    std::rotate(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(shift),
+                order.end());
+  }
+  return order;
+}
+
+std::optional<Assignment> NativeDelayPolicy::find(
+    JobState& state, const BlockManagerMaster& master, StageId s,
+    SimTime now) const {
+  const Locality allowed = allowed_locality(state, master, s, now);
+  for (const ExecutorId exec : executor_order(state)) {
+    const auto best = best_task_on(state, master, s, exec);
+    if (best && at_least(best->locality, allowed)) return best;
+    // Otherwise this executor stays idle for this stage — the core
+    // pathology the paper's Fig. 4 illustrates.
+  }
+  return std::nullopt;
+}
+
+std::optional<Assignment> SensitivityAwareDelayPolicy::find(
+    JobState& state, const BlockManagerMaster& master, StageId s,
+    SimTime now) const {
+  const Locality allowed = allowed_locality(state, master, s, now);
+  const TaskTimeEstimator estimator(state, *cost_);
+  // Algorithm 2: accept a lower-locality task when it finishes within
+  // the stage's earliest completion time (Eq. 7, with slack).
+  const auto ect = static_cast<SimTime>(
+      ect_slack_ * static_cast<double>(estimator.earliest_completion(s)));
+  for (const ExecutorId exec : executor_order(state)) {
+    const auto best = best_task_on(state, master, s, exec);
+    if (!best) continue;
+    if (at_least(best->locality, allowed)) return best;
+    const SimTime est = estimator.estimate(s, best->locality);
+    if (est < ect) {
+      DAGON_TRACE("algorithm2 accepts stage "
+                  << s << " task " << best->task_index << " @"
+                  << locality_name(best->locality) << " on exec " << exec
+                  << " (est " << format_duration(est) << " < ect "
+                  << format_duration(ect) << ")");
+      return best;
+    }
+    DAGON_TRACE("algorithm2 refuses stage "
+                << s << " @" << locality_name(best->locality) << " on exec "
+                << exec << " (est " << format_duration(est) << " >= ect "
+                << format_duration(ect) << ")");
+    // Locality-sensitive stage: skip this executor, try the next one
+    // (Algorithm 2 line 9).
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<DelayPolicy> make_delay_policy(DelayKind kind,
+                                               const LocalityWaits& waits,
+                                               const CostModel& cost,
+                                               double ect_slack) {
+  switch (kind) {
+    case DelayKind::Native:
+      return std::make_unique<NativeDelayPolicy>(waits, cost);
+    case DelayKind::SensitivityAware:
+      return std::make_unique<SensitivityAwareDelayPolicy>(waits, cost,
+                                                           ect_slack);
+  }
+  throw ConfigError("unknown delay policy kind");
+}
+
+}  // namespace dagon

@@ -1,0 +1,68 @@
+#include "sched/estimator.hpp"
+
+#include <algorithm>
+
+namespace dagon {
+
+SimTime TaskTimeEstimator::predicted_fetch(StageId s,
+                                           Locality locality) const {
+  const StageEstimate& est = state_->profile().stage(s);
+  const Bytes bytes = est.task_input_bytes;
+  // Ser/de is paid on RDD bytes for any non-process read; raw HDFS input
+  // parses inside task compute time regardless of source. This split is
+  // what lets Algorithm 2 tell a locality-insensitive scan (serde ~ 0,
+  // disk read pipelines over the network) from a sensitive iteration
+  // over cached data (serde dominates).
+  const SimTime serde =
+      locality == Locality::Process
+          ? 0
+          : static_cast<SimTime>(cost_->spec().serde_sec_per_byte *
+                                 static_cast<double>(est.task_serde_bytes) *
+                                 static_cast<double>(kSec));
+  switch (locality) {
+    case Locality::Process:
+      return cost_->fetch_time(bytes, BlockSource::LocalMemory, 0.0);
+    case Locality::Node:
+      return cost_->fetch_time(bytes, BlockSource::LocalDisk, 0.0) + serde;
+    case Locality::NoPref:
+    case Locality::Rack:
+      // Inputs pulled from around the rack.
+      return cost_->fetch_time(bytes, BlockSource::RackDisk, 0.0) + serde;
+    case Locality::Any:
+      return cost_->fetch_time(bytes, BlockSource::RemoteDisk, 0.0) + serde;
+  }
+  return 0;
+}
+
+SimTime TaskTimeEstimator::estimate(StageId s, Locality locality) const {
+  if (const auto observed = state_->observed_duration(s, locality)) {
+    return *observed;
+  }
+  return state_->profile().stage(s).task_duration +
+         predicted_fetch(s, locality);
+}
+
+SimTime TaskTimeEstimator::earliest_completion(StageId s) const {
+  const StageRuntime& rt = state_->stage(s);
+  const auto pending = static_cast<std::int64_t>(rt.pending.size());
+  if (pending == 0) return 0;
+  // Eq. (7): ect = ceil(pending / parallelism) * avg duration. "Earliest"
+  // is optimistic: before the stage ramps up, assume it can reach full
+  // cluster parallelism rather than extrapolating from the first task.
+  const Cpus demand = state_->dag().stage(s).task_cpus;
+  const std::int64_t potential =
+      std::max<std::int64_t>(1, state_->topology().total_cores() / demand);
+  const std::int64_t parallelism = std::max<std::int64_t>(
+      rt.running, std::min<std::int64_t>(pending, potential));
+  SimTime avg;
+  if (const auto observed = state_->observed_duration(s)) {
+    avg = *observed;
+  } else {
+    // Nothing finished yet: assume the preferred-locality duration.
+    avg = estimate(s, Locality::Process);
+  }
+  const std::int64_t waves = (pending + parallelism - 1) / parallelism;
+  return waves * avg;
+}
+
+}  // namespace dagon

@@ -1,0 +1,35 @@
+// Task-duration estimation for Algorithm 2's sensitivity test.
+//
+// The paper estimates a pending task's finish time "as the average
+// duration of the finished tasks with the same locality level"; before
+// any task has finished at that level we fall back to profile compute
+// time + a cost-model prediction of the locality's fetch penalty.
+#pragma once
+
+#include "cluster/cost_model.hpp"
+#include "sched/job_state.hpp"
+
+namespace dagon {
+
+class TaskTimeEstimator {
+ public:
+  TaskTimeEstimator(const JobState& state, const CostModel& cost)
+      : state_(&state), cost_(&cost) {}
+
+  /// Expected duration of one task of `s` when launched at `locality`.
+  [[nodiscard]] SimTime estimate(StageId s, Locality locality) const;
+
+  /// The paper's Eq. (7): earliest completion time of stage `s` (as a
+  /// duration from now), ect = ceil(pending / parallelism) * avg_duration.
+  [[nodiscard]] SimTime earliest_completion(StageId s) const;
+
+ private:
+  /// Cost-model prediction of fetch time at a locality level, assuming
+  /// the task's input bytes come from the level's natural source.
+  [[nodiscard]] SimTime predicted_fetch(StageId s, Locality locality) const;
+
+  const JobState* state_;
+  const CostModel* cost_;
+};
+
+}  // namespace dagon

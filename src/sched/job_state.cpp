@@ -1,0 +1,195 @@
+#include "sched/job_state.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+JobState::JobState(const JobDag& dag, const Topology& topo,
+                   const JobProfile& profile)
+    : dag_(&dag), topo_(&topo), profile_(&profile) {
+  DAGON_CHECK_MSG(profile.stages.size() == dag.num_stages(),
+                  "profile does not match DAG");
+  stages_.reserve(dag.num_stages());
+  for (const Stage& s : dag.stages()) {
+    StageRuntime rt;
+    rt.id = s.id;
+    rt.num_tasks = s.num_tasks;
+    rt.pending.resize(static_cast<std::size_t>(s.num_tasks));
+    for (std::int32_t t = 0; t < s.num_tasks; ++t) {
+      rt.pending[static_cast<std::size_t>(t)] = t;
+    }
+    rt.remaining_work = profile.workload(s.id, s.num_tasks);
+    rt.ready = s.parents.empty();
+    rt.ready_time = rt.ready ? 0 : -1;
+    stages_.push_back(std::move(rt));
+  }
+  executors_.reserve(topo.num_executors());
+  for (const Executor& e : topo.executors()) {
+    ExecutorRuntime rt;
+    rt.id = e.id;
+    rt.free_cores = e.cores;
+    executors_.push_back(rt);
+  }
+}
+
+StageRuntime& JobState::stage(StageId id) {
+  DAGON_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < stages_.size());
+  return stages_[static_cast<std::size_t>(id.value())];
+}
+
+const StageRuntime& JobState::stage(StageId id) const {
+  DAGON_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < stages_.size());
+  return stages_[static_cast<std::size_t>(id.value())];
+}
+
+ExecutorRuntime& JobState::executor(ExecutorId id) {
+  DAGON_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < executors_.size());
+  return executors_[static_cast<std::size_t>(id.value())];
+}
+
+const ExecutorRuntime& JobState::executor(ExecutorId id) const {
+  DAGON_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < executors_.size());
+  return executors_[static_cast<std::size_t>(id.value())];
+}
+
+std::vector<StageId> JobState::schedulable_stages() const {
+  std::vector<StageId> out;
+  for (const StageRuntime& s : stages_) {
+    if (s.ready && !s.finished && s.has_pending()) out.push_back(s.id);
+  }
+  return out;
+}
+
+bool JobState::all_finished() const {
+  return std::all_of(stages_.begin(), stages_.end(),
+                     [](const StageRuntime& s) { return s.finished; });
+}
+
+bool JobState::any_free_cores() const {
+  return std::any_of(executors_.begin(), executors_.end(),
+                     [](const ExecutorRuntime& e) {
+                       return e.free_cores > 0;
+                     });
+}
+
+CpuWork JobState::priority_value(StageId id) const {
+  CpuWork pv = stage(id).remaining_work;
+  for (const StageId succ : dag_->successor_set(id)) {
+    pv += stage(succ).remaining_work;
+  }
+  return pv;
+}
+
+std::vector<CpuWork> JobState::priority_values() const {
+  std::vector<CpuWork> pv;
+  pv.reserve(stages_.size());
+  for (const StageRuntime& s : stages_) {
+    pv.push_back(priority_value(s.id));
+  }
+  return pv;
+}
+
+void JobState::mark_launched(StageId s, std::int32_t index, ExecutorId exec,
+                             SimTime now) {
+  StageRuntime& rt = stage(s);
+  const auto it = std::find(rt.pending.begin(), rt.pending.end(), index);
+  DAGON_CHECK_MSG(it != rt.pending.end(),
+                  "task " << index << " of stage " << s << " not pending");
+  rt.pending.erase(it);
+  ++rt.running;
+  if (rt.first_launch < 0) rt.first_launch = now;
+
+  const StageEstimate& est = profile_->stage(s);
+  rt.remaining_work -=
+      static_cast<CpuWork>(est.task_cpus) * est.task_duration;
+  if (rt.remaining_work < 0) rt.remaining_work = 0;
+
+  ExecutorRuntime& e = executor(exec);
+  const Cpus demand = dag_->stage(s).task_cpus;
+  DAGON_CHECK_MSG(e.free_cores >= demand,
+                  "executor " << exec << " lacks cores for stage " << s);
+  e.free_cores -= demand;
+  ++e.tasks_launched;
+}
+
+bool JobState::mark_finished(StageId s, ExecutorId exec, Locality locality,
+                             SimTime launch_time, SimTime now) {
+  StageRuntime& rt = stage(s);
+  DAGON_CHECK(rt.running > 0);
+  --rt.running;
+  ++rt.finished_tasks;
+
+  const auto li = static_cast<std::size_t>(locality);
+  rt.locality_duration_sum[li] += static_cast<double>(now - launch_time);
+  ++rt.locality_count[li];
+  rt.finished_durations.push_back(now - launch_time);
+
+  ExecutorRuntime& e = executor(exec);
+  e.free_cores += dag_->stage(s).task_cpus;
+  DAGON_CHECK(e.free_cores <=
+              topo_->executor(exec).cores);
+
+  if (rt.finished_tasks == rt.num_tasks) {
+    rt.finished = true;
+    rt.finish_time = now;
+    rt.remaining_work = 0;
+    return true;
+  }
+  return false;
+}
+
+std::vector<StageId> JobState::refresh_ready(SimTime now) {
+  std::vector<StageId> newly_ready;
+  for (StageRuntime& rt : stages_) {
+    if (rt.ready || rt.finished) continue;
+    const Stage& s = dag_->stage(rt.id);
+    const bool ok = std::all_of(
+        s.parents.begin(), s.parents.end(),
+        [&](StageId p) { return stage(p).finished; });
+    if (ok) {
+      rt.ready = true;
+      rt.ready_time = now;
+      rt.locality_timer = now;  // delay-scheduling wait starts here
+      newly_ready.push_back(rt.id);
+    }
+  }
+  return newly_ready;
+}
+
+void JobState::readd_pending(StageId s, std::int32_t index) {
+  StageRuntime& rt = stage(s);
+  DAGON_CHECK(index >= 0 && index < rt.num_tasks);
+  rt.pending.push_back(index);
+  const StageEstimate& est = profile_->stage(s);
+  rt.remaining_work +=
+      static_cast<CpuWork>(est.task_cpus) * est.task_duration;
+}
+
+std::optional<SimTime> JobState::observed_duration(StageId s,
+                                                   Locality l) const {
+  const StageRuntime& rt = stage(s);
+  const auto li = static_cast<std::size_t>(l);
+  if (rt.locality_count[li] == 0) return std::nullopt;
+  return static_cast<SimTime>(rt.locality_duration_sum[li] /
+                              static_cast<double>(rt.locality_count[li]));
+}
+
+std::optional<SimTime> JobState::observed_duration(StageId s) const {
+  const StageRuntime& rt = stage(s);
+  double sum = 0.0;
+  std::int64_t count = 0;
+  for (std::size_t i = 0; i < rt.locality_count.size(); ++i) {
+    sum += rt.locality_duration_sum[i];
+    count += rt.locality_count[i];
+  }
+  if (count == 0) return std::nullopt;
+  return static_cast<SimTime>(sum / static_cast<double>(count));
+}
+
+}  // namespace dagon

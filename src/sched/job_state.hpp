@@ -1,0 +1,186 @@
+// Mutable runtime state of one job: per-stage task queues, per-executor
+// free cores, delay-scheduling timers, and the priority-value (pv)
+// bookkeeping of the paper's Algorithm 1 / Table III.
+//
+// The simulation driver owns a JobState and mutates it through the
+// launch/finish methods; schedulers and delay policies read it.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "cluster/locality.hpp"
+#include "cluster/topology.hpp"
+#include "common/sim_time.hpp"
+#include "dag/job_dag.hpp"
+#include "dag/profile.hpp"
+
+namespace dagon {
+
+enum class TaskStatus { Pending, Running, Finished };
+
+struct TaskRuntime {
+  StageId stage;
+  std::int32_t index = -1;  // partition index within the stage
+  TaskStatus status = TaskStatus::Pending;
+  ExecutorId executor = ExecutorId::invalid();
+  Locality locality = Locality::Any;
+  SimTime launch_time = -1;
+  SimTime finish_time = -1;
+  /// Split of the actual duration (filled at launch).
+  SimTime fetch_time = 0;
+  SimTime compute_time = 0;
+  /// Set when this is a speculative copy of another attempt.
+  bool speculative = false;
+};
+
+struct StageRuntime {
+  StageId id;
+
+  bool ready = false;     // all parents finished
+  bool finished = false;
+
+  std::vector<std::int32_t> pending;  // task indices not yet launched
+  std::int32_t running = 0;
+  std::int32_t finished_tasks = 0;
+  std::int32_t num_tasks = 0;
+
+  /// Estimated unprocessed workload (the paper's w_i): decremented by
+  /// d_i · est_duration as each task is *assigned* (Table III).
+  CpuWork remaining_work = 0;
+
+  SimTime ready_time = -1;
+  SimTime first_launch = -1;
+  SimTime finish_time = -1;
+
+  // --- native delay-scheduling state (per TaskSet, as in Spark) ---
+  /// Index into the taskset's valid locality levels.
+  std::size_t locality_index = 0;
+  /// Start of the wait at the current level.
+  SimTime locality_timer = 0;
+
+  // --- observed per-locality durations for Algorithm 2's estimates ---
+  std::array<double, 5> locality_duration_sum{};   // by Locality value
+  std::array<std::int64_t, 5> locality_count{};
+
+  /// Durations of finished tasks (for speculation medians and metrics).
+  std::vector<SimTime> finished_durations;
+
+  [[nodiscard]] bool has_pending() const { return !pending.empty(); }
+};
+
+struct ExecutorRuntime {
+  ExecutorId id;
+  Cpus free_cores = 0;
+  /// Cores currently held by other tenants (multi-tenant reservation).
+  Cpus reserved_cores = 0;
+  /// Reservation demand not yet satisfiable (claimed as tasks finish).
+  Cpus pending_reservation = 0;
+  /// Block currently being prefetched, if any (one IO channel).
+  std::optional<BlockId> prefetching;
+  std::int64_t tasks_launched = 0;
+};
+
+/// Wait times per locality level, Spark's spark.locality.wait.* family.
+struct LocalityWaits {
+  SimTime process = 3 * kSec;
+  SimTime node = 3 * kSec;
+  SimTime rack = 3 * kSec;
+
+  [[nodiscard]] static LocalityWaits uniform(SimTime w) {
+    return LocalityWaits{w, w, w};
+  }
+
+  /// Wait before escalating *past* the given level.
+  [[nodiscard]] SimTime wait_for(Locality l) const {
+    switch (l) {
+      case Locality::Process: return process;
+      case Locality::Node: return node;
+      case Locality::Rack: return rack;
+      case Locality::NoPref:
+      case Locality::Any: return 0;
+    }
+    return 0;
+  }
+};
+
+class JobState {
+ public:
+  JobState(const JobDag& dag, const Topology& topo, const JobProfile& profile);
+
+  // -- structure ---------------------------------------------------------
+
+  [[nodiscard]] const JobDag& dag() const { return *dag_; }
+  [[nodiscard]] const JobProfile& profile() const { return *profile_; }
+  [[nodiscard]] const Topology& topology() const { return *topo_; }
+
+  [[nodiscard]] StageRuntime& stage(StageId id);
+  [[nodiscard]] const StageRuntime& stage(StageId id) const;
+  [[nodiscard]] ExecutorRuntime& executor(ExecutorId id);
+  [[nodiscard]] const ExecutorRuntime& executor(ExecutorId id) const;
+
+  [[nodiscard]] const std::vector<StageRuntime>& stages() const {
+    return stages_;
+  }
+  [[nodiscard]] std::vector<ExecutorRuntime>& executors() {
+    return executors_;
+  }
+  [[nodiscard]] const std::vector<ExecutorRuntime>& executors() const {
+    return executors_;
+  }
+
+  /// Ready, unfinished stages that still have pending tasks.
+  [[nodiscard]] std::vector<StageId> schedulable_stages() const;
+
+  /// True when every stage has finished.
+  [[nodiscard]] bool all_finished() const;
+
+  /// Any executor with at least one free core?
+  [[nodiscard]] bool any_free_cores() const;
+
+  // -- the paper's pv_i (Eq. 6) -------------------------------------------
+
+  /// pv_i = remaining_work_i + Σ_{j ∈ SuccessorSet_i} remaining_work_j.
+  [[nodiscard]] CpuWork priority_value(StageId id) const;
+
+  /// pv for every stage (pushed into the ReferenceOracle for LRP).
+  [[nodiscard]] std::vector<CpuWork> priority_values() const;
+
+  // -- state transitions (called by the simulation driver) ----------------
+
+  /// Removes task `index` from stage `s`'s pending queue and charges the
+  /// executor's cores; updates w_i / Table III bookkeeping.
+  void mark_launched(StageId s, std::int32_t index, ExecutorId exec,
+                     SimTime now);
+
+  /// Returns cores and records duration stats; marks the stage finished
+  /// when its last task completes (returns true in that case).
+  bool mark_finished(StageId s, ExecutorId exec, Locality locality,
+                     SimTime launch_time, SimTime now);
+
+  /// Promotes stages whose parents have all finished; returns the newly
+  /// ready stage ids.
+  std::vector<StageId> refresh_ready(SimTime now);
+
+  /// Re-inserts a pending task (used when a speculative copy wins and
+  /// the original is cancelled — or for tests).
+  void readd_pending(StageId s, std::int32_t index);
+
+  /// Observed mean duration of finished tasks of `s` at `l`; nullopt if
+  /// none finished at that level yet.
+  [[nodiscard]] std::optional<SimTime> observed_duration(StageId s,
+                                                         Locality l) const;
+
+  /// Mean duration over all finished tasks of `s` (any locality).
+  [[nodiscard]] std::optional<SimTime> observed_duration(StageId s) const;
+
+ private:
+  const JobDag* dag_;
+  const Topology* topo_;
+  const JobProfile* profile_;
+  std::vector<StageRuntime> stages_;
+  std::vector<ExecutorRuntime> executors_;
+};
+
+}  // namespace dagon

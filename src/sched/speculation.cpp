@@ -1,0 +1,42 @@
+#include "sched/speculation.hpp"
+
+#include <algorithm>
+
+namespace dagon {
+
+namespace {
+
+SimTime median_of(std::vector<SimTime> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+std::vector<SpeculationCandidate> speculation_candidates(
+    const JobState& state, const std::vector<TaskRuntime>& running,
+    const SpeculationConfig& config, SimTime now) {
+  std::vector<SpeculationCandidate> out;
+  if (!config.enabled) return out;
+
+  for (const TaskRuntime& task : running) {
+    if (task.status != TaskStatus::Running || task.speculative) continue;
+    const StageRuntime& rt = state.stage(task.stage);
+    if (rt.finished_durations.empty()) continue;
+    const double done_fraction =
+        static_cast<double>(rt.finished_tasks) /
+        static_cast<double>(std::max(1, rt.num_tasks));
+    if (done_fraction < config.quantile) continue;
+    const SimTime median = median_of(rt.finished_durations);
+    const auto threshold =
+        static_cast<SimTime>(config.multiplier * static_cast<double>(median));
+    const SimTime elapsed = now - task.launch_time;
+    if (elapsed > threshold) {
+      out.push_back(SpeculationCandidate{task.stage, task.index, elapsed,
+                                         threshold});
+    }
+  }
+  return out;
+}
+
+}  // namespace dagon

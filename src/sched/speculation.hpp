@@ -1,0 +1,40 @@
+// Speculative execution, modelled after Spark's TaskSetManager
+// speculation plus the paper's §IV tweak: the copy is launched on an
+// executor with free resources *close to the input data*.
+//
+// A task becomes a speculation candidate when (a) at least
+// `quantile` of its stage's tasks have finished and (b) it has been
+// running longer than `multiplier` × the median finished duration.
+#pragma once
+
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "sched/job_state.hpp"
+
+namespace dagon {
+
+struct SpeculationConfig {
+  bool enabled = false;
+  /// Fraction of the stage that must be finished before speculating
+  /// (spark.speculation.quantile).
+  double quantile = 0.75;
+  /// How much slower than the median a task must be
+  /// (spark.speculation.multiplier).
+  double multiplier = 1.5;
+};
+
+struct SpeculationCandidate {
+  StageId stage;
+  std::int32_t task_index = -1;
+  SimTime running_for = 0;
+  SimTime threshold = 0;
+};
+
+/// Scans running (non-speculative) tasks for stragglers. `running`
+/// describes each in-flight task attempt.
+[[nodiscard]] std::vector<SpeculationCandidate> speculation_candidates(
+    const JobState& state, const std::vector<TaskRuntime>& running,
+    const SpeculationConfig& config, SimTime now);
+
+}  // namespace dagon

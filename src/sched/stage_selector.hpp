@@ -1,0 +1,102 @@
+// Stage selection policies: in each scheduling step, the order in which
+// ready stages are offered executor resources (Algorithm 1 line 5
+// generalized — each policy supplies its own sort key).
+//
+//   FIFO          — Spark default: ascending stage id
+//   Fair          — least currently-allocated cores first (DRF-lite)
+//   CriticalPath  — longest remaining critical path first [Graham'69]
+//   Graphene      — troublesome stages (long or hard-to-pack) first
+//                   [Grandl et al., OSDI'16, online heuristic]
+//   Dagon         — highest priority value pv_i (Eq. 6) first; this is
+//                   the paper's DAG-aware task assignment
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sched/job_state.hpp"
+
+namespace dagon {
+
+enum class SchedulerKind { Fifo, Fair, CriticalPath, Graphene, Dagon };
+
+[[nodiscard]] constexpr const char* scheduler_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::Fifo: return "FIFO";
+    case SchedulerKind::Fair: return "Fair";
+    case SchedulerKind::CriticalPath: return "CP";
+    case SchedulerKind::Graphene: return "Graphene";
+    case SchedulerKind::Dagon: return "Dagon";
+  }
+  return "?";
+}
+
+class StageSelector {
+ public:
+  virtual ~StageSelector() = default;
+  [[nodiscard]] virtual const char* name() const = 0;
+  /// Schedulable stages (ready, unfinished, pending tasks) in offer
+  /// order: the driver walks this list and launches the first task that
+  /// delay scheduling admits.
+  [[nodiscard]] virtual std::vector<StageId> order(
+      const JobState& state) const = 0;
+};
+
+class FifoSelector final : public StageSelector {
+ public:
+  [[nodiscard]] const char* name() const override { return "FIFO"; }
+  [[nodiscard]] std::vector<StageId> order(
+      const JobState& state) const override;
+};
+
+class FairSelector final : public StageSelector {
+ public:
+  [[nodiscard]] const char* name() const override { return "Fair"; }
+  [[nodiscard]] std::vector<StageId> order(
+      const JobState& state) const override;
+};
+
+class CriticalPathSelector final : public StageSelector {
+ public:
+  explicit CriticalPathSelector(const JobDag& dag);
+  [[nodiscard]] const char* name() const override { return "CP"; }
+  [[nodiscard]] std::vector<StageId> order(
+      const JobState& state) const override;
+
+ private:
+  std::vector<SimTime> cp_;  // critical-path length per stage
+};
+
+class GrapheneSelector final : public StageSelector {
+ public:
+  /// Troublesome thresholds: a stage is troublesome when its estimated
+  /// task duration is in the top `duration_quantile` of the DAG or its
+  /// demand exceeds `demand_fraction` of an executor.
+  GrapheneSelector(const JobDag& dag, const JobProfile& profile,
+                   Cpus executor_cores, double duration_quantile = 0.75,
+                   double demand_fraction = 0.5);
+  [[nodiscard]] const char* name() const override { return "Graphene"; }
+  [[nodiscard]] std::vector<StageId> order(
+      const JobState& state) const override;
+
+  [[nodiscard]] bool troublesome(StageId s) const {
+    return troublesome_[static_cast<std::size_t>(s.value())];
+  }
+
+ private:
+  std::vector<bool> troublesome_;
+  std::vector<double> score_;  // duration·demand, for ordering
+};
+
+class DagonSelector final : public StageSelector {
+ public:
+  [[nodiscard]] const char* name() const override { return "Dagon"; }
+  [[nodiscard]] std::vector<StageId> order(
+      const JobState& state) const override;
+};
+
+[[nodiscard]] std::unique_ptr<StageSelector> make_stage_selector(
+    SchedulerKind kind, const JobDag& dag, const JobProfile& profile,
+    Cpus executor_cores);
+
+}  // namespace dagon

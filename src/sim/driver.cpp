@@ -1,0 +1,492 @@
+#include "sim/driver.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "sched/task_locality.hpp"
+
+namespace dagon {
+
+SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
+                     const SimConfig& config)
+    : config_(config),
+      dag_(&dag),
+      profile_(profile),
+      topo_(config.topology),
+      rng_(config.seed),
+      cost_(config.cost),
+      hdfs_(dag, topo_, config.hdfs, rng_),
+      oracle_(dag),
+      policy_(make_cache_policy(config.cache)),
+      master_(topo_, dag, hdfs_, oracle_, *policy_, config.cache_enabled),
+      state_(dag, topo_, profile_),
+      selector_(make_stage_selector(config.scheduler, dag, profile_,
+                                    config.topology.cores_per_executor)),
+      delay_(make_delay_policy(config.delay, config.waits, cost_,
+                               config.ect_slack)) {
+  validate();
+  produced_.resize(dag.num_stages());
+  for (const Stage& s : dag.stages()) {
+    produced_[static_cast<std::size_t>(s.id.value())].assign(
+        static_cast<std::size_t>(s.num_tasks), false);
+  }
+  metrics_.total_cores = topo_.total_cores();
+  if (config_.per_executor_profiles) {
+    metrics_.executor_profiles.resize(topo_.num_executors());
+    for (const Executor& e : topo_.executors()) {
+      metrics_.executor_profiles[static_cast<std::size_t>(e.id.value())].id =
+          e.id;
+    }
+  }
+}
+
+void SimDriver::validate() const {
+  Cpus max_cores = 0;
+  for (const Executor& e : topo_.executors()) {
+    max_cores = std::max(max_cores, e.cores);
+  }
+  for (const Stage& s : dag_->stages()) {
+    if (s.task_cpus > max_cores) {
+      throw ConfigError("stage '" + s.name +
+                        "' demands more vCPUs than any executor has");
+    }
+  }
+  if (config_.tick_interval <= 0) {
+    throw ConfigError("tick_interval must be positive");
+  }
+  SimTime prev = -1;
+  for (const SimConfig::CapacityPhase& phase : config_.capacity_phases) {
+    if (phase.at < 0 || phase.at <= prev) {
+      throw ConfigError("capacity_phases must be sorted by time");
+    }
+    if (phase.reserved_fraction < 0.0 || phase.reserved_fraction >= 1.0) {
+      throw ConfigError("reserved_fraction must be in [0, 1)");
+    }
+    prev = phase.at;
+  }
+}
+
+RunMetrics SimDriver::run() {
+  DAGON_CHECK_MSG(!ran_, "SimDriver::run() is single-shot");
+  ran_ = true;
+
+  master_.seed_initial_cache(0);
+  state_.refresh_ready(0);
+  push_priority_update();
+  schedule_loop(0);
+  issue_prefetches(0);
+  if (config_.per_executor_profiles) sample_pending(0);
+  queue_.push(Event{config_.tick_interval, EventType::Tick,
+                    TaskId::invalid(), ExecutorId::invalid(), BlockId{}});
+  for (std::size_t i = 0; i < config_.capacity_phases.size(); ++i) {
+    queue_.push(Event{config_.capacity_phases[i].at,
+                      EventType::CapacityChange, TaskId::invalid(),
+                      ExecutorId::invalid(), BlockId{},
+                      static_cast<std::int32_t>(i)});
+  }
+
+  SimTime now = 0;
+  while (!state_.all_finished()) {
+    const auto event = queue_.pop();
+    DAGON_CHECK_MSG(event.has_value(),
+                    "simulation deadlock: job unfinished, no events");
+    now = event->time;
+    if (now > config_.max_sim_time) {
+      throw InvariantError("simulation exceeded max_sim_time — livelock?");
+    }
+    switch (event->type) {
+      case EventType::TaskFinish:
+        handle_task_finish(event->task, now);
+        break;
+      case EventType::PrefetchDone:
+        handle_prefetch_done(*event, now);
+        break;
+      case EventType::CapacityChange:
+        handle_capacity_change(event->aux, now);
+        break;
+      case EventType::Tick:
+        if (!state_.all_finished()) {
+          try_speculation(now);
+          if (config_.per_executor_profiles) sample_pending(now);
+          queue_.push(Event{now + config_.tick_interval, EventType::Tick,
+                            TaskId::invalid(), ExecutorId::invalid(),
+                            BlockId{}});
+        }
+        break;
+    }
+    schedule_loop(now);
+    // Proactive sweeps and prefetch scans are O(cached blocks) /
+    // O(candidates x executors): run them at tick granularity (plus on
+    // stage completions inside handle_task_finish), not on every event.
+    if (event->type != EventType::TaskFinish) {
+      master_.proactive_sweep();
+      issue_prefetches(now);
+    }
+  }
+  finalize_metrics(now);
+  return std::move(metrics_);
+}
+
+void SimDriver::schedule_loop(SimTime now) {
+  // Algorithm 1: repeat {order stages; first admissible launch; restart}
+  // until no stage can place a task.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    if (!state_.any_free_cores()) break;
+    for (const StageId s : selector_->order(state_)) {
+      const auto a = delay_->find(state_, master_, s, now);
+      if (a) {
+        launch_task(s, *a, now, /*speculative=*/false);
+        progress = true;
+        break;
+      }
+    }
+  }
+}
+
+void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
+                            bool speculative) {
+  // Input fetches: cost + cache accounting + cache fills. Fetches from
+  // one source category are pipelined (Spark batches shuffle fetches per
+  // remote endpoint), so per-fetch latency is paid once per category,
+  // not once per block: bytes are summed and costed in one call.
+  std::array<Bytes, 7> bytes_by_source{};
+  Bytes serde_bytes = 0;
+  for (const TaskInput& in : dag_->task_inputs(s, a.task_index)) {
+    const auto lookup = master_.lookup(in.block, a.exec);
+    const Rdd& rdd = dag_->rdd(in.block.rdd);
+    bytes_by_source[static_cast<std::size_t>(lookup.source)] += in.bytes;
+    // Raw HDFS input pays no deserialization; RDD data does, on every
+    // source except the reader's own memory store.
+    if (!rdd.is_input && lookup.source != BlockSource::LocalMemory) {
+      serde_bytes += in.bytes;
+    }
+    // Cache statistics cover persisted-RDD block *gets* only (narrow
+    // reads of cacheable RDDs), matching Spark's BlockManager
+    // accounting: shuffle fetches and unpersisted inputs never count.
+    if (rdd.cacheable && in.kind == DepKind::Narrow) {
+      ++metrics_.cache.total_reads;
+      if (lookup.source == BlockSource::LocalMemory) {
+        ++metrics_.cache.local_memory_hits;
+      } else if (is_memory_source(lookup.source)) {
+        ++metrics_.cache.other_memory_hits;
+      } else {
+        ++metrics_.cache.disk_reads;
+      }
+    }
+    master_.on_block_read(in.block, a.exec, lookup, now);
+  }
+  SimTime fetch = 0;
+  for (std::size_t src = 0; src < bytes_by_source.size(); ++src) {
+    if (bytes_by_source[src] > 0) {
+      fetch += cost_.fetch_time(bytes_by_source[src],
+                                static_cast<BlockSource>(src), 0.0);
+    }
+  }
+  fetch += static_cast<SimTime>(cost_.spec().serde_sec_per_byte *
+                                static_cast<double>(serde_bytes) *
+                                static_cast<double>(kSec));
+
+  SimTime compute = dag_->stage(s).task_compute_time(a.task_index);
+  if (config_.duration_noise > 0.0) {
+    const double factor =
+        std::max(0.1, rng_.normal(1.0, config_.duration_noise));
+    compute = static_cast<SimTime>(static_cast<double>(compute) * factor);
+  }
+
+  const TaskId id(static_cast<std::int64_t>(attempts_.size()));
+  AttemptRuntime attempt;
+  attempt.task.stage = s;
+  attempt.task.index = a.task_index;
+  attempt.task.status = TaskStatus::Running;
+  attempt.task.executor = a.exec;
+  attempt.task.locality = a.locality;
+  attempt.task.launch_time = now;
+  attempt.task.fetch_time = fetch;
+  attempt.task.compute_time = compute;
+  attempt.task.speculative = speculative;
+  attempts_.push_back(attempt);
+  attempt_index_[attempt_key(s, a.task_index)].push_back(id);
+
+  const Cpus demand = dag_->stage(s).task_cpus;
+  if (speculative) {
+    ExecutorRuntime& e = state_.executor(a.exec);
+    DAGON_CHECK(e.free_cores >= demand);
+    e.free_cores -= demand;
+    ++state_.stage(s).running;
+  } else {
+    state_.mark_launched(s, a.task_index, a.exec, now);
+    delay_->on_launch(state_, master_, s, a.locality, now);
+    oracle_.on_task_launched(s, a.task_index);
+    oracle_.set_current_stage(s);
+    push_priority_update();
+  }
+
+  metrics_.busy_cores.add(now, static_cast<double>(demand));
+  metrics_.running_tasks.add(now, 1.0);
+  ++metrics_.locality_histogram[static_cast<std::size_t>(a.locality)];
+  if (config_.per_executor_profiles) {
+    metrics_.executor_profiles[static_cast<std::size_t>(a.exec.value())]
+        .busy_cores.add(now, static_cast<double>(demand));
+  }
+
+  queue_.push(Event{now + fetch + compute, EventType::TaskFinish, id,
+                    ExecutorId::invalid(), BlockId{}});
+  DAGON_TRACE("t=" << format_duration(now) << " launch stage " << s
+                   << " task " << a.task_index << " on exec " << a.exec
+                   << " @" << locality_name(a.locality)
+                   << (speculative ? " (speculative)" : ""));
+}
+
+void SimDriver::handle_task_finish(TaskId id, SimTime now) {
+  DAGON_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < attempts_.size());
+  AttemptRuntime& attempt = attempts_[static_cast<std::size_t>(id.value())];
+  if (attempt.cancelled) return;  // lost a speculation race earlier
+  DAGON_CHECK(attempt.task.status == TaskStatus::Running);
+  attempt.task.status = TaskStatus::Finished;
+  attempt.task.finish_time = now;
+
+  const StageId s = attempt.task.stage;
+  const std::int32_t index = attempt.task.index;
+  const Cpus demand = dag_->stage(s).task_cpus;
+
+  // Cancel the losing twin attempts before stage bookkeeping.
+  for (const TaskId other : attempt_index_[attempt_key(s, index)]) {
+    if (other == id) continue;
+    cancel_attempt(other, now);
+  }
+
+  const bool stage_done = state_.mark_finished(
+      s, attempt.task.executor, attempt.task.locality,
+      attempt.task.launch_time, now);
+  claim_reservation(attempt.task.executor, now);
+
+  metrics_.busy_cores.add(now, -static_cast<double>(demand));
+  metrics_.running_tasks.add(now, -1.0);
+  if (config_.per_executor_profiles) {
+    metrics_
+        .executor_profiles[static_cast<std::size_t>(
+            attempt.task.executor.value())]
+        .busy_cores.add(now, -static_cast<double>(demand));
+  }
+
+  // Materialize the output block exactly once per task index.
+  auto& produced = produced_[static_cast<std::size_t>(s.value())];
+  if (!produced[static_cast<std::size_t>(index)]) {
+    produced[static_cast<std::size_t>(index)] = true;
+    const Rdd& out = dag_->rdd(dag_->stage(s).output);
+    if (out.bytes_per_partition > 0) {
+      master_.on_block_produced(BlockId{out.id, index},
+                                attempt.task.executor, now);
+    }
+  }
+
+  if (stage_done) {
+    oracle_.mark_stage_finished(s);
+    state_.refresh_ready(now);
+    master_.proactive_sweep();
+    DAGON_DEBUG("t=" << format_duration(now) << " stage " << s << " ("
+                     << dag_->stage(s).name << ") finished");
+  }
+  push_priority_update();
+}
+
+void SimDriver::cancel_attempt(TaskId id, SimTime now) {
+  AttemptRuntime& attempt = attempts_[static_cast<std::size_t>(id.value())];
+  if (attempt.cancelled || attempt.task.status != TaskStatus::Running) {
+    return;
+  }
+  attempt.cancelled = true;
+  attempt.task.finish_time = now;
+  const Cpus demand = dag_->stage(attempt.task.stage).task_cpus;
+  ExecutorRuntime& e = state_.executor(attempt.task.executor);
+  e.free_cores += demand;
+  --state_.stage(attempt.task.stage).running;
+  claim_reservation(attempt.task.executor, now);
+  metrics_.busy_cores.add(now, -static_cast<double>(demand));
+  metrics_.running_tasks.add(now, -1.0);
+  if (config_.per_executor_profiles) {
+    metrics_
+        .executor_profiles[static_cast<std::size_t>(
+            attempt.task.executor.value())]
+        .busy_cores.add(now, -static_cast<double>(demand));
+  }
+}
+
+void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
+  DAGON_CHECK(index >= 0 && static_cast<std::size_t>(index) <
+                                config_.capacity_phases.size());
+  const double fraction =
+      config_.capacity_phases[static_cast<std::size_t>(index)]
+          .reserved_fraction;
+  for (ExecutorRuntime& e : state_.executors()) {
+    const Cpus cores = topo_.executor(e.id).cores;
+    const auto target = static_cast<Cpus>(
+        fraction * static_cast<double>(cores) + 0.5);
+    const Cpus current = e.reserved_cores + e.pending_reservation;
+    Cpus delta = target - current;
+    if (delta > 0) {
+      const Cpus take = std::min(e.free_cores, delta);
+      e.free_cores -= take;
+      e.reserved_cores += take;
+      e.pending_reservation += delta - take;
+      metrics_.reserved_cores.add(now, static_cast<double>(take));
+    } else if (delta < 0) {
+      // Release pending demand first, then actual reservations.
+      const Cpus from_pending = std::min(e.pending_reservation, -delta);
+      e.pending_reservation -= from_pending;
+      delta += from_pending;
+      if (delta < 0) {
+        const Cpus release = std::min(e.reserved_cores, -delta);
+        e.reserved_cores -= release;
+        e.free_cores += release;
+        metrics_.reserved_cores.add(now, -static_cast<double>(release));
+      }
+    }
+  }
+}
+
+void SimDriver::claim_reservation(ExecutorId exec, SimTime now) {
+  ExecutorRuntime& e = state_.executor(exec);
+  if (e.pending_reservation <= 0) return;
+  const Cpus take = std::min(e.free_cores, e.pending_reservation);
+  if (take > 0) {
+    e.free_cores -= take;
+    e.reserved_cores += take;
+    e.pending_reservation -= take;
+    metrics_.reserved_cores.add(now, static_cast<double>(take));
+  }
+}
+
+void SimDriver::handle_prefetch_done(const Event& e, SimTime now) {
+  prefetch_inflight_.erase(e.block);
+  state_.executor(e.exec).prefetching.reset();
+  master_.finish_prefetch(e.block, e.exec, now);
+}
+
+void SimDriver::issue_prefetches(SimTime now) {
+  if (!config_.prefetch_enabled || !config_.cache_enabled) return;
+  for (ExecutorRuntime& e : state_.executors()) {
+    if (e.prefetching.has_value()) continue;
+    const auto choice = master_.prefetch_candidate(e.id);
+    if (!choice || prefetch_inflight_.contains(choice->block)) continue;
+    prefetch_inflight_.insert(choice->block);
+    e.prefetching = choice->block;
+    const SimTime fetch =
+        cost_.fetch_time(choice->bytes, BlockSource::LocalDisk);
+    queue_.push(Event{now + fetch, EventType::PrefetchDone,
+                      TaskId::invalid(), e.id, choice->block});
+  }
+}
+
+void SimDriver::try_speculation(SimTime now) {
+  if (!config_.speculation.enabled) return;
+  std::vector<TaskRuntime> running;
+  for (const AttemptRuntime& a : attempts_) {
+    if (!a.cancelled && a.task.status == TaskStatus::Running) {
+      running.push_back(a.task);
+    }
+  }
+  for (const SpeculationCandidate& c :
+       speculation_candidates(state_, running, config_.speculation, now)) {
+    // Already has a live speculative copy?
+    bool has_copy = false;
+    for (const TaskId id : attempt_index_[attempt_key(c.stage, c.task_index)]) {
+      const AttemptRuntime& a =
+          attempts_[static_cast<std::size_t>(id.value())];
+      if (!a.cancelled && a.task.status == TaskStatus::Running &&
+          a.task.speculative) {
+        has_copy = true;
+        break;
+      }
+    }
+    if (has_copy) continue;
+    // Place the copy on the free executor with the best locality for the
+    // task's input data (§IV: "close to the input data").
+    const Cpus demand = dag_->stage(c.stage).task_cpus;
+    std::optional<Assignment> best;
+    for (const ExecutorRuntime& e : state_.executors()) {
+      if (e.free_cores < demand) continue;
+      const Locality l = task_locality_on(*dag_, master_, topo_, c.stage,
+                                          c.task_index, e.id);
+      if (!best || static_cast<int>(l) < static_cast<int>(best->locality)) {
+        best = Assignment{c.task_index, e.id, l};
+      }
+    }
+    if (best) {
+      launch_task(c.stage, *best, now, /*speculative=*/true);
+    }
+  }
+}
+
+void SimDriver::push_priority_update() {
+  oracle_.set_priority_values(state_.priority_values());
+}
+
+void SimDriver::sample_pending(SimTime now) {
+  for (const Executor& exec : topo_.executors()) {
+    PendingSample sample;
+    sample.time = now;
+    for (const StageId s : state_.schedulable_stages()) {
+      for (const std::int32_t index : state_.stage(s).pending) {
+        const Locality l =
+            task_locality_on(*dag_, master_, topo_, s, index, exec.id);
+        if (l == Locality::Process || l == Locality::Node) {
+          ++sample.node_local;
+        } else if (l == Locality::Rack) {
+          ++sample.rack_local;
+        }
+      }
+    }
+    metrics_.executor_profiles[static_cast<std::size_t>(exec.id.value())]
+        .pending.push_back(sample);
+  }
+}
+
+void SimDriver::finalize_metrics(SimTime end) {
+  metrics_.jct = end;
+  metrics_.busy_cores.set(end, metrics_.busy_cores.value());
+  metrics_.running_tasks.set(end, metrics_.running_tasks.value());
+  metrics_.reserved_cores.set(end, metrics_.reserved_cores.value());
+
+  metrics_.stages.reserve(dag_->num_stages());
+  for (const Stage& s : dag_->stages()) {
+    const StageRuntime& rt = state_.stage(s.id);
+    StageRecord record;
+    record.id = s.id;
+    record.name = s.name;
+    record.ready_time = rt.ready_time;
+    record.first_launch = rt.first_launch;
+    record.finish_time = rt.finish_time;
+    metrics_.stages.push_back(std::move(record));
+  }
+
+  metrics_.tasks.reserve(attempts_.size());
+  for (const AttemptRuntime& a : attempts_) {
+    TaskRecord record;
+    record.stage = a.task.stage;
+    record.index = a.task.index;
+    record.exec = a.task.executor;
+    record.locality = a.task.locality;
+    record.launch = a.task.launch_time;
+    record.finish = a.task.finish_time;
+    record.fetch_time = a.task.fetch_time;
+    record.compute_time = a.task.compute_time;
+    record.speculative = a.task.speculative;
+    record.cancelled = a.cancelled;
+    metrics_.tasks.push_back(record);
+  }
+
+  const auto& counters = master_.counters();
+  metrics_.cache.insertions = counters.insertions;
+  metrics_.cache.evictions = counters.evictions;
+  metrics_.cache.proactive_evictions = counters.proactive_evictions;
+  metrics_.cache.prefetches = counters.prefetches;
+  metrics_.cache.rejected_admissions = counters.rejected_admissions;
+}
+
+}  // namespace dagon

@@ -1,0 +1,95 @@
+// SimDriver: the discrete-event simulation of one Spark application run
+// on one cluster, under a chosen (scheduler, cache policy, delay policy)
+// combination.
+//
+// One driver = one run. Construction wires the substrates together
+// (topology, HDFS placement, cost model, reference oracle, block
+// managers, job state); run() executes to completion and returns the
+// collected metrics. Runs are deterministic for a fixed SimConfig::seed.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/block_manager_master.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/metrics.hpp"
+#include "sim/sim_config.hpp"
+
+namespace dagon {
+
+class SimDriver {
+ public:
+  SimDriver(const JobDag& dag, const JobProfile& profile,
+            const SimConfig& config);
+
+  /// Runs the job to completion; callable once.
+  [[nodiscard]] RunMetrics run();
+
+  // Accessors for tests and diagnostics.
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] const BlockManagerMaster& master() const { return master_; }
+  [[nodiscard]] const JobState& state() const { return state_; }
+  [[nodiscard]] const HdfsPlacement& hdfs() const { return hdfs_; }
+
+ private:
+  void validate() const;
+  void schedule_loop(SimTime now);
+  void launch_task(StageId s, const Assignment& a, SimTime now,
+                   bool speculative);
+  void handle_task_finish(TaskId id, SimTime now);
+  void cancel_attempt(TaskId id, SimTime now);
+  void handle_prefetch_done(const Event& e, SimTime now);
+  /// Applies SimConfig::capacity_phases[index]: re-targets per-executor
+  /// tenant reservations, claiming free cores now and task completions
+  /// later (claim_reservation).
+  void handle_capacity_change(std::int32_t index, SimTime now);
+  /// Moves up to `pending_reservation` cores of `exec` from free to
+  /// reserved (called whenever cores free up).
+  void claim_reservation(ExecutorId exec, SimTime now);
+  void issue_prefetches(SimTime now);
+  void try_speculation(SimTime now);
+  /// Pushes current pv values / current stage into the oracle so the
+  /// cache policies see live scheduler state (the paper's Fig. 7 arrow
+  /// from TaskScheduler to BlockManagerMaster).
+  void push_priority_update();
+  void sample_pending(SimTime now);
+  void finalize_metrics(SimTime end);
+
+  [[nodiscard]] std::int64_t attempt_key(StageId s, std::int32_t index) const {
+    return static_cast<std::int64_t>(s.value()) * (1LL << 32) + index;
+  }
+
+  SimConfig config_;
+  const JobDag* dag_;
+  JobProfile profile_;
+  Topology topo_;
+  Rng rng_;
+  CostModel cost_;
+  HdfsPlacement hdfs_;
+  ReferenceOracle oracle_;
+  std::unique_ptr<CachePolicy> policy_;
+  BlockManagerMaster master_;
+  JobState state_;
+  std::unique_ptr<StageSelector> selector_;
+  std::unique_ptr<DelayPolicy> delay_;
+  EventQueue queue_;
+
+  struct AttemptRuntime {
+    TaskRuntime task;
+    bool cancelled = false;
+  };
+  std::vector<AttemptRuntime> attempts_;  // indexed by TaskId
+  /// (stage, index) -> attempt ids, for speculation twins.
+  std::unordered_map<std::int64_t, std::vector<TaskId>> attempt_index_;
+  /// per stage: which task indices have produced their output block.
+  std::vector<std::vector<bool>> produced_;
+  std::unordered_set<BlockId> prefetch_inflight_;
+
+  RunMetrics metrics_;
+  bool ran_ = false;
+};
+
+}  // namespace dagon

@@ -1,0 +1,23 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+void EventQueue::push(const Event& e) {
+  DAGON_CHECK_MSG(e.time >= 0, "event scheduled at negative time");
+  heap_.push(Entry{e, next_seq_++});
+}
+
+std::optional<Event> EventQueue::pop() {
+  if (heap_.empty()) return std::nullopt;
+  Event e = heap_.top().event;
+  heap_.pop();
+  return e;
+}
+
+SimTime EventQueue::next_time() const {
+  return heap_.empty() ? kTimeInfinity : heap_.top().event.time;
+}
+
+}  // namespace dagon

@@ -1,0 +1,64 @@
+// Discrete-event queue with a total, deterministic order:
+// (time, insertion sequence). Two runs that push the same events pop
+// them identically — the foundation of the simulator's reproducibility.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <queue>
+
+#include "common/sim_time.hpp"
+#include "common/strong_id.hpp"
+#include "dag/block.hpp"
+
+namespace dagon {
+
+enum class EventType {
+  TaskFinish,
+  PrefetchDone,
+  /// Periodic scheduler wake-up; lets delay-scheduling timers expire
+  /// even when no task event occurs.
+  Tick,
+  /// Multi-tenant reservation change (SimConfig::capacity_phases).
+  CapacityChange,
+};
+
+struct Event {
+  SimTime time = 0;
+  EventType type = EventType::Tick;
+  /// TaskFinish: which attempt.
+  TaskId task = TaskId::invalid();
+  /// PrefetchDone: which executor and block.
+  ExecutorId exec = ExecutorId::invalid();
+  BlockId block;
+  /// CapacityChange: index into SimConfig::capacity_phases.
+  std::int32_t aux = -1;
+};
+
+class EventQueue {
+ public:
+  void push(const Event& e);
+
+  /// Pops the earliest event; nullopt when empty.
+  std::optional<Event> pop();
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest event (kTimeInfinity when empty).
+  [[nodiscard]] SimTime next_time() const;
+
+ private:
+  struct Entry {
+    Event event;
+    std::uint64_t seq;
+    bool operator>(const Entry& other) const {
+      if (event.time != other.event.time) return event.time > other.event.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dagon

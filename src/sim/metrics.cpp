@@ -1,0 +1,44 @@
+#include "sim/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+double RunMetrics::cpu_utilization() const {
+  if (jct <= 0 || total_cores <= 0) return 0.0;
+  return busy_cores.average(0, jct) / static_cast<double>(total_cores);
+}
+
+double RunMetrics::avg_parallelism() const {
+  if (jct <= 0) return 0.0;
+  return running_tasks.average(0, jct);
+}
+
+double RunMetrics::avg_task_duration_sec() const {
+  double sum = 0.0;
+  std::int64_t n = 0;
+  for (const TaskRecord& t : tasks) {
+    if (t.cancelled) continue;
+    sum += to_seconds(t.duration());
+    ++n;
+  }
+  return n > 0 ? sum / static_cast<double>(n) : 0.0;
+}
+
+double RunMetrics::stage_duration_sec(StageId id) const {
+  for (const StageRecord& s : stages) {
+    if (s.id == id) return to_seconds(s.duration());
+  }
+  throw InvariantError("stage not found in metrics");
+}
+
+double RunMetrics::high_locality_fraction() const {
+  std::int64_t high = locality_count(Locality::Process) +
+                      locality_count(Locality::Node);
+  std::int64_t total = 0;
+  for (const std::int64_t c : locality_histogram) total += c;
+  return total > 0 ? static_cast<double>(high) / static_cast<double>(total)
+                   : 0.0;
+}
+
+}  // namespace dagon

@@ -1,0 +1,126 @@
+// Run metrics: everything the paper's evaluation section reports.
+//
+// Populated incrementally by the driver; consumed by benches and tests.
+#pragma once
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/locality.hpp"
+#include "common/stats.hpp"
+#include "common/strong_id.hpp"
+#include "common/units.hpp"
+
+namespace dagon {
+
+struct TaskRecord {
+  StageId stage;
+  std::int32_t index = -1;
+  ExecutorId exec = ExecutorId::invalid();
+  Locality locality = Locality::Any;
+  SimTime launch = 0;
+  SimTime finish = 0;
+  SimTime fetch_time = 0;
+  SimTime compute_time = 0;
+  bool speculative = false;
+  bool cancelled = false;
+
+  [[nodiscard]] SimTime duration() const { return finish - launch; }
+};
+
+struct StageRecord {
+  StageId id;
+  std::string name;
+  SimTime ready_time = -1;
+  SimTime first_launch = -1;
+  SimTime finish_time = -1;
+
+  [[nodiscard]] SimTime duration() const {
+    return (first_launch >= 0 && finish_time >= 0)
+               ? finish_time - first_launch
+               : 0;
+  }
+};
+
+struct CacheStats {
+  std::int64_t local_memory_hits = 0;   // block in the reader's cache
+  std::int64_t other_memory_hits = 0;   // in some other executor's memory
+  std::int64_t disk_reads = 0;
+  std::int64_t total_reads = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::int64_t proactive_evictions = 0;
+  std::int64_t prefetches = 0;
+  std::int64_t rejected_admissions = 0;
+
+  /// The paper's "cache hit ratio": reads served from the local memory
+  /// store over all block reads.
+  [[nodiscard]] double hit_ratio() const {
+    return total_reads > 0 ? static_cast<double>(local_memory_hits) /
+                                 static_cast<double>(total_reads)
+                           : 0.0;
+  }
+};
+
+/// Sampled pending-task counts for one executor (Fig. 4 top panes).
+struct PendingSample {
+  SimTime time = 0;
+  std::int32_t node_local = 0;
+  std::int32_t rack_local = 0;
+};
+
+struct ExecutorProfile {
+  ExecutorId id;
+  StepFunction busy_cores;
+  std::vector<PendingSample> pending;
+};
+
+class RunMetrics {
+ public:
+  /// Job completion time (time the last stage finished).
+  SimTime jct = 0;
+
+  /// Busy vCPUs across the cluster over time.
+  StepFunction busy_cores;
+  /// Number of running tasks over time (the paper's task parallelism).
+  StepFunction running_tasks;
+  /// vCPUs reserved by other tenants over time (capacity fluctuation).
+  StepFunction reserved_cores;
+
+  Cpus total_cores = 0;
+
+  std::vector<TaskRecord> tasks;
+  std::vector<StageRecord> stages;
+  CacheStats cache;
+  /// Launch counts per locality level (Fig. 10b).
+  std::array<std::int64_t, 5> locality_histogram{};
+
+  /// Only populated when SimConfig::per_executor_profiles is set.
+  std::vector<ExecutorProfile> executor_profiles;
+
+  // -- derived ------------------------------------------------------------
+
+  /// Time-weighted mean CPU utilization over [0, jct].
+  [[nodiscard]] double cpu_utilization() const;
+
+  /// Mean running-task parallelism over [0, jct].
+  [[nodiscard]] double avg_parallelism() const;
+
+  /// Mean duration of completed (non-cancelled) task attempts.
+  [[nodiscard]] double avg_task_duration_sec() const;
+
+  /// Duration of stage `id` (first launch to finish), seconds.
+  [[nodiscard]] double stage_duration_sec(StageId id) const;
+
+  /// Fraction of launches at Process or Node locality.
+  [[nodiscard]] double high_locality_fraction() const;
+
+  /// Count of launches at exactly `l`.
+  [[nodiscard]] std::int64_t locality_count(Locality l) const {
+    return locality_histogram[static_cast<std::size_t>(l)];
+  }
+};
+
+}  // namespace dagon

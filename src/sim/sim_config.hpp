@@ -1,0 +1,74 @@
+// Complete configuration of one simulated run: cluster, data plane,
+// scheduler, cache policy, delay-scheduling variant, and noise knobs.
+//
+// The paper's four evaluated systems map to:
+//   stock Spark (FIFO+LRU):  {Fifo,   Lru, Native}
+//   Graphene+LRU:            {Graphene, Lru, Native}
+//   Graphene+MRD:            {Graphene, Mrd, Native}
+//   Dagon:                   {Dagon,  Lrp, SensitivityAware}
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/cache_policy.hpp"
+#include "cluster/cost_model.hpp"
+#include "cluster/hdfs.hpp"
+#include "cluster/topology.hpp"
+#include "sched/delay_scheduling.hpp"
+#include "sched/speculation.hpp"
+#include "sched/stage_selector.hpp"
+
+namespace dagon {
+
+struct SimConfig {
+  TopologySpec topology;
+  HdfsSpec hdfs;
+  CostModelSpec cost;
+
+  SchedulerKind scheduler = SchedulerKind::Fifo;
+  CachePolicyKind cache = CachePolicyKind::Lru;
+  DelayKind delay = DelayKind::Native;
+  LocalityWaits waits;
+  /// Algorithm 2 acceptance slack: a low-locality task is admitted when
+  /// its estimated duration < ect_slack * ect (Eq. 7). 1.0 = strict.
+  double ect_slack = 1.1;
+
+  /// Disables all memory caching (the paper's Fig. 9/10 ablations run
+  /// with "caching disabled").
+  bool cache_enabled = true;
+  /// Enables prefetching for policies that support it (MRD/LRP).
+  bool prefetch_enabled = true;
+
+  SpeculationConfig speculation;
+
+  /// Scheduler wake-up period (Spark's revive interval).
+  SimTime tick_interval = 100 * kMsec;
+
+  /// Lognormal-ish multiplicative noise on task compute durations
+  /// (sigma of a normal factor centred at 1; 0 = deterministic).
+  double duration_noise = 0.0;
+
+  /// RNG seed (HDFS placement, noise).
+  std::uint64_t seed = 42;
+
+  /// Collect per-executor busy profiles and pending-task samples (needed
+  /// by the Fig. 4 bench only; costs O(executors) per tick).
+  bool per_executor_profiles = false;
+
+  /// Multi-tenant capacity fluctuation (the paper's varying RC in
+  /// Eq. (3)): from `at` onward, `reserved_fraction` of every executor's
+  /// vCPUs belongs to other tenants. Reservations are claimed from free
+  /// cores first and from task completions after; phases must be sorted
+  /// by time.
+  struct CapacityPhase {
+    SimTime at = 0;
+    double reserved_fraction = 0.0;
+  };
+  std::vector<CapacityPhase> capacity_phases;
+
+  /// Hard wall on simulated time (runaway guard).
+  SimTime max_sim_time = 24LL * 3600 * kSec;
+};
+
+}  // namespace dagon

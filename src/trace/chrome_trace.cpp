@@ -1,0 +1,92 @@
+#include "trace/chrome_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+namespace {
+
+/// Minimal JSON string escape (task/stage names are ASCII identifiers,
+/// but be safe).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string chrome_trace_json(const RunMetrics& metrics, const JobDag& dag) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+
+  // Process/thread metadata: one "process" for the cluster, one
+  // "thread" per executor.
+  std::int32_t max_exec = -1;
+  for (const TaskRecord& t : metrics.tasks) {
+    max_exec = std::max(max_exec, t.exec.value());
+  }
+  for (std::int32_t e = 0; e <= max_exec; ++e) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << e
+       << ",\"args\":{\"name\":\"executor " << e << "\"}}";
+  }
+
+  for (const TaskRecord& t : metrics.tasks) {
+    if (!first) os << ",";
+    first = false;
+    const Stage& stage = dag.stage(t.stage);
+    // Complete events ("X"): ts/dur in microseconds — SimTime natively.
+    os << "{\"name\":\"" << json_escape(stage.name) << "[" << t.index
+       << "]" << (t.speculative ? "*" : "") << "\",\"cat\":\""
+       << (t.cancelled ? "cancelled" : "task")
+       << "\",\"ph\":\"X\",\"pid\":1,\"tid\":" << t.exec.value()
+       << ",\"ts\":" << t.launch << ",\"dur\":" << t.duration()
+       << ",\"args\":{\"stage\":" << t.stage.value() << ",\"locality\":\""
+       << locality_name(t.locality) << "\",\"fetch_us\":" << t.fetch_time
+       << ",\"compute_us\":" << t.compute_time << "}}";
+  }
+
+  // Counter track: cluster busy vCPUs.
+  for (const auto& point : metrics.busy_cores.points()) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"busy vCPUs\",\"ph\":\"C\",\"pid\":1,\"ts\":"
+       << point.time << ",\"args\":{\"busy\":" << point.value << "}}";
+  }
+
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+void write_chrome_trace(const RunMetrics& metrics, const JobDag& dag,
+                        const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw ConfigError("cannot open trace file for writing: " + path);
+  }
+  out << chrome_trace_json(metrics, dag);
+}
+
+}  // namespace dagon

@@ -1,0 +1,27 @@
+// Chrome-tracing export: writes a RunMetrics task timeline as a
+// chrome://tracing / Perfetto-compatible JSON file, one track per
+// executor, one slice per task attempt (colored by stage via the slice
+// name, with locality and fetch split in the args).
+//
+//   RunMetrics m = run_system(...).metrics;
+//   write_chrome_trace(m, workload.dag, "run.trace.json");
+//   // then open chrome://tracing or ui.perfetto.dev and load the file.
+#pragma once
+
+#include <string>
+
+#include "dag/job_dag.hpp"
+#include "sim/metrics.hpp"
+
+namespace dagon {
+
+/// Writes `metrics` as a Chrome trace-event JSON file. Throws
+/// ConfigError if the file cannot be opened.
+void write_chrome_trace(const RunMetrics& metrics, const JobDag& dag,
+                        const std::string& path);
+
+/// Same, but returns the JSON as a string (for tests / embedding).
+[[nodiscard]] std::string chrome_trace_json(const RunMetrics& metrics,
+                                            const JobDag& dag);
+
+}  // namespace dagon

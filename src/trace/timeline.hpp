@@ -1,0 +1,73 @@
+// Timeline summaries derived from RunMetrics: per-stage Gantt rows,
+// binned utilization/parallelism series, and a per-stage locality
+// breakdown — the data the paper's time-series figures plot.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "dag/job_dag.hpp"
+#include "sim/metrics.hpp"
+
+namespace dagon {
+
+/// One row of a stage-level Gantt chart.
+struct StageSpan {
+  StageId stage;
+  std::string name;
+  SimTime ready = 0;
+  SimTime first_launch = 0;
+  SimTime finish = 0;
+  /// Time the stage spent ready but not yet launched (queueing).
+  [[nodiscard]] SimTime queue_delay() const { return first_launch - ready; }
+};
+
+/// Stage spans in first-launch order.
+[[nodiscard]] std::vector<StageSpan> stage_spans(const RunMetrics& metrics);
+
+/// A time series sampled into `bins` equal intervals over [0, jct].
+struct BinnedSeries {
+  SimTime bin_width = 0;
+  std::vector<double> values;
+};
+
+/// Mean busy vCPUs per bin.
+[[nodiscard]] BinnedSeries utilization_series(const RunMetrics& metrics,
+                                              std::size_t bins);
+
+/// Mean running tasks per bin (the paper's task parallelism).
+[[nodiscard]] BinnedSeries parallelism_series(const RunMetrics& metrics,
+                                              std::size_t bins);
+
+/// Launch counts per locality level for one stage.
+struct StageLocality {
+  StageId stage;
+  std::string name;
+  std::array<std::int64_t, 5> counts{};  // indexed by Locality
+
+  [[nodiscard]] std::int64_t total() const {
+    std::int64_t t = 0;
+    for (const std::int64_t c : counts) t += c;
+    return t;
+  }
+  [[nodiscard]] double high_locality_fraction() const {
+    const std::int64_t t = total();
+    if (t == 0) return 0.0;
+    return static_cast<double>(
+               counts[static_cast<std::size_t>(Locality::Process)] +
+               counts[static_cast<std::size_t>(Locality::Node)]) /
+           static_cast<double>(t);
+  }
+};
+
+/// Per-stage locality histograms (from the task records).
+[[nodiscard]] std::vector<StageLocality> stage_locality_breakdown(
+    const RunMetrics& metrics, const JobDag& dag);
+
+/// Writes stage spans + per-stage locality as CSV rows. Throws
+/// ConfigError if the file cannot be opened.
+void write_timeline_csv(const RunMetrics& metrics, const JobDag& dag,
+                        const std::string& path);
+
+}  // namespace dagon

@@ -1,0 +1,89 @@
+#include "workloads/batch.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+BatchWorkload merge_workloads(const std::vector<Workload>& workloads) {
+  if (workloads.empty()) {
+    throw ConfigError("merge_workloads needs at least one workload");
+  }
+  std::string name;
+  for (const Workload& w : workloads) {
+    if (!name.empty()) name += "+";
+    name += w.name;
+  }
+  JobDagBuilder builder(name);
+  BatchWorkload batch;
+
+  for (const Workload& w : workloads) {
+    BatchJob job;
+    job.name = w.name;
+    // Renumber this job's RDDs/stages into the merged builder. Input
+    // RDDs are re-registered; stage outputs are created implicitly by
+    // add_stage, so we track the old->new RDD id mapping as we go.
+    std::vector<RddId> rdd_map(w.dag.rdds().size(), RddId::invalid());
+    for (const Rdd& r : w.dag.rdds()) {
+      if (!r.is_input) continue;
+      const RddId id =
+          builder.input_rdd(w.name + "/" + r.name, r.num_partitions,
+                            r.bytes_per_partition,
+                            r.initially_cached_partitions);
+      if (!r.cacheable) builder.set_rdd_cacheable(id, false);
+      rdd_map[static_cast<std::size_t>(r.id.value())] = id;
+    }
+    // Stages in topological (== id) order so inputs are always mapped.
+    for (const Stage& s : w.dag.stages()) {
+      JobDagBuilder::StageParams params;
+      params.name = w.name + "/" + s.name;
+      for (const RddRef& ref : s.inputs) {
+        const RddId mapped =
+            rdd_map[static_cast<std::size_t>(ref.rdd.value())];
+        DAGON_CHECK_MSG(mapped.valid(),
+                        "stage '" << s.name << "' reads an unmapped RDD");
+        params.inputs.push_back({mapped, ref.kind});
+      }
+      params.num_tasks = s.num_tasks;
+      params.task_cpus = s.task_cpus;
+      params.task_duration = s.task_duration;
+      const Rdd& out = w.dag.rdd(s.output);
+      params.output_bytes_per_partition = out.bytes_per_partition;
+      params.cache_output = out.cacheable;
+      params.duration_skew = s.duration_skew;
+      params.output_name = w.name + "/" + out.name;
+      const StageId sid = builder.add_stage(params);
+      rdd_map[static_cast<std::size_t>(s.output.value())] =
+          builder.output_of(sid);
+      job.stages.push_back(sid);
+    }
+    batch.jobs.push_back(std::move(job));
+  }
+
+  WorkloadCategory category = workloads.front().category;
+  batch.combined = Workload{std::move(name), category, builder.build()};
+  return batch;
+}
+
+std::vector<JobCompletion> per_job_completions(const BatchWorkload& batch,
+                                               const RunMetrics& metrics) {
+  std::vector<JobCompletion> out;
+  out.reserve(batch.jobs.size());
+  for (const BatchJob& job : batch.jobs) {
+    JobCompletion jc;
+    jc.name = job.name;
+    jc.first_launch = kTimeInfinity;
+    for (const StageId sid : job.stages) {
+      const StageRecord& rec =
+          metrics.stages[static_cast<std::size_t>(sid.value())];
+      DAGON_CHECK(rec.id == sid);
+      jc.first_launch = std::min(jc.first_launch, rec.first_launch);
+      jc.finish = std::max(jc.finish, rec.finish_time);
+    }
+    out.push_back(std::move(jc));
+  }
+  return out;
+}
+
+}  // namespace dagon

@@ -1,0 +1,49 @@
+// Multi-job batches: several applications submitted to one cluster.
+//
+// The paper evaluates one application at a time but frames Dagon for
+// multi-tenant clusters (§III-A2) and contrasts Spark's FIFO and Fair
+// schedulers (§I). A batch merges several job DAGs into one disconnected
+// super-DAG: FIFO then orders stages job-by-job (submission order), Fair
+// balances allocated cores across the jobs' ready stages, and Dagon's
+// pv_i ranks stages across job boundaries by remaining downstream work.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "workloads/workload.hpp"
+
+namespace dagon {
+
+struct BatchJob {
+  std::string name;
+  /// Stage ids of this job inside the merged DAG.
+  std::vector<StageId> stages;
+};
+
+struct BatchWorkload {
+  /// The merged super-DAG (one connected component per job).
+  Workload combined;
+  std::vector<BatchJob> jobs;
+};
+
+/// Merges `workloads` (in submission order) into one BatchWorkload.
+/// Stage and RDD ids are renumbered job by job, so FIFO's stage-id order
+/// equals submission order.
+[[nodiscard]] BatchWorkload merge_workloads(
+    const std::vector<Workload>& workloads);
+
+/// Per-job completion times extracted from a merged run.
+struct JobCompletion {
+  std::string name;
+  SimTime first_launch = 0;
+  SimTime finish = 0;
+
+  [[nodiscard]] SimTime jct() const { return finish; }
+};
+
+[[nodiscard]] std::vector<JobCompletion> per_job_completions(
+    const BatchWorkload& batch, const RunMetrics& metrics);
+
+}  // namespace dagon

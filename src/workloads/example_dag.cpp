@@ -1,0 +1,52 @@
+#include "workloads/example_dag.hpp"
+
+namespace dagon {
+
+Workload make_example_dag(const ExampleDagParams& params) {
+  JobDagBuilder b("fig1-example");
+
+  const RddId a = b.input_rdd("A", 3, params.block_bytes,
+                              params.cached_a_partitions);
+  const RddId c = b.input_rdd("C", 3, params.block_bytes);
+
+  // Stage 1: A -> B, 3 tasks, <4 vCPU, 4 min>.
+  const StageId s1 = b.add_stage({.name = "S1",
+                                  .inputs = {{a, DepKind::Narrow}},
+                                  .num_tasks = 3,
+                                  .task_cpus = 4,
+                                  .task_duration = 4 * params.minute,
+                                  .output_bytes_per_partition =
+                                      params.block_bytes,
+                                  .output_name = "B"});
+  // Stage 2: C -> D, 3 tasks, <6 vCPU, 2 min>.
+  const StageId s2 = b.add_stage({.name = "S2",
+                                  .inputs = {{c, DepKind::Narrow}},
+                                  .num_tasks = 3,
+                                  .task_cpus = 6,
+                                  .task_duration = 2 * params.minute,
+                                  .output_bytes_per_partition =
+                                      params.block_bytes,
+                                  .output_name = "D"});
+  // Stage 3: D -> E, 2 tasks, <3 vCPU, 4 min>, shuffle over D.
+  const StageId s3 =
+      b.add_stage({.name = "S3",
+                   .inputs = {{b.output_of(s2), DepKind::Shuffle}},
+                   .num_tasks = 2,
+                   .task_cpus = 3,
+                   .task_duration = 4 * params.minute,
+                   .output_bytes_per_partition = params.block_bytes,
+                   .output_name = "E"});
+  // Stage 4: B,E -> F, 1 task, <4 vCPU, 1 min>, joins both branches.
+  b.add_stage({.name = "S4",
+               .inputs = {{b.output_of(s1), DepKind::Shuffle},
+                          {b.output_of(s3), DepKind::Shuffle}},
+               .num_tasks = 1,
+               .task_cpus = 4,
+               .task_duration = 1 * params.minute,
+               .output_bytes_per_partition = 0,
+               .output_name = "F"});
+
+  return Workload{"fig1-example", WorkloadCategory::Mixed, b.build()};
+}
+
+}  // namespace dagon

@@ -1,0 +1,198 @@
+#include "workloads/graph_workloads.hpp"
+
+#include <algorithm>
+
+namespace dagon {
+
+Workload make_triangle_count(const TriangleCountParams& p) {
+  JobDagBuilder b("TriangleCount");
+  const std::int32_t n = p.partitions;
+  const RddId edges = b.input_rdd("edges", n, p.input_block);
+  b.set_rdd_cacheable(edges, false);
+
+  const StageId load = b.add_stage({.name = "load",
+                                    .inputs = {{edges, DepKind::Narrow}},
+                                    .num_tasks = n,
+                                    .task_cpus = 1,
+                                    .task_duration = 2 * kSec,
+                                    .output_bytes_per_partition =
+                                        p.adj_block});
+  const RddId adj = b.output_of(load);
+
+  // Two parallel consumers of the adjacency: a short degree count and a
+  // long heavy neighbourhood materialization.
+  const StageId degrees = b.add_stage({.name = "degrees",
+                                       .inputs = {{adj, DepKind::Narrow}},
+                                       .num_tasks = n,
+                                       .task_cpus = 1,
+                                       .task_duration = kSec,
+                                       .output_bytes_per_partition = kMiB,
+                                       .cache_output = false});
+  const StageId neighbors =
+      b.add_stage({.name = "neighbors",
+                   .inputs = {{adj, DepKind::Shuffle}},
+                   .num_tasks = n,
+                   .task_cpus = 2,
+                   .task_duration = 3 * kSec,
+                   .output_bytes_per_partition = p.adj_block,
+                   .cache_output = false});
+
+  const StageId join =
+      b.add_stage({.name = "pair-join",
+                   .inputs = {{b.output_of(neighbors), DepKind::Shuffle},
+                              {adj, DepKind::Narrow}},
+                   .num_tasks = n,
+                   .task_cpus = 3,
+                   .task_duration = 4 * kSec,
+                   .output_bytes_per_partition = 16 * kMiB,
+                   .cache_output = false});
+
+  b.add_stage({.name = "count",
+               .inputs = {{b.output_of(join), DepKind::Shuffle},
+                          {b.output_of(degrees), DepKind::Shuffle}},
+               .num_tasks = std::max(2, n / 4),
+               .task_cpus = 2,
+               .task_duration = 2 * kSec,
+               .output_bytes_per_partition = 0});
+
+  return Workload{"TriangleCount", WorkloadCategory::Mixed, b.build()};
+}
+
+Workload make_superstep_graph(const SuperstepParams& p) {
+  JobDagBuilder b(p.name);
+  const std::int32_t n = p.partitions;
+  const RddId edges = b.input_rdd("edges", n, p.input_block);
+  b.set_rdd_cacheable(edges, false);
+
+  StageId init = StageId::invalid();
+  if (p.init_branch) {
+    // Initial vertex state from its own (small) input file, so the init
+    // branch does not contend with the adjacency builds for disk-local
+    // slots on the edge blocks.
+    const RddId vertices = b.input_rdd("vertices", n, p.state_block);
+    b.set_rdd_cacheable(vertices, false);
+    init = b.add_stage({.name = "init-state",
+                        .inputs = {{vertices, DepKind::Narrow}},
+                        .num_tasks = n,
+                        .task_cpus = 1,
+                        .task_duration = kSec,
+                        .output_bytes_per_partition = p.state_block});
+  }
+
+  const StageId build = b.add_stage({.name = "build-adj",
+                                     .inputs = {{edges, DepKind::Narrow}},
+                                     .num_tasks = n,
+                                     .task_cpus = 1,
+                                     .task_duration = p.build_compute,
+                                     .output_bytes_per_partition =
+                                         p.adj_block});
+  const RddId adj = b.output_of(build);
+  const StageId rbuild = b.add_stage({.name = "build-radj",
+                                      .inputs = {{edges, DepKind::Shuffle}},
+                                      .num_tasks = n,
+                                      .task_cpus = 1,
+                                      .task_duration = p.build_compute,
+                                      .output_bytes_per_partition =
+                                          p.radj_block});
+  const RddId radj = b.output_of(rbuild);
+
+  RddId state = init.valid() ? b.output_of(init) : RddId::invalid();
+  for (std::int32_t step = 1; step <= p.supersteps; ++step) {
+    // Light gather over the out-edges (lower stage id).
+    std::vector<RddRef> gather_inputs{{adj, DepKind::Narrow}};
+    if (state.valid()) gather_inputs.push_back({state, DepKind::Shuffle});
+    const StageId gather =
+        b.add_stage({.name = "gather" + std::to_string(step),
+                     .inputs = std::move(gather_inputs),
+                     .num_tasks = n,
+                     .task_cpus = 1,
+                     .task_duration = p.gather_compute,
+                     .output_bytes_per_partition = p.message_block / 2,
+                     .cache_output = false});
+
+    // Heavy scatter over the in-edges (higher stage id, higher pv:
+    // Dagon runs it first — the inversion MRD cannot see).
+    std::vector<double> skew;
+    if (p.skew > 0.0) {
+      skew.resize(static_cast<std::size_t>(n), 1.0);
+      // A deterministic straggler pattern: every 8th task slower.
+      for (std::size_t t = 0; t < skew.size(); t += 8) {
+        skew[t] = 1.0 + p.skew;
+      }
+    }
+    std::vector<RddRef> scatter_inputs{{radj, DepKind::Narrow}};
+    if (state.valid()) scatter_inputs.push_back({state, DepKind::Shuffle});
+    // d=3 on 4-core executors: one spare vCPU per executor that only
+    // the gather stage's d=1 tasks can use — DAG-aware packing fodder.
+    const StageId scatter =
+        b.add_stage({.name = "scatter" + std::to_string(step),
+                     .inputs = std::move(scatter_inputs),
+                     .num_tasks = n,
+                     .task_cpus = 3,
+                     .task_duration = p.scatter_compute,
+                     .output_bytes_per_partition = p.message_block,
+                     .cache_output = false,
+                     .duration_skew = std::move(skew)});
+
+    const StageId update =
+        b.add_stage({.name = "update" + std::to_string(step),
+                     .inputs = {{b.output_of(gather), DepKind::Shuffle},
+                                {b.output_of(scatter), DepKind::Shuffle}},
+                     .num_tasks = n,
+                     .task_cpus = 1,
+                     .task_duration = p.update_compute,
+                     .output_bytes_per_partition = p.state_block});
+    // The previous superstep's state is now dead: proactive-eviction
+    // policies (MRD/LRP) reclaim its cache space immediately.
+    state = b.output_of(update);
+  }
+
+  b.add_stage({.name = "collect",
+               .inputs = {{state, DepKind::Shuffle}},
+               .num_tasks = std::max(2, n / 8),
+               .task_cpus = 1,
+               .task_duration = kSec,
+               .output_bytes_per_partition = 0});
+
+  return Workload{p.name, p.category, b.build()};
+}
+
+Workload make_connected_component(std::int32_t partitions) {
+  SuperstepParams p;
+  p.name = "ConnectedComponent";
+  p.partitions = partitions;
+  p.supersteps = 8;
+  return make_superstep_graph(p);
+}
+
+Workload make_pregel_operation(std::int32_t partitions) {
+  SuperstepParams p;
+  p.name = "PregelOperation";
+  p.partitions = partitions;
+  p.supersteps = 10;
+  p.message_block = 128 * kMiB;
+  p.init_branch = true;
+  return make_superstep_graph(p);
+}
+
+Workload make_pagerank(std::int32_t partitions) {
+  SuperstepParams p;
+  p.name = "PageRank";
+  p.partitions = partitions;
+  p.supersteps = 8;
+  p.message_block = 112 * kMiB;
+  p.state_block = 96 * kMiB;
+  p.init_branch = true;
+  return make_superstep_graph(p);
+}
+
+Workload make_shortest_paths(std::int32_t partitions) {
+  SuperstepParams p;
+  p.name = "ShortestPaths";
+  p.partitions = partitions;
+  p.supersteps = 9;
+  p.skew = 1.5;
+  return make_superstep_graph(p);
+}
+
+}  // namespace dagon

@@ -1,0 +1,285 @@
+#include "workloads/ml_workloads.hpp"
+
+#include <algorithm>
+
+namespace dagon {
+
+Workload make_kmeans(const KMeansParams& p) {
+  JobDagBuilder b("KMeans");
+  const std::int32_t n = p.partitions;
+
+  // Raw input; the application does not persist it (stage 0 and the
+  // re-scan stage 16 stay disk-bound and locality-INsensitive).
+  const RddId points = b.input_rdd("points", n, p.input_block);
+  b.set_rdd_cacheable(points, false);
+
+  // Stage 0: scan + featurize; persists "features" (64 MiB partitions —
+  // re-reading one remotely costs ~9x the in-process read, which is what
+  // makes the iteration stages locality-sensitive in Fig. 3).
+  const StageId scan = b.add_stage({.name = "scan",
+                                    .inputs = {{points, DepKind::Narrow}},
+                                    .num_tasks = n,
+                                    .task_cpus = 1,
+                                    .task_duration = p.scan_compute,
+                                    .output_bytes_per_partition =
+                                        p.feature_block});
+  const RddId features = b.output_of(scan);
+
+  // Stages 1..iterations: Lloyd iterations. Each reads the cached
+  // features narrowly plus the previous (tiny) centers via shuffle.
+  RddId prev_centers = RddId::invalid();
+  StageId last_iter = scan;
+  for (std::int32_t i = 1; i <= p.iterations; ++i) {
+    std::vector<RddRef> inputs{{features, DepKind::Narrow}};
+    if (prev_centers.valid()) {
+      inputs.push_back({prev_centers, DepKind::Shuffle});
+    }
+    const StageId iter =
+        b.add_stage({.name = "iter" + std::to_string(i),
+                     .inputs = std::move(inputs),
+                     .num_tasks = n,
+                     .task_cpus = 1,
+                     .task_duration = p.iter_compute,
+                     .output_bytes_per_partition = 64 * kKiB,
+                     .cache_output = false});
+    prev_centers = b.output_of(iter);
+    last_iter = iter;
+  }
+
+  // Stage 16: re-scan of the raw input to assign final clusters
+  // (disk-bound again, Fig. 3's second insensitive stage).
+  const StageId rescan =
+      b.add_stage({.name = "rescan",
+                   .inputs = {{points, DepKind::Narrow},
+                              {b.output_of(last_iter), DepKind::Shuffle}},
+                   .num_tasks = n,
+                   .task_cpus = 1,
+                   .task_duration = p.scan_compute * 9 / 10,
+                   .output_bytes_per_partition = p.feature_block,
+                   .cache_output = false});
+
+  // Stage 17: summarize assignments against the cached features.
+  b.add_stage({.name = "final",
+               .inputs = {{features, DepKind::Narrow},
+                          {b.output_of(rescan), DepKind::Shuffle}},
+               .num_tasks = n,
+               .task_cpus = 1,
+               .task_duration = p.iter_compute,
+               .output_bytes_per_partition = 0});
+
+  return Workload{"KMeans", WorkloadCategory::Mixed, b.build()};
+}
+
+// The CPU-intensive generators share the paper's Fig. 1 motif at every
+// rung of their iteration ladders: a heavy long-chain stage (the
+// critical path) becomes ready together with a light side stage whose
+// output is needed only at the very end. A DAG-blind scheduler drains
+// the side stage first (its stage id is smaller) and delays the chain;
+// a DAG-aware one starts the chain immediately and packs the light
+// d=1 tasks into the cores the chain's d=2/d=3 tasks cannot use.
+
+Workload make_linear_regression(const LinearRegressionParams& p) {
+  JobDagBuilder b("LinearRegression");
+  const std::int32_t n = p.partitions;
+  const RddId data = b.input_rdd("data", n, p.input_block);
+  b.set_rdd_cacheable(data, false);
+
+  const StageId parse = b.add_stage({.name = "parse",
+                                     .inputs = {{data, DepKind::Narrow}},
+                                     .num_tasks = n,
+                                     .task_cpus = 1,
+                                     .task_duration = p.parse_compute,
+                                     .output_bytes_per_partition =
+                                         p.train_block});
+  const RddId train = b.output_of(parse);
+
+  std::vector<RddRef> eval_outputs;
+  RddId prev = RddId::invalid();
+  StageId last = parse;
+  for (std::int32_t i = 1; i <= p.iterations; ++i) {
+    // Light per-iteration loss evaluation (side branch, created first so
+    // FIFO prefers it — the Fig. 1 mistake).
+    std::vector<RddRef> eval_inputs{{train, DepKind::Narrow}};
+    if (prev.valid()) eval_inputs.push_back({prev, DepKind::Shuffle});
+    const StageId eval =
+        b.add_stage({.name = "eval" + std::to_string(i),
+                     .inputs = std::move(eval_inputs),
+                     .num_tasks = n,
+                     .task_cpus = 1,
+                     .task_duration = p.gradient_compute,
+                     .output_bytes_per_partition = 64 * kKiB,
+                     .cache_output = false});
+    eval_outputs.push_back({b.output_of(eval), DepKind::Shuffle});
+
+    // Heavy gradient step (the chain).
+    std::vector<RddRef> inputs{{train, DepKind::Narrow}};
+    if (prev.valid()) inputs.push_back({prev, DepKind::Shuffle});
+    const StageId grad =
+        b.add_stage({.name = "gradient" + std::to_string(i),
+                     .inputs = std::move(inputs),
+                     .num_tasks = n,
+                     .task_cpus = 3,
+                     .task_duration = p.gradient_compute,
+                     .output_bytes_per_partition = 64 * kKiB,
+                     .cache_output = false});
+    prev = b.output_of(grad);
+    last = grad;
+  }
+
+  // Model update joins the gradient chain with every evaluation.
+  std::vector<RddRef> update_inputs{{b.output_of(last), DepKind::Shuffle}};
+  update_inputs.insert(update_inputs.end(), eval_outputs.begin(),
+                       eval_outputs.end());
+  b.add_stage({.name = "update",
+               .inputs = std::move(update_inputs),
+               .num_tasks = std::max(2, n / 4),
+               .task_cpus = 2,
+               .task_duration = 2 * kSec,
+               .output_bytes_per_partition = 0});
+
+  return Workload{"LinearRegression", WorkloadCategory::CpuIntensive,
+                  b.build()};
+}
+
+Workload make_logistic_regression(const LogisticRegressionParams& p) {
+  JobDagBuilder b("LogisticRegression");
+  const std::int32_t n = p.partitions;
+  const RddId data = b.input_rdd("data", n, p.input_block);
+  b.set_rdd_cacheable(data, false);
+
+  const StageId parse = b.add_stage({.name = "parse",
+                                     .inputs = {{data, DepKind::Narrow}},
+                                     .num_tasks = n,
+                                     .task_cpus = 1,
+                                     .task_duration = p.parse_compute,
+                                     .output_bytes_per_partition =
+                                         p.train_block});
+  const RddId train = b.output_of(parse);
+
+  // Tough-to-pack regularization sweep (d=4, a whole executor per task):
+  // Graphene calls these troublesome; FIFO wedges them late.
+  const StageId reg = b.add_stage({.name = "reg-path",
+                                   .inputs = {{train, DepKind::Shuffle}},
+                                   .num_tasks = std::max(2, n / 4),
+                                   .task_cpus = 4,
+                                   .task_duration = 8 * kSec,
+                                   .output_bytes_per_partition = kMiB,
+                                   .cache_output = false});
+
+  std::vector<RddRef> side_outputs{{b.output_of(reg), DepKind::Shuffle}};
+  RddId prev = RddId::invalid();
+  StageId last = parse;
+  for (std::int32_t i = 1; i <= p.iterations; ++i) {
+    // Light convergence diagnostics (side branch, lower stage id).
+    std::vector<RddRef> diag_inputs{{train, DepKind::Narrow}};
+    if (prev.valid()) diag_inputs.push_back({prev, DepKind::Shuffle});
+    const StageId diag =
+        b.add_stage({.name = "diag" + std::to_string(i),
+                     .inputs = std::move(diag_inputs),
+                     .num_tasks = n,
+                     .task_cpus = 1,
+                     .task_duration = p.gradient_compute,
+                     .output_bytes_per_partition = 64 * kKiB,
+                     .cache_output = false});
+    side_outputs.push_back({b.output_of(diag), DepKind::Shuffle});
+
+    std::vector<RddRef> inputs{{train, DepKind::Narrow}};
+    if (prev.valid()) inputs.push_back({prev, DepKind::Shuffle});
+    const StageId grad =
+        b.add_stage({.name = "lbfgs" + std::to_string(i),
+                     .inputs = std::move(inputs),
+                     .num_tasks = n,
+                     .task_cpus = 3,
+                     .task_duration = p.gradient_compute,
+                     .output_bytes_per_partition = 64 * kKiB,
+                     .cache_output = false});
+    prev = b.output_of(grad);
+    last = grad;
+  }
+
+  std::vector<RddRef> select_inputs{{b.output_of(last), DepKind::Shuffle}};
+  select_inputs.insert(select_inputs.end(), side_outputs.begin(),
+                       side_outputs.end());
+  b.add_stage({.name = "model-select",
+               .inputs = std::move(select_inputs),
+               .num_tasks = std::max(2, n / 4),
+               .task_cpus = 2,
+               .task_duration = 2 * kSec,
+               .output_bytes_per_partition = 0});
+
+  return Workload{"LogisticRegression", WorkloadCategory::CpuIntensive,
+                  b.build()};
+}
+
+Workload make_decision_tree(const DecisionTreeParams& p) {
+  JobDagBuilder b("DecisionTree");
+  const std::int32_t n = p.partitions;
+  const RddId data = b.input_rdd("data", n, p.input_block);
+  b.set_rdd_cacheable(data, false);
+
+  // Short preprocessing branch scheduled first by FIFO.
+  const StageId labels = b.add_stage({.name = "label-index",
+                                      .inputs = {{data, DepKind::Narrow}},
+                                      .num_tasks = n,
+                                      .task_cpus = 2,
+                                      .task_duration = 3 * kSec,
+                                      .output_bytes_per_partition = kMiB});
+  const StageId parse = b.add_stage({.name = "binning",
+                                     .inputs = {{data, DepKind::Narrow}},
+                                     .num_tasks = n,
+                                     .task_cpus = 1,
+                                     .task_duration = p.parse_compute,
+                                     .output_bytes_per_partition =
+                                         p.feature_block});
+  const RddId features = b.output_of(parse);
+
+  // Long chain: per tree level, a light per-node impurity sample (side
+  // branch, consumed only by the final assembly) plus a heavy statistics
+  // aggregation (d=3) over the cached features, then a split selection.
+  std::vector<RddRef> prune_outputs;
+  RddId prev_split = b.output_of(labels);
+  for (std::int32_t level = 1; level <= p.levels; ++level) {
+    const StageId prune = b.add_stage(
+        {.name = "prune" + std::to_string(level),
+         .inputs = {{prev_split, DepKind::Shuffle}},
+         .num_tasks = n,
+         .task_cpus = 1,
+         .task_duration = 4 * kSec,
+         .output_bytes_per_partition = kMiB,
+         .cache_output = false});
+    prune_outputs.push_back({b.output_of(prune), DepKind::Shuffle});
+
+    const StageId stats = b.add_stage(
+        {.name = "stats" + std::to_string(level),
+         .inputs = {{features, DepKind::Narrow},
+                    {prev_split, DepKind::Shuffle}},
+         .num_tasks = n,
+         .task_cpus = 3,
+         .task_duration = p.stats_compute,
+         .output_bytes_per_partition = 4 * kMiB,
+         .cache_output = false});
+    const StageId split = b.add_stage(
+        {.name = "split" + std::to_string(level),
+         .inputs = {{b.output_of(stats), DepKind::Shuffle}},
+         .num_tasks = std::max(2, n / 8),
+         .task_cpus = 1,
+         .task_duration = kSec,
+         .output_bytes_per_partition = kMiB,
+         .cache_output = false});
+    prev_split = b.output_of(split);
+  }
+
+  std::vector<RddRef> assemble_inputs{{prev_split, DepKind::Shuffle}};
+  assemble_inputs.insert(assemble_inputs.end(), prune_outputs.begin(),
+                         prune_outputs.end());
+  b.add_stage({.name = "assemble",
+               .inputs = std::move(assemble_inputs),
+               .num_tasks = 2,
+               .task_cpus = 2,
+               .task_duration = kSec,
+               .output_bytes_per_partition = 0});
+
+  return Workload{"DecisionTree", WorkloadCategory::CpuIntensive, b.build()};
+}
+
+}  // namespace dagon

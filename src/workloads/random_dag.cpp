@@ -1,0 +1,92 @@
+#include "workloads/random_dag.hpp"
+
+#include <algorithm>
+
+namespace dagon {
+
+Workload make_random_dag(Rng& rng, const RandomDagParams& p) {
+  JobDagBuilder b("random");
+  const auto num_stages = static_cast<std::int32_t>(
+      rng.uniform_range(p.min_stages, p.max_stages));
+
+  const auto rand_tasks = [&] {
+    return static_cast<std::int32_t>(
+        rng.uniform_range(p.min_tasks, p.max_tasks));
+  };
+  const auto rand_bytes = [&] {
+    return static_cast<Bytes>(rng.uniform_range(kMiB, p.max_block));
+  };
+
+  // A couple of input RDDs for the roots to read.
+  std::vector<RddId> inputs;
+  const auto num_inputs = static_cast<std::int32_t>(rng.uniform_range(1, 3));
+  std::vector<std::int32_t> input_parts;
+  for (std::int32_t i = 0; i < num_inputs; ++i) {
+    const std::int32_t parts = rand_tasks();
+    inputs.push_back(b.input_rdd("in" + std::to_string(i), parts,
+                                 rand_bytes()));
+    input_parts.push_back(parts);
+  }
+
+  struct Made {
+    StageId stage;
+    RddId output;
+    std::int32_t parts;
+  };
+  std::vector<Made> made;
+
+  for (std::int32_t s = 0; s < num_stages; ++s) {
+    const std::int32_t tasks = rand_tasks();
+    std::vector<RddRef> refs;
+
+    // Choose parents among earlier stages (guaranteeing acyclicity) or
+    // input RDDs for roots.
+    const auto num_parents = static_cast<std::int32_t>(rng.uniform_range(
+        made.empty() ? 1 : 1, std::min<std::int32_t>(p.max_parents,
+                                                     1 + (made.empty()
+                                                              ? 0
+                                                              : 2))));
+    for (std::int32_t q = 0; q < num_parents; ++q) {
+      const bool from_input = made.empty() || rng.bernoulli(0.25);
+      if (from_input) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(inputs.size())));
+        const bool can_narrow = input_parts[idx] == tasks;
+        const bool shuffle = !can_narrow || rng.bernoulli(p.shuffle_prob);
+        refs.push_back({inputs[idx],
+                        shuffle ? DepKind::Shuffle : DepKind::Narrow});
+      } else {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(static_cast<std::int64_t>(made.size())));
+        const bool can_narrow = made[idx].parts == tasks;
+        const bool shuffle = !can_narrow || rng.bernoulli(p.shuffle_prob);
+        refs.push_back({made[idx].output,
+                        shuffle ? DepKind::Shuffle : DepKind::Narrow});
+      }
+    }
+    // De-duplicate references to the same RDD.
+    std::sort(refs.begin(), refs.end(),
+              [](const RddRef& a, const RddRef& b2) {
+                return a.rdd < b2.rdd;
+              });
+    refs.erase(std::unique(refs.begin(), refs.end(),
+                           [](const RddRef& a, const RddRef& b2) {
+                             return a.rdd == b2.rdd;
+                           }),
+               refs.end());
+
+    const StageId sid = b.add_stage(
+        {.name = "s" + std::to_string(s),
+         .inputs = std::move(refs),
+         .num_tasks = tasks,
+         .task_cpus = static_cast<Cpus>(rng.uniform_range(1, p.max_cpus)),
+         .task_duration = rng.uniform_range(p.min_duration, p.max_duration),
+         .output_bytes_per_partition = rand_bytes(),
+         .cache_output = rng.bernoulli(p.cache_prob)});
+    made.push_back(Made{sid, b.output_of(sid), tasks});
+  }
+
+  return Workload{"random", WorkloadCategory::Mixed, b.build()};
+}
+
+}  // namespace dagon

@@ -1,0 +1,31 @@
+// Random layered DAG generator for property-based tests: arbitrary (but
+// always valid) stage graphs with heterogeneous demands, durations and
+// dependency kinds.
+#pragma once
+
+#include "common/rng.hpp"
+#include "workloads/workload.hpp"
+
+namespace dagon {
+
+struct RandomDagParams {
+  std::int32_t min_stages = 3;
+  std::int32_t max_stages = 24;
+  std::int32_t max_parents = 3;
+  std::int32_t min_tasks = 1;
+  std::int32_t max_tasks = 32;
+  Cpus max_cpus = 4;
+  SimTime min_duration = 200 * kMsec;
+  SimTime max_duration = 8 * kSec;
+  Bytes max_block = 64 * kMiB;
+  /// Probability a dependency is a shuffle (vs narrow).
+  double shuffle_prob = 0.5;
+  /// Probability a stage's output is persisted.
+  double cache_prob = 0.7;
+};
+
+/// Generates a random DAG; identical for identical (params, rng state).
+[[nodiscard]] Workload make_random_dag(Rng& rng,
+                                       const RandomDagParams& params = {});
+
+}  // namespace dagon

@@ -1,0 +1,75 @@
+#include "workloads/suite.hpp"
+
+#include "common/error.hpp"
+#include "workloads/graph_workloads.hpp"
+#include "workloads/ml_workloads.hpp"
+
+namespace dagon {
+
+const char* workload_name(WorkloadId id) {
+  switch (id) {
+    case WorkloadId::LinearRegression: return "LinearRegression";
+    case WorkloadId::LogisticRegression: return "LogisticRegression";
+    case WorkloadId::DecisionTree: return "DecisionTree";
+    case WorkloadId::KMeans: return "KMeans";
+    case WorkloadId::TriangleCount: return "TriangleCount";
+    case WorkloadId::ConnectedComponent: return "ConnectedComponent";
+    case WorkloadId::PregelOperation: return "PregelOperation";
+    case WorkloadId::PageRank: return "PageRank";
+    case WorkloadId::ShortestPaths: return "ShortestPaths";
+  }
+  return "?";
+}
+
+Workload make_workload(WorkloadId id, const WorkloadScale& scale) {
+  switch (id) {
+    case WorkloadId::LinearRegression: {
+      LinearRegressionParams p;
+      p.partitions = scale.parts(p.partitions);
+      return make_linear_regression(p);
+    }
+    case WorkloadId::LogisticRegression: {
+      LogisticRegressionParams p;
+      p.partitions = scale.parts(p.partitions);
+      return make_logistic_regression(p);
+    }
+    case WorkloadId::DecisionTree: {
+      DecisionTreeParams p;
+      p.partitions = scale.parts(p.partitions);
+      return make_decision_tree(p);
+    }
+    case WorkloadId::KMeans: {
+      KMeansParams p;
+      p.partitions = scale.parts(p.partitions);
+      return make_kmeans(p);
+    }
+    case WorkloadId::TriangleCount: {
+      TriangleCountParams p;
+      p.partitions = scale.parts(p.partitions);
+      return make_triangle_count(p);
+    }
+    case WorkloadId::ConnectedComponent:
+      return make_connected_component(scale.parts(96));
+    case WorkloadId::PregelOperation:
+      return make_pregel_operation(scale.parts(96));
+    case WorkloadId::PageRank:
+      return make_pagerank(scale.parts(96));
+    case WorkloadId::ShortestPaths:
+      return make_shortest_paths(scale.parts(96));
+  }
+  throw ConfigError("unknown workload id");
+}
+
+std::vector<WorkloadId> sparkbench_suite() {
+  return {WorkloadId::LinearRegression, WorkloadId::LogisticRegression,
+          WorkloadId::DecisionTree,     WorkloadId::KMeans,
+          WorkloadId::TriangleCount,    WorkloadId::ConnectedComponent,
+          WorkloadId::PregelOperation};
+}
+
+std::vector<WorkloadId> cache_study_suite() {
+  return {WorkloadId::ConnectedComponent, WorkloadId::PregelOperation,
+          WorkloadId::PageRank, WorkloadId::ShortestPaths};
+}
+
+}  // namespace dagon

@@ -1,0 +1,38 @@
+// The SparkBench-like workload suite used throughout the evaluation
+// (§V-A): three CPU-intensive, two mixed, two I/O-intensive workloads,
+// plus the Fig. 11 graph set.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace dagon {
+
+enum class WorkloadId {
+  LinearRegression,
+  LogisticRegression,
+  DecisionTree,
+  KMeans,
+  TriangleCount,
+  ConnectedComponent,
+  PregelOperation,
+  PageRank,
+  ShortestPaths,
+};
+
+[[nodiscard]] const char* workload_name(WorkloadId id);
+
+/// Builds a workload at the given scale (1.0 = paper calibration).
+[[nodiscard]] Workload make_workload(WorkloadId id,
+                                     const WorkloadScale& scale = {});
+
+/// The seven evaluation workloads of Fig. 8/9/10, grouped as in the
+/// paper: CPU-intensive first, then mixed, then I/O-intensive.
+[[nodiscard]] std::vector<WorkloadId> sparkbench_suite();
+
+/// The four I/O-intensive workloads of the Fig. 11 cache comparison
+/// (the MRD paper's workload set).
+[[nodiscard]] std::vector<WorkloadId> cache_study_suite();
+
+}  // namespace dagon

@@ -1,0 +1,41 @@
+// Workload: a named JobDag plus the paper's resource-consumption
+// category (§V-A groups SparkBench applications into CPU-intensive,
+// mixed, and I/O-intensive).
+#pragma once
+
+#include <string>
+
+#include "dag/job_dag.hpp"
+
+namespace dagon {
+
+enum class WorkloadCategory { CpuIntensive, Mixed, IoIntensive };
+
+[[nodiscard]] constexpr const char* category_name(WorkloadCategory c) {
+  switch (c) {
+    case WorkloadCategory::CpuIntensive: return "CPU-intensive";
+    case WorkloadCategory::Mixed: return "mixed";
+    case WorkloadCategory::IoIntensive: return "I/O-intensive";
+  }
+  return "?";
+}
+
+struct Workload {
+  std::string name;
+  WorkloadCategory category = WorkloadCategory::Mixed;
+  JobDag dag;
+};
+
+/// Global scale knob: 1.0 reproduces the paper-calibrated sizes; smaller
+/// values shrink partition counts for fast tests.
+struct WorkloadScale {
+  double size = 1.0;
+
+  [[nodiscard]] std::int32_t parts(std::int32_t base) const {
+    const auto scaled =
+        static_cast<std::int32_t>(static_cast<double>(base) * size);
+    return std::max<std::int32_t>(2, scaled);
+  }
+};
+
+}  // namespace dagon

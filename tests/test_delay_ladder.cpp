@@ -1,0 +1,198 @@
+// Focused tests of the delay-scheduling wait ladder — the Spark
+// TaskSetManager semantics that both Figs. 3 and 4 hinge on: per-level
+// waits, escalation timing, timer refresh on launches, ladder reset to
+// the launched level, and interactions with changing valid-level sets.
+#include <gtest/gtest.h>
+
+#include "cache/block_manager_master.hpp"
+#include "sched/delay_scheduling.hpp"
+#include "workloads/example_dag.hpp"
+
+namespace dagon {
+namespace {
+
+/// A two-rack cluster with the Fig. 1 DAG where every pending task of
+/// stage 0 is node-local on rack 0 and the only free executor is on
+/// rack 1 — the classic "idle executor vs rack-local task" decision.
+class LadderFixture : public ::testing::Test {
+ protected:
+  LadderFixture()
+      : workload_(make_example_dag()),
+        profile_(exact_profile(workload_.dag)),
+        topo_(spec()),
+        rng_(3),
+        hdfs_(workload_.dag, topo_, hdfs_spec(), rng_),
+        oracle_(workload_.dag),
+        policy_(make_cache_policy(CachePolicyKind::Lru)),
+        master_(topo_, workload_.dag, hdfs_, oracle_, *policy_),
+        state_(workload_.dag, topo_, profile_),
+        cost_(CostModelSpec{}) {}
+
+  static TopologySpec spec() {
+    TopologySpec s;
+    s.racks = 2;
+    s.nodes_per_rack = 2;
+    s.executors_per_node = 1;
+    s.cores_per_executor = 16;
+    s.cache_bytes_per_executor = 16 * kMiB;
+    return s;
+  }
+  static HdfsSpec hdfs_spec() {
+    HdfsSpec s;
+    s.replication = 1;
+    s.skew = 1.0;  // everything on node 0 (rack 0)
+    s.hot_nodes = 1;
+    return s;
+  }
+
+  /// Leaves cores only on an executor whose rack holds no input data.
+  ExecutorId isolate_far_executor() {
+    for (ExecutorRuntime& e : state_.executors()) e.free_cores = 0;
+    for (const Executor& e : topo_.executors()) {
+      if (topo_.rack_of(topo_.node_of(e.id)) == RackId(1)) {
+        state_.executor(e.id).free_cores = 16;
+        return e.id;
+      }
+    }
+    throw std::logic_error("no rack-1 executor");
+  }
+
+  Workload workload_;
+  JobProfile profile_;
+  Topology topo_;
+  Rng rng_;
+  HdfsPlacement hdfs_;
+  ReferenceOracle oracle_;
+  std::unique_ptr<CachePolicy> policy_;
+  BlockManagerMaster master_;
+  JobState state_;
+  CostModel cost_;
+};
+
+TEST_F(LadderFixture, HoldsAtNodeLevelWithinWait) {
+  const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
+  isolate_far_executor();
+  // Inside the 3s node wait: the far executor gets nothing.
+  EXPECT_FALSE(delay.find(state_, master_, StageId(0), 0).has_value());
+  EXPECT_FALSE(
+      delay.find(state_, master_, StageId(0), 2900 * kMsec).has_value());
+}
+
+TEST_F(LadderFixture, EscalatesToRackAfterNodeWait) {
+  const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
+  const ExecutorId far = isolate_far_executor();
+  // Skew puts every block on rack 0 -> the far executor sees Any tasks
+  // only. Node wait (3s) + rack wait (3s) must elapse.
+  EXPECT_FALSE(
+      delay.find(state_, master_, StageId(0), 3100 * kMsec).has_value());
+  const auto a = delay.find(state_, master_, StageId(0), 6100 * kMsec);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->exec, far);
+  EXPECT_EQ(a->locality, Locality::Any);
+}
+
+TEST_F(LadderFixture, PerLevelWaitsDiffer) {
+  LocalityWaits waits;
+  waits.process = 0;
+  waits.node = 1 * kSec;
+  waits.rack = 10 * kSec;
+  const NativeDelayPolicy delay(waits, cost_);
+  isolate_far_executor();
+  // After the 1s node wait the ladder sits at Rack; the Any-level task
+  // still needs the 10s rack wait.
+  EXPECT_FALSE(
+      delay.find(state_, master_, StageId(0), 1500 * kMsec).has_value());
+  EXPECT_TRUE(
+      delay.find(state_, master_, StageId(0), 11500 * kMsec).has_value());
+}
+
+TEST_F(LadderFixture, LaunchResetsTheTimer) {
+  const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
+  isolate_far_executor();
+  // A node-local launch elsewhere at t=2.9s refreshes the wait: the far
+  // executor must wait another full node+rack wait from that launch.
+  delay.on_launch(state_, master_, StageId(0), Locality::Node,
+                  2900 * kMsec);
+  EXPECT_FALSE(
+      delay.find(state_, master_, StageId(0), 5500 * kMsec).has_value());
+  EXPECT_TRUE(
+      delay.find(state_, master_, StageId(0), 9000 * kMsec).has_value());
+}
+
+TEST_F(LadderFixture, LaunchAtLowerLevelKeepsLadderThere) {
+  const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
+  isolate_far_executor();
+  // Escalate to Any and launch there: the ladder index stays at the
+  // launched level, so the next Any task is immediately admissible.
+  const auto first = delay.find(state_, master_, StageId(0), 7 * kSec);
+  ASSERT_TRUE(first.has_value());
+  state_.mark_launched(StageId(0), first->task_index, first->exec,
+                       7 * kSec);
+  delay.on_launch(state_, master_, StageId(0), first->locality, 7 * kSec);
+  const auto second =
+      delay.find(state_, master_, StageId(0), 7 * kSec + 100 * kMsec);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->locality, Locality::Any);
+}
+
+TEST_F(LadderFixture, NoPrefTasksLaunchImmediately) {
+  // Stage 3 (S3) is a pure shuffle consumer: NoPref, no waiting — even
+  // at t=0 on the far executor.
+  state_.stage(StageId(2)).ready = true;
+  state_.stage(StageId(2)).ready_time = 0;
+  // Pretend D exists so lookups at launch would succeed (not needed for
+  // find(), which only consults locality).
+  const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
+  isolate_far_executor();
+  const auto a = delay.find(state_, master_, StageId(2), 0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->locality, Locality::NoPref);
+}
+
+TEST_F(LadderFixture, ZeroWaitsCollapseTheLadder) {
+  const NativeDelayPolicy delay(LocalityWaits::uniform(0), cost_);
+  isolate_far_executor();
+  const auto a = delay.find(state_, master_, StageId(0), 0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->locality, Locality::Any);
+}
+
+TEST_F(LadderFixture, ReadyTimeAnchorsTheWait) {
+  const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
+  isolate_far_executor();
+  // A stage becoming ready late must wait from its ready time, not from
+  // t=0: pretend stage 0 becomes ready at t=100s.
+  StageRuntime& rt = state_.stage(StageId(0));
+  rt.ready_time = 100 * kSec;
+  rt.locality_timer = 0;  // stale timer from before readiness
+  EXPECT_FALSE(
+      delay.find(state_, master_, StageId(0), 101 * kSec).has_value());
+  EXPECT_TRUE(
+      delay.find(state_, master_, StageId(0), 107 * kSec).has_value());
+}
+
+TEST_F(LadderFixture, SensitivityAwareSkipsLadderForInsensitiveTasks) {
+  // Same starved setup, but stage 0's tasks are insensitive (1 MiB raw
+  // inputs, 4-minute compute): Algorithm 2 launches at t=0.
+  const SensitivityAwareDelayPolicy delay(LocalityWaits::uniform(3 * kSec),
+                                          cost_);
+  isolate_far_executor();
+  const auto a = delay.find(state_, master_, StageId(0), 0);
+  ASSERT_TRUE(a.has_value());
+}
+
+TEST_F(LadderFixture, WaitForLevelAccessors) {
+  LocalityWaits waits;
+  waits.process = 1;
+  waits.node = 2;
+  waits.rack = 3;
+  EXPECT_EQ(waits.wait_for(Locality::Process), 1);
+  EXPECT_EQ(waits.wait_for(Locality::Node), 2);
+  EXPECT_EQ(waits.wait_for(Locality::Rack), 3);
+  EXPECT_EQ(waits.wait_for(Locality::NoPref), 0);
+  EXPECT_EQ(waits.wait_for(Locality::Any), 0);
+  EXPECT_EQ(LocalityWaits::uniform(5).node, 5);
+}
+
+}  // namespace
+}  // namespace dagon

@@ -1,0 +1,261 @@
+// Property-based tests: sweep random DAGs (TEST_P over seeds) and assert
+// the simulator's invariants hold under every scheduler/cache
+// combination — resource conservation, dependency order, cache-stat
+// consistency, and bit-exact determinism.
+#include <gtest/gtest.h>
+
+#include "core/dagon.hpp"
+
+namespace dagon {
+namespace {
+
+SimConfig property_cluster(std::uint64_t seed) {
+  SimConfig config;
+  config.topology.racks = 2;
+  config.topology.nodes_per_rack = 2;
+  config.topology.executors_per_node = 2;
+  config.topology.cores_per_executor = 8;
+  config.topology.cache_bytes_per_executor = 64 * kMiB;
+  config.hdfs.replication = 2;
+  config.seed = seed;
+  return config;
+}
+
+struct PropertyCase {
+  std::uint64_t seed;
+  SchedulerKind scheduler;
+  CachePolicyKind cache;
+  DelayKind delay;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropertyCase>& info) {
+  return std::string("seed") + std::to_string(info.param.seed) + "_" +
+         scheduler_name(info.param.scheduler) + "_" +
+         cache_policy_name(info.param.cache) + "_" +
+         (info.param.delay == DelayKind::Native ? "native" : "aware");
+}
+
+class SimInvariants : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  static RandomDagParams dag_params() {
+    RandomDagParams p;
+    p.max_stages = 14;
+    p.max_tasks = 12;
+    p.max_cpus = 4;
+    return p;
+  }
+};
+
+TEST_P(SimInvariants, HoldOnRandomDags) {
+  const PropertyCase param = GetParam();
+  Rng rng(param.seed);
+  const Workload w = make_random_dag(rng, dag_params());
+
+  SimConfig config = property_cluster(param.seed);
+  config.scheduler = param.scheduler;
+  config.cache = param.cache;
+  config.delay = param.delay;
+
+  const RunMetrics m = run_workload(w, config).metrics;
+
+  // 1. Every task ran exactly once (no speculation configured).
+  std::int64_t completed = 0;
+  for (const TaskRecord& t : m.tasks) {
+    if (!t.cancelled) ++completed;
+  }
+  EXPECT_EQ(completed, w.dag.total_tasks());
+
+  // 2. Resource conservation: busy cores within [0, capacity], back to 0.
+  EXPECT_DOUBLE_EQ(m.busy_cores.value(), 0.0);
+  EXPECT_LE(m.busy_cores.max_over(0, m.jct),
+            static_cast<double>(m.total_cores));
+  EXPECT_DOUBLE_EQ(m.running_tasks.value(), 0.0);
+
+  // 3. Stage dependency order.
+  for (const StageRecord& s : m.stages) {
+    for (const StageId p : w.dag.stage(s.id).parents) {
+      EXPECT_GE(s.first_launch,
+                m.stages[static_cast<std::size_t>(p.value())].finish_time);
+    }
+  }
+
+  // 4. JCT is bounded below by the DAG's critical path through actual
+  //    compute times (fetches only add).
+  EXPECT_GE(m.jct, critical_path(w.dag));
+
+  // 5. Cache accounting is consistent.
+  EXPECT_EQ(m.cache.local_memory_hits + m.cache.other_memory_hits +
+                m.cache.disk_reads,
+            m.cache.total_reads);
+  EXPECT_GE(m.cache.hit_ratio(), 0.0);
+  EXPECT_LE(m.cache.hit_ratio(), 1.0);
+
+  // 6. Locality histogram covers every attempt.
+  std::int64_t launches = 0;
+  for (const std::int64_t c : m.locality_histogram) launches += c;
+  EXPECT_EQ(launches, static_cast<std::int64_t>(m.tasks.size()));
+
+  // 7. Determinism: rerunning is bit-identical.
+  Rng rng2(param.seed);
+  const Workload w2 = make_random_dag(rng2, dag_params());
+  const RunMetrics m2 = run_workload(w2, config).metrics;
+  EXPECT_EQ(m.jct, m2.jct);
+  EXPECT_EQ(m.cache.local_memory_hits, m2.cache.local_memory_hits);
+}
+
+std::vector<PropertyCase> property_cases() {
+  std::vector<PropertyCase> cases;
+  const SchedulerKind schedulers[] = {
+      SchedulerKind::Fifo, SchedulerKind::Fair, SchedulerKind::CriticalPath,
+      SchedulerKind::Graphene, SchedulerKind::Dagon};
+  const CachePolicyKind caches[] = {CachePolicyKind::Lru,
+                                    CachePolicyKind::Lrc,
+                                    CachePolicyKind::Mrd,
+                                    CachePolicyKind::Lrp};
+  std::uint64_t seed = 100;
+  for (const SchedulerKind s : schedulers) {
+    for (const CachePolicyKind c : caches) {
+      cases.push_back(PropertyCase{seed++, s, c,
+                                   seed % 2 ? DelayKind::Native
+                                            : DelayKind::SensitivityAware});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, SimInvariants,
+                         ::testing::ValuesIn(property_cases()), case_name);
+
+// --- assignment-trace invariants over random DAGs ------------------------------
+
+class TraceInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceInvariants, HoldForEverySelector) {
+  Rng rng(GetParam());
+  RandomDagParams p;
+  p.max_stages = 16;
+  p.max_tasks = 10;
+  p.max_cpus = 4;
+  const Workload w = make_random_dag(rng, p);
+  const Cpus capacity = 12;
+
+  for (const SchedulerKind kind :
+       {SchedulerKind::Fifo, SchedulerKind::Fair, SchedulerKind::CriticalPath,
+        SchedulerKind::Graphene, SchedulerKind::Dagon}) {
+    const auto trace = trace_priority_assignment(w.dag, capacity, kind);
+
+    // Every task placed exactly once.
+    EXPECT_EQ(trace.placements.size(),
+              static_cast<std::size_t>(w.dag.total_tasks()));
+
+    // Capacity respected at every placement start.
+    for (const PlacedTask& t : trace.placements) {
+      Cpus busy = 0;
+      for (const PlacedTask& q : trace.placements) {
+        if (q.start <= t.start && t.start < q.end) busy += q.cpus;
+      }
+      EXPECT_LE(busy, capacity);
+    }
+
+    // Dependencies respected; makespan >= lower bound.
+    EXPECT_GE(trace.makespan, makespan_lower_bound(w.dag, capacity));
+    for (const Stage& s : w.dag.stages()) {
+      SimTime first = kTimeInfinity;
+      SimTime parent_last = 0;
+      for (const PlacedTask& t : trace.placements) {
+        if (t.stage == s.id) first = std::min(first, t.start);
+        for (const StageId parent : s.parents) {
+          if (t.stage == parent) parent_last = std::max(parent_last, t.end);
+        }
+      }
+      EXPECT_GE(first, parent_last);
+    }
+
+    // Fragmentation accounting is exact.
+    CpuWork busy_time = 0;
+    for (const PlacedTask& t : trace.placements) {
+      busy_time += static_cast<CpuWork>(t.cpus) * (t.end - t.start);
+    }
+    EXPECT_EQ(trace.idle_cpu_time,
+              static_cast<CpuWork>(capacity) * trace.makespan - busy_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceInvariants,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+// --- cache-policy invariants under random reference patterns --------------------
+
+class PolicyInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PolicyInvariants, RetentionAndPrefetchAgree) {
+  Rng rng(GetParam());
+  RandomDagParams p;
+  p.max_stages = 10;
+  const Workload w = make_random_dag(rng, p);
+  ReferenceOracle oracle(w.dag);
+  oracle.set_current_stage(w.dag.stages().front().id);
+
+  for (const CachePolicyKind kind :
+       {CachePolicyKind::Mrd, CachePolicyKind::Lrp}) {
+    const auto policy = make_cache_policy(kind);
+    for (const Rdd& rdd : w.dag.rdds()) {
+      for (std::int32_t part = 0; part < rdd.num_partitions; ++part) {
+        const BlockId block{rdd.id, part};
+        const auto prefetch = policy->prefetch_priority(block, oracle);
+        const double retention =
+            policy->retention_priority(block, 0, oracle);
+        if (prefetch.has_value()) {
+          // The two scales must agree, or prefetch admission thrashes.
+          EXPECT_DOUBLE_EQ(*prefetch, retention)
+              << cache_policy_name(kind);
+          EXPECT_FALSE(policy->is_dead(block, oracle));
+        } else {
+          // Nothing prefetchable is worth keeping either (dead), except
+          // LRP's zero-priority convention.
+          EXPECT_TRUE(policy->is_dead(block, oracle) ||
+                      oracle.reference_priority(block) <= 0);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyInvariants,
+                         ::testing::Range<std::uint64_t>(50, 60));
+
+// --- block-level reference consumption ------------------------------------------
+
+class OracleInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleInvariants, RefCountsNeverGoNegativeAndReachZero) {
+  Rng rng(GetParam());
+  RandomDagParams p;
+  p.max_stages = 12;
+  p.max_tasks = 8;
+  const Workload w = make_random_dag(rng, p);
+  ReferenceOracle oracle(w.dag);
+
+  // Launch every task of every stage in topological order.
+  for (const StageId sid : w.dag.topological_order()) {
+    const Stage& s = w.dag.stage(sid);
+    for (std::int32_t t = 0; t < s.num_tasks; ++t) {
+      oracle.on_task_launched(sid, t);
+    }
+    oracle.mark_stage_finished(sid);
+  }
+  for (const Rdd& rdd : w.dag.rdds()) {
+    for (std::int32_t part = 0; part < rdd.num_partitions; ++part) {
+      const BlockId block{rdd.id, part};
+      EXPECT_EQ(oracle.remaining_ref_count(block), 0);
+      EXPECT_EQ(oracle.reference_priority(block), 0);
+      EXPECT_EQ(oracle.stage_distance(block), ReferenceOracle::kNeverUsed);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OracleInvariants,
+                         ::testing::Range<std::uint64_t>(200, 210));
+
+}  // namespace
+}  // namespace dagon

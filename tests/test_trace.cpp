@@ -1,0 +1,135 @@
+// Tests for the trace-export module: Chrome-trace JSON, stage spans,
+// binned series, locality breakdowns, timeline CSV.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/runner.hpp"
+#include "trace/chrome_trace.hpp"
+#include "trace/timeline.hpp"
+#include "workloads/example_dag.hpp"
+
+namespace dagon {
+namespace {
+
+class TraceFixture : public ::testing::Test {
+ protected:
+  TraceFixture() : workload_(make_example_dag()) {
+    SimConfig config;
+    config.topology.cores_per_executor = 16;
+    config.topology.cache_bytes_per_executor = 16 * kMiB;
+    config.scheduler = SchedulerKind::Dagon;
+    metrics_ = run_workload(workload_, config).metrics;
+  }
+
+  Workload workload_;
+  RunMetrics metrics_;
+};
+
+TEST_F(TraceFixture, ChromeTraceContainsEveryTask) {
+  const std::string json = chrome_trace_json(metrics_, workload_.dag);
+  // One "X" complete event per task attempt.
+  std::size_t events = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos; ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, metrics_.tasks.size());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("S1[0]"), std::string::npos);
+  EXPECT_NE(json.find("PROCESS_LOCAL"), std::string::npos);
+}
+
+TEST_F(TraceFixture, ChromeTraceHasExecutorMetadataAndCounters) {
+  const std::string json = chrome_trace_json(metrics_, workload_.dag);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"busy vCPUs\""), std::string::npos);
+  // Well-formed JSON boundaries (cheap structural check).
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST_F(TraceFixture, ChromeTraceWritesFile) {
+  const std::string path = ::testing::TempDir() + "/dagon_trace.json";
+  write_chrome_trace(metrics_, workload_.dag, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, chrome_trace_json(metrics_, workload_.dag));
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, EscapesSpecialCharacters) {
+  JobDagBuilder b("quoted");
+  const RddId in = b.input_rdd("in", 1, kMiB);
+  b.add_stage({.name = "stage \"x\"\n", .inputs = {{in, DepKind::Narrow}},
+               .num_tasks = 1,
+               .task_cpus = 1,
+               .task_duration = kSec});
+  const Workload w{"quoted", WorkloadCategory::Mixed, b.build()};
+  const RunMetrics m = run_workload(w, SimConfig{}).metrics;
+  const std::string json = chrome_trace_json(m, w.dag);
+  EXPECT_NE(json.find("stage \\\"x\\\"\\n"), std::string::npos);
+}
+
+TEST_F(TraceFixture, StageSpansOrderedByLaunch) {
+  const auto spans = stage_spans(metrics_);
+  ASSERT_EQ(spans.size(), 4u);
+  for (std::size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_GE(spans[i].first_launch, spans[i - 1].first_launch);
+  }
+  for (const StageSpan& s : spans) {
+    EXPECT_GE(s.first_launch, s.ready);
+    EXPECT_GE(s.queue_delay(), 0);
+    EXPECT_GT(s.finish, s.first_launch);
+  }
+}
+
+TEST_F(TraceFixture, BinnedSeriesAverageMatchesMetrics) {
+  const BinnedSeries util = utilization_series(metrics_, 20);
+  ASSERT_EQ(util.values.size(), 20u);
+  double sum = 0.0;
+  for (const double v : util.values) sum += v;
+  // The mean of the binned means approximates the exact time-weighted
+  // mean (bins are equal width).
+  EXPECT_NEAR(sum / 20.0,
+              metrics_.busy_cores.average(0, metrics_.jct),
+              0.5);
+  const BinnedSeries par = parallelism_series(metrics_, 10);
+  EXPECT_EQ(par.values.size(), 10u);
+}
+
+TEST_F(TraceFixture, BinnedSeriesEmptyCases) {
+  EXPECT_TRUE(utilization_series(metrics_, 0).values.empty());
+  RunMetrics empty;
+  EXPECT_TRUE(utilization_series(empty, 10).values.empty());
+}
+
+TEST_F(TraceFixture, LocalityBreakdownCoversAllLaunches) {
+  const auto breakdown = stage_locality_breakdown(metrics_, workload_.dag);
+  ASSERT_EQ(breakdown.size(), 4u);
+  std::int64_t total = 0;
+  for (const StageLocality& s : breakdown) {
+    total += s.total();
+    EXPECT_GE(s.high_locality_fraction(), 0.0);
+    EXPECT_LE(s.high_locality_fraction(), 1.0);
+  }
+  EXPECT_EQ(total, static_cast<std::int64_t>(metrics_.tasks.size()));
+}
+
+TEST_F(TraceFixture, TimelineCsvHasOneRowPerStage) {
+  const std::string path = ::testing::TempDir() + "/dagon_timeline.csv";
+  write_timeline_csv(metrics_, workload_.dag, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 1 + 4);  // header + 4 stages
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dagon

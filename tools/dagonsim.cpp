@@ -1,0 +1,217 @@
+// dagonsim — command-line front end to the simulator.
+//
+// Run any suite workload under any (scheduler, cache, delay) combination
+// on a configurable cluster, print the metrics the paper reports, and
+// optionally export a Chrome trace / timeline CSV of the run.
+//
+//   dagonsim --workload KMeans --scheduler dagon --cache lrp
+//            --delay aware --scale 1.0 --trace run.json
+//   dagonsim --list
+//   dagonsim --help
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/dagon.hpp"
+
+namespace {
+
+using namespace dagon;
+
+struct Options {
+  std::string workload = "KMeans";
+  SchedulerKind scheduler = SchedulerKind::Dagon;
+  CachePolicyKind cache = CachePolicyKind::Lrp;
+  DelayKind delay = DelayKind::SensitivityAware;
+  double scale = 1.0;
+  double wait_seconds = 3.0;
+  bool cache_enabled = true;
+  bool case_cluster = false;
+  std::uint64_t seed = 42;
+  double noise = -1.0;  // <0: preset default
+  std::string trace_path;
+  std::string timeline_path;
+  bool verbose = false;
+};
+
+void print_help() {
+  std::cout <<
+      "dagonsim — DAG-aware scheduling + caching simulator\n\n"
+      "  --workload NAME    suite workload (see --list) [KMeans]\n"
+      "  --scheduler KIND   fifo | fair | cp | graphene | dagon [dagon]\n"
+      "  --cache KIND       lru | lrc | mrd | lrp | off [lrp]\n"
+      "  --delay KIND       native | aware [aware]\n"
+      "  --wait SECONDS     spark.locality.wait [3.0]\n"
+      "  --scale FACTOR     workload size multiplier [1.0]\n"
+      "  --seed N           RNG seed (placement + jitter) [42]\n"
+      "  --noise SIGMA      task duration jitter [preset: 0.1]\n"
+      "  --case-cluster     use the 7-node case-study cluster (rep=1)\n"
+      "                     instead of the 18-node testbed\n"
+      "  --trace FILE       write a chrome://tracing JSON of the run\n"
+      "  --timeline FILE    write a per-stage timeline CSV\n"
+      "  --verbose          per-stage table\n"
+      "  --list             list workloads and exit\n";
+}
+
+std::optional<WorkloadId> parse_workload(const std::string& name) {
+  for (const WorkloadId id :
+       {WorkloadId::LinearRegression, WorkloadId::LogisticRegression,
+        WorkloadId::DecisionTree, WorkloadId::KMeans,
+        WorkloadId::TriangleCount, WorkloadId::ConnectedComponent,
+        WorkloadId::PregelOperation, WorkloadId::PageRank,
+        WorkloadId::ShortestPaths}) {
+    if (name == workload_name(id)) return id;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      print_help();
+      return 0;
+    } else if (arg == "--list") {
+      for (const WorkloadId id : sparkbench_suite()) {
+        std::cout << workload_name(id) << "\n";
+      }
+      std::cout << "PageRank\nShortestPaths\n";
+      return 0;
+    } else if (arg == "--workload") {
+      opt.workload = next();
+    } else if (arg == "--scheduler") {
+      const std::string v = next();
+      if (v == "fifo") opt.scheduler = SchedulerKind::Fifo;
+      else if (v == "fair") opt.scheduler = SchedulerKind::Fair;
+      else if (v == "cp") opt.scheduler = SchedulerKind::CriticalPath;
+      else if (v == "graphene") opt.scheduler = SchedulerKind::Graphene;
+      else if (v == "dagon") opt.scheduler = SchedulerKind::Dagon;
+      else { std::cerr << "unknown scheduler " << v << "\n"; return 2; }
+    } else if (arg == "--cache") {
+      const std::string v = next();
+      if (v == "lru") opt.cache = CachePolicyKind::Lru;
+      else if (v == "lrc") opt.cache = CachePolicyKind::Lrc;
+      else if (v == "mrd") opt.cache = CachePolicyKind::Mrd;
+      else if (v == "lrp") opt.cache = CachePolicyKind::Lrp;
+      else if (v == "off") opt.cache_enabled = false;
+      else { std::cerr << "unknown cache " << v << "\n"; return 2; }
+    } else if (arg == "--delay") {
+      const std::string v = next();
+      if (v == "native") opt.delay = DelayKind::Native;
+      else if (v == "aware") opt.delay = DelayKind::SensitivityAware;
+      else { std::cerr << "unknown delay " << v << "\n"; return 2; }
+    } else if (arg == "--wait") {
+      opt.wait_seconds = std::atof(next().c_str());
+    } else if (arg == "--scale") {
+      opt.scale = std::atof(next().c_str());
+    } else if (arg == "--seed") {
+      opt.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+    } else if (arg == "--noise") {
+      opt.noise = std::atof(next().c_str());
+    } else if (arg == "--case-cluster") {
+      opt.case_cluster = true;
+    } else if (arg == "--trace") {
+      opt.trace_path = next();
+    } else if (arg == "--timeline") {
+      opt.timeline_path = next();
+    } else if (arg == "--verbose") {
+      opt.verbose = true;
+    } else {
+      std::cerr << "unknown argument " << arg << " (try --help)\n";
+      return 2;
+    }
+  }
+
+  const auto id = parse_workload(opt.workload);
+  if (!id) {
+    std::cerr << "unknown workload '" << opt.workload
+              << "' (try --list)\n";
+    return 2;
+  }
+
+  const Workload workload = make_workload(*id, WorkloadScale{opt.scale});
+  SimConfig config = opt.case_cluster ? case_study_cluster() : paper_testbed();
+  config.scheduler = opt.scheduler;
+  config.cache = opt.cache;
+  config.cache_enabled = opt.cache_enabled;
+  config.delay = opt.delay;
+  config.waits = LocalityWaits::uniform(from_seconds(opt.wait_seconds));
+  config.seed = opt.seed;
+  if (opt.noise >= 0.0) config.duration_noise = opt.noise;
+
+  const DagShape shape = analyze_shape(workload.dag);
+  std::cout << workload.name << " (" << category_name(workload.category)
+            << "): " << shape.stages << " stages, " << shape.tasks
+            << " tasks, depth " << shape.depth << "\n"
+            << "system: " << scheduler_name(config.scheduler) << " + "
+            << (config.cache_enabled ? cache_policy_name(config.cache)
+                                     : "no-cache")
+            << " + " << delay_kind_name(config.delay) << ", cluster "
+            << (opt.case_cluster ? "case-study (7 nodes)"
+                                 : "testbed (18 nodes)")
+            << "\n\n";
+
+  const RunResult result = run_workload(workload, config);
+  const RunMetrics& m = result.metrics;
+
+  TextTable summary({"metric", "value"});
+  summary.add_row({"job completion time", format_duration(m.jct)});
+  summary.add_row({"CPU utilization",
+                   TextTable::percent(m.cpu_utilization())});
+  summary.add_row({"avg task parallelism",
+                   TextTable::num(m.avg_parallelism(), 1)});
+  summary.add_row({"avg task duration",
+                   TextTable::num(m.avg_task_duration_sec(), 2) + "s"});
+  summary.add_row({"cache hit ratio",
+                   TextTable::percent(m.cache.hit_ratio())});
+  summary.add_row({"high-locality launches",
+                   TextTable::percent(m.high_locality_fraction())});
+  summary.add_row({"prefetches", std::to_string(m.cache.prefetches)});
+  summary.add_row({"proactive evictions",
+                   std::to_string(m.cache.proactive_evictions)});
+  summary.add_row({"makespan lower bound x",
+                   TextTable::num(static_cast<double>(m.jct) /
+                                      static_cast<double>(makespan_lower_bound(
+                                          workload.dag, m.total_cores)),
+                                  2)});
+  summary.print(std::cout);
+
+  if (opt.verbose) {
+    std::cout << "\nper-stage timeline:\n";
+    TextTable t({"stage", "ready", "launch", "finish", "duration",
+                 "hi-loc"});
+    const auto locality = stage_locality_breakdown(m, workload.dag);
+    for (const StageSpan& span : stage_spans(m)) {
+      t.add_row({span.name, format_duration(span.ready),
+                 format_duration(span.first_launch),
+                 format_duration(span.finish),
+                 format_duration(span.finish - span.first_launch),
+                 TextTable::percent(
+                     locality[static_cast<std::size_t>(span.stage.value())]
+                         .high_locality_fraction())});
+    }
+    t.print(std::cout);
+  }
+
+  if (!opt.trace_path.empty()) {
+    write_chrome_trace(m, workload.dag, opt.trace_path);
+    std::cout << "\nchrome trace: " << opt.trace_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!opt.timeline_path.empty()) {
+    write_timeline_csv(m, workload.dag, opt.timeline_path);
+    std::cout << "timeline CSV: " << opt.timeline_path << "\n";
+  }
+  return 0;
+}
