@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multi_job.dir/bench_ext_multi_job.cpp.o"
+  "CMakeFiles/bench_ext_multi_job.dir/bench_ext_multi_job.cpp.o.d"
+  "bench_ext_multi_job"
+  "bench_ext_multi_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multi_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig11_cache_policies.cpp" "bench/CMakeFiles/bench_fig11_cache_policies.dir/bench_fig11_cache_policies.cpp.o" "gcc" "bench/CMakeFiles/bench_fig11_cache_policies.dir/bench_fig11_cache_policies.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dagon_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dagon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dagon_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dagon_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dagon_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dagon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dagon_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dagon_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dagon_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_locality_wait.dir/bench_fig3_locality_wait.cpp.o"
+  "CMakeFiles/bench_fig3_locality_wait.dir/bench_fig3_locality_wait.cpp.o.d"
+  "bench_fig3_locality_wait"
+  "bench_fig3_locality_wait.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_locality_wait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

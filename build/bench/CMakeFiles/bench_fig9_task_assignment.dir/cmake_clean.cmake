@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_task_assignment.dir/bench_fig9_task_assignment.cpp.o"
+  "CMakeFiles/bench_fig9_task_assignment.dir/bench_fig9_task_assignment.cpp.o.d"
+  "bench_fig9_task_assignment"
+  "bench_fig9_task_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_task_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

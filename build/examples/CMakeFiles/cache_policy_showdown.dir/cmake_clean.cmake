@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_policy_showdown.dir/cache_policy_showdown.cpp.o"
+  "CMakeFiles/cache_policy_showdown.dir/cache_policy_showdown.cpp.o.d"
+  "cache_policy_showdown"
+  "cache_policy_showdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_policy_showdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_locality.dir/kmeans_locality.cpp.o"
+  "CMakeFiles/kmeans_locality.dir/kmeans_locality.cpp.o.d"
+  "kmeans_locality"
+  "kmeans_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/block_manager.cpp" "src/cache/CMakeFiles/dagon_cache.dir/block_manager.cpp.o" "gcc" "src/cache/CMakeFiles/dagon_cache.dir/block_manager.cpp.o.d"
+  "/root/repo/src/cache/block_manager_master.cpp" "src/cache/CMakeFiles/dagon_cache.dir/block_manager_master.cpp.o" "gcc" "src/cache/CMakeFiles/dagon_cache.dir/block_manager_master.cpp.o.d"
+  "/root/repo/src/cache/cache_policy.cpp" "src/cache/CMakeFiles/dagon_cache.dir/cache_policy.cpp.o" "gcc" "src/cache/CMakeFiles/dagon_cache.dir/cache_policy.cpp.o.d"
+  "/root/repo/src/cache/ref_oracle.cpp" "src/cache/CMakeFiles/dagon_cache.dir/ref_oracle.cpp.o" "gcc" "src/cache/CMakeFiles/dagon_cache.dir/ref_oracle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dagon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dagon_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dagon_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_cache.dir/block_manager.cpp.o"
+  "CMakeFiles/dagon_cache.dir/block_manager.cpp.o.d"
+  "CMakeFiles/dagon_cache.dir/block_manager_master.cpp.o"
+  "CMakeFiles/dagon_cache.dir/block_manager_master.cpp.o.d"
+  "CMakeFiles/dagon_cache.dir/cache_policy.cpp.o"
+  "CMakeFiles/dagon_cache.dir/cache_policy.cpp.o.d"
+  "CMakeFiles/dagon_cache.dir/ref_oracle.cpp.o"
+  "CMakeFiles/dagon_cache.dir/ref_oracle.cpp.o.d"
+  "libdagon_cache.a"
+  "libdagon_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cost_model.cpp" "src/cluster/CMakeFiles/dagon_cluster.dir/cost_model.cpp.o" "gcc" "src/cluster/CMakeFiles/dagon_cluster.dir/cost_model.cpp.o.d"
+  "/root/repo/src/cluster/hdfs.cpp" "src/cluster/CMakeFiles/dagon_cluster.dir/hdfs.cpp.o" "gcc" "src/cluster/CMakeFiles/dagon_cluster.dir/hdfs.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/cluster/CMakeFiles/dagon_cluster.dir/topology.cpp.o" "gcc" "src/cluster/CMakeFiles/dagon_cluster.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dagon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dagon_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

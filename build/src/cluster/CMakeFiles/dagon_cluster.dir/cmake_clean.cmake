@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_cluster.dir/cost_model.cpp.o"
+  "CMakeFiles/dagon_cluster.dir/cost_model.cpp.o.d"
+  "CMakeFiles/dagon_cluster.dir/hdfs.cpp.o"
+  "CMakeFiles/dagon_cluster.dir/hdfs.cpp.o.d"
+  "CMakeFiles/dagon_cluster.dir/topology.cpp.o"
+  "CMakeFiles/dagon_cluster.dir/topology.cpp.o.d"
+  "libdagon_cluster.a"
+  "libdagon_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_common.dir/csv.cpp.o"
+  "CMakeFiles/dagon_common.dir/csv.cpp.o.d"
+  "CMakeFiles/dagon_common.dir/log.cpp.o"
+  "CMakeFiles/dagon_common.dir/log.cpp.o.d"
+  "CMakeFiles/dagon_common.dir/rng.cpp.o"
+  "CMakeFiles/dagon_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dagon_common.dir/stats.cpp.o"
+  "CMakeFiles/dagon_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dagon_common.dir/table.cpp.o"
+  "CMakeFiles/dagon_common.dir/table.cpp.o.d"
+  "libdagon_common.a"
+  "libdagon_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

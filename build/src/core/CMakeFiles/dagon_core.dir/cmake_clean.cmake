@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_core.dir/app_profiler.cpp.o"
+  "CMakeFiles/dagon_core.dir/app_profiler.cpp.o.d"
+  "CMakeFiles/dagon_core.dir/assignment_trace.cpp.o"
+  "CMakeFiles/dagon_core.dir/assignment_trace.cpp.o.d"
+  "CMakeFiles/dagon_core.dir/cache_trace.cpp.o"
+  "CMakeFiles/dagon_core.dir/cache_trace.cpp.o.d"
+  "CMakeFiles/dagon_core.dir/presets.cpp.o"
+  "CMakeFiles/dagon_core.dir/presets.cpp.o.d"
+  "CMakeFiles/dagon_core.dir/runner.cpp.o"
+  "CMakeFiles/dagon_core.dir/runner.cpp.o.d"
+  "libdagon_core.a"
+  "libdagon_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

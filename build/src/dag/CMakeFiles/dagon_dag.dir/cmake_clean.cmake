@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_dag.dir/dag_analysis.cpp.o"
+  "CMakeFiles/dagon_dag.dir/dag_analysis.cpp.o.d"
+  "CMakeFiles/dagon_dag.dir/job_dag.cpp.o"
+  "CMakeFiles/dagon_dag.dir/job_dag.cpp.o.d"
+  "libdagon_dag.a"
+  "libdagon_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/delay_scheduling.cpp" "src/sched/CMakeFiles/dagon_sched.dir/delay_scheduling.cpp.o" "gcc" "src/sched/CMakeFiles/dagon_sched.dir/delay_scheduling.cpp.o.d"
+  "/root/repo/src/sched/estimator.cpp" "src/sched/CMakeFiles/dagon_sched.dir/estimator.cpp.o" "gcc" "src/sched/CMakeFiles/dagon_sched.dir/estimator.cpp.o.d"
+  "/root/repo/src/sched/job_state.cpp" "src/sched/CMakeFiles/dagon_sched.dir/job_state.cpp.o" "gcc" "src/sched/CMakeFiles/dagon_sched.dir/job_state.cpp.o.d"
+  "/root/repo/src/sched/speculation.cpp" "src/sched/CMakeFiles/dagon_sched.dir/speculation.cpp.o" "gcc" "src/sched/CMakeFiles/dagon_sched.dir/speculation.cpp.o.d"
+  "/root/repo/src/sched/stage_selector.cpp" "src/sched/CMakeFiles/dagon_sched.dir/stage_selector.cpp.o" "gcc" "src/sched/CMakeFiles/dagon_sched.dir/stage_selector.cpp.o.d"
+  "/root/repo/src/sched/task_locality.cpp" "src/sched/CMakeFiles/dagon_sched.dir/task_locality.cpp.o" "gcc" "src/sched/CMakeFiles/dagon_sched.dir/task_locality.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dagon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dagon_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dagon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dagon_cache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_sched.dir/delay_scheduling.cpp.o"
+  "CMakeFiles/dagon_sched.dir/delay_scheduling.cpp.o.d"
+  "CMakeFiles/dagon_sched.dir/estimator.cpp.o"
+  "CMakeFiles/dagon_sched.dir/estimator.cpp.o.d"
+  "CMakeFiles/dagon_sched.dir/job_state.cpp.o"
+  "CMakeFiles/dagon_sched.dir/job_state.cpp.o.d"
+  "CMakeFiles/dagon_sched.dir/speculation.cpp.o"
+  "CMakeFiles/dagon_sched.dir/speculation.cpp.o.d"
+  "CMakeFiles/dagon_sched.dir/stage_selector.cpp.o"
+  "CMakeFiles/dagon_sched.dir/stage_selector.cpp.o.d"
+  "CMakeFiles/dagon_sched.dir/task_locality.cpp.o"
+  "CMakeFiles/dagon_sched.dir/task_locality.cpp.o.d"
+  "libdagon_sched.a"
+  "libdagon_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

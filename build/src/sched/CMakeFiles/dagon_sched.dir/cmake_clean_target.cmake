@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdagon_sched.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/driver.cpp" "src/sim/CMakeFiles/dagon_sim.dir/driver.cpp.o" "gcc" "src/sim/CMakeFiles/dagon_sim.dir/driver.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/dagon_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/dagon_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/dagon_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/dagon_sim.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dagon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dagon_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dagon_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dagon_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/dagon_sched.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

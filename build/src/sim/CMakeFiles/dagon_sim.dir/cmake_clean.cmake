@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_sim.dir/driver.cpp.o"
+  "CMakeFiles/dagon_sim.dir/driver.cpp.o.d"
+  "CMakeFiles/dagon_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dagon_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dagon_sim.dir/metrics.cpp.o"
+  "CMakeFiles/dagon_sim.dir/metrics.cpp.o.d"
+  "libdagon_sim.a"
+  "libdagon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_trace.dir/chrome_trace.cpp.o"
+  "CMakeFiles/dagon_trace.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/dagon_trace.dir/timeline.cpp.o"
+  "CMakeFiles/dagon_trace.dir/timeline.cpp.o.d"
+  "libdagon_trace.a"
+  "libdagon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

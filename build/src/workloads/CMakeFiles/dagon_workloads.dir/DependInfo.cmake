@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/batch.cpp" "src/workloads/CMakeFiles/dagon_workloads.dir/batch.cpp.o" "gcc" "src/workloads/CMakeFiles/dagon_workloads.dir/batch.cpp.o.d"
+  "/root/repo/src/workloads/example_dag.cpp" "src/workloads/CMakeFiles/dagon_workloads.dir/example_dag.cpp.o" "gcc" "src/workloads/CMakeFiles/dagon_workloads.dir/example_dag.cpp.o.d"
+  "/root/repo/src/workloads/graph_workloads.cpp" "src/workloads/CMakeFiles/dagon_workloads.dir/graph_workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/dagon_workloads.dir/graph_workloads.cpp.o.d"
+  "/root/repo/src/workloads/ml_workloads.cpp" "src/workloads/CMakeFiles/dagon_workloads.dir/ml_workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/dagon_workloads.dir/ml_workloads.cpp.o.d"
+  "/root/repo/src/workloads/random_dag.cpp" "src/workloads/CMakeFiles/dagon_workloads.dir/random_dag.cpp.o" "gcc" "src/workloads/CMakeFiles/dagon_workloads.dir/random_dag.cpp.o.d"
+  "/root/repo/src/workloads/suite.cpp" "src/workloads/CMakeFiles/dagon_workloads.dir/suite.cpp.o" "gcc" "src/workloads/CMakeFiles/dagon_workloads.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dagon_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/dagon_dag.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

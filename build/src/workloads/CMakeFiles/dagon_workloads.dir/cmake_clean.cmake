@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagon_workloads.dir/batch.cpp.o"
+  "CMakeFiles/dagon_workloads.dir/batch.cpp.o.d"
+  "CMakeFiles/dagon_workloads.dir/example_dag.cpp.o"
+  "CMakeFiles/dagon_workloads.dir/example_dag.cpp.o.d"
+  "CMakeFiles/dagon_workloads.dir/graph_workloads.cpp.o"
+  "CMakeFiles/dagon_workloads.dir/graph_workloads.cpp.o.d"
+  "CMakeFiles/dagon_workloads.dir/ml_workloads.cpp.o"
+  "CMakeFiles/dagon_workloads.dir/ml_workloads.cpp.o.d"
+  "CMakeFiles/dagon_workloads.dir/random_dag.cpp.o"
+  "CMakeFiles/dagon_workloads.dir/random_dag.cpp.o.d"
+  "CMakeFiles/dagon_workloads.dir/suite.cpp.o"
+  "CMakeFiles/dagon_workloads.dir/suite.cpp.o.d"
+  "libdagon_workloads.a"
+  "libdagon_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagon_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay_ladder.dir/test_delay_ladder.cpp.o"
+  "CMakeFiles/test_delay_ladder.dir/test_delay_ladder.cpp.o.d"
+  "test_delay_ladder"
+  "test_delay_ladder.pdb"
+  "test_delay_ladder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay_ladder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dagonsim.dir/dagonsim.cpp.o"
+  "CMakeFiles/dagonsim.dir/dagonsim.cpp.o.d"
+  "dagonsim"
+  "dagonsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dagonsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

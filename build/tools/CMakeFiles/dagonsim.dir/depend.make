@@ -1,0 +1,2 @@
+# Empty dependencies file for dagonsim.
+# This may be replaced when dependencies are built.
