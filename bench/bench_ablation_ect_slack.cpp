@@ -9,7 +9,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Ablation — Algorithm 2 acceptance slack",
       "too strict leaves executors idle on insensitive stages; too loose "

@@ -9,7 +9,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Ablation — prefetching contribution (MRD / LRP under Dagon)",
       "eviction order sets the floor; prefetching converts freed space "

@@ -9,7 +9,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Ablation — profiler estimation noise",
       "pv_i ordering is coarse: Dagon tolerates substantial duration "

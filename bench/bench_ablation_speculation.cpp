@@ -12,7 +12,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Ablation — speculative execution on straggler-prone stages",
       "a long-tail task due to high parallelism or low locality gets a "

@@ -9,7 +9,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Extension — scheduling under capacity fluctuation (Eq. 3's "
       "varying RC)",

@@ -12,7 +12,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Extension — multi-job scheduling (FIFO vs Fair vs CP vs Graphene "
       "vs Dagon)",

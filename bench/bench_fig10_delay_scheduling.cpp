@@ -5,10 +5,12 @@
 // for locality-insensitive stages; +12% average CPU utilization.
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "exp/sweep.hpp"
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Fig. 10 — native vs sensitivity-aware delay scheduling",
       "launching low-locality tasks onto idle executors when the stage "
@@ -24,10 +26,10 @@ int main() {
                "util aware"});
   double sum_native = 0.0;
   double sum_aware = 0.0;
+
+  std::vector<SweepRun> grid;
   for (const WorkloadId id : sparkbench_suite()) {
     const Workload w = make_workload(id, bench::bench_scale());
-    RunMetrics m[2];
-    int i = 0;
     for (const DelayKind kind :
          {DelayKind::Native, DelayKind::SensitivityAware}) {
       // Same cluster + Dagon assignment; only the delay policy differs.
@@ -36,15 +38,27 @@ int main() {
       config.scheduler = SchedulerKind::Dagon;
       config.cache = CachePolicyKind::Lrp;
       config.delay = kind;
-      m[i] = run_workload(w, config).metrics;
-      const std::int64_t hiloc =
-          m[i].locality_count(Locality::Process) +
-          m[i].locality_count(Locality::Node);
+      grid.push_back({std::string(workload_name(id)) + "/" +
+                          delay_kind_name(kind),
+                      w, config});
+    }
+  }
+  const SweepReport sweep =
+      run_sweep(grid, SweepOptions{bench::options().jobs});
+
+  std::size_t next = 0;
+  for (const WorkloadId id : sparkbench_suite()) {
+    RunMetrics m[2];
+    for (int i = 0; i < 2; ++i) {
+      m[i] = sweep.runs[next++].metrics;
+      const DelayKind kind =
+          i == 0 ? DelayKind::Native : DelayKind::SensitivityAware;
+      const std::int64_t hl = m[i].locality_count(Locality::Process) +
+                              m[i].locality_count(Locality::Node);
       csv.add_row({workload_name(id), delay_kind_name(kind),
                    TextTable::num(to_seconds(m[i].jct), 2),
-                   std::to_string(hiloc),
+                   std::to_string(hl),
                    TextTable::num(m[i].cpu_utilization(), 3)});
-      ++i;
     }
     sum_native += to_seconds(m[0].jct);
     sum_aware += to_seconds(m[1].jct);
@@ -67,5 +81,9 @@ int main() {
                "insensitive stages, +12% utilization (suite averages)\n";
   std::cout << "CSV: " << bench::csv_path("fig10_delay_scheduling")
             << "\n";
+  std::cout << "sweep: " << sweep.runs.size() << " runs, "
+            << TextTable::num(sweep.wall_seconds, 2) << "s wall @ "
+            << sweep.jobs << " jobs ("
+            << TextTable::num(sweep.runs_per_sec(), 1) << " runs/sec)\n";
   return 0;
 }

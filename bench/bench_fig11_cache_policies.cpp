@@ -8,10 +8,12 @@
 // FIFO+MRD because MRD's distances assume FIFO order.
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "exp/sweep.hpp"
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Fig. 11 — caching policies under FIFO and Dagon scheduling "
       "(I/O-intensive set)",
@@ -29,15 +31,26 @@ int main() {
                  "Dagon+LRP", "LRP vs MRD (Dagon)"});
   double lrp_sum = 0.0;
   double mrd_sum = 0.0;
+
+  std::vector<SweepRun> grid;
   for (const WorkloadId id : cache_study_suite()) {
     const Workload w = make_workload(id, bench::bench_scale());
+    for (const SystemCombo& combo : systems) {
+      grid.push_back({std::string(workload_name(id)) + "/" + combo.label,
+                      w, apply_combo(bench::bench_testbed(), combo)});
+    }
+  }
+  const SweepReport sweep =
+      run_sweep(grid, SweepOptions{bench::options().jobs});
+
+  std::size_t next = 0;
+  for (const WorkloadId id : cache_study_suite()) {
     std::vector<std::string> hit_row{workload_name(id)};
     std::vector<std::string> jct_row{workload_name(id)};
     double dagon_mrd = 0.0;
     double dagon_lrp = 0.0;
     for (const SystemCombo& combo : systems) {
-      const RunMetrics m =
-          run_system(w, combo, bench::bench_testbed()).metrics;
+      const RunMetrics& m = sweep.runs[next++].metrics;
       hit_row.push_back(TextTable::percent(m.cache.hit_ratio()));
       jct_row.push_back(TextTable::num(to_seconds(m.jct), 1));
       if (combo.label == "Dagon+MRD") dagon_mrd = to_seconds(m.jct);
@@ -64,5 +77,9 @@ int main() {
                "mean: "
             << bench::delta(lrp_sum, mrd_sum) << "\n";
   std::cout << "CSV: " << bench::csv_path("fig11_cache_policies") << "\n";
+  std::cout << "sweep: " << sweep.runs.size() << " runs, "
+            << TextTable::num(sweep.wall_seconds, 2) << "s wall @ "
+            << sweep.jobs << " jobs ("
+            << TextTable::num(sweep.runs_per_sec(), 1) << " runs/sec)\n";
   return 0;
 }

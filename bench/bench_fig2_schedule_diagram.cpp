@@ -65,7 +65,8 @@ void draw(const JobDag& dag, const char* label, const AssignmentTrace& tr,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Fig. 2 — scheduling stages of the Fig. 1 DAG by two schedulers",
       "FIFO: 4 idle vCPUs in [0,4], fragmentation until 13 min. "

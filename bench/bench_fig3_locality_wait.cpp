@@ -8,10 +8,12 @@
 // scans by ~60% vs no delay.
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "exp/sweep.hpp"
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Fig. 3 — locality wait vs KMeans stage durations (case-study "
       "cluster, rep=1)",
@@ -32,12 +34,16 @@ int main() {
   CsvWriter csv(bench::csv_path("fig3_locality_wait"),
                 {"wait", "stage", "name", "duration_sec"});
 
-  std::vector<RunMetrics> runs;
+  std::vector<SweepRun> grid;
   for (const auto& [label, wait] : waits) {
     SimConfig config = case_study_cluster();
     config.waits = LocalityWaits::uniform(wait);
-    runs.push_back(run_workload(w, config).metrics);
+    grid.push_back({std::string("wait=") + label, w, config});
   }
+  const SweepReport sweep =
+      run_sweep(grid, SweepOptions{bench::options().jobs});
+  std::vector<RunMetrics> runs;
+  for (const RunResult& r : sweep.runs) runs.push_back(r.metrics);
 
   TextTable t({"stage", "wait=0s", "wait=1.5s", "wait=3s", "wait=5s"});
   for (const Stage& s : w.dag.stages()) {

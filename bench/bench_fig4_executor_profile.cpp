@@ -12,7 +12,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Fig. 4 — pending tasks and executor usage under 3s delay "
       "(case-study cluster)",

@@ -8,10 +8,12 @@
 // utilization by 26%/18%/13% (46% on ConnectedComponent).
 #include "bench_util.hpp"
 #include "common/csv.hpp"
+#include "exp/sweep.hpp"
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Fig. 8 — JCT, task execution time, CPU utilization across the "
       "suite",
@@ -35,16 +37,28 @@ int main() {
   std::vector<double> sum_util(systems.size(), 0.0);
   std::vector<double> sum_task(systems.size(), 0.0);
 
+  // The whole workload × system grid is independent runs: fan it over
+  // the sweep engine, then walk the results in submission order.
+  std::vector<SweepRun> grid;
   for (const WorkloadId id : sparkbench_suite()) {
     const Workload w = make_workload(id, bench::bench_scale());
+    for (const SystemCombo& combo : systems) {
+      grid.push_back({std::string(workload_name(id)) + "/" + combo.label,
+                      w, apply_combo(bench::bench_testbed(), combo)});
+    }
+  }
+  const SweepReport sweep =
+      run_sweep(grid, SweepOptions{bench::options().jobs});
+
+  std::size_t next = 0;
+  for (const WorkloadId id : sparkbench_suite()) {
     std::vector<std::string> jct_row{workload_name(id)};
     std::vector<std::string> task_row{workload_name(id)};
     std::vector<std::string> util_row{workload_name(id)};
     double stock_jct = 0.0;
     double dagon_jct = 0.0;
     for (std::size_t i = 0; i < systems.size(); ++i) {
-      const RunMetrics m =
-          run_system(w, systems[i], bench::bench_testbed()).metrics;
+      const RunMetrics& m = sweep.runs[next++].metrics;
       const double jct_sec = to_seconds(m.jct);
       if (i == 0) stock_jct = jct_sec;
       if (i + 1 == systems.size()) dagon_jct = jct_sec;
@@ -95,5 +109,9 @@ int main() {
   util.print(std::cout);
   std::cout << "paper: Dagon +26%/+18%/+13% vs stock / G+LRU / G+MRD\n";
   std::cout << "CSV: " << bench::csv_path("fig8_end_to_end") << "\n";
+  std::cout << "sweep: " << sweep.runs.size() << " runs, "
+            << TextTable::num(sweep.wall_seconds, 2) << "s wall @ "
+            << sweep.jobs << " jobs ("
+            << TextTable::num(sweep.runs_per_sec(), 1) << " runs/sec)\n";
   return 0;
 }

@@ -12,7 +12,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Fig. 9 — priority-based task assignment (caching disabled)",
       "Dagon > Graphene > FIFO on CPU-intensive and mixed workloads; "

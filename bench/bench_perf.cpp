@@ -1,0 +1,155 @@
+// Simulator-performance harness: seeds the perf trajectory with two
+// wall-clock numbers and writes them to BENCH_perf.json.
+//
+//  (1) Sweep scaling — a 16-run (4 workloads × 4 systems) sweep executed
+//      serially and again at --jobs 4 (and at --jobs N if N > 4 was
+//      given). Results are fingerprint-checked bit-identical; speedup is
+//      serial wall / parallel wall. On a single-core host the honest
+//      answer is ~1×: the engine adds no speedup where there are no
+//      cores, and the JSON records how many cores were present.
+//  (2) Scheduler hot path — the same runs with
+//      SimConfig::incremental_scheduling on vs off, reporting simulation
+//      events/sec both ways and the relative improvement from the
+//      memoized locality + dirty-flag pv pushes.
+#include <algorithm>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "exp/sweep.hpp"
+
+using namespace dagon;
+
+namespace {
+
+std::vector<SweepRun> make_grid(bool incremental) {
+  // 4 workloads × the Fig. 8 systems = 16 independent runs.
+  const std::vector<WorkloadId> ids = {
+      WorkloadId::KMeans, WorkloadId::ConnectedComponent,
+      WorkloadId::PageRank, WorkloadId::LogisticRegression};
+  std::vector<SweepRun> grid;
+  for (const WorkloadId id : ids) {
+    const Workload w = make_workload(id, bench::bench_scale());
+    for (const SystemCombo& combo : figure8_systems()) {
+      SimConfig config = apply_combo(bench::bench_testbed(), combo);
+      config.incremental_scheduling = incremental;
+      grid.push_back({std::string(workload_name(id)) + "/" + combo.label,
+                      w, config});
+    }
+  }
+  return grid;
+}
+
+std::uint64_t sweep_fingerprint(const SweepReport& r) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const RunResult& run : r.runs) {
+    h ^= metrics_fingerprint(run.metrics);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::int64_t total_events(const SweepReport& r) {
+  std::int64_t n = 0;
+  for (const RunResult& run : r.runs) n += run.metrics.sim_events;
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
+  bench::experiment_header(
+      "PERF — sweep-engine scaling and scheduler hot-path throughput",
+      "parallel sweeps are bit-identical to serial and divide wall time "
+      "by the worker count; the incremental schedule loop lifts "
+      "events/sec at identical results");
+
+  const auto grid = make_grid(/*incremental=*/true);
+
+  // --- (1) sweep scaling: serial vs parallel -----------------------------
+  const SweepReport serial = run_sweep(grid, SweepOptions{1});
+  const std::size_t jobs =
+      std::max<std::size_t>(4, resolve_jobs(bench::options().jobs));
+  const SweepReport parallel = run_sweep(grid, SweepOptions{jobs});
+
+  const bool identical =
+      sweep_fingerprint(serial) == sweep_fingerprint(parallel);
+  const double speedup = parallel.wall_seconds > 0.0
+                             ? serial.wall_seconds / parallel.wall_seconds
+                             : 0.0;
+
+  TextTable scaling({"mode", "wall [s]", "runs/sec", "speedup"});
+  scaling.add_row({"serial (1 job)", TextTable::num(serial.wall_seconds, 2),
+                   TextTable::num(serial.runs_per_sec(), 1), "1.00"});
+  scaling.add_row({"parallel (" + std::to_string(jobs) + " jobs)",
+                   TextTable::num(parallel.wall_seconds, 2),
+                   TextTable::num(parallel.runs_per_sec(), 1),
+                   TextTable::num(speedup, 2)});
+  std::cout << "(1) " << grid.size() << "-run sweep, "
+            << std::thread::hardware_concurrency() << " hardware threads\n";
+  scaling.print(std::cout);
+  std::cout << "parallel results bit-identical to serial: "
+            << (identical ? "YES" : "NO — DETERMINISM BUG") << "\n\n";
+
+  // --- (2) incremental schedule loop vs recompute baseline ---------------
+  // Serial on purpose: isolates single-run throughput from pool scaling.
+  const SweepReport baseline =
+      run_sweep(make_grid(/*incremental=*/false), SweepOptions{1});
+  const SweepReport incremental = run_sweep(grid, SweepOptions{1});
+
+  const double ev_base =
+      baseline.wall_seconds > 0.0
+          ? static_cast<double>(total_events(baseline)) /
+                baseline.wall_seconds
+          : 0.0;
+  const double ev_incr =
+      incremental.wall_seconds > 0.0
+          ? static_cast<double>(total_events(incremental)) /
+                incremental.wall_seconds
+          : 0.0;
+  const double improvement = ev_base > 0.0 ? ev_incr / ev_base - 1.0 : 0.0;
+  const bool same_results =
+      sweep_fingerprint(baseline) == sweep_fingerprint(incremental);
+
+  TextTable hot({"schedule loop", "wall [s]", "events/sec"});
+  hot.add_row({"recompute-per-event",
+               TextTable::num(baseline.wall_seconds, 2),
+               TextTable::num(ev_base, 0)});
+  hot.add_row({"incremental", TextTable::num(incremental.wall_seconds, 2),
+               TextTable::num(ev_incr, 0)});
+  std::cout << "(2) scheduler hot path, " << total_events(incremental)
+            << " events per sweep\n";
+  hot.print(std::cout);
+  std::cout << "events/sec improvement: "
+            << (improvement >= 0 ? "+" : "")
+            << TextTable::percent(improvement)
+            << " (results identical: " << (same_results ? "YES" : "NO")
+            << ")\n";
+
+  const std::string json_path = bench::out_path("BENCH_perf.json");
+  std::ofstream json(json_path);
+  json << "{\n"
+       << "  \"sweep_runs\": " << grid.size() << ",\n"
+       << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n"
+       << "  \"jobs\": " << jobs << ",\n"
+       << "  \"serial_wall_sec\": " << serial.wall_seconds << ",\n"
+       << "  \"parallel_wall_sec\": " << parallel.wall_seconds << ",\n"
+       << "  \"parallel_speedup\": " << speedup << ",\n"
+       << "  \"serial_runs_per_sec\": " << serial.runs_per_sec() << ",\n"
+       << "  \"parallel_runs_per_sec\": " << parallel.runs_per_sec()
+       << ",\n"
+       << "  \"parallel_bit_identical\": "
+       << (identical ? "true" : "false") << ",\n"
+       << "  \"events_per_sweep\": " << total_events(incremental) << ",\n"
+       << "  \"events_per_sec_baseline\": " << ev_base << ",\n"
+       << "  \"events_per_sec_incremental\": " << ev_incr << ",\n"
+       << "  \"events_per_sec_improvement\": " << improvement << ",\n"
+       << "  \"incremental_bit_identical\": "
+       << (same_results ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "\nJSON: " << json_path << "\n";
+
+  return identical && same_results ? 0 : 1;
+}

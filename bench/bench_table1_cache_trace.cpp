@@ -45,7 +45,8 @@ void print_trace(const JobDag& dag, const char* schedule_name,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Table I — accessed and cached data blocks (Fig. 1 DAG, 3-block "
       "cache)",

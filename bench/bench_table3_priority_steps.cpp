@@ -11,7 +11,8 @@
 
 using namespace dagon;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_args(argc, argv);
   bench::experiment_header(
       "Table III — DAG-aware task assignment steps (Fig. 1 DAG, 16 "
       "vCPUs)",

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cmath>
+#include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -12,6 +14,68 @@
 #include "core/dagon.hpp"
 
 namespace dagon::bench {
+
+/// Options every bench harness shares. Defaults come from the
+/// environment (DAGON_JOBS / DAGON_OUT_DIR) so `for b in bench/*; do $b;
+/// done` sweeps can be steered without editing each invocation;
+/// command-line flags override.
+struct BenchOptions {
+  /// Worker threads for sweep-engine harnesses (1 = serial, 0 = #cores).
+  std::size_t jobs = 1;
+  /// Directory for CSV/JSON outputs (empty = current directory).
+  std::string out_dir;
+};
+
+inline BenchOptions& options() {
+  static BenchOptions opts = [] {
+    BenchOptions o;
+    if (const char* jobs = std::getenv("DAGON_JOBS")) {
+      o.jobs = static_cast<std::size_t>(std::atoll(jobs));
+    }
+    if (const char* dir = std::getenv("DAGON_OUT_DIR")) o.out_dir = dir;
+    return o;
+  }();
+  return opts;
+}
+
+/// Parses the shared bench flags (--jobs N, --out-dir DIR); exits with
+/// a usage message on anything unrecognized.
+inline void parse_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--jobs" || arg == "-j") {
+      options().jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--out-dir") {
+      options().out_dir = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--jobs N] [--out-dir DIR]\n"
+                   "  --jobs N      parallel sweep workers (0 = #cores) "
+                   "[env DAGON_JOBS; default 1]\n"
+                   "  --out-dir DIR write CSVs/JSON under DIR instead of "
+                   "the cwd [env DAGON_OUT_DIR]\n";
+      std::exit(0);
+    } else {
+      std::cerr << "unknown argument " << arg << " (try --help)\n";
+      std::exit(2);
+    }
+  }
+}
+
+/// Joins `filename` onto the configured output directory (creating it
+/// on demand) — the fix for CSVs always landing next to the invoker.
+inline std::string out_path(const std::string& filename) {
+  if (options().out_dir.empty()) return filename;
+  std::filesystem::create_directories(options().out_dir);
+  return (std::filesystem::path(options().out_dir) / filename).string();
+}
 
 /// The benchmark cluster: the paper's 18-node testbed. Workloads run at
 /// `kBenchScale` so stages span multiple waves of the 288 vCPUs, as on
@@ -29,9 +93,9 @@ inline void experiment_header(const std::string& id,
   std::cout << "paper claim: " << claim << "\n\n";
 }
 
-/// CSV path helper (written into the current working directory).
+/// CSV path helper; honors --out-dir / DAGON_OUT_DIR.
 inline std::string csv_path(const std::string& name) {
-  return name + ".csv";
+  return out_path(name + ".csv");
 }
 
 inline std::string seconds(SimTime t) { return TextTable::num(to_seconds(t), 1); }

@@ -128,6 +128,7 @@ void BlockManagerMaster::apply_insert(
     auto& holders = memory_copies_[block];
     if (std::find(holders.begin(), holders.end(), exec) == holders.end()) {
       holders.push_back(exec);
+      ++placement_version_;
     }
     prefetchable_.erase(block);
     ++counters_.insertions;
@@ -145,6 +146,7 @@ void BlockManagerMaster::note_evicted(const BlockId& block, ExecutorId exec) {
   auto& holders = it->second;
   holders.erase(std::remove(holders.begin(), holders.end(), exec),
                 holders.end());
+  ++placement_version_;
   if (holders.empty()) {
     memory_copies_.erase(it);
     if (dag_->rdd(block.rdd).cacheable) prefetchable_.insert(block);
@@ -157,6 +159,8 @@ void BlockManagerMaster::on_block_produced(const BlockId& block,
   auto& disks = produced_disk_[block];
   if (std::find(disks.begin(), disks.end(), node) == disks.end()) {
     disks.push_back(node);
+    disk_union_.erase(block);
+    ++placement_version_;
   }
   if (!cache_enabled_) return;
   const Rdd& rdd = dag_->rdd(block.rdd);
@@ -268,8 +272,11 @@ const std::vector<NodeId>& BlockManagerMaster::produced_disk_nodes(
   return it == produced_disk_.end() ? no_nodes_ : it->second;
 }
 
-std::vector<NodeId> BlockManagerMaster::disk_holders(
+const std::vector<NodeId>& BlockManagerMaster::disk_holders(
     const BlockId& block) const {
+  if (const auto it = disk_union_.find(block); it != disk_union_.end()) {
+    return it->second;
+  }
   std::vector<NodeId> nodes = hdfs_->replicas(block);
   if (const auto it = produced_disk_.find(block);
       it != produced_disk_.end()) {
@@ -279,7 +286,7 @@ std::vector<NodeId> BlockManagerMaster::disk_holders(
       }
     }
   }
-  return nodes;
+  return disk_union_.emplace(block, std::move(nodes)).first->second;
 }
 
 BlockManager& BlockManagerMaster::manager(ExecutorId exec) {

@@ -78,13 +78,16 @@ class BlockManagerMaster {
   bool finish_prefetch(const BlockId& block, ExecutorId exec, SimTime now);
 
   /// Executors holding `block` in memory (for locality preferences).
+  /// Returns a view into internal state; invalidated by any mutation.
   [[nodiscard]] const std::vector<ExecutorId>& memory_holders(
       const BlockId& block) const;
 
   /// Nodes holding `block` on disk (HDFS replicas + produced copies,
-  /// deduplicated; allocates — prefer the two zero-copy views below in
-  /// hot paths).
-  [[nodiscard]] std::vector<NodeId> disk_holders(const BlockId& block) const;
+  /// deduplicated). Returns a view into a lazily maintained per-block
+  /// cache — no per-call allocation; invalidated when a new durable copy
+  /// of the block appears.
+  [[nodiscard]] const std::vector<NodeId>& disk_holders(
+      const BlockId& block) const;
 
   /// HDFS replica nodes of `block` (empty for non-input blocks).
   [[nodiscard]] const std::vector<NodeId>& hdfs_replicas(
@@ -112,6 +115,14 @@ class BlockManagerMaster {
   };
   [[nodiscard]] const Counters& counters() const { return counters_; }
 
+  /// Monotonic counter bumped on every change of block placement
+  /// (memory admit/evict, new durable disk copy). Consumers caching
+  /// placement-derived data (e.g. LocalityCache) compare it to decide
+  /// whether their caches are still valid.
+  [[nodiscard]] std::uint64_t placement_version() const {
+    return placement_version_;
+  }
+
  private:
   void apply_insert(const BlockManager::InsertResult& result,
                     const BlockId& block, ExecutorId exec);
@@ -136,7 +147,12 @@ class BlockManagerMaster {
   std::set<BlockId> prefetchable_;
   std::vector<ExecutorId> no_holders_;
   std::vector<NodeId> no_nodes_;
+  /// Lazily built union of hdfs_replicas + produced_disk_nodes per
+  /// block, so disk_holders() is a view. Entries are erased when a new
+  /// produced copy lands (disk copies are never removed otherwise).
+  mutable std::unordered_map<BlockId, std::vector<NodeId>> disk_union_;
   Counters counters_;
+  std::uint64_t placement_version_ = 1;
 };
 
 }  // namespace dagon

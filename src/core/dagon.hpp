@@ -10,6 +10,9 @@
 //   trace     — Chrome-tracing / timeline exports of run metrics
 //   workloads — Fig. 1 example + SparkBench-like generators
 //   core      — AppProfiler, presets, Runner facade, trace engines
+//   exp       — parallel sweep engine + thread pool (include
+//               "exp/sweep.hpp" and link dagon_exp; not part of this
+//               umbrella so core-only consumers need no thread deps)
 #pragma once
 
 #include "common/error.hpp"

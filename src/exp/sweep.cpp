@@ -1,0 +1,45 @@
+#include "exp/sweep.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "exp/thread_pool.hpp"
+
+namespace dagon {
+
+std::size_t resolve_jobs(std::size_t jobs) {
+  if (jobs != 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+SweepReport run_sweep(const std::vector<SweepRun>& runs,
+                      const SweepOptions& opts) {
+  SweepReport report;
+  report.jobs = resolve_jobs(opts.jobs);
+  report.runs.resize(runs.size());
+
+  const auto start = std::chrono::steady_clock::now();
+  if (report.jobs <= 1 || runs.size() <= 1) {
+    report.jobs = 1;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      report.runs[i] = run_workload(runs[i].workload, runs[i].config,
+                                    AppProfiler(runs[i].profiler));
+    }
+  } else {
+    ThreadPool pool(std::min(report.jobs, runs.size()));
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      pool.submit([&runs, &report, i] {
+        report.runs[i] = run_workload(runs[i].workload, runs[i].config,
+                                      AppProfiler(runs[i].profiler));
+      });
+    }
+    pool.wait();
+  }
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+}  // namespace dagon

@@ -1,0 +1,68 @@
+// Parallel sweep engine: fans independent (workload, SimConfig) runs
+// across a thread pool and collects results in deterministic submission
+// order.
+//
+// Determinism guarantee: each SimDriver owns every piece of mutable
+// state it touches (RNG seeded from SimConfig::seed, block managers,
+// job state, event queue), so a run's RunMetrics depend only on its
+// (workload, config, profiler) triple — never on which thread ran it or
+// in what order runs interleaved. run_sweep() therefore returns results
+// that are bit-identical to serial execution (metrics_fingerprint
+// equality is asserted in tests/test_exp.cpp), while the wall clock
+// divides by the number of workers.
+//
+//   std::vector<SweepRun> runs;
+//   for (auto seed : seeds) runs.push_back({label(seed), workload, cfg(seed)});
+//   const SweepReport r = run_sweep(runs, {.jobs = 8});
+//   // r.runs[i] corresponds to runs[i]; r.runs_per_sec() for throughput
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/runner.hpp"
+
+namespace dagon {
+
+/// One unit of sweep work: a workload run under a config, profiled with
+/// `profiler` (noiseless by default, as run_workload's default).
+struct SweepRun {
+  std::string label;
+  Workload workload;
+  SimConfig config;
+  ProfilerConfig profiler{};
+};
+
+struct SweepOptions {
+  /// Worker threads. 1 = run serially on the calling thread (no pool);
+  /// 0 = one worker per hardware thread.
+  std::size_t jobs = 1;
+};
+
+struct SweepReport {
+  /// results[i] is runs[i]'s outcome, regardless of completion order.
+  std::vector<RunResult> runs;
+  /// Worker count actually used.
+  std::size_t jobs = 1;
+  /// Wall-clock time of the whole sweep.
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double runs_per_sec() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(runs.size()) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Resolves a --jobs value: 0 -> hardware concurrency (at least 1).
+[[nodiscard]] std::size_t resolve_jobs(std::size_t jobs);
+
+/// Executes every run and returns the results in submission order.
+/// With jobs == 1 the sweep is genuinely serial (no pool, no threads).
+/// If a run throws, the exception propagates; with jobs > 1 the
+/// remaining runs still complete first (ThreadPool::wait semantics).
+[[nodiscard]] SweepReport run_sweep(const std::vector<SweepRun>& runs,
+                                    const SweepOptions& opts = {});
+
+}  // namespace dagon

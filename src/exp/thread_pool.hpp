@@ -1,0 +1,58 @@
+// A small fixed-size thread pool for fanning independent simulation
+// runs across cores (the sweep engine's execution substrate).
+//
+// Semantics chosen for experiment harnesses:
+//  * submit() enqueues a task; workers drain the queue FIFO;
+//  * a task that throws does NOT kill the pool — the first exception is
+//    captured and rethrown from wait(), after the queue has drained, so
+//    sibling runs still complete and produce results;
+//  * the destructor drains outstanding work and joins every worker, so
+//    a pool can never leak running threads past its scope.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dagon {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1).
+  explicit ThreadPool(std::size_t threads);
+
+  /// Drains remaining work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw,
+  /// rethrows the first captured exception (subsequent ones are
+  /// dropped); the pool remains usable afterwards.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace dagon

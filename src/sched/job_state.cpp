@@ -109,6 +109,7 @@ void JobState::mark_launched(StageId s, std::int32_t index, ExecutorId exec,
   rt.remaining_work -=
       static_cast<CpuWork>(est.task_cpus) * est.task_duration;
   if (rt.remaining_work < 0) rt.remaining_work = 0;
+  ++pv_epoch_;
 
   ExecutorRuntime& e = executor(exec);
   const Cpus demand = dag_->stage(s).task_cpus;
@@ -139,6 +140,7 @@ bool JobState::mark_finished(StageId s, ExecutorId exec, Locality locality,
     rt.finished = true;
     rt.finish_time = now;
     rt.remaining_work = 0;
+    ++pv_epoch_;
     return true;
   }
   return false;
@@ -169,6 +171,7 @@ void JobState::readd_pending(StageId s, std::int32_t index) {
   const StageEstimate& est = profile_->stage(s);
   rt.remaining_work +=
       static_cast<CpuWork>(est.task_cpus) * est.task_duration;
+  ++pv_epoch_;
 }
 
 std::optional<SimTime> JobState::observed_duration(StageId s,

@@ -147,6 +147,12 @@ class JobState {
   /// pv for every stage (pushed into the ReferenceOracle for LRP).
   [[nodiscard]] std::vector<CpuWork> priority_values() const;
 
+  /// Monotonic counter bumped whenever any stage's remaining_work — and
+  /// hence any pv_i — may have changed. Lets the driver skip re-pushing
+  /// identical priority values into the oracle on events that launched
+  /// or finished nothing.
+  [[nodiscard]] std::uint64_t pv_epoch() const { return pv_epoch_; }
+
   // -- state transitions (called by the simulation driver) ----------------
 
   /// Removes task `index` from stage `s`'s pending queue and charges the
@@ -181,6 +187,7 @@ class JobState {
   const JobProfile* profile_;
   std::vector<StageRuntime> stages_;
   std::vector<ExecutorRuntime> executors_;
+  std::uint64_t pv_epoch_ = 1;
 };
 
 }  // namespace dagon

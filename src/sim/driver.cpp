@@ -27,6 +27,7 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
       delay_(make_delay_policy(config.delay, config.waits, cost_,
                                config.ect_slack)) {
   validate();
+  delay_->set_locality_cache_enabled(config_.incremental_scheduling);
   produced_.resize(dag.num_stages());
   for (const Stage& s : dag.stages()) {
     produced_[static_cast<std::size_t>(s.id.value())].assign(
@@ -96,6 +97,7 @@ RunMetrics SimDriver::run() {
     if (now > config_.max_sim_time) {
       throw InvariantError("simulation exceeded max_sim_time — livelock?");
     }
+    ++metrics_.sim_events;
     switch (event->type) {
       case EventType::TaskFinish:
         handle_task_finish(event->task, now);
@@ -424,6 +426,14 @@ void SimDriver::try_speculation(SimTime now) {
 }
 
 void SimDriver::push_priority_update() {
+  // pv values derive solely from per-stage remaining_work; JobState
+  // bumps pv_epoch whenever any of those change, so pushes on events
+  // that launched or finished nothing are skipped entirely.
+  if (config_.incremental_scheduling &&
+      state_.pv_epoch() == pushed_pv_epoch_) {
+    return;
+  }
+  pushed_pv_epoch_ = state_.pv_epoch();
   oracle_.set_priority_values(state_.priority_values());
 }
 

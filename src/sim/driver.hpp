@@ -89,6 +89,8 @@ class SimDriver {
   std::unordered_set<BlockId> prefetch_inflight_;
 
   RunMetrics metrics_;
+  /// Last JobState::pv_epoch pushed into the oracle (0 = never).
+  std::uint64_t pushed_pv_epoch_ = 0;
   bool ran_ = false;
 };
 

@@ -1,5 +1,8 @@
 #include "sim/metrics.hpp"
 
+#include <cstring>
+#include <type_traits>
+
 #include "common/error.hpp"
 
 namespace dagon {
@@ -30,6 +33,76 @@ double RunMetrics::stage_duration_sec(StageId id) const {
     if (s.id == id) return to_seconds(s.duration());
   }
   throw InvariantError("stage not found in metrics");
+}
+
+namespace {
+
+class Fnv1a {
+ public:
+  void mix(const void* data, std::size_t len) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < len; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  template <typename T>
+  void mix_value(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    mix(&v, sizeof(v));
+  }
+  void mix_step(const StepFunction& f) {
+    for (const StepFunction::Point& p : f.points()) {
+      mix_value(p.time);
+      mix_value(p.value);
+    }
+  }
+  [[nodiscard]] std::uint64_t value() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+std::uint64_t metrics_fingerprint(const RunMetrics& m) {
+  Fnv1a h;
+  h.mix_value(m.jct);
+  h.mix_value(m.total_cores);
+  h.mix_value(m.sim_events);
+  for (const TaskRecord& t : m.tasks) {
+    h.mix_value(t.stage.value());
+    h.mix_value(t.index);
+    h.mix_value(t.exec.value());
+    h.mix_value(static_cast<int>(t.locality));
+    h.mix_value(t.launch);
+    h.mix_value(t.finish);
+    h.mix_value(t.fetch_time);
+    h.mix_value(t.compute_time);
+    h.mix_value(t.speculative);
+    h.mix_value(t.cancelled);
+  }
+  for (const StageRecord& s : m.stages) {
+    h.mix_value(s.id.value());
+    h.mix(s.name.data(), s.name.size());
+    h.mix_value(s.ready_time);
+    h.mix_value(s.first_launch);
+    h.mix_value(s.finish_time);
+  }
+  h.mix_value(m.cache.local_memory_hits);
+  h.mix_value(m.cache.other_memory_hits);
+  h.mix_value(m.cache.disk_reads);
+  h.mix_value(m.cache.total_reads);
+  h.mix_value(m.cache.insertions);
+  h.mix_value(m.cache.evictions);
+  h.mix_value(m.cache.proactive_evictions);
+  h.mix_value(m.cache.prefetches);
+  h.mix_value(m.cache.rejected_admissions);
+  for (const std::int64_t c : m.locality_histogram) h.mix_value(c);
+  h.mix_step(m.busy_cores);
+  h.mix_step(m.running_tasks);
+  h.mix_step(m.reserved_cores);
+  return h.value();
 }
 
 double RunMetrics::high_locality_fraction() const {

@@ -91,6 +91,11 @@ class RunMetrics {
 
   Cpus total_cores = 0;
 
+  /// Number of discrete events the driver processed — the denominator
+  /// of the simulator-throughput (events/sec) figure bench_perf reports.
+  /// Deterministic for a fixed config (unlike wall-clock time).
+  std::int64_t sim_events = 0;
+
   std::vector<TaskRecord> tasks;
   std::vector<StageRecord> stages;
   CacheStats cache;
@@ -122,5 +127,13 @@ class RunMetrics {
     return locality_histogram[static_cast<std::size_t>(l)];
   }
 };
+
+/// Order-sensitive FNV-1a digest over everything a run observably
+/// produced: jct, every task/stage record, cache stats, locality
+/// histogram, busy/running/reserved timelines and the event count. Two
+/// runs with equal fingerprints produced bit-identical metrics — this is
+/// how the sweep engine's determinism guarantee (parallel == serial) is
+/// checked in tests and bench_perf.
+[[nodiscard]] std::uint64_t metrics_fingerprint(const RunMetrics& m);
 
 }  // namespace dagon

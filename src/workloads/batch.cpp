@@ -11,16 +11,21 @@ BatchWorkload merge_workloads(const std::vector<Workload>& workloads) {
     throw ConfigError("merge_workloads needs at least one workload");
   }
   std::string name;
+  std::size_t name_len = 0;
+  for (const Workload& w : workloads) name_len += w.name.size() + 1;
+  name.reserve(name_len);
   for (const Workload& w : workloads) {
     if (!name.empty()) name += "+";
     name += w.name;
   }
   JobDagBuilder builder(name);
   BatchWorkload batch;
+  batch.jobs.reserve(workloads.size());
 
   for (const Workload& w : workloads) {
     BatchJob job;
     job.name = w.name;
+    job.stages.reserve(w.dag.stages().size());
     // Renumber this job's RDDs/stages into the merged builder. Input
     // RDDs are re-registered; stage outputs are created implicitly by
     // add_stage, so we track the old->new RDD id mapping as we go.
@@ -38,6 +43,7 @@ BatchWorkload merge_workloads(const std::vector<Workload>& workloads) {
     for (const Stage& s : w.dag.stages()) {
       JobDagBuilder::StageParams params;
       params.name = w.name + "/" + s.name;
+      params.inputs.reserve(s.inputs.size());
       for (const RddRef& ref : s.inputs) {
         const RddId mapped =
             rdd_map[static_cast<std::size_t>(ref.rdd.value())];

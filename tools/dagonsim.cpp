@@ -8,12 +8,15 @@
 //            --delay aware --scale 1.0 --trace run.json
 //   dagonsim --list
 //   dagonsim --help
+#include <algorithm>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "core/dagon.hpp"
+#include "exp/sweep.hpp"
 
 namespace {
 
@@ -32,8 +35,18 @@ struct Options {
   double noise = -1.0;  // <0: preset default
   std::string trace_path;
   std::string timeline_path;
+  std::string out_dir;
+  std::size_t repeat = 1;
+  std::size_t jobs = 1;
   bool verbose = false;
 };
+
+/// Joins `file` onto --out-dir (creating it), or returns it unchanged.
+std::string out_path(const Options& opt, const std::string& file) {
+  if (opt.out_dir.empty()) return file;
+  std::filesystem::create_directories(opt.out_dir);
+  return (std::filesystem::path(opt.out_dir) / file).string();
+}
 
 void print_help() {
   std::cout <<
@@ -50,6 +63,12 @@ void print_help() {
       "                     instead of the 18-node testbed\n"
       "  --trace FILE       write a chrome://tracing JSON of the run\n"
       "  --timeline FILE    write a per-stage timeline CSV\n"
+      "  --out-dir DIR      write trace/timeline files under DIR\n"
+      "  --repeat K         run K repeats with seeds seed..seed+K-1 and\n"
+      "                     report the JCT distribution [1]\n"
+      "  --jobs N           fan repeats over N worker threads\n"
+      "                     (0 = #cores); results are identical to\n"
+      "                     serial for the same seeds [1]\n"
       "  --verbose          per-stage table\n"
       "  --list             list workloads and exit\n";
 }
@@ -125,6 +144,13 @@ int main(int argc, char** argv) {
       opt.trace_path = next();
     } else if (arg == "--timeline") {
       opt.timeline_path = next();
+    } else if (arg == "--out-dir") {
+      opt.out_dir = next();
+    } else if (arg == "--repeat") {
+      opt.repeat = static_cast<std::size_t>(std::atoll(next().c_str()));
+      if (opt.repeat == 0) opt.repeat = 1;
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
@@ -162,8 +188,45 @@ int main(int argc, char** argv) {
                                  : "testbed (18 nodes)")
             << "\n\n";
 
-  const RunResult result = run_workload(workload, config);
-  const RunMetrics& m = result.metrics;
+  // One SweepRun per repeat, seeds seed..seed+K-1; --jobs fans them over
+  // the pool (bit-identical to serial for the same seeds).
+  std::vector<SweepRun> repeats;
+  for (std::size_t k = 0; k < opt.repeat; ++k) {
+    SimConfig c = config;
+    c.seed = opt.seed + k;
+    repeats.push_back({"seed=" + std::to_string(c.seed), workload, c});
+  }
+  const SweepReport sweep = run_sweep(repeats, SweepOptions{opt.jobs});
+  const RunMetrics& m = sweep.runs.front().metrics;
+
+  if (opt.repeat > 1) {
+    TextTable reps({"repeat", "seed", "jct", "CPU util", "hit ratio"});
+    double sum = 0.0;
+    double lo = to_seconds(sweep.runs.front().metrics.jct);
+    double hi = lo;
+    for (std::size_t k = 0; k < sweep.runs.size(); ++k) {
+      const RunMetrics& rm = sweep.runs[k].metrics;
+      const double jct = to_seconds(rm.jct);
+      sum += jct;
+      lo = std::min(lo, jct);
+      hi = std::max(hi, jct);
+      reps.add_row({std::to_string(k), std::to_string(opt.seed + k),
+                    format_duration(rm.jct),
+                    TextTable::percent(rm.cpu_utilization()),
+                    TextTable::percent(rm.cache.hit_ratio())});
+    }
+    reps.print(std::cout);
+    std::cout << "JCT mean " << TextTable::num(sum / static_cast<double>(
+                                                         sweep.runs.size()),
+                                               1)
+              << "s, min " << TextTable::num(lo, 1) << "s, max "
+              << TextTable::num(hi, 1) << "s over " << sweep.runs.size()
+              << " repeats\n"
+              << "sweep: " << TextTable::num(sweep.wall_seconds, 2)
+              << "s wall @ " << sweep.jobs << " jobs ("
+              << TextTable::num(sweep.runs_per_sec(), 1)
+              << " runs/sec)\n\nfirst repeat:\n";
+  }
 
   TextTable summary({"metric", "value"});
   summary.add_row({"job completion time", format_duration(m.jct)});
@@ -205,13 +268,15 @@ int main(int argc, char** argv) {
   }
 
   if (!opt.trace_path.empty()) {
-    write_chrome_trace(m, workload.dag, opt.trace_path);
-    std::cout << "\nchrome trace: " << opt.trace_path
+    const std::string path = out_path(opt, opt.trace_path);
+    write_chrome_trace(m, workload.dag, path);
+    std::cout << "\nchrome trace: " << path
               << " (open in chrome://tracing or ui.perfetto.dev)\n";
   }
   if (!opt.timeline_path.empty()) {
-    write_timeline_csv(m, workload.dag, opt.timeline_path);
-    std::cout << "timeline CSV: " << opt.timeline_path << "\n";
+    const std::string path = out_path(opt, opt.timeline_path);
+    write_timeline_csv(m, workload.dag, path);
+    std::cout << "timeline CSV: " << path << "\n";
   }
   return 0;
 }
