@@ -156,6 +156,11 @@ void BlockManagerMaster::note_evicted(const BlockId& block, ExecutorId exec) {
 void BlockManagerMaster::on_block_produced(const BlockId& block,
                                            ExecutorId exec, SimTime now) {
   const NodeId node = topo_->node_of(exec);
+  auto& producers = produced_by_[block];
+  if (std::find(producers.begin(), producers.end(), exec) ==
+      producers.end()) {
+    producers.push_back(exec);
+  }
   auto& disks = produced_disk_[block];
   if (std::find(disks.begin(), disks.end(), node) == disks.end()) {
     disks.push_back(node);
@@ -287,6 +292,85 @@ const std::vector<NodeId>& BlockManagerMaster::disk_holders(
     }
   }
   return disk_union_.emplace(block, std::move(nodes)).first->second;
+}
+
+BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
+    ExecutorId exec) {
+  DropResult result;
+
+  // 1. Destroy the executor's memory store (ascending block id for
+  // deterministic placement_version / prefetchable churn).
+  BlockManager& mgr = manager(exec);
+  std::vector<BlockId> mem_blocks;
+  mem_blocks.reserve(mgr.num_blocks());
+  for (const auto& [block, cached] : mgr.blocks()) mem_blocks.push_back(block);
+  std::sort(mem_blocks.begin(), mem_blocks.end());
+  for (const BlockId& block : mem_blocks) {
+    mgr.remove(block);
+    note_evicted(block, exec);
+    ++result.memory_dropped;
+  }
+
+  // 2. Destroy the durable disk copies this executor produced. The node
+  // keeps a copy only if another (surviving) producer on the same node
+  // also wrote it.
+  std::vector<BlockId> disk_blocks;
+  for (const auto& [block, producers] : produced_by_) {
+    if (std::find(producers.begin(), producers.end(), exec) !=
+        producers.end()) {
+      disk_blocks.push_back(block);
+    }
+  }
+  std::sort(disk_blocks.begin(), disk_blocks.end());
+  for (const BlockId& block : disk_blocks) {
+    auto& producers = produced_by_[block];
+    producers.erase(std::remove(producers.begin(), producers.end(), exec),
+                    producers.end());
+    std::vector<NodeId> nodes;
+    for (const ExecutorId p : producers) {
+      const NodeId n = topo_->node_of(p);
+      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+        nodes.push_back(n);
+      }
+    }
+    auto& disks = produced_disk_[block];
+    if (nodes.size() == disks.size()) continue;  // node copy survives
+    result.disk_dropped +=
+        static_cast<std::int64_t>(disks.size() - nodes.size());
+    disks = std::move(nodes);
+    if (disks.empty()) produced_disk_.erase(block);
+    disk_union_.erase(block);
+    ++placement_version_;
+
+    if (produced_disk_.contains(block) || !hdfs_->replicas(block).empty()) {
+      continue;  // a durable copy survives elsewhere
+    }
+    // Last disk copy gone. If some executor still caches the block,
+    // immediately re-materialize a disk copy at that holder's node so
+    // the eviction-is-always-safe invariant keeps holding.
+    const auto mem_it = memory_copies_.find(block);
+    if (mem_it != memory_copies_.end() && !mem_it->second.empty()) {
+      const ExecutorId holder =
+          *std::min_element(mem_it->second.begin(), mem_it->second.end());
+      produced_by_[block].push_back(holder);
+      produced_disk_[block].push_back(topo_->node_of(holder));
+      disk_union_.erase(block);
+      ++placement_version_;
+      ++result.rereplicated;
+    } else {
+      // No copy anywhere: only lineage recomputation can bring it back.
+      prefetchable_.erase(block);
+      result.lost.push_back(block);
+    }
+  }
+  return result;
+}
+
+bool BlockManagerMaster::drop_memory_block(const BlockId& block,
+                                           ExecutorId exec) {
+  if (!manager(exec).remove(block)) return false;
+  note_evicted(block, exec);
+  return true;
 }
 
 BlockManager& BlockManagerMaster::manager(ExecutorId exec) {

@@ -97,6 +97,30 @@ class BlockManagerMaster {
   [[nodiscard]] const std::vector<NodeId>& produced_disk_nodes(
       const BlockId& block) const;
 
+  // -- fault injection ----------------------------------------------------
+
+  /// Everything an executor crash destroyed, from the master's view.
+  struct DropResult {
+    std::int64_t memory_dropped = 0;
+    std::int64_t disk_dropped = 0;
+    /// Disk copies re-materialized from a surviving memory holder (keeps
+    /// the "every memory block is disk-backed" invariant that makes
+    /// normal eviction safe).
+    std::int64_t rereplicated = 0;
+    /// Blocks whose last copy died: lineage recovery must recompute them.
+    std::vector<BlockId> lost;
+  };
+
+  /// Executor `exec` crashed: drop its memory copies and every produced
+  /// durable disk copy it wrote. Blocks with a surviving memory copy get
+  /// a replacement disk copy at the holder's node; blocks with no copy
+  /// left anywhere are returned in `lost` (ascending id order).
+  DropResult drop_executor(ExecutorId exec);
+
+  /// Random block loss: destroys one memory copy (the disk copy, if any,
+  /// survives). Returns false if `exec` no longer holds the block.
+  bool drop_memory_block(const BlockId& block, ExecutorId exec);
+
   [[nodiscard]] BlockManager& manager(ExecutorId exec);
   [[nodiscard]] const BlockManager& manager(ExecutorId exec) const;
 
@@ -140,6 +164,11 @@ class BlockManagerMaster {
   std::unordered_map<BlockId, std::vector<ExecutorId>> memory_copies_;
   /// produced blocks' durable disk nodes (inputs are answered via hdfs_).
   std::unordered_map<BlockId, std::vector<NodeId>> produced_disk_;
+  /// Executors that wrote a durable copy of each produced block — the
+  /// attribution drop_executor() needs to rebuild produced_disk_ after a
+  /// crash. Empty map overhead when faults are off is one insert per
+  /// produced block.
+  std::unordered_map<BlockId, std::vector<ExecutorId>> produced_by_;
   /// Cacheable blocks that have a durable disk copy but no memory copy
   /// anywhere — the prefetch candidate set (ordered for determinism).
   /// Kept small: blocks enter on eviction / refused admission and leave

@@ -63,6 +63,22 @@ void ReferenceOracle::mark_stage_finished(StageId stage) {
   finished_[static_cast<std::size_t>(stage.value())] = true;
 }
 
+void ReferenceOracle::restore_task_refs(StageId stage, std::int32_t task) {
+  DAGON_CHECK(stage.valid() &&
+              static_cast<std::size_t>(stage.value()) < finished_.size());
+  finished_[static_cast<std::size_t>(stage.value())] = false;
+  for (const TaskInput& in : dag_->task_inputs(stage, task)) {
+    const auto it = refs_.find(in.block);
+    if (it == refs_.end()) continue;
+    for (Ref& r : it->second) {
+      if (r.stage == stage) {
+        ++r.remaining;
+        break;
+      }
+    }
+  }
+}
+
 void ReferenceOracle::set_priority_values(std::vector<CpuWork> pv) {
   DAGON_CHECK(pv.size() == finished_.size());
   pv_ = std::move(pv);

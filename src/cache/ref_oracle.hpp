@@ -42,6 +42,11 @@ class ReferenceOracle {
   /// Marks stage finished: all its remaining references disappear.
   void mark_stage_finished(StageId stage);
 
+  /// Lineage recovery: exact inverse of on_task_launched for a re-opened
+  /// task — its block references become live again (and the stage is
+  /// un-finished) so cache policies keep the recomputation's inputs warm.
+  void restore_task_refs(StageId stage, std::int32_t task);
+
   /// Current priority values pv_i (Eq. 6), indexed by stage id. The
   /// Dagon scheduler pushes these after every assignment; other
   /// schedulers push the statically derived values so LRP stays

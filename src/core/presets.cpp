@@ -38,6 +38,18 @@ SimConfig case_study_cluster() {
   return config;
 }
 
+SimConfig faulty_testbed() {
+  SimConfig config = paper_testbed();
+  config.faults.enabled = true;
+  // One random-target crash two minutes in (most workloads are mid-DAG
+  // by then, so cached intermediates are actually at risk).
+  config.faults.crashes.push_back(ExecutorCrashSpec{120 * kSec, -1});
+  config.faults.task_fail_prob = 0.01;
+  config.faults.block_loss_per_gb_hour = 0.5;
+  config.faults.block_loss_interval = 5 * kSec;
+  return config;
+}
+
 SystemCombo stock_spark() {
   return {"FIFO+LRU", SchedulerKind::Fifo, CachePolicyKind::Lru,
           DelayKind::Native};

@@ -18,6 +18,12 @@ namespace dagon {
 /// Figs. 3/4.
 [[nodiscard]] SimConfig case_study_cluster();
 
+/// The testbed with a representative failure model layered on: one
+/// mid-run executor crash, 1% transient task failures, and mild random
+/// cached-block loss. Base trace (scheduling, placement, noise draws) is
+/// bit-identical to paper_testbed() until the first fault fires.
+[[nodiscard]] SimConfig faulty_testbed();
+
 /// A named (scheduler, cache, delay) combination.
 struct SystemCombo {
   std::string label;

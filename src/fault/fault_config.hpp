@@ -1,0 +1,62 @@
+// Fault-model knobs: scheduled executor crashes, random cached-block
+// loss, and transient task failures.
+//
+// Everything defaults to off, and every stochastic draw flows through a
+// dedicated RNG stream (FaultPlan), so a config with faults disabled —
+// or enabled with all rates at zero — produces a trace bit-identical to
+// a build that predates the fault subsystem.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+
+namespace dagon {
+
+/// One scheduled executor crash.
+struct ExecutorCrashSpec {
+  SimTime at = 0;
+  /// Executor id, or -1 to have FaultPlan pick a random distinct
+  /// executor (deterministically, from the fault RNG stream).
+  std::int32_t executor = -1;
+};
+
+struct FaultConfig {
+  /// Master switch; with `false` no fault event is ever scheduled and no
+  /// fault RNG value is ever drawn.
+  bool enabled = false;
+
+  /// Executor crashes: the crashed executor's running attempts fail and
+  /// are retried elsewhere, its cores leave the cluster for good, and
+  /// its cached + produced-disk blocks are dropped. Blocks whose last
+  /// copy dies are recomputed from DAG lineage.
+  std::vector<ExecutorCrashSpec> crashes;
+
+  /// Probability that a launched task attempt fails partway through and
+  /// must be retried (Spark's transient task failures). In [0, 1).
+  double task_fail_prob = 0.0;
+
+  /// Poisson-style loss rate of cached memory blocks, per GiB of block
+  /// size per hour; sampled every `block_loss_interval`. Models bit-rot
+  /// / OOM-killed cache entries: the durable disk copy survives, so the
+  /// loss degrades locality and hit ratio but never loses data.
+  double block_loss_per_gb_hour = 0.0;
+  SimTime block_loss_interval = kSec;
+
+  /// Capped exponential backoff before retry k of a failed task index:
+  /// min(retry_backoff_base * 2^k, retry_backoff_cap).
+  SimTime retry_backoff_base = kSec;
+  SimTime retry_backoff_cap = 30 * kSec;
+
+  /// Retries per task index before the run is declared failed.
+  std::int32_t max_task_retries = 100;
+
+  /// True when enabling this config can change a run at all.
+  [[nodiscard]] bool active() const {
+    return enabled && (!crashes.empty() || task_fail_prob > 0.0 ||
+                       block_loss_per_gb_hour > 0.0);
+  }
+};
+
+}  // namespace dagon

@@ -1,0 +1,93 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
+                     std::uint64_t seed)
+    : config_(config), rng_(Rng(seed).fork(kFaultRngStream)) {
+  if (config.task_fail_prob < 0.0 || config.task_fail_prob >= 1.0) {
+    throw ConfigError("faults.task_fail_prob must be in [0, 1)");
+  }
+  if (config.block_loss_per_gb_hour < 0.0) {
+    throw ConfigError("faults.block_loss_per_gb_hour must be >= 0");
+  }
+  if (config.block_loss_interval <= 0) {
+    throw ConfigError("faults.block_loss_interval must be positive");
+  }
+  if (config.retry_backoff_base <= 0) {
+    throw ConfigError("faults.retry_backoff_base must be positive");
+  }
+  if (config.retry_backoff_cap < config.retry_backoff_base) {
+    throw ConfigError(
+        "faults.retry_backoff_cap must be >= retry_backoff_base");
+  }
+  if (config.max_task_retries <= 0) {
+    throw ConfigError("faults.max_task_retries must be positive");
+  }
+  for (const ExecutorCrashSpec& spec : config.crashes) {
+    if (spec.at < 0) {
+      throw ConfigError("faults.crashes: crash time must be >= 0");
+    }
+    if (spec.executor < -1 ||
+        (spec.executor >= 0 &&
+         static_cast<std::size_t>(spec.executor) >= num_executors)) {
+      throw ConfigError("faults.crashes: executor index out of range");
+    }
+  }
+  // Each crash kills a distinct executor, so this bound guarantees a
+  // survivor — without it every job would deadlock.
+  if (config.crashes.size() >= num_executors) {
+    throw ConfigError(
+        "faults.crashes would kill every executor; at least one must "
+        "survive");
+  }
+
+  // Resolve random targets now: each -1 spec gets a distinct executor
+  // not claimed by any other crash, drawn from the fault stream.
+  std::vector<bool> taken(num_executors, false);
+  for (const ExecutorCrashSpec& spec : config.crashes) {
+    if (spec.executor >= 0) {
+      taken[static_cast<std::size_t>(spec.executor)] = true;
+    }
+  }
+  crashes_.reserve(config.crashes.size());
+  for (const ExecutorCrashSpec& spec : config.crashes) {
+    std::size_t target;
+    if (spec.executor >= 0) {
+      target = static_cast<std::size_t>(spec.executor);
+    } else {
+      do {
+        target = static_cast<std::size_t>(
+            rng_.uniform_int(static_cast<std::int64_t>(num_executors)));
+      } while (taken[target]);
+      taken[target] = true;
+    }
+    crashes_.push_back(
+        Crash{spec.at, ExecutorId(static_cast<std::int32_t>(target))});
+  }
+  std::stable_sort(crashes_.begin(), crashes_.end(),
+                   [](const Crash& a, const Crash& b) { return a.at < b.at; });
+}
+
+bool FaultPlan::draw_block_loss(Bytes bytes, SimTime interval) {
+  if (bytes <= 0) return false;
+  const double gib = static_cast<double>(bytes) / static_cast<double>(kGiB);
+  const double rate_per_sec = config_.block_loss_per_gb_hour / 3600.0;
+  const double p = 1.0 - std::exp(-rate_per_sec * gib * to_seconds(interval));
+  return rng_.bernoulli(p);
+}
+
+SimTime FaultPlan::retry_backoff(std::int32_t attempt) const {
+  const double scaled =
+      static_cast<double>(config_.retry_backoff_base) *
+      std::pow(2.0, static_cast<double>(std::min(attempt, 30)));
+  return static_cast<SimTime>(
+      std::min(scaled, static_cast<double>(config_.retry_backoff_cap)));
+}
+
+}  // namespace dagon

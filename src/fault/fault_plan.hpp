@@ -1,0 +1,74 @@
+// FaultPlan: the deterministic, seed-driven realization of a
+// FaultConfig for one run.
+//
+// Built once at driver construction: validates the knobs (ConfigError on
+// nonsense), resolves "random executor" crash targets, and owns the
+// dedicated RNG stream every later fault draw (transient failures, block
+// loss) comes from. Forking the stream off the base seed — rather than
+// sharing the driver's generator — is what keeps the base trace
+// unperturbed when faults are enabled, so parallel sweeps mixing faulty
+// and fault-free configs stay deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/sim_time.hpp"
+#include "common/strong_id.hpp"
+#include "common/units.hpp"
+#include "fault/fault_config.hpp"
+
+namespace dagon {
+
+/// Rng::fork stream id reserved for fault draws.
+inline constexpr std::uint64_t kFaultRngStream = 0xfa;
+
+class FaultPlan {
+ public:
+  /// Validates `config` against a cluster of `num_executors` executors
+  /// (throws ConfigError) and resolves the crash schedule.
+  FaultPlan(const FaultConfig& config, std::size_t num_executors,
+            std::uint64_t seed);
+
+  struct Crash {
+    SimTime at = 0;
+    ExecutorId exec = ExecutorId::invalid();
+  };
+
+  /// Resolved crash schedule, sorted by time; random targets are pinned
+  /// to distinct executors at construction.
+  [[nodiscard]] const std::vector<Crash>& crashes() const {
+    return crashes_;
+  }
+
+  [[nodiscard]] bool samples_task_failures() const {
+    return config_.task_fail_prob > 0.0;
+  }
+  [[nodiscard]] bool samples_block_loss() const {
+    return config_.block_loss_per_gb_hour > 0.0;
+  }
+
+  /// One draw per launched attempt: does this attempt fail?
+  [[nodiscard]] bool draw_task_failure() {
+    return rng_.bernoulli(config_.task_fail_prob);
+  }
+
+  /// Fraction of the attempt's duration after which it fails, in (0, 1].
+  [[nodiscard]] double draw_failure_point() { return 1.0 - rng_.uniform(); }
+
+  /// One draw per (cached block, sampling tick): is this block lost?
+  [[nodiscard]] bool draw_block_loss(Bytes bytes, SimTime interval);
+
+  /// Backoff before retry number `attempt` (0-based) of a task index.
+  [[nodiscard]] SimTime retry_backoff(std::int32_t attempt) const;
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  std::vector<Crash> crashes_;
+};
+
+}  // namespace dagon

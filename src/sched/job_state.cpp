@@ -174,6 +174,49 @@ void JobState::readd_pending(StageId s, std::int32_t index) {
   ++pv_epoch_;
 }
 
+void JobState::reopen_task(StageId s, std::int32_t index) {
+  StageRuntime& rt = stage(s);
+  DAGON_CHECK(index >= 0 && index < rt.num_tasks);
+  DAGON_CHECK_MSG(rt.finished_tasks > 0,
+                  "reopen_task on stage " << s << " with no finished tasks");
+  DAGON_CHECK_MSG(std::find(rt.pending.begin(), rt.pending.end(), index) ==
+                      rt.pending.end(),
+                  "task " << index << " of stage " << s << " already pending");
+  --rt.finished_tasks;
+  if (rt.finished) {
+    rt.finished = false;
+    rt.finish_time = -1;
+  }
+  rt.pending.push_back(index);
+  const StageEstimate& est = profile_->stage(s);
+  rt.remaining_work +=
+      static_cast<CpuWork>(est.task_cpus) * est.task_duration;
+  ++pv_epoch_;
+}
+
+std::vector<StageId> JobState::demote_unready() {
+  std::vector<StageId> demoted;
+  // Walk in reverse topological-ish id order is unnecessary: a fixpoint
+  // loop handles chains (child demoted because parent was demoted).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (StageRuntime& rt : stages_) {
+      if (!rt.ready || rt.finished) continue;
+      const Stage& s = dag_->stage(rt.id);
+      const bool ok = std::all_of(
+          s.parents.begin(), s.parents.end(),
+          [&](StageId p) { return stage(p).finished; });
+      if (!ok) {
+        rt.ready = false;
+        demoted.push_back(rt.id);
+        changed = true;
+      }
+    }
+  }
+  return demoted;
+}
+
 std::optional<SimTime> JobState::observed_duration(StageId s,
                                                    Locality l) const {
   const StageRuntime& rt = stage(s);

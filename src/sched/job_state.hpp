@@ -18,7 +18,7 @@
 
 namespace dagon {
 
-enum class TaskStatus { Pending, Running, Finished };
+enum class TaskStatus { Pending, Running, Finished, Failed };
 
 struct TaskRuntime {
   StageId stage;
@@ -72,6 +72,9 @@ struct StageRuntime {
 
 struct ExecutorRuntime {
   ExecutorId id;
+  /// False once the fault plan crashed this executor; a dead executor
+  /// holds no cores and is skipped by every placement decision.
+  bool alive = true;
   Cpus free_cores = 0;
   /// Cores currently held by other tenants (multi-tenant reservation).
   Cpus reserved_cores = 0;
@@ -172,6 +175,18 @@ class JobState {
   /// Re-inserts a pending task (used when a speculative copy wins and
   /// the original is cancelled — or for tests).
   void readd_pending(StageId s, std::int32_t index);
+
+  /// Lineage recovery: re-opens a *finished* task of a (possibly
+  /// finished) stage so it can be recomputed after its output block was
+  /// lost. Un-finishes the stage, pushes `index` back onto pending and
+  /// restores its share of remaining_work.
+  void reopen_task(StageId s, std::int32_t index);
+
+  /// Re-checks readiness after lineage recovery re-opened stages: any
+  /// ready, unfinished stage with an unfinished parent loses its ready
+  /// flag (refresh_ready() re-promotes it once the parent completes
+  /// again). Returns the demoted stage ids.
+  std::vector<StageId> demote_unready();
 
   /// Observed mean duration of finished tasks of `s` at `l`; nullopt if
   /// none finished at that level yet.

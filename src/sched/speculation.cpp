@@ -7,8 +7,17 @@ namespace dagon {
 namespace {
 
 SimTime median_of(std::vector<SimTime> v) {
-  std::sort(v.begin(), v.end());
-  return v[v.size() / 2];
+  // True median: the upper-middle element for odd sizes, the midpoint of
+  // the two middle elements for even sizes. nth_element is O(n) vs the
+  // old full sort (which also took the upper element for even sizes,
+  // overestimating the median and under-speculating).
+  const std::size_t mid = v.size() / 2;
+  const auto mid_it = v.begin() + static_cast<std::ptrdiff_t>(mid);
+  std::nth_element(v.begin(), mid_it, v.end());
+  const SimTime upper = v[mid];
+  if (v.size() % 2 != 0) return upper;
+  const SimTime lower = *std::max_element(v.begin(), mid_it);
+  return lower + (upper - lower) / 2;
 }
 
 }  // namespace

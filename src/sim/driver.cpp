@@ -27,6 +27,10 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
       delay_(make_delay_policy(config.delay, config.waits, cost_,
                                config.ect_slack)) {
   validate();
+  if (config_.faults.enabled) {
+    fault_plan_.emplace(config_.faults, topo_.num_executors(), config_.seed);
+    faults_active_ = config_.faults.active();
+  }
   delay_->set_locality_cache_enabled(config_.incremental_scheduling);
   produced_.resize(dag.num_stages());
   for (const Stage& s : dag.stages()) {
@@ -56,6 +60,22 @@ void SimDriver::validate() const {
   }
   if (config_.tick_interval <= 0) {
     throw ConfigError("tick_interval must be positive");
+  }
+  if (config_.max_sim_time <= 0) {
+    throw ConfigError("max_sim_time must be positive");
+  }
+  if (config_.duration_noise < 0.0) {
+    throw ConfigError("duration_noise must be non-negative");
+  }
+  if (config_.ect_slack <= 0.0) {
+    throw ConfigError("ect_slack must be positive");
+  }
+  if (config_.speculation.quantile < 0.0 ||
+      config_.speculation.quantile > 1.0) {
+    throw ConfigError("speculation quantile must be in [0, 1]");
+  }
+  if (config_.speculation.multiplier <= 0.0) {
+    throw ConfigError("speculation multiplier must be positive");
   }
   SimTime prev = -1;
   for (const SimConfig::CapacityPhase& phase : config_.capacity_phases) {
@@ -87,6 +107,17 @@ RunMetrics SimDriver::run() {
                       ExecutorId::invalid(), BlockId{},
                       static_cast<std::int32_t>(i)});
   }
+  if (faults_active_) {
+    for (const FaultPlan::Crash& c : fault_plan_->crashes()) {
+      queue_.push(Event{c.at, EventType::ExecutorCrash, TaskId::invalid(),
+                        c.exec, BlockId{}});
+    }
+    if (fault_plan_->samples_block_loss()) {
+      queue_.push(Event{config_.faults.block_loss_interval,
+                        EventType::FaultTick, TaskId::invalid(),
+                        ExecutorId::invalid(), BlockId{}});
+    }
+  }
 
   SimTime now = 0;
   while (!state_.all_finished()) {
@@ -117,6 +148,18 @@ RunMetrics SimDriver::run() {
                             BlockId{}});
         }
         break;
+      case EventType::ExecutorCrash:
+        handle_executor_crash(event->exec, now);
+        break;
+      case EventType::TaskFail:
+        fail_attempt(event->task, now, /*from_crash=*/false);
+        break;
+      case EventType::TaskRetry:
+        handle_task_retry(StageId(event->aux), event->aux2, now);
+        break;
+      case EventType::FaultTick:
+        handle_fault_tick(now);
+        break;
     }
     schedule_loop(now);
     // Proactive sweeps and prefetch scans are O(cached blocks) /
@@ -127,6 +170,7 @@ RunMetrics SimDriver::run() {
       issue_prefetches(now);
     }
   }
+  verify_quiescent();
   finalize_metrics(now);
   return std::move(metrics_);
 }
@@ -235,8 +279,21 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
         .busy_cores.add(now, static_cast<double>(demand));
   }
 
-  queue_.push(Event{now + fetch + compute, EventType::TaskFinish, id,
-                    ExecutorId::invalid(), BlockId{}});
+  // Transient-failure draw (dedicated RNG stream: fault-free runs never
+  // reach this). A doomed attempt gets a TaskFail event at a random
+  // point of its lifetime instead of a TaskFinish.
+  SimTime terminal_at = now + fetch + compute;
+  EventType terminal = EventType::TaskFinish;
+  if (faults_active_ && fault_plan_->samples_task_failures() &&
+      fault_plan_->draw_task_failure()) {
+    const double point = fault_plan_->draw_failure_point();
+    terminal_at = now + std::max<SimTime>(
+        1, static_cast<SimTime>(point *
+                                static_cast<double>(fetch + compute)));
+    terminal = EventType::TaskFail;
+  }
+  queue_.push(Event{terminal_at, terminal, id, ExecutorId::invalid(),
+                    BlockId{}});
   DAGON_TRACE("t=" << format_duration(now) << " launch stage " << s
                    << " task " << a.task_index << " on exec " << a.exec
                    << " @" << locality_name(a.locality)
@@ -248,6 +305,7 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
               static_cast<std::size_t>(id.value()) < attempts_.size());
   AttemptRuntime& attempt = attempts_[static_cast<std::size_t>(id.value())];
   if (attempt.cancelled) return;  // lost a speculation race earlier
+  if (attempt.task.status == TaskStatus::Failed) return;  // crashed earlier
   DAGON_CHECK(attempt.task.status == TaskStatus::Running);
   attempt.task.status = TaskStatus::Finished;
   attempt.task.finish_time = now;
@@ -326,6 +384,7 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
       config_.capacity_phases[static_cast<std::size_t>(index)]
           .reserved_fraction;
   for (ExecutorRuntime& e : state_.executors()) {
+    if (!e.alive) continue;  // crashed executors have no cores to reserve
     const Cpus cores = topo_.executor(e.id).cores;
     const auto target = static_cast<Cpus>(
         fraction * static_cast<double>(cores) + 0.5);
@@ -354,7 +413,7 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
 
 void SimDriver::claim_reservation(ExecutorId exec, SimTime now) {
   ExecutorRuntime& e = state_.executor(exec);
-  if (e.pending_reservation <= 0) return;
+  if (!e.alive || e.pending_reservation <= 0) return;
   const Cpus take = std::min(e.free_cores, e.pending_reservation);
   if (take > 0) {
     e.free_cores -= take;
@@ -366,14 +425,17 @@ void SimDriver::claim_reservation(ExecutorId exec, SimTime now) {
 
 void SimDriver::handle_prefetch_done(const Event& e, SimTime now) {
   prefetch_inflight_.erase(e.block);
-  state_.executor(e.exec).prefetching.reset();
+  ExecutorRuntime& ex = state_.executor(e.exec);
+  ex.prefetching.reset();
+  // The executor died while the IO was in flight: the data never landed.
+  if (!ex.alive) return;
   master_.finish_prefetch(e.block, e.exec, now);
 }
 
 void SimDriver::issue_prefetches(SimTime now) {
   if (!config_.prefetch_enabled || !config_.cache_enabled) return;
   for (ExecutorRuntime& e : state_.executors()) {
-    if (e.prefetching.has_value()) continue;
+    if (!e.alive || e.prefetching.has_value()) continue;
     const auto choice = master_.prefetch_candidate(e.id);
     if (!choice || prefetch_inflight_.contains(choice->block)) continue;
     prefetch_inflight_.insert(choice->block);
@@ -407,6 +469,20 @@ void SimDriver::try_speculation(SimTime now) {
       }
     }
     if (has_copy) continue;
+    // Under faults the candidate's inputs may have just died with an
+    // executor; the recompute is pending and a copy launched now would
+    // read a missing block.
+    if (faults_active_) {
+      bool inputs_ok = true;
+      for (const TaskInput& in :
+           dag_->task_inputs(c.stage, c.task_index)) {
+        if (!master_.exists(in.block)) {
+          inputs_ok = false;
+          break;
+        }
+      }
+      if (!inputs_ok) continue;
+    }
     // Place the copy on the free executor with the best locality for the
     // task's input data (§IV: "close to the input data").
     const Cpus demand = dag_->stage(c.stage).task_cpus;
@@ -421,6 +497,253 @@ void SimDriver::try_speculation(SimTime now) {
     }
     if (best) {
       launch_task(c.stage, *best, now, /*speculative=*/true);
+    }
+  }
+}
+
+void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
+  ExecutorRuntime& e = state_.executor(exec);
+  if (!e.alive) return;
+  std::int64_t alive = 0;
+  for (const ExecutorRuntime& other : state_.executors()) {
+    if (other.alive) ++alive;
+  }
+  DAGON_CHECK_MSG(alive > 1, "fault plan would crash the last executor");
+  ++metrics_.faults.executor_crashes;
+  DAGON_DEBUG("t=" << format_duration(now) << " executor " << exec
+                   << " crashed");
+
+  // 1. Fail every attempt running on the victim (returns their cores to
+  // the still-alive bookkeeping, schedules retries).
+  std::vector<TaskId> victims;
+  for (std::size_t i = 0; i < attempts_.size(); ++i) {
+    const AttemptRuntime& a = attempts_[i];
+    if (!a.cancelled && a.task.status == TaskStatus::Running &&
+        a.task.executor == exec) {
+      victims.push_back(TaskId(static_cast<std::int64_t>(i)));
+    }
+  }
+  for (const TaskId id : victims) fail_attempt(id, now, /*from_crash=*/true);
+
+  // 2. Remove the executor from the cluster for good.
+  e.alive = false;
+  if (e.reserved_cores > 0) {
+    metrics_.reserved_cores.add(now,
+                                -static_cast<double>(e.reserved_cores));
+  }
+  e.reserved_cores = 0;
+  e.pending_reservation = 0;
+  e.free_cores = 0;
+
+  // 3. Drop its blocks. Blocks whose last copy died are recomputed from
+  // lineage — eagerly when a live reader still wants them, lazily (via
+  // ensure_inputs_available at retry time) otherwise.
+  const auto drop = master_.drop_executor(exec);
+  metrics_.faults.memory_blocks_lost += drop.memory_dropped;
+  metrics_.faults.disk_copies_lost += drop.disk_dropped;
+  metrics_.faults.rereplications += drop.rereplicated;
+  metrics_.faults.blocks_fully_lost +=
+      static_cast<std::int64_t>(drop.lost.size());
+  for (const BlockId& block : drop.lost) {
+    if (!oracle_.live_readers(block).empty()) recover_block(block, now);
+  }
+  // Stages whose parents were re-opened must wait for the recompute.
+  state_.demote_unready();
+  push_priority_update();
+}
+
+void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
+  DAGON_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value()) < attempts_.size());
+  AttemptRuntime& attempt = attempts_[static_cast<std::size_t>(id.value())];
+  if (attempt.cancelled || attempt.task.status != TaskStatus::Running) {
+    return;  // lost a speculation race / already failed via the crash
+  }
+  attempt.task.status = TaskStatus::Failed;
+  attempt.task.finish_time = now;
+
+  const StageId s = attempt.task.stage;
+  const std::int32_t index = attempt.task.index;
+  const Cpus demand = dag_->stage(s).task_cpus;
+  ExecutorRuntime& e = state_.executor(attempt.task.executor);
+  e.free_cores += demand;
+  --state_.stage(s).running;
+  claim_reservation(attempt.task.executor, now);
+
+  metrics_.busy_cores.add(now, -static_cast<double>(demand));
+  metrics_.running_tasks.add(now, -1.0);
+  if (config_.per_executor_profiles) {
+    metrics_
+        .executor_profiles[static_cast<std::size_t>(
+            attempt.task.executor.value())]
+        .busy_cores.add(now, -static_cast<double>(demand));
+  }
+  if (from_crash) {
+    ++metrics_.faults.crash_failures;
+  } else {
+    ++metrics_.faults.transient_failures;
+  }
+  DAGON_DEBUG("t=" << format_duration(now) << " stage " << s << " task "
+                   << index << " failed on exec " << attempt.task.executor
+                   << (from_crash ? " (executor crash)" : " (transient)"));
+
+  // Retry only when nothing else can still complete the index: no twin
+  // attempt running, output not already produced.
+  if (!produced_[static_cast<std::size_t>(s.value())]
+               [static_cast<std::size_t>(index)] &&
+      !has_live_attempt(s, index)) {
+    schedule_retry(s, index, now);
+  }
+}
+
+void SimDriver::schedule_retry(StageId s, std::int32_t index, SimTime now) {
+  std::int32_t& count = retry_counts_[attempt_key(s, index)];
+  if (count >= config_.faults.max_task_retries) {
+    throw InvariantError("task exceeded max_task_retries — job failed");
+  }
+  const SimTime backoff = fault_plan_->retry_backoff(count);
+  ++count;
+  ++metrics_.faults.retries;
+  queue_.push(Event{now + backoff, EventType::TaskRetry, TaskId::invalid(),
+                    ExecutorId::invalid(), BlockId{}, s.value(), index});
+}
+
+void SimDriver::handle_task_retry(StageId s, std::int32_t index,
+                                  SimTime now) {
+  // The index may have completed (a twin finished), be running again, or
+  // have been re-queued by lineage recovery while the backoff ran.
+  if (produced_[static_cast<std::size_t>(s.value())]
+              [static_cast<std::size_t>(index)]) {
+    return;
+  }
+  if (has_live_attempt(s, index)) return;
+  const StageRuntime& rt = state_.stage(s);
+  if (std::find(rt.pending.begin(), rt.pending.end(), index) !=
+      rt.pending.end()) {
+    return;
+  }
+  // A crash between failure and retry may have destroyed the inputs.
+  ensure_inputs_available(s, index, now);
+  // The failed launch consumed this task's block references; make them
+  // live again so cache policies keep the inputs warm for the re-run.
+  oracle_.restore_task_refs(s, index);
+  state_.readd_pending(s, index);
+  state_.demote_unready();
+  push_priority_update();
+  DAGON_DEBUG("t=" << format_duration(now) << " retrying stage " << s
+                   << " task " << index);
+}
+
+void SimDriver::handle_fault_tick(SimTime now) {
+  const SimTime interval = config_.faults.block_loss_interval;
+  for (const ExecutorRuntime& e : state_.executors()) {
+    if (!e.alive) continue;
+    const BlockManager& mgr = master_.manager(e.id);
+    std::vector<BlockId> blocks;
+    blocks.reserve(mgr.num_blocks());
+    for (const auto& [block, cached] : mgr.blocks()) {
+      blocks.push_back(block);
+    }
+    // Ascending block order: the set of RNG draws is a deterministic
+    // function of the (unordered) cache contents.
+    std::sort(blocks.begin(), blocks.end());
+    for (const BlockId& block : blocks) {
+      if (!fault_plan_->draw_block_loss(master_.block_bytes(block),
+                                        interval)) {
+        continue;
+      }
+      // Memory-only loss: the durable disk copy survives, so no
+      // recovery is needed — the next reader pays a disk read.
+      master_.drop_memory_block(block, e.id);
+      ++metrics_.faults.memory_blocks_lost;
+      DAGON_TRACE("t=" << format_duration(now) << " lost cached block "
+                       << block << " on exec " << e.id);
+    }
+  }
+  queue_.push(Event{now + interval, EventType::FaultTick, TaskId::invalid(),
+                    ExecutorId::invalid(), BlockId{}});
+}
+
+void SimDriver::ensure_inputs_available(StageId s, std::int32_t index,
+                                        SimTime now) {
+  for (const TaskInput& in : dag_->task_inputs(s, index)) {
+    if (!master_.exists(in.block)) recover_block(in.block, now);
+  }
+}
+
+void SimDriver::recover_block(const BlockId& block, SimTime now) {
+  if (master_.exists(block)) return;
+  const Rdd& rdd = dag_->rdd(block.rdd);
+  // Zero-byte outputs are never materialized (and never read): nothing
+  // to recover.
+  if (rdd.bytes_per_partition <= 0) return;
+  const auto producer = dag_->producer_of(block.rdd);
+  DAGON_CHECK_MSG(producer.has_value(),
+                  "lost block " << block << " has no producer stage");
+  const StageId s = *producer;
+  const std::int32_t p = block.partition;
+  auto& produced = produced_[static_cast<std::size_t>(s.value())];
+  if (!produced[static_cast<std::size_t>(p)]) {
+    return;  // recompute already pending (or running)
+  }
+  produced[static_cast<std::size_t>(p)] = false;
+  state_.reopen_task(s, p);
+  oracle_.restore_task_refs(s, p);
+  ++metrics_.faults.lineage_recomputes;
+  DAGON_DEBUG("t=" << format_duration(now) << " recomputing stage " << s
+                   << " task " << p << " for lost block " << block);
+  // The recompute reads the producer's own inputs — recurse if the same
+  // crash destroyed those too (bounded by DAG depth; raw inputs always
+  // survive on HDFS).
+  ensure_inputs_available(s, p, now);
+}
+
+bool SimDriver::has_live_attempt(StageId s, std::int32_t index) const {
+  const auto it = attempt_index_.find(attempt_key(s, index));
+  if (it == attempt_index_.end()) return false;
+  for (const TaskId id : it->second) {
+    const AttemptRuntime& a = attempts_[static_cast<std::size_t>(id.value())];
+    if (!a.cancelled && a.task.status == TaskStatus::Running) return true;
+  }
+  return false;
+}
+
+void SimDriver::verify_quiescent() const {
+  DAGON_CHECK_MSG(metrics_.busy_cores.value() == 0.0,
+                  "end of run: busy_cores did not return to zero");
+  DAGON_CHECK_MSG(metrics_.running_tasks.value() == 0.0,
+                  "end of run: running_tasks did not return to zero");
+  for (const ExecutorRuntime& e : state_.executors()) {
+    if (e.alive) {
+      DAGON_CHECK_MSG(
+          e.free_cores + e.reserved_cores == topo_.executor(e.id).cores,
+          "end of run: cores leaked on executor " << e.id);
+      DAGON_CHECK_MSG(e.pending_reservation == 0,
+                      "end of run: unclaimed reservation on executor "
+                          << e.id);
+    } else {
+      DAGON_CHECK_MSG(e.free_cores == 0 && e.reserved_cores == 0 &&
+                          e.pending_reservation == 0,
+                      "end of run: crashed executor " << e.id
+                                                      << " holds cores");
+    }
+  }
+  for (const StageRuntime& s : state_.stages()) {
+    DAGON_CHECK_MSG(s.finished && s.running == 0 && s.pending.empty() &&
+                        s.finished_tasks == s.num_tasks,
+                    "end of run: stage " << s.id << " not quiescent");
+  }
+  for (const AttemptRuntime& a : attempts_) {
+    DAGON_CHECK_MSG(a.cancelled || a.task.status != TaskStatus::Running,
+                    "end of run: attempt of stage "
+                        << a.task.stage << " task " << a.task.index
+                        << " still running");
+  }
+  if (config_.per_executor_profiles) {
+    for (const ExecutorProfile& p : metrics_.executor_profiles) {
+      DAGON_CHECK_MSG(p.busy_cores.value() == 0.0,
+                      "end of run: executor " << p.id
+                                              << " profile still busy");
     }
   }
 }
@@ -488,6 +811,7 @@ void SimDriver::finalize_metrics(SimTime end) {
     record.compute_time = a.task.compute_time;
     record.speculative = a.task.speculative;
     record.cancelled = a.cancelled;
+    record.failed = a.task.status == TaskStatus::Failed;
     metrics_.tasks.push_back(record);
   }
 

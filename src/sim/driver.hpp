@@ -9,11 +9,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cache/block_manager_master.hpp"
+#include "fault/fault_plan.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
 #include "sim/sim_config.hpp"
@@ -51,6 +53,29 @@ class SimDriver {
   void claim_reservation(ExecutorId exec, SimTime now);
   void issue_prefetches(SimTime now);
   void try_speculation(SimTime now);
+  // -- fault injection & lineage recovery --------------------------------
+  /// Kills `exec`: fails its running attempts, removes its cores, drops
+  /// its blocks and recovers whatever data died with it.
+  void handle_executor_crash(ExecutorId exec, SimTime now);
+  /// Terminal failure of one running attempt (transient fault or crash);
+  /// returns cores and schedules a retry when no live twin remains.
+  void fail_attempt(TaskId id, SimTime now, bool from_crash);
+  /// Queues a TaskRetry for (s, index) after capped exponential backoff.
+  void schedule_retry(StageId s, std::int32_t index, SimTime now);
+  /// Backoff expired: re-queue the task index unless it completed (or
+  /// re-queued) meanwhile; recovers missing inputs first.
+  void handle_task_retry(StageId s, std::int32_t index, SimTime now);
+  /// Periodic random cached-block loss sampling (FaultTick).
+  void handle_fault_tick(SimTime now);
+  /// Recomputes every input block of (s, index) that no longer exists.
+  void ensure_inputs_available(StageId s, std::int32_t index, SimTime now);
+  /// Lineage recovery of one lost block: re-opens the producing task
+  /// index (and, recursively, whatever *its* recompute needs).
+  void recover_block(const BlockId& block, SimTime now);
+  /// All task attempts of (s, index) currently in Running state?
+  [[nodiscard]] bool has_live_attempt(StageId s, std::int32_t index) const;
+  /// End-of-run invariant: every resource returned, no half-open state.
+  void verify_quiescent() const;
   /// Pushes current pv values / current stage into the oracle so the
   /// cache policies see live scheduler state (the paper's Fig. 7 arrow
   /// from TaskScheduler to BlockManagerMaster).
@@ -76,6 +101,10 @@ class SimDriver {
   std::unique_ptr<StageSelector> selector_;
   std::unique_ptr<DelayPolicy> delay_;
   EventQueue queue_;
+  /// Present iff config_.faults.enabled (construction validates knobs).
+  std::optional<FaultPlan> fault_plan_;
+  /// True when the plan can actually perturb the run.
+  bool faults_active_ = false;
 
   struct AttemptRuntime {
     TaskRuntime task;
@@ -87,6 +116,8 @@ class SimDriver {
   /// per stage: which task indices have produced their output block.
   std::vector<std::vector<bool>> produced_;
   std::unordered_set<BlockId> prefetch_inflight_;
+  /// (stage, index) -> failures so far, for retry backoff / the cap.
+  std::unordered_map<std::int64_t, std::int32_t> retry_counts_;
 
   RunMetrics metrics_;
   /// Last JobState::pv_epoch pushed into the oracle (0 = never).

@@ -21,18 +21,28 @@ enum class EventType {
   Tick,
   /// Multi-tenant reservation change (SimConfig::capacity_phases).
   CapacityChange,
+  /// Fault injection: an executor dies (FaultConfig::crashes).
+  ExecutorCrash,
+  /// Fault injection: a running attempt fails partway through.
+  TaskFail,
+  /// A failed task index's retry backoff expired; re-queue it.
+  TaskRetry,
+  /// Periodic cached-block loss sampling (FaultConfig block loss).
+  FaultTick,
 };
 
 struct Event {
   SimTime time = 0;
   EventType type = EventType::Tick;
-  /// TaskFinish: which attempt.
+  /// TaskFinish / TaskFail: which attempt.
   TaskId task = TaskId::invalid();
-  /// PrefetchDone: which executor and block.
+  /// PrefetchDone: which executor and block. ExecutorCrash: the victim.
   ExecutorId exec = ExecutorId::invalid();
   BlockId block;
   /// CapacityChange: index into SimConfig::capacity_phases.
+  /// TaskRetry: stage id (with `aux2` the task index).
   std::int32_t aux = -1;
+  std::int32_t aux2 = -1;
 };
 
 class EventQueue {

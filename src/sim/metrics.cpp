@@ -21,7 +21,7 @@ double RunMetrics::avg_task_duration_sec() const {
   double sum = 0.0;
   std::int64_t n = 0;
   for (const TaskRecord& t : tasks) {
-    if (t.cancelled) continue;
+    if (t.cancelled || t.failed) continue;
     sum += to_seconds(t.duration());
     ++n;
   }
@@ -102,6 +102,20 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
   h.mix_step(m.busy_cores);
   h.mix_step(m.running_tasks);
   h.mix_step(m.reserved_cores);
+  // Fault counters enter the digest only when a fault actually fired, so
+  // fault-free runs keep the exact digests of pre-fault-subsystem builds.
+  if (m.faults.any()) {
+    h.mix_value(m.faults.executor_crashes);
+    h.mix_value(m.faults.transient_failures);
+    h.mix_value(m.faults.crash_failures);
+    h.mix_value(m.faults.retries);
+    h.mix_value(m.faults.memory_blocks_lost);
+    h.mix_value(m.faults.disk_copies_lost);
+    h.mix_value(m.faults.rereplications);
+    h.mix_value(m.faults.blocks_fully_lost);
+    h.mix_value(m.faults.lineage_recomputes);
+    for (const TaskRecord& t : m.tasks) h.mix_value(t.failed);
+  }
   return h.value();
 }
 

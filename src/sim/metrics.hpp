@@ -26,6 +26,8 @@ struct TaskRecord {
   SimTime compute_time = 0;
   bool speculative = false;
   bool cancelled = false;
+  /// Attempt died (transient failure or executor crash) and was retried.
+  bool failed = false;
 
   [[nodiscard]] SimTime duration() const { return finish - launch; }
 };
@@ -64,6 +66,35 @@ struct CacheStats {
   }
 };
 
+/// Fault-injection and lineage-recovery counters; all zero unless
+/// SimConfig::faults is active.
+struct FaultStats {
+  /// Executors killed by the fault plan.
+  std::int64_t executor_crashes = 0;
+  /// Attempts that failed transiently (FaultConfig::task_fail_prob).
+  std::int64_t transient_failures = 0;
+  /// Attempts killed because their executor crashed.
+  std::int64_t crash_failures = 0;
+  /// Retry events scheduled (backoff expiries).
+  std::int64_t retries = 0;
+  /// Cached memory copies destroyed (executor crash or random loss).
+  std::int64_t memory_blocks_lost = 0;
+  /// Produced durable disk copies destroyed by executor crashes.
+  std::int64_t disk_copies_lost = 0;
+  /// Disk copies re-materialized from a surviving memory holder.
+  std::int64_t rereplications = 0;
+  /// Blocks whose last copy died and had to be recomputed from lineage.
+  std::int64_t blocks_fully_lost = 0;
+  /// Finished task indices re-opened to recompute a lost output block.
+  std::int64_t lineage_recomputes = 0;
+
+  [[nodiscard]] bool any() const {
+    return executor_crashes | transient_failures | crash_failures |
+           retries | memory_blocks_lost | disk_copies_lost |
+           rereplications | blocks_fully_lost | lineage_recomputes;
+  }
+};
+
 /// Sampled pending-task counts for one executor (Fig. 4 top panes).
 struct PendingSample {
   SimTime time = 0;
@@ -99,6 +130,7 @@ class RunMetrics {
   std::vector<TaskRecord> tasks;
   std::vector<StageRecord> stages;
   CacheStats cache;
+  FaultStats faults;
   /// Launch counts per locality level (Fig. 10b).
   std::array<std::int64_t, 5> locality_histogram{};
 

@@ -15,6 +15,7 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/hdfs.hpp"
 #include "cluster/topology.hpp"
+#include "fault/fault_config.hpp"
 #include "sched/delay_scheduling.hpp"
 #include "sched/speculation.hpp"
 #include "sched/stage_selector.hpp"
@@ -41,6 +42,12 @@ struct SimConfig {
   bool prefetch_enabled = true;
 
   SpeculationConfig speculation;
+
+  /// Failure model (executor crashes, block loss, transient task
+  /// failures) and lineage-recovery knobs. Default off: every fault draw
+  /// comes from a dedicated RNG stream, so fault-free runs are
+  /// bit-identical to builds without the subsystem.
+  FaultConfig faults;
 
   /// Scheduler wake-up period (Spark's revive interval).
   SimTime tick_interval = 100 * kMsec;

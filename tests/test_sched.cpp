@@ -484,6 +484,32 @@ TEST_F(SchedFixture, SpeculationFlagsStragglers) {
   EXPECT_EQ(candidates[0].threshold, 15 * kSec);
 }
 
+TEST_F(SchedFixture, SpeculationMedianAveragesEvenSampleCounts) {
+  SpeculationConfig config;
+  config.enabled = true;
+  config.quantile = 0.5;
+  config.multiplier = 2.0;
+
+  // Four unsorted samples: sorted {1s, 2s, 3s, 4s} → true median 2.5s →
+  // threshold 5s. The old upper-median shortcut said 3s → 6s.
+  StageRuntime& rt = state_.stage(StageId(0));
+  rt.finished_tasks = 3;
+  rt.finished_durations = {2 * kSec, 4 * kSec, kSec, 3 * kSec};
+
+  std::vector<TaskRuntime> running(1);
+  running[0].stage = StageId(0);
+  running[0].index = 2;
+  running[0].status = TaskStatus::Running;
+  running[0].launch_time = 0;
+
+  EXPECT_TRUE(
+      speculation_candidates(state_, running, config, 5 * kSec).empty());
+  const auto candidates =
+      speculation_candidates(state_, running, config, 5 * kSec + kMsec);
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].threshold, 5 * kSec);
+}
+
 TEST_F(SchedFixture, SpeculationRespectsQuantileGate) {
   SpeculationConfig config;
   config.enabled = true;

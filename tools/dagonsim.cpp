@@ -39,6 +39,7 @@ struct Options {
   std::size_t repeat = 1;
   std::size_t jobs = 1;
   bool verbose = false;
+  FaultConfig faults;  // any --fault-* flag flips faults.enabled
 };
 
 /// Joins `file` onto --out-dir (creating it), or returns it unchanged.
@@ -70,7 +71,12 @@ void print_help() {
       "                     (0 = #cores); results are identical to\n"
       "                     serial for the same seeds [1]\n"
       "  --verbose          per-stage table\n"
-      "  --list             list workloads and exit\n";
+      "  --list             list workloads and exit\n"
+      "\nfault injection (any flag enables the failure model):\n"
+      "  --fault-crash T[:E]  crash executor E (or a random one) at\n"
+      "                       T seconds; repeatable\n"
+      "  --fault-task-fail P  transient task-failure probability [0]\n"
+      "  --fault-block-loss R cached-block loss rate per GiB-hour [0]\n";
 }
 
 std::optional<WorkloadId> parse_workload(const std::string& name) {
@@ -151,6 +157,23 @@ int main(int argc, char** argv) {
       if (opt.repeat == 0) opt.repeat = 1;
     } else if (arg == "--jobs") {
       opt.jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+    } else if (arg == "--fault-crash") {
+      const std::string v = next();
+      ExecutorCrashSpec crash;
+      const auto colon = v.find(':');
+      crash.at = from_seconds(std::atof(v.substr(0, colon).c_str()));
+      if (colon != std::string::npos) {
+        crash.executor =
+            static_cast<std::int32_t>(std::atoi(v.substr(colon + 1).c_str()));
+      }
+      opt.faults.crashes.push_back(crash);
+      opt.faults.enabled = true;
+    } else if (arg == "--fault-task-fail") {
+      opt.faults.task_fail_prob = std::atof(next().c_str());
+      opt.faults.enabled = true;
+    } else if (arg == "--fault-block-loss") {
+      opt.faults.block_loss_per_gb_hour = std::atof(next().c_str());
+      opt.faults.enabled = true;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
@@ -175,6 +198,7 @@ int main(int argc, char** argv) {
   config.waits = LocalityWaits::uniform(from_seconds(opt.wait_seconds));
   config.seed = opt.seed;
   if (opt.noise >= 0.0) config.duration_noise = opt.noise;
+  config.faults = opt.faults;
 
   const DagShape shape = analyze_shape(workload.dag);
   std::cout << workload.name << " (" << category_name(workload.category)
@@ -196,7 +220,13 @@ int main(int argc, char** argv) {
     c.seed = opt.seed + k;
     repeats.push_back({"seed=" + std::to_string(c.seed), workload, c});
   }
-  const SweepReport sweep = run_sweep(repeats, SweepOptions{opt.jobs});
+  SweepReport sweep;
+  try {
+    sweep = run_sweep(repeats, SweepOptions{opt.jobs});
+  } catch (const ConfigError& e) {
+    std::cerr << "invalid config: " << e.what() << "\n";
+    return 2;
+  }
   const RunMetrics& m = sweep.runs.front().metrics;
 
   if (opt.repeat > 1) {
@@ -249,6 +279,32 @@ int main(int argc, char** argv) {
                                           workload.dag, m.total_cores)),
                                   2)});
   summary.print(std::cout);
+
+  if (opt.faults.enabled) {
+    std::cout << "\nfault injection (crashes=" << opt.faults.crashes.size()
+              << ", task-fail p=" << opt.faults.task_fail_prob
+              << ", block-loss " << opt.faults.block_loss_per_gb_hour
+              << "/GiB-h):\n";
+    TextTable faults({"fault metric", "value"});
+    faults.add_row({"executor crashes",
+                    std::to_string(m.faults.executor_crashes)});
+    faults.add_row({"attempts failed (crash)",
+                    std::to_string(m.faults.crash_failures)});
+    faults.add_row({"attempts failed (transient)",
+                    std::to_string(m.faults.transient_failures)});
+    faults.add_row({"retries", std::to_string(m.faults.retries)});
+    faults.add_row({"memory blocks lost",
+                    std::to_string(m.faults.memory_blocks_lost)});
+    faults.add_row({"disk copies lost",
+                    std::to_string(m.faults.disk_copies_lost)});
+    faults.add_row({"disk re-replications",
+                    std::to_string(m.faults.rereplications)});
+    faults.add_row({"blocks fully lost",
+                    std::to_string(m.faults.blocks_fully_lost)});
+    faults.add_row({"lineage recomputes",
+                    std::to_string(m.faults.lineage_recomputes)});
+    faults.print(std::cout);
+  }
 
   if (opt.verbose) {
     std::cout << "\nper-stage timeline:\n";
