@@ -68,6 +68,9 @@ int main(int argc, char** argv) {
                 {"workload", "system", "scenario", "seed", "jct_sec",
                  "hit_ratio", "transient_failures", "crash_failures",
                  "retries", "blocks_fully_lost", "lineage_recomputes"});
+  CsvWriter per_csv(bench::csv_path("ext_faults_executors"),
+                    {"workload", "system", "scenario", "seed", "exec",
+                     "crashes", "transient_failures"});
 
   TextTable t({"system", "scenario", "mean JCT [s]", "vs fault-free",
                "retries", "recomputes", "hit ratio"});
@@ -93,6 +96,14 @@ int main(int argc, char** argv) {
                      std::to_string(m.faults.retries),
                      std::to_string(m.faults.blocks_fully_lost),
                      std::to_string(m.faults.lineage_recomputes)});
+        for (std::size_t e = 0; e < m.faults.per_executor.size(); ++e) {
+          const auto& pe = m.faults.per_executor[e];
+          if (!pe.any()) continue;
+          per_csv.add_row({w.name, sys.label, sc.label,
+                           std::to_string(42 + k), std::to_string(e),
+                           std::to_string(pe.crashes),
+                           std::to_string(pe.transient_failures)});
+        }
       }
       const double mean_jct = jct_sum / static_cast<double>(kSeeds);
       if (&sc == &cases.front()) base_jct = mean_jct;
@@ -103,6 +114,7 @@ int main(int argc, char** argv) {
     }
   }
   t.print(std::cout);
-  std::cout << "\nCSV: " << bench::csv_path("ext_faults") << "\n";
+  std::cout << "\nCSV: " << bench::csv_path("ext_faults") << ", "
+            << bench::csv_path("ext_faults_executors") << "\n";
   return 0;
 }

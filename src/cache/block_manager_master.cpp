@@ -22,6 +22,7 @@ BlockManagerMaster::BlockManagerMaster(const Topology& topo,
   for (const Executor& e : topo.executors()) {
     managers_.emplace_back(e.id, e.cache_bytes, policy);
   }
+  suspect_.assign(topo.num_executors(), 0);
   // Cacheable input blocks start on HDFS disk with no memory copy: they
   // are the initial prefetch candidates (MRD pre-warms the first
   // stages' inputs this way).
@@ -371,6 +372,64 @@ bool BlockManagerMaster::drop_memory_block(const BlockId& block,
   if (!manager(exec).remove(block)) return false;
   note_evicted(block, exec);
   return true;
+}
+
+void BlockManagerMaster::set_executor_suspect(ExecutorId exec, bool suspect) {
+  auto& flag = suspect_[static_cast<std::size_t>(exec.value())];
+  const char value = suspect ? 1 : 0;
+  if (flag == value) return;
+  flag = value;
+  // No block moved, but locality answers derived from this executor's
+  // memory copies just changed — invalidate the memos.
+  ++placement_version_;
+}
+
+bool BlockManagerMaster::any_healthy_memory_holder(
+    const BlockId& block) const {
+  for (const ExecutorId holder : memory_holders(block)) {
+    if (!executor_suspect(holder)) return true;
+  }
+  return false;
+}
+
+BlockManagerMaster::RereplicationResult
+BlockManagerMaster::rereplicate_suspect_blocks(ExecutorId target) {
+  RereplicationResult result;
+  DAGON_CHECK(!executor_suspect(target));
+
+  // At-risk = every produced-disk attribution on a suspect executor, no
+  // HDFS replica, and no healthy memory holder. Sorted scan for
+  // deterministic placement_version churn.
+  std::vector<BlockId> at_risk;
+  for (const auto& [block, producers] : produced_by_) {
+    if (producers.empty()) continue;
+    bool all_suspect = true;
+    for (const ExecutorId p : producers) {
+      if (!executor_suspect(p)) {
+        all_suspect = false;
+        break;
+      }
+    }
+    if (!all_suspect) continue;
+    if (!hdfs_->replicas(block).empty()) continue;
+    if (any_healthy_memory_holder(block)) continue;
+    at_risk.push_back(block);
+  }
+  std::sort(at_risk.begin(), at_risk.end());
+
+  const NodeId target_node = topo_->node_of(target);
+  for (const BlockId& block : at_risk) {
+    produced_by_[block].push_back(target);
+    auto& disks = produced_disk_[block];
+    if (std::find(disks.begin(), disks.end(), target_node) == disks.end()) {
+      disks.push_back(target_node);
+    }
+    disk_union_.erase(block);
+    ++placement_version_;
+    ++result.blocks;
+    result.bytes += std::max<Bytes>(block_bytes(block), 0);
+  }
+  return result;
 }
 
 BlockManager& BlockManagerMaster::manager(ExecutorId exec) {

@@ -121,6 +121,34 @@ class BlockManagerMaster {
   /// survives). Returns false if `exec` no longer holds the block.
   bool drop_memory_block(const BlockId& block, ExecutorId exec);
 
+  // -- gray failures ------------------------------------------------------
+
+  /// Marks `exec` suspect (or clears the mark). Suspect executors still
+  /// serve reads — a gray-failed executor is reachable, just untrusted —
+  /// but their memory copies grant no locality preference, so the
+  /// scheduler stops steering tasks toward them. Bumps
+  /// placement_version() on a change so LocalityCache resyncs.
+  void set_executor_suspect(ExecutorId exec, bool suspect);
+  [[nodiscard]] bool executor_suspect(ExecutorId exec) const {
+    return suspect_[static_cast<std::size_t>(exec.value())] != 0;
+  }
+
+  /// Any memory holder of `block` that is not suspect? (The locality
+  /// layer's definition of a usable Process preference.)
+  [[nodiscard]] bool any_healthy_memory_holder(const BlockId& block) const;
+
+  /// Proactive re-replication: every block whose copies (memory holders,
+  /// produced-disk attributions) all live on *currently suspect*
+  /// executors and that has no HDFS replica would be fully lost if those
+  /// suspects die. Write each such block a durable disk copy attributed
+  /// to `target` (same re-materialization as drop_executor), so a later
+  /// death degrades to a plain crash with zero lineage recomputes.
+  struct RereplicationResult {
+    std::int64_t blocks = 0;
+    std::int64_t bytes = 0;
+  };
+  RereplicationResult rereplicate_suspect_blocks(ExecutorId target);
+
   [[nodiscard]] BlockManager& manager(ExecutorId exec);
   [[nodiscard]] const BlockManager& manager(ExecutorId exec) const;
 
@@ -174,6 +202,8 @@ class BlockManagerMaster {
   /// Kept small: blocks enter on eviction / refused admission and leave
   /// when any executor caches them.
   std::set<BlockId> prefetchable_;
+  /// 1 = suspected by the failure detector (indexed by executor id).
+  std::vector<char> suspect_;
   std::vector<ExecutorId> no_holders_;
   std::vector<NodeId> no_nodes_;
   /// Lazily built union of hdfs_replicas + produced_disk_nodes per

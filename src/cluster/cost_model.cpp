@@ -23,6 +23,14 @@ SimTime CostModel::fetch_time(Bytes bytes, BlockSource source) const {
 }
 
 SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
+                              double serde_sec_per_byte,
+                              double slowdown) const {
+  const SimTime base = fetch_time(bytes, source, serde_sec_per_byte);
+  if (slowdown <= 1.0) return base;
+  return static_cast<SimTime>(static_cast<double>(base) * slowdown);
+}
+
+SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
                               double serde_sec_per_byte) const {
   if (bytes <= 0) return 0;
   const SimTime serde = static_cast<SimTime>(

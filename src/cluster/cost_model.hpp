@@ -80,6 +80,13 @@ class CostModel {
   [[nodiscard]] SimTime fetch_time(Bytes bytes, BlockSource source,
                                    double serde_sec_per_byte) const;
 
+  /// Same, with the whole transfer scaled by `slowdown` (>= 1.0) — a
+  /// degraded executor's NIC, disk and ser/de CPU are all impaired, so
+  /// the factor applies uniformly (gray-failure degrade faults).
+  [[nodiscard]] SimTime fetch_time(Bytes bytes, BlockSource source,
+                                   double serde_sec_per_byte,
+                                   double slowdown) const;
+
   [[nodiscard]] const CostModelSpec& spec() const { return spec_; }
 
  private:

@@ -7,6 +7,7 @@ Topology::Topology(const TopologySpec& spec) {
       spec.executors_per_node <= 0 || spec.cores_per_executor <= 0) {
     throw ConfigError("TopologySpec fields must all be positive");
   }
+  num_racks_ = static_cast<std::size_t>(spec.racks);
   for (std::int32_t r = 0; r < spec.racks; ++r) {
     for (std::int32_t n = 0; n < spec.nodes_per_rack; ++n) {
       Node node;

@@ -63,6 +63,7 @@ class Topology {
   [[nodiscard]] RackId rack_of(NodeId n) const { return node(n).rack; }
 
   [[nodiscard]] std::size_t num_nodes() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t num_racks() const { return num_racks_; }
   [[nodiscard]] std::size_t num_executors() const {
     return executors_.size();
   }
@@ -76,6 +77,7 @@ class Topology {
  private:
   std::vector<Node> nodes_;
   std::vector<Executor> executors_;
+  std::size_t num_racks_ = 0;
   Cpus total_cores_ = 0;
 };
 

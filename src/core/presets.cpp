@@ -50,6 +50,26 @@ SimConfig faulty_testbed() {
   return config;
 }
 
+SimConfig graybox_testbed() {
+  SimConfig config = paper_testbed();
+  config.faults.enabled = true;
+  config.faults.heartbeats = true;
+  // A random rack loses driver connectivity for 15 s one minute in:
+  // long enough to push every silent executor past suspect_phi, short
+  // enough that they all resume before dead_phi (false positives only).
+  config.faults.partitions.push_back(
+      PartitionSpec{60 * kSec, 75 * kSec, -1});
+  // One random executor runs 3x slow for most of the run — the
+  // straggler that speculation and the detector should both flag.
+  config.faults.degrades.push_back(
+      DegradeSpec{30 * kSec, 300 * kSec, -1, 3.0});
+  config.faults.task_fail_prob = 0.01;
+  config.faults.blacklist_threshold = 3;
+  config.faults.blacklist_probation = 60 * kSec;
+  config.speculation.enabled = true;
+  return config;
+}
+
 SystemCombo stock_spark() {
   return {"FIFO+LRU", SchedulerKind::Fifo, CachePolicyKind::Lru,
           DelayKind::Native};

@@ -24,6 +24,13 @@ namespace dagon {
 /// bit-identical to paper_testbed() until the first fault fires.
 [[nodiscard]] SimConfig faulty_testbed();
 
+/// The testbed under gray failures: heartbeat monitoring on, one rack
+/// partitioned for 15 s mid-run, one executor degraded 3x for several
+/// minutes, 1% transient task failures with blacklisting, and
+/// speculation enabled so degraded attempts can be raced. Base trace is
+/// bit-identical to paper_testbed() until the first gray event fires.
+[[nodiscard]] SimConfig graybox_testbed();
+
 /// A named (scheduler, cache, delay) combination.
 struct SystemCombo {
   std::string label;

@@ -1,0 +1,93 @@
+#include "fault/failure_detector.hpp"
+
+namespace dagon {
+
+namespace {
+// log10(e): converts the exponential-tail exponent to base-10 phi.
+constexpr double kLog10E = 0.4342944819032518;
+}  // namespace
+
+FailureDetector::FailureDetector(SimTime expected_interval,
+                                 double suspect_phi, double dead_phi)
+    : expected_interval_(expected_interval),
+      suspect_phi_(suspect_phi),
+      dead_phi_(dead_phi) {}
+
+FailureDetector::Entry& FailureDetector::entry(ExecutorId exec) {
+  const auto index = static_cast<std::size_t>(exec.value());
+  if (index >= entries_.size()) entries_.resize(index + 1);
+  return entries_[index];
+}
+
+const FailureDetector::Entry* FailureDetector::find(ExecutorId exec) const {
+  const auto index = static_cast<std::size_t>(exec.value());
+  if (index >= entries_.size() || !entries_[index].tracked) return nullptr;
+  return &entries_[index];
+}
+
+void FailureDetector::track(ExecutorId exec, SimTime now) {
+  Entry& e = entry(exec);
+  e = Entry{};
+  e.tracked = true;
+  e.last_heartbeat = now;
+  // Seed the window so phi is calibrated before the first real
+  // inter-arrival lands.
+  e.intervals[0] = expected_interval_;
+  e.count = 1;
+  e.next = 1;
+  e.interval_sum = expected_interval_;
+}
+
+void FailureDetector::stop(ExecutorId exec) {
+  const auto index = static_cast<std::size_t>(exec.value());
+  if (index < entries_.size()) entries_[index].tracked = false;
+}
+
+bool FailureDetector::tracking(ExecutorId exec) const {
+  return find(exec) != nullptr;
+}
+
+void FailureDetector::record_heartbeat(ExecutorId exec, SimTime now) {
+  const auto index = static_cast<std::size_t>(exec.value());
+  if (index >= entries_.size() || !entries_[index].tracked) return;
+  Entry& e = entries_[index];
+  const SimTime interval = now - e.last_heartbeat;
+  if (interval <= 0) return;  // duplicate delivery at one timestamp
+  e.last_heartbeat = now;
+  if (e.count < kWindow) {
+    ++e.count;
+  } else {
+    e.interval_sum -= e.intervals[e.next];
+  }
+  e.intervals[e.next] = interval;
+  e.interval_sum += interval;
+  e.next = (e.next + 1) % kWindow;
+}
+
+double FailureDetector::phi(ExecutorId exec, SimTime now) const {
+  const Entry* e = find(exec);
+  if (e == nullptr) return 0.0;
+  const SimTime elapsed = now - e->last_heartbeat;
+  if (elapsed <= 0) return 0.0;
+  const double mean = static_cast<double>(e->interval_sum) /
+                      static_cast<double>(e->count);
+  if (mean <= 0.0) return 0.0;
+  return kLog10E * static_cast<double>(elapsed) / mean;
+}
+
+FailureDetector::State FailureDetector::classify(ExecutorId exec,
+                                                 SimTime now) const {
+  if (find(exec) == nullptr) return State::Dead;
+  const double p = phi(exec, now);
+  if (p >= dead_phi_) return State::Dead;
+  if (p >= suspect_phi_) return State::Suspect;
+  return State::Healthy;
+}
+
+SimTime FailureDetector::mean_interval(ExecutorId exec) const {
+  const Entry* e = find(exec);
+  if (e == nullptr) return 0;
+  return e->interval_sum / static_cast<SimTime>(e->count);
+}
+
+}  // namespace dagon

@@ -1,0 +1,88 @@
+// Phi-accrual failure detector (Hayashibara et al., simplified the way
+// Cassandra ships it): per executor, a sliding window of heartbeat
+// inter-arrival times yields a mean interval, and the suspicion level
+// for a silence of `elapsed` microseconds is
+//
+//     phi = log10(e) * elapsed / mean_interval
+//
+// i.e. the negative log10 of the probability that an exponentially
+// distributed inter-arrival is still outstanding. Unlike a binary
+// timeout, phi *accrues*: callers pick two thresholds (suspect < dead)
+// and get a three-state classification whose suspect band is cheap to
+// enter and cheap to leave — the right shape for gray failures, where a
+// partitioned or degraded executor looks dead for a while and then
+// resumes.
+//
+// The window seeds with the configured heartbeat interval so the
+// detector is calibrated from tick zero, and it adapts: an executor that
+// heartbeats slowly-but-steadily (degraded) widens its own mean and
+// stops looking suspicious.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/sim_time.hpp"
+#include "common/strong_id.hpp"
+
+namespace dagon {
+
+class FailureDetector {
+ public:
+  enum class State : std::uint8_t { Healthy, Suspect, Dead };
+
+  /// `expected_interval` seeds every executor's inter-arrival window;
+  /// `suspect_phi` / `dead_phi` are the classification thresholds
+  /// (validated by FaultPlan before the detector is built).
+  FailureDetector(SimTime expected_interval, double suspect_phi,
+                  double dead_phi);
+
+  /// Starts monitoring `exec`, treating `now` as its last heartbeat.
+  void track(ExecutorId exec, SimTime now);
+
+  /// Stops monitoring `exec` (declared dead or crashed); late heartbeats
+  /// from an untracked executor are ignored.
+  void stop(ExecutorId exec);
+
+  [[nodiscard]] bool tracking(ExecutorId exec) const;
+
+  /// Records a heartbeat arrival, folding the inter-arrival time into
+  /// the sliding window. No-op if `exec` is not tracked.
+  void record_heartbeat(ExecutorId exec, SimTime now);
+
+  /// Current suspicion level for `exec` at `now`; 0 for untracked.
+  [[nodiscard]] double phi(ExecutorId exec, SimTime now) const;
+
+  /// Classifies `exec` against the two thresholds; untracked executors
+  /// report Dead (they were stopped for a reason).
+  [[nodiscard]] State classify(ExecutorId exec, SimTime now) const;
+
+  /// Mean of the executor's inter-arrival window (test hook).
+  [[nodiscard]] SimTime mean_interval(ExecutorId exec) const;
+
+ private:
+  // Window size trades adaptation speed against false-positive noise;
+  // 16 intervals ≈ Cassandra's default sample window scaled down to
+  // simulation-length runs.
+  static constexpr std::size_t kWindow = 16;
+
+  struct Entry {
+    bool tracked = false;
+    SimTime last_heartbeat = 0;
+    // Ring buffer of the last kWindow inter-arrival times.
+    SimTime intervals[kWindow] = {};
+    std::size_t count = 0;
+    std::size_t next = 0;
+    SimTime interval_sum = 0;
+  };
+
+  [[nodiscard]] Entry& entry(ExecutorId exec);
+  [[nodiscard]] const Entry* find(ExecutorId exec) const;
+
+  SimTime expected_interval_;
+  double suspect_phi_;
+  double dead_phi_;
+  std::vector<Entry> entries_;  // indexed by executor id
+};
+
+}  // namespace dagon

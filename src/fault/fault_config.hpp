@@ -1,5 +1,7 @@
 // Fault-model knobs: scheduled executor crashes, random cached-block
-// loss, and transient task failures.
+// loss, transient task failures — and the gray-failure layer: rack
+// network partitions, degraded executors, heartbeat monitoring and
+// executor blacklisting.
 //
 // Everything defaults to off, and every stochastic draw flows through a
 // dedicated RNG stream (FaultPlan), so a config with faults disabled —
@@ -22,6 +24,30 @@ struct ExecutorCrashSpec {
   std::int32_t executor = -1;
 };
 
+/// One scheduled rack partition: from `at` until `heal_at` the rack is
+/// cut off from the driver and from every other rack. Executors inside
+/// keep running (a gray failure, not a crash): their heartbeats are
+/// dropped, their task completions are reported only after the heal,
+/// and fetches crossing the partition stall until it heals.
+struct PartitionSpec {
+  SimTime at = 0;
+  SimTime heal_at = 0;
+  /// Rack id, or -1 for a random rack (fault RNG stream).
+  std::int32_t rack = -1;
+};
+
+/// One scheduled executor degradation: tasks launched on the executor
+/// during [at, until) have their fetch and compute times scaled by
+/// `slowdown`, and its heartbeats arrive `slowdown`x late — slow enough
+/// to look sick, alive enough to never crash.
+struct DegradeSpec {
+  SimTime at = 0;
+  SimTime until = 0;
+  /// Executor id, or -1 for a random executor (fault RNG stream).
+  std::int32_t executor = -1;
+  double slowdown = 2.0;
+};
+
 struct FaultConfig {
   /// Master switch; with `false` no fault event is ever scheduled and no
   /// fault RNG value is ever drawn.
@@ -32,6 +58,12 @@ struct FaultConfig {
   /// its cached + produced-disk blocks are dropped. Blocks whose last
   /// copy dies are recomputed from DAG lineage.
   std::vector<ExecutorCrashSpec> crashes;
+
+  /// Rack partitions with scheduled heal times (gray failures).
+  std::vector<PartitionSpec> partitions;
+
+  /// Degraded (slow) executors (gray failures).
+  std::vector<DegradeSpec> degrades;
 
   /// Probability that a launched task attempt fails partway through and
   /// must be retried (Spark's transient task failures). In [0, 1).
@@ -52,10 +84,47 @@ struct FaultConfig {
   /// Retries per task index before the run is declared failed.
   std::int32_t max_task_retries = 100;
 
+  // -- heartbeat monitoring / phi-accrual suspicion ----------------------
+
+  /// Force heartbeat monitoring on even with no partition or degrade
+  /// scheduled. Monitoring runs automatically whenever either is.
+  bool heartbeats = false;
+
+  /// Executor heartbeat period (Spark's spark.executor.heartbeatInterval).
+  SimTime heartbeat_interval = kSec;
+
+  /// Phi threshold above which an executor is *suspected*: excluded from
+  /// new launches and locality waits, its sole-copy blocks re-replicated
+  /// — but nothing is torn down, so a recovery is cheap. With the
+  /// phi-accrual form phi = log10(e) * elapsed / mean_interval, 1.0
+  /// suspects after ~2.3 heartbeat intervals of silence.
+  double suspect_phi = 1.0;
+
+  /// Phi threshold above which a suspect is declared dead and recovered
+  /// exactly like a crash. 8.0 ~= 18.4 intervals of silence.
+  double dead_phi = 8.0;
+
+  // -- executor blacklisting ---------------------------------------------
+
+  /// Task-attempt failures on one executor before it is blacklisted
+  /// (excluded from launches) for `blacklist_probation`. 0 = off.
+  std::int32_t blacklist_threshold = 0;
+
+  /// How long a blacklisted executor sits out; afterwards it re-enters
+  /// with a clean failure count (timed probation).
+  SimTime blacklist_probation = 60 * kSec;
+
+  /// True when the gray layer (heartbeats, suspicion, partitions,
+  /// degrades) is live — i.e. heartbeat events will be scheduled.
+  [[nodiscard]] bool gray_active() const {
+    return enabled &&
+           (!partitions.empty() || !degrades.empty() || heartbeats);
+  }
+
   /// True when enabling this config can change a run at all.
   [[nodiscard]] bool active() const {
     return enabled && (!crashes.empty() || task_fail_prob > 0.0 ||
-                       block_loss_per_gb_hour > 0.0);
+                       block_loss_per_gb_hour > 0.0 || gray_active());
   }
 };
 

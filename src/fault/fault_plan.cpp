@@ -8,7 +8,7 @@
 namespace dagon {
 
 FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
-                     std::uint64_t seed)
+                     std::size_t num_racks, std::uint64_t seed)
     : config_(config), rng_(Rng(seed).fork(kFaultRngStream)) {
   if (config.task_fail_prob < 0.0 || config.task_fail_prob >= 1.0) {
     throw ConfigError("faults.task_fail_prob must be in [0, 1)");
@@ -46,6 +46,55 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
         "faults.crashes would kill every executor; at least one must "
         "survive");
   }
+  for (const PartitionSpec& spec : config.partitions) {
+    if (spec.at < 0) {
+      throw ConfigError("faults.partitions: start time must be >= 0");
+    }
+    if (spec.heal_at <= spec.at) {
+      throw ConfigError("faults.partitions: heal time must be after start");
+    }
+    if (spec.rack < -1 ||
+        (spec.rack >= 0 && static_cast<std::size_t>(spec.rack) >= num_racks)) {
+      throw ConfigError("faults.partitions: rack index out of range");
+    }
+  }
+  // A single-rack cluster partitioned from the driver would suspect (and
+  // eventually kill) every executor at once; require a second rack so
+  // the control plane always has a reachable side to schedule on.
+  if (!config.partitions.empty() && num_racks < 2) {
+    throw ConfigError("faults.partitions require a cluster with >= 2 racks");
+  }
+  for (const DegradeSpec& spec : config.degrades) {
+    if (spec.at < 0) {
+      throw ConfigError("faults.degrades: start time must be >= 0");
+    }
+    if (spec.until <= spec.at) {
+      throw ConfigError("faults.degrades: end time must be after start");
+    }
+    if (spec.executor < -1 ||
+        (spec.executor >= 0 &&
+         static_cast<std::size_t>(spec.executor) >= num_executors)) {
+      throw ConfigError("faults.degrades: executor index out of range");
+    }
+    if (spec.slowdown < 1.0) {
+      throw ConfigError("faults.degrades: slowdown must be >= 1.0");
+    }
+  }
+  if (config.heartbeat_interval <= 0) {
+    throw ConfigError("faults.heartbeat_interval must be positive");
+  }
+  if (config.suspect_phi <= 0.0) {
+    throw ConfigError("faults.suspect_phi must be positive");
+  }
+  if (config.dead_phi < config.suspect_phi) {
+    throw ConfigError("faults.dead_phi must be >= suspect_phi");
+  }
+  if (config.blacklist_threshold < 0) {
+    throw ConfigError("faults.blacklist_threshold must be >= 0");
+  }
+  if (config.blacklist_probation <= 0) {
+    throw ConfigError("faults.blacklist_probation must be positive");
+  }
 
   // Resolve random targets now: each -1 spec gets a distinct executor
   // not claimed by any other crash, drawn from the fault stream.
@@ -72,6 +121,64 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
   }
   std::stable_sort(crashes_.begin(), crashes_.end(),
                    [](const Crash& a, const Crash& b) { return a.at < b.at; });
+
+  // Resolve partition and degrade targets after crashes, in spec order,
+  // so the crash schedule of a PR 2 config is unchanged by appending
+  // gray specs. Random racks/executors are drawn uniformly (duplicates
+  // allowed: two windows may hit the same rack).
+  partitions_.reserve(config.partitions.size());
+  for (const PartitionSpec& spec : config.partitions) {
+    std::int32_t rack = spec.rack;
+    if (rack < 0) {
+      rack = static_cast<std::int32_t>(
+          rng_.uniform_int(static_cast<std::int64_t>(num_racks)));
+    }
+    partitions_.push_back(Partition{spec.at, spec.heal_at, RackId(rack)});
+  }
+  std::stable_sort(
+      partitions_.begin(), partitions_.end(),
+      [](const Partition& a, const Partition& b) { return a.at < b.at; });
+
+  degrades_.reserve(config.degrades.size());
+  for (const DegradeSpec& spec : config.degrades) {
+    std::int32_t exec = spec.executor;
+    if (exec < 0) {
+      exec = static_cast<std::int32_t>(
+          rng_.uniform_int(static_cast<std::int64_t>(num_executors)));
+    }
+    degrades_.push_back(
+        Degrade{spec.at, spec.until, ExecutorId(exec), spec.slowdown});
+  }
+  std::stable_sort(
+      degrades_.begin(), degrades_.end(),
+      [](const Degrade& a, const Degrade& b) { return a.at < b.at; });
+}
+
+SimTime FaultPlan::partitioned_until(RackId rack, SimTime now) const {
+  SimTime heal = 0;
+  for (const Partition& p : partitions_) {
+    if (p.rack == rack && p.at <= now && now < p.heal_at) {
+      heal = std::max(heal, p.heal_at);
+    }
+  }
+  return heal;
+}
+
+SimTime FaultPlan::cross_partition_heal(RackId rack_a, RackId rack_b,
+                                        SimTime now) const {
+  if (rack_a == rack_b) return 0;
+  return std::max(partitioned_until(rack_a, now),
+                  partitioned_until(rack_b, now));
+}
+
+double FaultPlan::degrade_factor(ExecutorId exec, SimTime now) const {
+  double factor = 1.0;
+  for (const Degrade& d : degrades_) {
+    if (d.exec == exec && d.at <= now && now < d.until) {
+      factor *= d.slowdown;
+    }
+  }
+  return factor;
 }
 
 bool FaultPlan::draw_block_loss(Bytes bytes, SimTime interval) {

@@ -27,19 +27,63 @@ inline constexpr std::uint64_t kFaultRngStream = 0xfa;
 class FaultPlan {
  public:
   /// Validates `config` against a cluster of `num_executors` executors
-  /// (throws ConfigError) and resolves the crash schedule.
+  /// in `num_racks` racks (throws ConfigError) and resolves the crash,
+  /// partition and degrade schedules.
   FaultPlan(const FaultConfig& config, std::size_t num_executors,
-            std::uint64_t seed);
+            std::size_t num_racks, std::uint64_t seed);
 
   struct Crash {
     SimTime at = 0;
     ExecutorId exec = ExecutorId::invalid();
   };
 
+  /// A resolved rack partition: the rack is unreachable during
+  /// [at, heal_at).
+  struct Partition {
+    SimTime at = 0;
+    SimTime heal_at = 0;
+    RackId rack = RackId::invalid();
+  };
+
+  /// A resolved executor degradation over [at, until).
+  struct Degrade {
+    SimTime at = 0;
+    SimTime until = 0;
+    ExecutorId exec = ExecutorId::invalid();
+    double slowdown = 1.0;
+  };
+
   /// Resolved crash schedule, sorted by time; random targets are pinned
   /// to distinct executors at construction.
   [[nodiscard]] const std::vector<Crash>& crashes() const {
     return crashes_;
+  }
+
+  [[nodiscard]] const std::vector<Partition>& partitions() const {
+    return partitions_;
+  }
+  [[nodiscard]] const std::vector<Degrade>& degrades() const {
+    return degrades_;
+  }
+
+  /// Heal time of the latest partition isolating `rack` at `now`, or 0
+  /// if the rack is reachable.
+  [[nodiscard]] SimTime partitioned_until(RackId rack, SimTime now) const;
+
+  /// Heal time after which traffic between `rack_a` and `rack_b` can
+  /// flow again, or 0 if unaffected at `now`. Same-rack traffic never
+  /// crosses a partition.
+  [[nodiscard]] SimTime cross_partition_heal(RackId rack_a, RackId rack_b,
+                                             SimTime now) const;
+
+  /// Combined slowdown factor for work on `exec` at `now` (>= 1.0;
+  /// overlapping degrade windows multiply).
+  [[nodiscard]] double degrade_factor(ExecutorId exec, SimTime now) const;
+
+  /// True when the driver should emit heartbeats and run the suspicion
+  /// detector for this plan.
+  [[nodiscard]] bool monitors_heartbeats() const {
+    return config_.gray_active();
   }
 
   [[nodiscard]] bool samples_task_failures() const {
@@ -69,6 +113,8 @@ class FaultPlan {
   FaultConfig config_;
   Rng rng_;
   std::vector<Crash> crashes_;
+  std::vector<Partition> partitions_;
+  std::vector<Degrade> degrades_;
 };
 
 }  // namespace dagon

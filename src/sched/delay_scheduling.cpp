@@ -109,6 +109,10 @@ std::optional<Assignment> NativeDelayPolicy::find(
     SimTime now) const {
   const Locality allowed = allowed_locality(state, master, s, now);
   for (const ExecutorId exec : executor_order(state)) {
+    // Suspect/blacklisted executors take no new work; they also grant no
+    // Process preference (task_locality filters their memory copies), so
+    // the locality ladder never waits for them.
+    if (!state.executor(exec).schedulable(now)) continue;
     const auto best = best_task_on(state, master, s, exec);
     if (best && at_least(best->locality, allowed)) return best;
     // Otherwise this executor stays idle for this stage — the core
@@ -127,6 +131,7 @@ std::optional<Assignment> SensitivityAwareDelayPolicy::find(
   const auto ect = static_cast<SimTime>(
       ect_slack_ * static_cast<double>(estimator.earliest_completion(s)));
   for (const ExecutorId exec : executor_order(state)) {
+    if (!state.executor(exec).schedulable(now)) continue;
     const auto best = best_task_on(state, master, s, exec);
     if (!best) continue;
     if (at_least(best->locality, allowed)) return best;

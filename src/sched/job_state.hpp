@@ -75,6 +75,17 @@ struct ExecutorRuntime {
   /// False once the fault plan crashed this executor; a dead executor
   /// holds no cores and is skipped by every placement decision.
   bool alive = true;
+  /// True while the failure detector suspects this executor (missed
+  /// heartbeats). A suspect keeps its cores and running attempts — it
+  /// may well recover — but receives no new launches and grants no
+  /// locality preference.
+  bool suspect = false;
+  /// End of blacklist probation; 0 when not blacklisted. A blacklisted
+  /// executor receives no new launches until the probation expires.
+  SimTime blacklisted_until = 0;
+  /// Attempt failures accumulated toward the blacklist threshold; reset
+  /// when probation expires.
+  std::int32_t blacklist_failures = 0;
   Cpus free_cores = 0;
   /// Cores currently held by other tenants (multi-tenant reservation).
   Cpus reserved_cores = 0;
@@ -83,6 +94,13 @@ struct ExecutorRuntime {
   /// Block currently being prefetched, if any (one IO channel).
   std::optional<BlockId> prefetching;
   std::int64_t tasks_launched = 0;
+
+  /// May the scheduler place a *new* attempt here at `now`? Dead,
+  /// suspect and blacklisted executors are all excluded; already-running
+  /// attempts are unaffected.
+  [[nodiscard]] bool schedulable(SimTime now) const {
+    return alive && !suspect && blacklisted_until <= now;
+  }
 };
 
 /// Wait times per locality level, Spark's spark.locality.wait.* family.

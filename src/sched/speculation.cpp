@@ -25,20 +25,32 @@ SimTime median_of(std::vector<SimTime> v) {
 std::vector<SpeculationCandidate> speculation_candidates(
     const JobState& state, const std::vector<TaskRuntime>& running,
     const SpeculationConfig& config, SimTime now) {
+  return speculation_candidates(state, running, {}, config, now);
+}
+
+std::vector<SpeculationCandidate> speculation_candidates(
+    const JobState& state, const std::vector<TaskRuntime>& running,
+    const std::vector<bool>& impaired, const SpeculationConfig& config,
+    SimTime now) {
   std::vector<SpeculationCandidate> out;
   if (!config.enabled) return out;
 
-  for (const TaskRuntime& task : running) {
+  for (std::size_t i = 0; i < running.size(); ++i) {
+    const TaskRuntime& task = running[i];
     if (task.status != TaskStatus::Running || task.speculative) continue;
+    const bool is_impaired = i < impaired.size() && impaired[i];
     const StageRuntime& rt = state.stage(task.stage);
     if (rt.finished_durations.empty()) continue;
-    const double done_fraction =
-        static_cast<double>(rt.finished_tasks) /
-        static_cast<double>(std::max(1, rt.num_tasks));
-    if (done_fraction < config.quantile) continue;
+    if (!is_impaired) {
+      const double done_fraction =
+          static_cast<double>(rt.finished_tasks) /
+          static_cast<double>(std::max(1, rt.num_tasks));
+      if (done_fraction < config.quantile) continue;
+    }
     const SimTime median = median_of(rt.finished_durations);
+    const double multiplier = is_impaired ? 1.0 : config.multiplier;
     const auto threshold =
-        static_cast<SimTime>(config.multiplier * static_cast<double>(median));
+        static_cast<SimTime>(multiplier * static_cast<double>(median));
     const SimTime elapsed = now - task.launch_time;
     if (elapsed > threshold) {
       out.push_back(SpeculationCandidate{task.stage, task.index, elapsed,

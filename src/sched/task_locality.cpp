@@ -54,6 +54,11 @@ Locality task_locality_on(const JobDag& dag,
     if (ref.kind != DepKind::Narrow) continue;
     const BlockId block{ref.rdd, index};
     for (const ExecutorId holder : master.memory_holders(block)) {
+      // A suspect's memory copy grants no preference: steering (or
+      // delay-waiting) toward an executor that may be dying burns the
+      // locality wait for nothing. Its durable disk copy still counts
+      // below.
+      if (master.executor_suspect(holder)) continue;
       any_pref = true;
       if (holder == exec) return Locality::Process;
       const NodeId n = topo.node_of(holder);
@@ -114,7 +119,7 @@ std::vector<Locality> valid_locality_levels(const JobDag& dag,
   for (const std::int32_t index : stage.pending) {
     for (const RddRef& ref : s.inputs) {
       if (ref.kind != DepKind::Narrow) continue;
-      if (!master.memory_holders(BlockId{ref.rdd, index}).empty()) {
+      if (master.any_healthy_memory_holder(BlockId{ref.rdd, index})) {
         any_process = true;
         break;
       }
@@ -186,7 +191,7 @@ bool LocalityCache::any_process_pref(const JobDag& dag,
       bit = 0;
       for (const RddRef& ref : s.inputs) {
         if (ref.kind != DepKind::Narrow) continue;
-        if (!master.memory_holders(BlockId{ref.rdd, index}).empty()) {
+        if (master.any_healthy_memory_holder(BlockId{ref.rdd, index})) {
           bit = 1;
           break;
         }

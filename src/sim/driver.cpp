@@ -28,8 +28,15 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
                                config.ect_slack)) {
   validate();
   if (config_.faults.enabled) {
-    fault_plan_.emplace(config_.faults, topo_.num_executors(), config_.seed);
+    fault_plan_.emplace(config_.faults, topo_.num_executors(),
+                        topo_.num_racks(), config_.seed);
     faults_active_ = config_.faults.active();
+    gray_active_ = fault_plan_->monitors_heartbeats();
+    if (gray_active_) {
+      detector_.emplace(config_.faults.heartbeat_interval,
+                        config_.faults.suspect_phi, config_.faults.dead_phi);
+    }
+    metrics_.faults.per_executor.resize(topo_.num_executors());
   }
   delay_->set_locality_cache_enabled(config_.incremental_scheduling);
   produced_.resize(dag.num_stages());
@@ -118,6 +125,14 @@ RunMetrics SimDriver::run() {
                         ExecutorId::invalid(), BlockId{}});
     }
   }
+  if (gray_active_) {
+    for (const Executor& e : topo_.executors()) {
+      detector_->track(e.id, 0);
+      queue_.push(Event{config_.faults.heartbeat_interval,
+                        EventType::Heartbeat, TaskId::invalid(), e.id,
+                        BlockId{}});
+    }
+  }
 
   SimTime now = 0;
   while (!state_.all_finished()) {
@@ -131,6 +146,9 @@ RunMetrics SimDriver::run() {
     ++metrics_.sim_events;
     switch (event->type) {
       case EventType::TaskFinish:
+        // A completion behind an active partition is invisible to the
+        // driver until the partition heals.
+        if (gray_active_ && defer_partitioned_report(*event, now)) break;
         handle_task_finish(event->task, now);
         break;
       case EventType::PrefetchDone:
@@ -141,6 +159,8 @@ RunMetrics SimDriver::run() {
         break;
       case EventType::Tick:
         if (!state_.all_finished()) {
+          if (gray_active_) evaluate_suspicions(now);
+          if (faults_active_) expire_blacklists(now);
           try_speculation(now);
           if (config_.per_executor_profiles) sample_pending(now);
           queue_.push(Event{now + config_.tick_interval, EventType::Tick,
@@ -152,6 +172,7 @@ RunMetrics SimDriver::run() {
         handle_executor_crash(event->exec, now);
         break;
       case EventType::TaskFail:
+        if (gray_active_ && defer_partitioned_report(*event, now)) break;
         fail_attempt(event->task, now, /*from_crash=*/false);
         break;
       case EventType::TaskRetry:
@@ -160,12 +181,17 @@ RunMetrics SimDriver::run() {
       case EventType::FaultTick:
         handle_fault_tick(now);
         break;
+      case EventType::Heartbeat:
+        handle_heartbeat(event->exec, now);
+        break;
     }
     schedule_loop(now);
     // Proactive sweeps and prefetch scans are O(cached blocks) /
     // O(candidates x executors): run them at tick granularity (plus on
-    // stage completions inside handle_task_finish), not on every event.
-    if (event->type != EventType::TaskFinish) {
+    // stage completions inside handle_task_finish), not on every event —
+    // and not on heartbeats, which arrive once per executor per interval.
+    if (event->type != EventType::TaskFinish &&
+        event->type != EventType::Heartbeat) {
       master_.proactive_sweep();
       issue_prefetches(now);
     }
@@ -201,10 +227,26 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   // not once per block: bytes are summed and costed in one call.
   std::array<Bytes, 7> bytes_by_source{};
   Bytes serde_bytes = 0;
+  // Gray faults: a degraded executor's transfers and compute are scaled
+  // by the slowdown factor; a fetch whose best source sits across an
+  // active partition stalls until the heal.
+  const double slow =
+      gray_active_ ? fault_plan_->degrade_factor(a.exec, now) : 1.0;
+  SimTime partition_stall = 0;
   for (const TaskInput& in : dag_->task_inputs(s, a.task_index)) {
     const auto lookup = master_.lookup(in.block, a.exec);
     const Rdd& rdd = dag_->rdd(in.block.rdd);
     bytes_by_source[static_cast<std::size_t>(lookup.source)] += in.bytes;
+    if (gray_active_) {
+      const NodeId src_node = is_memory_source(lookup.source)
+                                  ? topo_.node_of(lookup.holder)
+                                  : lookup.disk_node;
+      const SimTime heal = fault_plan_->cross_partition_heal(
+          rack_of_exec(a.exec), topo_.rack_of(src_node), now);
+      if (heal > now) {
+        partition_stall = std::max(partition_stall, heal - now);
+      }
+    }
     // Raw HDFS input pays no deserialization; RDD data does, on every
     // source except the reader's own memory store.
     if (!rdd.is_input && lookup.source != BlockSource::LocalMemory) {
@@ -229,18 +271,26 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   for (std::size_t src = 0; src < bytes_by_source.size(); ++src) {
     if (bytes_by_source[src] > 0) {
       fetch += cost_.fetch_time(bytes_by_source[src],
-                                static_cast<BlockSource>(src), 0.0);
+                                static_cast<BlockSource>(src), 0.0, slow);
     }
   }
   fetch += static_cast<SimTime>(cost_.spec().serde_sec_per_byte *
                                 static_cast<double>(serde_bytes) *
-                                static_cast<double>(kSec));
+                                static_cast<double>(kSec) * slow);
+  if (partition_stall > 0) {
+    fetch += partition_stall;
+    ++metrics_.faults.partition_stalled_fetches;
+  }
 
   SimTime compute = dag_->stage(s).task_compute_time(a.task_index);
   if (config_.duration_noise > 0.0) {
     const double factor =
         std::max(0.1, rng_.normal(1.0, config_.duration_noise));
     compute = static_cast<SimTime>(static_cast<double>(compute) * factor);
+  }
+  if (slow > 1.0) {
+    compute = static_cast<SimTime>(static_cast<double>(compute) * slow);
+    ++metrics_.faults.degraded_launches;
   }
 
   const TaskId id(static_cast<std::int64_t>(attempts_.size()));
@@ -435,7 +485,9 @@ void SimDriver::handle_prefetch_done(const Event& e, SimTime now) {
 void SimDriver::issue_prefetches(SimTime now) {
   if (!config_.prefetch_enabled || !config_.cache_enabled) return;
   for (ExecutorRuntime& e : state_.executors()) {
-    if (!e.alive || e.prefetching.has_value()) continue;
+    // Suspect executors get no prefetch IO: filling a possibly-dying
+    // cache wastes the channel.
+    if (!e.alive || e.suspect || e.prefetching.has_value()) continue;
     const auto choice = master_.prefetch_candidate(e.id);
     if (!choice || prefetch_inflight_.contains(choice->block)) continue;
     prefetch_inflight_.insert(choice->block);
@@ -450,13 +502,21 @@ void SimDriver::issue_prefetches(SimTime now) {
 void SimDriver::try_speculation(SimTime now) {
   if (!config_.speculation.enabled) return;
   std::vector<TaskRuntime> running;
+  std::vector<bool> impaired;
   for (const AttemptRuntime& a : attempts_) {
     if (!a.cancelled && a.task.status == TaskStatus::Running) {
       running.push_back(a.task);
+      // Attempts on suspect or degraded executors are straggler
+      // candidates with a relaxed threshold (gray-failure defense).
+      if (gray_active_) {
+        impaired.push_back(
+            state_.executor(a.task.executor).suspect ||
+            fault_plan_->degrade_factor(a.task.executor, now) > 1.0);
+      }
     }
   }
-  for (const SpeculationCandidate& c :
-       speculation_candidates(state_, running, config_.speculation, now)) {
+  for (const SpeculationCandidate& c : speculation_candidates(
+           state_, running, impaired, config_.speculation, now)) {
     // Already has a live speculative copy?
     bool has_copy = false;
     for (const TaskId id : attempt_index_[attempt_key(c.stage, c.task_index)]) {
@@ -488,6 +548,7 @@ void SimDriver::try_speculation(SimTime now) {
     const Cpus demand = dag_->stage(c.stage).task_cpus;
     std::optional<Assignment> best;
     for (const ExecutorRuntime& e : state_.executors()) {
+      if (!e.schedulable(now)) continue;
       if (e.free_cores < demand) continue;
       const Locality l = task_locality_on(*dag_, master_, topo_, c.stage,
                                           c.task_index, e.id);
@@ -509,7 +570,14 @@ void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
     if (other.alive) ++alive;
   }
   DAGON_CHECK_MSG(alive > 1, "fault plan would crash the last executor");
+  // Tear down the gray-failure state first so suspicion/blacklist flags
+  // never survive on a dead executor.
+  if (e.suspect) clear_suspicion(exec, now, /*recovered=*/false);
+  e.blacklisted_until = 0;
+  e.blacklist_failures = 0;
+  if (detector_) detector_->stop(exec);
   ++metrics_.faults.executor_crashes;
+  if (!metrics_.faults.per_executor.empty()) ++exec_faults(exec).crashes;
   DAGON_DEBUG("t=" << format_duration(now) << " executor " << exec
                    << " crashed");
 
@@ -582,6 +650,10 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
     ++metrics_.faults.crash_failures;
   } else {
     ++metrics_.faults.transient_failures;
+    if (!metrics_.faults.per_executor.empty()) {
+      ++exec_faults(attempt.task.executor).transient_failures;
+    }
+    note_attempt_failure(attempt.task.executor, now);
   }
   DAGON_DEBUG("t=" << format_duration(now) << " stage " << s << " task "
                    << index << " failed on exec " << attempt.task.executor
@@ -708,6 +780,165 @@ bool SimDriver::has_live_attempt(StageId s, std::int32_t index) const {
   return false;
 }
 
+bool SimDriver::defer_partitioned_report(const Event& e, SimTime now) {
+  DAGON_CHECK(e.task.valid() &&
+              static_cast<std::size_t>(e.task.value()) < attempts_.size());
+  const AttemptRuntime& a =
+      attempts_[static_cast<std::size_t>(e.task.value())];
+  // Cancelled / already-failed attempts fall through to the handler's
+  // normal early-return; only a live attempt's report can be held back.
+  if (a.cancelled || a.task.status != TaskStatus::Running) return false;
+  const SimTime heal =
+      fault_plan_->partitioned_until(rack_of_exec(a.task.executor), now);
+  if (heal <= now) return false;
+  ++metrics_.faults.deferred_reports;
+  Event deferred = e;
+  deferred.time = heal;  // re-examined at heal (partitions may overlap)
+  queue_.push(deferred);
+  DAGON_TRACE("t=" << format_duration(now) << " deferring report of stage "
+                   << a.task.stage << " task " << a.task.index
+                   << " to heal at " << format_duration(heal));
+  return true;
+}
+
+void SimDriver::handle_heartbeat(ExecutorId exec, SimTime now) {
+  const ExecutorRuntime& e = state_.executor(exec);
+  // Dead executors emit no heartbeats; a late declared-dead executor
+  // never re-registers (Spark would refuse the stale executor id too).
+  if (!e.alive) return;
+  if (fault_plan_->partitioned_until(rack_of_exec(exec), now) > now) {
+    ++metrics_.faults.heartbeats_dropped;
+  } else {
+    detector_->record_heartbeat(exec, now);
+    // Re-classify on arrival so a resumed executor is re-admitted
+    // immediately, not at the next tick.
+    evaluate_executor(exec, now);
+  }
+  // The emission cadence itself degrades with the executor: a slowed
+  // executor heartbeats late, which is exactly what makes it suspicious.
+  const double slow = fault_plan_->degrade_factor(exec, now);
+  const auto interval = static_cast<SimTime>(
+      static_cast<double>(config_.faults.heartbeat_interval) * slow);
+  queue_.push(Event{now + interval, EventType::Heartbeat, TaskId::invalid(),
+                    exec, BlockId{}});
+}
+
+void SimDriver::evaluate_suspicions(SimTime now) {
+  for (const ExecutorRuntime& e : state_.executors()) {
+    if (e.alive) evaluate_executor(e.id, now);
+  }
+}
+
+void SimDriver::evaluate_executor(ExecutorId exec, SimTime now) {
+  ExecutorRuntime& e = state_.executor(exec);
+  if (!e.alive) return;
+  switch (detector_->classify(exec, now)) {
+    case FailureDetector::State::Healthy:
+      if (e.suspect) clear_suspicion(exec, now, /*recovered=*/true);
+      break;
+    case FailureDetector::State::Suspect:
+      if (!e.suspect) enter_suspicion(exec, now);
+      break;
+    case FailureDetector::State::Dead:
+      declare_dead(exec, now);
+      break;
+  }
+}
+
+void SimDriver::enter_suspicion(ExecutorId exec, SimTime now) {
+  ExecutorRuntime& e = state_.executor(exec);
+  e.suspect = true;
+  master_.set_executor_suspect(exec, true);
+  ++metrics_.faults.suspicions;
+  ++exec_faults(exec).suspicions;
+  DAGON_DEBUG("t=" << format_duration(now) << " executor " << exec
+                   << " suspected (phi=" << detector_->phi(exec, now)
+                   << ")");
+  // Proactive re-replication: give every block whose copies all sit on
+  // suspect executors a durable copy on the first healthy executor, so a
+  // later death costs zero lineage recomputes. (The copy is modelled as
+  // instantaneous; its bytes are reported, not charged to the network.)
+  ExecutorId target = ExecutorId::invalid();
+  for (const ExecutorRuntime& other : state_.executors()) {
+    if (other.alive && !other.suspect) {
+      target = other.id;
+      break;
+    }
+  }
+  if (!target.valid()) return;  // every survivor suspect: nowhere to copy
+  const auto rr = master_.rereplicate_suspect_blocks(target);
+  if (rr.blocks > 0) {
+    metrics_.faults.proactive_rereplications += rr.blocks;
+    metrics_.faults.rereplicated_bytes += rr.bytes;
+    exec_faults(exec).rereplicated_blocks += rr.blocks;
+    exec_faults(exec).rereplicated_bytes += rr.bytes;
+    DAGON_DEBUG("t=" << format_duration(now) << " re-replicated "
+                     << rr.blocks << " at-risk blocks to exec " << target);
+  }
+}
+
+void SimDriver::clear_suspicion(ExecutorId exec, SimTime now,
+                                bool recovered) {
+  ExecutorRuntime& e = state_.executor(exec);
+  e.suspect = false;
+  master_.set_executor_suspect(exec, false);
+  if (recovered) {
+    ++metrics_.faults.false_suspicions;
+    ++exec_faults(exec).false_suspicions;
+    DAGON_DEBUG("t=" << format_duration(now) << " executor " << exec
+                     << " resumed heartbeating; re-admitted");
+  }
+}
+
+void SimDriver::declare_dead(ExecutorId exec, SimTime now) {
+  // Never kill the last survivor on silence alone (e.g. every rack
+  // partitioned at once): keep it suspect and let the heal decide.
+  std::int64_t alive = 0;
+  for (const ExecutorRuntime& other : state_.executors()) {
+    if (other.alive) ++alive;
+  }
+  if (alive <= 1) return;
+  ++metrics_.faults.executors_declared_dead;
+  DAGON_DEBUG("t=" << format_duration(now) << " executor " << exec
+                   << " declared dead (phi=" << detector_->phi(exec, now)
+                   << ")");
+  // Exactly the planned-crash recovery path: fail attempts, drop blocks,
+  // recompute what died (handle_executor_crash also stops the detector).
+  handle_executor_crash(exec, now);
+}
+
+void SimDriver::note_attempt_failure(ExecutorId exec, SimTime now) {
+  const std::int32_t threshold = config_.faults.blacklist_threshold;
+  if (threshold <= 0) return;
+  ExecutorRuntime& e = state_.executor(exec);
+  if (!e.alive) return;
+  ++e.blacklist_failures;
+  if (e.blacklisted_until <= now && e.blacklist_failures >= threshold) {
+    e.blacklisted_until = now + config_.faults.blacklist_probation;
+    ++metrics_.faults.blacklist_entries;
+    ++exec_faults(exec).blacklist_entries;
+    DAGON_DEBUG("t=" << format_duration(now) << " executor " << exec
+                     << " blacklisted until "
+                     << format_duration(e.blacklisted_until));
+  }
+}
+
+void SimDriver::expire_blacklists(SimTime now) {
+  if (config_.faults.blacklist_threshold <= 0) return;
+  for (ExecutorRuntime& e : state_.executors()) {
+    if (!e.alive || e.blacklisted_until == 0 || e.blacklisted_until > now) {
+      continue;
+    }
+    // Probation over: clean slate.
+    e.blacklisted_until = 0;
+    e.blacklist_failures = 0;
+    ++metrics_.faults.blacklist_exits;
+    ++exec_faults(e.id).blacklist_exits;
+    DAGON_DEBUG("t=" << format_duration(now) << " executor " << e.id
+                     << " leaves blacklist probation");
+  }
+}
+
 void SimDriver::verify_quiescent() const {
   DAGON_CHECK_MSG(metrics_.busy_cores.value() == 0.0,
                   "end of run: busy_cores did not return to zero");
@@ -726,7 +957,12 @@ void SimDriver::verify_quiescent() const {
                           e.pending_reservation == 0,
                       "end of run: crashed executor " << e.id
                                                       << " holds cores");
+      DAGON_CHECK_MSG(!e.suspect, "end of run: dead executor "
+                                      << e.id << " still marked suspect");
     }
+    DAGON_CHECK_MSG(e.suspect == master_.executor_suspect(e.id),
+                    "end of run: suspect flag for executor "
+                        << e.id << " diverged between driver and master");
   }
   for (const StageRuntime& s : state_.stages()) {
     DAGON_CHECK_MSG(s.finished && s.running == 0 && s.pending.empty() &&

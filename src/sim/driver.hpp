@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "cache/block_manager_master.hpp"
+#include "fault/failure_detector.hpp"
 #include "fault/fault_plan.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/metrics.hpp"
@@ -74,6 +75,37 @@ class SimDriver {
   void recover_block(const BlockId& block, SimTime now);
   /// All task attempts of (s, index) currently in Running state?
   [[nodiscard]] bool has_live_attempt(StageId s, std::int32_t index) const;
+  // -- gray failures (heartbeats, suspicion, partitions, blacklist) -------
+  /// A heartbeat emission from `exec` reached (or failed to reach, if
+  /// partitioned) the driver; feeds the detector and re-arms the next
+  /// emission.
+  void handle_heartbeat(ExecutorId exec, SimTime now);
+  /// Re-classifies every live executor against the detector (Tick).
+  void evaluate_suspicions(SimTime now);
+  /// Applies the detector's verdict for one executor: enter/clear
+  /// suspicion, or declare it dead.
+  void evaluate_executor(ExecutorId exec, SimTime now);
+  void enter_suspicion(ExecutorId exec, SimTime now);
+  /// `recovered` = the executor resumed heartbeating (a false positive,
+  /// re-admitted); false when clearing state on the way to a crash.
+  void clear_suspicion(ExecutorId exec, SimTime now, bool recovered);
+  /// Suspect never resumed: recover it exactly like a planned crash.
+  void declare_dead(ExecutorId exec, SimTime now);
+  /// Blacklist accounting for one attempt failure on `exec`.
+  void note_attempt_failure(ExecutorId exec, SimTime now);
+  /// Ends probation for blacklisted executors whose timer expired.
+  void expire_blacklists(SimTime now);
+  /// True (and re-queues the event to heal time) when the attempt's
+  /// executor sits behind an active partition, so the driver cannot
+  /// observe the completion/failure yet.
+  bool defer_partitioned_report(const Event& e, SimTime now);
+  [[nodiscard]] RackId rack_of_exec(ExecutorId exec) const {
+    return topo_.rack_of(topo_.node_of(exec));
+  }
+  [[nodiscard]] FaultStats::PerExecutor& exec_faults(ExecutorId exec) {
+    return metrics_.faults.per_executor[static_cast<std::size_t>(
+        exec.value())];
+  }
   /// End-of-run invariant: every resource returned, no half-open state.
   void verify_quiescent() const;
   /// Pushes current pv values / current stage into the oracle so the
@@ -105,6 +137,11 @@ class SimDriver {
   std::optional<FaultPlan> fault_plan_;
   /// True when the plan can actually perturb the run.
   bool faults_active_ = false;
+  /// True when the gray layer runs: heartbeats are emitted and the
+  /// suspicion detector classifies executors.
+  bool gray_active_ = false;
+  /// Present iff gray_active_.
+  std::optional<FailureDetector> detector_;
 
   struct AttemptRuntime {
     TaskRuntime task;

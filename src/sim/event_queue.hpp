@@ -29,6 +29,10 @@ enum class EventType {
   TaskRetry,
   /// Periodic cached-block loss sampling (FaultConfig block loss).
   FaultTick,
+  /// An executor's periodic heartbeat emission reaches the driver
+  /// (gray-failure monitoring; dropped while the executor's rack is
+  /// partitioned).
+  Heartbeat,
 };
 
 struct Event {

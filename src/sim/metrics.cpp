@@ -114,6 +114,27 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
     h.mix_value(m.faults.rereplications);
     h.mix_value(m.faults.blocks_fully_lost);
     h.mix_value(m.faults.lineage_recomputes);
+    h.mix_value(m.faults.suspicions);
+    h.mix_value(m.faults.false_suspicions);
+    h.mix_value(m.faults.executors_declared_dead);
+    h.mix_value(m.faults.heartbeats_dropped);
+    h.mix_value(m.faults.deferred_reports);
+    h.mix_value(m.faults.partition_stalled_fetches);
+    h.mix_value(m.faults.degraded_launches);
+    h.mix_value(m.faults.blacklist_entries);
+    h.mix_value(m.faults.blacklist_exits);
+    h.mix_value(m.faults.proactive_rereplications);
+    h.mix_value(m.faults.rereplicated_bytes);
+    for (const FaultStats::PerExecutor& e : m.faults.per_executor) {
+      h.mix_value(e.crashes);
+      h.mix_value(e.transient_failures);
+      h.mix_value(e.suspicions);
+      h.mix_value(e.false_suspicions);
+      h.mix_value(e.blacklist_entries);
+      h.mix_value(e.blacklist_exits);
+      h.mix_value(e.rereplicated_blocks);
+      h.mix_value(e.rereplicated_bytes);
+    }
     for (const TaskRecord& t : m.tasks) h.mix_value(t.failed);
   }
   return h.value();

@@ -88,10 +88,60 @@ struct FaultStats {
   /// Finished task indices re-opened to recompute a lost output block.
   std::int64_t lineage_recomputes = 0;
 
+  // -- gray-failure counters ---------------------------------------------
+
+  /// Executors whose phi crossed suspect_phi (suspicion entries).
+  std::int64_t suspicions = 0;
+  /// Suspicions cleared because the executor resumed heartbeating.
+  std::int64_t false_suspicions = 0;
+  /// Suspects whose phi crossed dead_phi and were recovered as crashes.
+  std::int64_t executors_declared_dead = 0;
+  /// Heartbeats emitted inside an active partition (never delivered).
+  std::int64_t heartbeats_dropped = 0;
+  /// Task completions/failures whose report was held back by a partition
+  /// and re-delivered at heal time.
+  std::int64_t deferred_reports = 0;
+  /// Launched attempts whose input fetch stalled on an active partition.
+  std::int64_t partition_stalled_fetches = 0;
+  /// Attempts launched on an executor inside a degrade window.
+  std::int64_t degraded_launches = 0;
+  /// Executors entering / leaving blacklist probation.
+  std::int64_t blacklist_entries = 0;
+  std::int64_t blacklist_exits = 0;
+  /// Sole-copy blocks proactively re-replicated off suspect executors,
+  /// and the bytes that moved.
+  std::int64_t proactive_rereplications = 0;
+  std::int64_t rereplicated_bytes = 0;
+
+  /// Per-executor fault breakdown (fault-stats table, bench CSVs).
+  /// Sized to the cluster only when faults are enabled.
+  struct PerExecutor {
+    std::int64_t crashes = 0;
+    std::int64_t transient_failures = 0;
+    std::int64_t suspicions = 0;
+    std::int64_t false_suspicions = 0;
+    std::int64_t blacklist_entries = 0;
+    std::int64_t blacklist_exits = 0;
+    std::int64_t rereplicated_blocks = 0;
+    std::int64_t rereplicated_bytes = 0;
+
+    [[nodiscard]] bool any() const {
+      return crashes | transient_failures | suspicions | false_suspicions |
+             blacklist_entries | blacklist_exits | rereplicated_blocks |
+             rereplicated_bytes;
+    }
+  };
+  std::vector<PerExecutor> per_executor;
+
   [[nodiscard]] bool any() const {
     return executor_crashes | transient_failures | crash_failures |
            retries | memory_blocks_lost | disk_copies_lost |
-           rereplications | blocks_fully_lost | lineage_recomputes;
+           rereplications | blocks_fully_lost | lineage_recomputes |
+           suspicions | false_suspicions | executors_declared_dead |
+           heartbeats_dropped | deferred_reports |
+           partition_stalled_fetches | degraded_launches |
+           blacklist_entries | blacklist_exits | proactive_rereplications |
+           rereplicated_bytes;
   }
 };
 

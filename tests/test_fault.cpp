@@ -24,7 +24,7 @@ FaultConfig enabled_faults() {
 }
 
 TEST(FaultPlan, RejectsBadKnobs) {
-  auto plan = [](FaultConfig f) { return FaultPlan(f, 4, 1); };
+  auto plan = [](FaultConfig f) { return FaultPlan(f, 4, 1, 1); };
   FaultConfig f = enabled_faults();
   f.task_fail_prob = 1.0;
   EXPECT_THROW(plan(f), ConfigError);
@@ -60,7 +60,7 @@ TEST(FaultPlan, RejectsBadKnobs) {
 TEST(FaultPlan, ResolvesRandomTargetsToDistinctExecutors) {
   FaultConfig f = enabled_faults();
   f.crashes = {{30 * kSec, -1}, {10 * kSec, -1}, {20 * kSec, -1}};
-  const FaultPlan plan(f, 4, 42);
+  const FaultPlan plan(f, 4, 1, 42);
   ASSERT_EQ(plan.crashes().size(), 3u);
   // Sorted by time, distinct in-range targets.
   EXPECT_EQ(plan.crashes()[0].at, 10 * kSec);
@@ -76,7 +76,7 @@ TEST(FaultPlan, ResolvesRandomTargetsToDistinctExecutors) {
               targets.end());
 
   // Same seed resolves identically.
-  const FaultPlan again(f, 4, 42);
+  const FaultPlan again(f, 4, 1, 42);
   for (std::size_t i = 0; i < plan.crashes().size(); ++i) {
     EXPECT_EQ(plan.crashes()[i].exec, again.crashes()[i].exec);
   }
@@ -86,7 +86,7 @@ TEST(FaultPlan, BackoffIsCappedExponential) {
   FaultConfig f = enabled_faults();
   f.retry_backoff_base = kSec;
   f.retry_backoff_cap = 30 * kSec;
-  FaultPlan plan(f, 4, 1);
+  FaultPlan plan(f, 4, 1, 1);
   EXPECT_EQ(plan.retry_backoff(0), kSec);
   EXPECT_EQ(plan.retry_backoff(1), 2 * kSec);
   EXPECT_EQ(plan.retry_backoff(4), 16 * kSec);

@@ -9,11 +9,16 @@
 //   dagonsim --list
 //   dagonsim --help
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <iostream>
 #include <optional>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "core/dagon.hpp"
 #include "exp/sweep.hpp"
@@ -30,7 +35,8 @@ struct Options {
   double scale = 1.0;
   double wait_seconds = 3.0;
   bool cache_enabled = true;
-  bool case_cluster = false;
+  /// Base cluster/fault preset: testbed | case | faulty | graybox.
+  std::string preset = "testbed";
   std::uint64_t seed = 42;
   double noise = -1.0;  // <0: preset default
   std::string trace_path;
@@ -39,8 +45,64 @@ struct Options {
   std::size_t repeat = 1;
   std::size_t jobs = 1;
   bool verbose = false;
-  FaultConfig faults;  // any --fault-* flag flips faults.enabled
+  bool fingerprint = false;
+  FaultConfig faults;  // preset faults + any --fault-* flag on top
 };
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "dagonsim: " << message << " (try --help)\n";
+  std::exit(2);
+}
+
+/// Strict numeric parsing: the whole value must consume, no trailing
+/// junk, no overflow. `--scale 1.5x` is a config error, not scale 1.5.
+double parse_double(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const double x = std::strtod(v.c_str(), &end);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    usage_error("malformed number '" + v + "' for " + flag);
+  }
+  return x;
+}
+
+std::int64_t parse_int(const std::string& flag, const std::string& v) {
+  errno = 0;
+  char* end = nullptr;
+  const long long x = std::strtoll(v.c_str(), &end, 10);
+  if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
+    usage_error("malformed integer '" + v + "' for " + flag);
+  }
+  return static_cast<std::int64_t>(x);
+}
+
+/// Splits a colon-separated fault spec and bounds the field count.
+std::vector<std::string> parse_spec(const std::string& flag,
+                                    const std::string& v,
+                                    std::size_t min_fields,
+                                    std::size_t max_fields) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = v.find(':', start);
+    fields.push_back(v.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (fields.size() < min_fields || fields.size() > max_fields) {
+    usage_error("malformed spec '" + v + "' for " + flag);
+  }
+  return fields;
+}
+
+SimConfig preset_config(const std::string& name) {
+  if (name == "testbed") return paper_testbed();
+  if (name == "case") return case_study_cluster();
+  if (name == "faulty") return faulty_testbed();
+  if (name == "graybox") return graybox_testbed();
+  usage_error("unknown preset '" + name +
+              "' (testbed | case | faulty | graybox)");
+}
 
 /// Joins `file` onto --out-dir (creating it), or returns it unchanged.
 std::string out_path(const Options& opt, const std::string& file) {
@@ -70,13 +132,30 @@ void print_help() {
       "  --jobs N           fan repeats over N worker threads\n"
       "                     (0 = #cores); results are identical to\n"
       "                     serial for the same seeds [1]\n"
+      "  --preset NAME      base cluster + fault preset: testbed | case\n"
+      "                     | faulty | graybox [testbed]\n"
+      "  --fingerprint      print the run's metrics fingerprint (a\n"
+      "                     64-bit digest; equal across bit-identical\n"
+      "                     runs)\n"
       "  --verbose          per-stage table\n"
       "  --list             list workloads and exit\n"
-      "\nfault injection (any flag enables the failure model):\n"
-      "  --fault-crash T[:E]  crash executor E (or a random one) at\n"
-      "                       T seconds; repeatable\n"
-      "  --fault-task-fail P  transient task-failure probability [0]\n"
-      "  --fault-block-loss R cached-block loss rate per GiB-hour [0]\n";
+      "\nfault injection (any flag enables the failure model; layered on\n"
+      "top of the preset's faults):\n"
+      "  --fault-crash T[:E]      crash executor E (or a random one) at\n"
+      "                           T seconds; repeatable\n"
+      "  --fault-task-fail P      transient task-failure probability [0]\n"
+      "  --fault-block-loss R     cached-block loss rate per GiB-hour [0]\n"
+      "  --fault-partition T:H[:R] partition rack R (or a random one)\n"
+      "                           from T to H seconds; repeatable\n"
+      "  --fault-degrade T:U:F[:E] slow executor E (or a random one) by\n"
+      "                           factor F from T to U seconds; repeatable\n"
+      "\ngray-failure monitoring (any flag also enables heartbeats):\n"
+      "  --heartbeat-interval S   executor heartbeat period [1.0]\n"
+      "  --heartbeat-suspect PHI  phi threshold to suspect [1.0]\n"
+      "  --heartbeat-dead PHI     phi threshold to declare dead [8.0]\n"
+      "  --blacklist-threshold N  attempt failures before an executor is\n"
+      "                           blacklisted (0 = off) [0]\n"
+      "  --blacklist-probation S  how long a blacklist entry lasts [60]\n";
 }
 
 std::optional<WorkloadId> parse_workload(const std::string& name) {
@@ -95,13 +174,26 @@ std::optional<WorkloadId> parse_workload(const std::string& name) {
 
 int main(int argc, char** argv) {
   Options opt;
+  // Pre-scan for the preset so fault flags layer on top of its fault
+  // config regardless of flag order on the command line.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--preset") == 0) opt.preset = argv[i + 1];
+    if (std::strcmp(argv[i], "--case-cluster") == 0) opt.preset = "case";
+  }
+  opt.faults = preset_config(opt.preset).faults;
+
+  // Every flag is single-use except the repeatable fault-spec flags.
+  const std::set<std::string> repeatable = {
+      "--fault-crash", "--fault-partition", "--fault-degrade"};
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0 && !repeatable.count(arg) &&
+        !seen.insert(arg).second) {
+      usage_error("duplicate flag " + arg);
+    }
     const auto next = [&]() -> std::string {
-      if (i + 1 >= argc) {
-        std::cerr << "missing value for " << arg << "\n";
-        std::exit(2);
-      }
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--help" || arg == "-h") {
@@ -122,7 +214,7 @@ int main(int argc, char** argv) {
       else if (v == "cp") opt.scheduler = SchedulerKind::CriticalPath;
       else if (v == "graphene") opt.scheduler = SchedulerKind::Graphene;
       else if (v == "dagon") opt.scheduler = SchedulerKind::Dagon;
-      else { std::cerr << "unknown scheduler " << v << "\n"; return 2; }
+      else usage_error("unknown scheduler " + v);
     } else if (arg == "--cache") {
       const std::string v = next();
       if (v == "lru") opt.cache = CachePolicyKind::Lru;
@@ -130,22 +222,24 @@ int main(int argc, char** argv) {
       else if (v == "mrd") opt.cache = CachePolicyKind::Mrd;
       else if (v == "lrp") opt.cache = CachePolicyKind::Lrp;
       else if (v == "off") opt.cache_enabled = false;
-      else { std::cerr << "unknown cache " << v << "\n"; return 2; }
+      else usage_error("unknown cache " + v);
     } else if (arg == "--delay") {
       const std::string v = next();
       if (v == "native") opt.delay = DelayKind::Native;
       else if (v == "aware") opt.delay = DelayKind::SensitivityAware;
-      else { std::cerr << "unknown delay " << v << "\n"; return 2; }
+      else usage_error("unknown delay " + v);
     } else if (arg == "--wait") {
-      opt.wait_seconds = std::atof(next().c_str());
+      opt.wait_seconds = parse_double(arg, next());
     } else if (arg == "--scale") {
-      opt.scale = std::atof(next().c_str());
+      opt.scale = parse_double(arg, next());
     } else if (arg == "--seed") {
-      opt.seed = static_cast<std::uint64_t>(std::atoll(next().c_str()));
+      opt.seed = static_cast<std::uint64_t>(parse_int(arg, next()));
     } else if (arg == "--noise") {
-      opt.noise = std::atof(next().c_str());
+      opt.noise = parse_double(arg, next());
+    } else if (arg == "--preset") {
+      preset_config(next());  // validated here, consumed by the pre-scan
     } else if (arg == "--case-cluster") {
-      opt.case_cluster = true;
+      // handled in the pre-scan (alias for --preset case)
     } else if (arg == "--trace") {
       opt.trace_path = next();
     } else if (arg == "--timeline") {
@@ -153,32 +247,71 @@ int main(int argc, char** argv) {
     } else if (arg == "--out-dir") {
       opt.out_dir = next();
     } else if (arg == "--repeat") {
-      opt.repeat = static_cast<std::size_t>(std::atoll(next().c_str()));
+      opt.repeat = static_cast<std::size_t>(parse_int(arg, next()));
       if (opt.repeat == 0) opt.repeat = 1;
     } else if (arg == "--jobs") {
-      opt.jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
+      opt.jobs = static_cast<std::size_t>(parse_int(arg, next()));
     } else if (arg == "--fault-crash") {
-      const std::string v = next();
+      const auto f = parse_spec(arg, next(), 1, 2);
       ExecutorCrashSpec crash;
-      const auto colon = v.find(':');
-      crash.at = from_seconds(std::atof(v.substr(0, colon).c_str()));
-      if (colon != std::string::npos) {
-        crash.executor =
-            static_cast<std::int32_t>(std::atoi(v.substr(colon + 1).c_str()));
+      crash.at = from_seconds(parse_double(arg, f[0]));
+      if (f.size() > 1) {
+        crash.executor = static_cast<std::int32_t>(parse_int(arg, f[1]));
       }
       opt.faults.crashes.push_back(crash);
       opt.faults.enabled = true;
+    } else if (arg == "--fault-partition") {
+      const auto f = parse_spec(arg, next(), 2, 3);
+      PartitionSpec p;
+      p.at = from_seconds(parse_double(arg, f[0]));
+      p.heal_at = from_seconds(parse_double(arg, f[1]));
+      if (f.size() > 2) {
+        p.rack = static_cast<std::int32_t>(parse_int(arg, f[2]));
+      }
+      opt.faults.partitions.push_back(p);
+      opt.faults.enabled = true;
+    } else if (arg == "--fault-degrade") {
+      const auto f = parse_spec(arg, next(), 3, 4);
+      DegradeSpec d;
+      d.at = from_seconds(parse_double(arg, f[0]));
+      d.until = from_seconds(parse_double(arg, f[1]));
+      d.slowdown = parse_double(arg, f[2]);
+      if (f.size() > 3) {
+        d.executor = static_cast<std::int32_t>(parse_int(arg, f[3]));
+      }
+      opt.faults.degrades.push_back(d);
+      opt.faults.enabled = true;
     } else if (arg == "--fault-task-fail") {
-      opt.faults.task_fail_prob = std::atof(next().c_str());
+      opt.faults.task_fail_prob = parse_double(arg, next());
       opt.faults.enabled = true;
     } else if (arg == "--fault-block-loss") {
-      opt.faults.block_loss_per_gb_hour = std::atof(next().c_str());
+      opt.faults.block_loss_per_gb_hour = parse_double(arg, next());
       opt.faults.enabled = true;
+    } else if (arg == "--heartbeat-interval") {
+      opt.faults.heartbeat_interval = from_seconds(parse_double(arg, next()));
+      opt.faults.heartbeats = true;
+      opt.faults.enabled = true;
+    } else if (arg == "--heartbeat-suspect") {
+      opt.faults.suspect_phi = parse_double(arg, next());
+      opt.faults.heartbeats = true;
+      opt.faults.enabled = true;
+    } else if (arg == "--heartbeat-dead") {
+      opt.faults.dead_phi = parse_double(arg, next());
+      opt.faults.heartbeats = true;
+      opt.faults.enabled = true;
+    } else if (arg == "--blacklist-threshold") {
+      opt.faults.blacklist_threshold =
+          static_cast<std::int32_t>(parse_int(arg, next()));
+      opt.faults.enabled = true;
+    } else if (arg == "--blacklist-probation") {
+      opt.faults.blacklist_probation = from_seconds(parse_double(arg, next()));
+      opt.faults.enabled = true;
+    } else if (arg == "--fingerprint") {
+      opt.fingerprint = true;
     } else if (arg == "--verbose") {
       opt.verbose = true;
     } else {
-      std::cerr << "unknown argument " << arg << " (try --help)\n";
-      return 2;
+      usage_error("unknown argument " + arg);
     }
   }
 
@@ -190,7 +323,7 @@ int main(int argc, char** argv) {
   }
 
   const Workload workload = make_workload(*id, WorkloadScale{opt.scale});
-  SimConfig config = opt.case_cluster ? case_study_cluster() : paper_testbed();
+  SimConfig config = preset_config(opt.preset);
   config.scheduler = opt.scheduler;
   config.cache = opt.cache;
   config.cache_enabled = opt.cache_enabled;
@@ -207,9 +340,9 @@ int main(int argc, char** argv) {
             << "system: " << scheduler_name(config.scheduler) << " + "
             << (config.cache_enabled ? cache_policy_name(config.cache)
                                      : "no-cache")
-            << " + " << delay_kind_name(config.delay) << ", cluster "
-            << (opt.case_cluster ? "case-study (7 nodes)"
-                                 : "testbed (18 nodes)")
+            << " + " << delay_kind_name(config.delay) << ", preset "
+            << opt.preset
+            << (opt.preset == "case" ? " (7 nodes)" : " (18 nodes)")
             << "\n\n";
 
   // One SweepRun per repeat, seeds seed..seed+K-1; --jobs fans them over
@@ -282,6 +415,8 @@ int main(int argc, char** argv) {
 
   if (opt.faults.enabled) {
     std::cout << "\nfault injection (crashes=" << opt.faults.crashes.size()
+              << ", partitions=" << opt.faults.partitions.size()
+              << ", degrades=" << opt.faults.degrades.size()
               << ", task-fail p=" << opt.faults.task_fail_prob
               << ", block-loss " << opt.faults.block_loss_per_gb_hour
               << "/GiB-h):\n";
@@ -303,7 +438,63 @@ int main(int argc, char** argv) {
                     std::to_string(m.faults.blocks_fully_lost)});
     faults.add_row({"lineage recomputes",
                     std::to_string(m.faults.lineage_recomputes)});
+    if (opt.faults.gray_active()) {
+      faults.add_row({"suspicions", std::to_string(m.faults.suspicions)});
+      faults.add_row({"false suspicions",
+                      std::to_string(m.faults.false_suspicions)});
+      faults.add_row({"executors declared dead",
+                      std::to_string(m.faults.executors_declared_dead)});
+      faults.add_row({"heartbeats dropped",
+                      std::to_string(m.faults.heartbeats_dropped)});
+      faults.add_row({"deferred task reports",
+                      std::to_string(m.faults.deferred_reports)});
+      faults.add_row({"partition-stalled fetches",
+                      std::to_string(m.faults.partition_stalled_fetches)});
+      faults.add_row({"degraded launches",
+                      std::to_string(m.faults.degraded_launches)});
+      faults.add_row({"proactive re-replications",
+                      std::to_string(m.faults.proactive_rereplications)});
+      faults.add_row({"re-replicated bytes",
+                      std::to_string(m.faults.rereplicated_bytes)});
+    }
+    if (opt.faults.blacklist_threshold > 0) {
+      faults.add_row({"blacklist entries",
+                      std::to_string(m.faults.blacklist_entries)});
+      faults.add_row({"blacklist exits",
+                      std::to_string(m.faults.blacklist_exits)});
+    }
     faults.print(std::cout);
+
+    bool any_per_exec = false;
+    for (const auto& pe : m.faults.per_executor) {
+      if (pe.any()) { any_per_exec = true; break; }
+    }
+    if (any_per_exec) {
+      std::cout << "\nper-executor fault breakdown (non-zero rows):\n";
+      TextTable per({"exec", "crashes", "transient", "suspected",
+                     "false-susp", "bl-enter", "bl-exit", "rr-blocks",
+                     "rr-bytes"});
+      for (std::size_t e = 0; e < m.faults.per_executor.size(); ++e) {
+        const auto& pe = m.faults.per_executor[e];
+        if (!pe.any()) continue;
+        per.add_row({std::to_string(e), std::to_string(pe.crashes),
+                     std::to_string(pe.transient_failures),
+                     std::to_string(pe.suspicions),
+                     std::to_string(pe.false_suspicions),
+                     std::to_string(pe.blacklist_entries),
+                     std::to_string(pe.blacklist_exits),
+                     std::to_string(pe.rereplicated_blocks),
+                     std::to_string(pe.rereplicated_bytes)});
+      }
+      per.print(std::cout);
+    }
+  }
+
+  if (opt.fingerprint) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(metrics_fingerprint(m)));
+    std::cout << "\nmetrics fingerprint: " << buf << "\n";
   }
 
   if (opt.verbose) {
