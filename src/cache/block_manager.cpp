@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "common/sorted_view.hpp"
 
 namespace dagon {
 
@@ -13,29 +14,10 @@ BlockManager::BlockManager(ExecutorId executor, Bytes capacity,
   DAGON_CHECK(capacity >= 0);
 }
 
-std::unordered_map<BlockId, BlockManager::CachedBlock>::const_iterator
-BlockManager::find_victim(const ReferenceOracle& oracle) const {
-  auto victim = blocks_.end();
-  double victim_ret = 0.0;
-  for (auto it = blocks_.begin(); it != blocks_.end(); ++it) {
-    const double ret =
-        policy_->retention_priority(it->first, it->second.last_access, oracle);
-    const bool better =
-        victim == blocks_.end() || ret < victim_ret ||
-        (ret == victim_ret &&
-         (it->second.last_access < victim->second.last_access ||
-          (it->second.last_access == victim->second.last_access &&
-           it->first < victim->first)));
-    if (better) {
-      victim = it;
-      victim_ret = ret;
-    }
-  }
-  return victim;
-}
-
 double BlockManager::min_retention(const ReferenceOracle& oracle) const {
   double best = std::numeric_limits<double>::infinity();
+  // dagonlint: allow(unordered-iter): min over independently computed
+  // doubles is iteration-order independent.
   for (const auto& [id, meta] : blocks_) {
     best = std::min(best,
                     policy_->retention_priority(id, meta.last_access, oracle));
@@ -68,6 +50,8 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& block,
     };
     std::vector<Candidate> candidates;
     candidates.reserve(blocks_.size());
+    // dagonlint: allow(unordered-iter): collection order is erased by
+    // the total (retention, last_access, block) sort just below.
     for (const auto& [id, meta] : blocks_) {
       candidates.push_back(Candidate{
           policy_->retention_priority(id, meta.last_access, oracle),
@@ -128,14 +112,14 @@ bool BlockManager::remove(const BlockId& block) {
 std::vector<BlockId> BlockManager::evict_dead(const ReferenceOracle& oracle) {
   std::vector<BlockId> evicted;
   if (!policy_->proactive_eviction()) return evicted;
-  for (auto it = blocks_.begin(); it != blocks_.end();) {
-    if (policy_->is_dead(it->first, oracle)) {
-      used_ -= it->second.bytes;
-      evicted.push_back(it->first);
-      it = blocks_.erase(it);
-    } else {
-      ++it;
-    }
+  // Ascending block id so the evicted list (and the master's bookkeeping
+  // driven by it) does not depend on hash order.
+  for (const BlockId& id : sorted_keys(blocks_)) {
+    const auto it = blocks_.find(id);
+    if (!policy_->is_dead(it->first, oracle)) continue;
+    used_ -= it->second.bytes;
+    evicted.push_back(it->first);
+    blocks_.erase(it);
   }
   return evicted;
 }

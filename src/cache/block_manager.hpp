@@ -65,6 +65,10 @@ class BlockManager {
   [[nodiscard]] Bytes free_bytes() const { return capacity_ - used_; }
   [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
 
+  /// The raw (hash-ordered) store. Never range-iterate this directly in
+  /// decision or emission paths — route through dagon::sorted_view() /
+  /// sorted_keys() so the walk order is the key order (dagonlint
+  /// enforces this; see DESIGN.md §9).
   [[nodiscard]] const std::unordered_map<BlockId, CachedBlock>& blocks()
       const {
     return blocks_;
@@ -73,10 +77,6 @@ class BlockManager {
   [[nodiscard]] const CachePolicy& policy() const { return *policy_; }
 
  private:
-  /// The block with the smallest (retention, last_access) pair.
-  [[nodiscard]] std::unordered_map<BlockId, CachedBlock>::const_iterator
-  find_victim(const ReferenceOracle& oracle) const;
-
   ExecutorId executor_;
   Bytes capacity_;
   const CachePolicy* policy_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/sorted_view.hpp"
 
 namespace dagon {
 
@@ -302,11 +303,7 @@ BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
   // 1. Destroy the executor's memory store (ascending block id for
   // deterministic placement_version / prefetchable churn).
   BlockManager& mgr = manager(exec);
-  std::vector<BlockId> mem_blocks;
-  mem_blocks.reserve(mgr.num_blocks());
-  for (const auto& [block, cached] : mgr.blocks()) mem_blocks.push_back(block);
-  std::sort(mem_blocks.begin(), mem_blocks.end());
-  for (const BlockId& block : mem_blocks) {
+  for (const BlockId& block : sorted_keys(mgr.blocks())) {
     mgr.remove(block);
     note_evicted(block, exec);
     ++result.memory_dropped;
@@ -316,13 +313,12 @@ BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
   // keeps a copy only if another (surviving) producer on the same node
   // also wrote it.
   std::vector<BlockId> disk_blocks;
-  for (const auto& [block, producers] : produced_by_) {
+  for (const auto& [block, producers] : sorted_view(produced_by_)) {
     if (std::find(producers.begin(), producers.end(), exec) !=
         producers.end()) {
       disk_blocks.push_back(block);
     }
   }
-  std::sort(disk_blocks.begin(), disk_blocks.end());
   for (const BlockId& block : disk_blocks) {
     auto& producers = produced_by_[block];
     producers.erase(std::remove(producers.begin(), producers.end(), exec),
@@ -401,7 +397,7 @@ BlockManagerMaster::rereplicate_suspect_blocks(ExecutorId target) {
   // HDFS replica, and no healthy memory holder. Sorted scan for
   // deterministic placement_version churn.
   std::vector<BlockId> at_risk;
-  for (const auto& [block, producers] : produced_by_) {
+  for (const auto& [block, producers] : sorted_view(produced_by_)) {
     if (producers.empty()) continue;
     bool all_suspect = true;
     for (const ExecutorId p : producers) {
@@ -415,7 +411,6 @@ BlockManagerMaster::rereplicate_suspect_blocks(ExecutorId target) {
     if (any_healthy_memory_holder(block)) continue;
     at_risk.push_back(block);
   }
-  std::sort(at_risk.begin(), at_risk.end());
 
   const NodeId target_node = topo_->node_of(target);
   for (const BlockId& block : at_risk) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "common/sorted_view.hpp"
 #include "dag/dag_analysis.hpp"
 
 namespace dagon {
@@ -26,7 +27,7 @@ ReferenceOracle::ReferenceOracle(const JobDag& dag) : dag_(&dag) {
       }
     }
   }
-  for (auto& [block, refs] : refs_) {
+  for (auto& [block, refs] : sorted_view(refs_)) {
     std::sort(refs.begin(), refs.end(),
               [](const Ref& a, const Ref& b) { return a.stage < b.stage; });
     // Merge duplicate (block, stage) records (a stage may reference one

@@ -93,7 +93,9 @@ class ReferenceOracle {
   }
 
   const JobDag* dag_;
-  /// block -> per-stage reference records, ascending stage id.
+  /// block -> per-stage reference records, ascending stage id. Never
+  /// range-iterated directly: walks go through dagon::sorted_view() so
+  /// no oracle decision depends on hash order (dagonlint enforces this).
   std::unordered_map<BlockId, std::vector<Ref>> refs_;
   std::vector<bool> finished_;
   std::vector<CpuWork> pv_;

@@ -33,6 +33,10 @@ class HdfsPlacement {
   /// Nodes holding a disk replica of `block`; empty for non-input blocks.
   [[nodiscard]] const std::vector<NodeId>& replicas(const BlockId& block) const;
 
+  /// The raw (hash-ordered) placement map. Never range-iterate this
+  /// directly — route through dagon::sorted_view() / sorted_keys() so
+  /// emission order is the block-id order (dagonlint enforces this; see
+  /// DESIGN.md §9).
   [[nodiscard]] const std::unordered_map<BlockId, std::vector<NodeId>>&
   all() const {
     return placement_;

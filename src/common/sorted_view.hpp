@@ -1,0 +1,111 @@
+// Deterministic iteration over unordered associative containers.
+//
+// Hash-order iteration is the number-one fingerprint hazard in this
+// codebase (see DESIGN.md §9): libstdc++ happens to iterate a given
+// insertion sequence deterministically, so a run looks reproducible —
+// until a container resizes differently, a key type's hash changes, or
+// the binary is built against another standard library, and a
+// 19-scenario sweep silently diverges. Every decision or emission path
+// that walks an `unordered_map`/`unordered_set` must therefore route
+// through one of these helpers, which pin the order to `operator<` on
+// the key. `dagonlint` (tools/dagonlint) enforces this at lint time.
+//
+//   for (const auto& [block, holders] : dagon::sorted_view(map_)) ...
+//   for (const BlockId& b : dagon::sorted_keys(set_)) ...
+//
+// sorted_view() is a snapshot of *pointers* into the container taken at
+// construction: O(n log n) once, no copies of keys or values. Pointer
+// (not iterator) stability is all it needs, so inserting new entries or
+// mutating mapped values while walking the view is safe; erasing a
+// viewed entry is not.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace dagon {
+
+namespace detail {
+
+/// Key of a map entry (`pair.first`) or the element itself for sets.
+template <class V>
+[[nodiscard]] constexpr const auto& key_of(const V& v) {
+  if constexpr (requires { v.first; }) {
+    return v.first;
+  } else {
+    return v;
+  }
+}
+
+}  // namespace detail
+
+/// An ascending-key snapshot view over an associative container. Build
+/// via sorted_view(); holds pointers into the container, so it must not
+/// outlive it.
+template <class Container>
+class SortedView {
+ public:
+  using element_pointer = decltype(&*std::declval<Container&>().begin());
+
+  explicit SortedView(Container& container) {
+    items_.reserve(container.size());
+    for (auto& entry : container) {
+      items_.push_back(&entry);
+    }
+    std::sort(items_.begin(), items_.end(),
+              [](element_pointer a, element_pointer b) {
+                return detail::key_of(*a) < detail::key_of(*b);
+              });
+  }
+
+  class iterator {
+   public:
+    explicit iterator(const element_pointer* pos) : pos_(pos) {}
+    decltype(auto) operator*() const { return **pos_; }
+    iterator& operator++() {
+      ++pos_;
+      return *this;
+    }
+    bool operator==(const iterator& other) const = default;
+
+   private:
+    const element_pointer* pos_;
+  };
+
+  [[nodiscard]] iterator begin() const { return iterator(items_.data()); }
+  [[nodiscard]] iterator end() const {
+    return iterator(items_.data() + items_.size());
+  }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+
+ private:
+  std::vector<element_pointer> items_;
+};
+
+/// Ascending-key view over `container` (mutable or const). The view
+/// snapshots pointers at call time; do not erase viewed entries while
+/// iterating.
+template <class Container>
+[[nodiscard]] SortedView<Container> sorted_view(Container& container) {
+  return SortedView<Container>(container);
+}
+
+/// Copies the keys (map) or elements (set) of `container`, ascending.
+/// The drop-in replacement for the collect-then-std::sort idiom.
+template <class Container>
+[[nodiscard]] auto sorted_keys(const Container& container) {
+  using Key = std::remove_cvref_t<decltype(detail::key_of(
+      *container.begin()))>;
+  std::vector<Key> keys;
+  keys.reserve(container.size());
+  for (const auto& entry : container) {
+    keys.push_back(detail::key_of(entry));
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace dagon

@@ -87,6 +87,8 @@ void StepFunction::set(SimTime t, double value) {
 double StepFunction::integral(SimTime from, SimTime to) const {
   if (to <= from) return 0.0;
   double acc = 0.0;
+  // FP reduction in ascending segment order — points_ is a fixed,
+  // time-sorted vector, so the summation order is deterministic.
   for (std::size_t i = 0; i < points_.size(); ++i) {
     const SimTime seg_start = std::max(points_[i].time, from);
     const SimTime seg_end =

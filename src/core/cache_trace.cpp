@@ -6,6 +6,7 @@
 
 #include "cache/block_manager.hpp"
 #include "common/error.hpp"
+#include "common/sorted_view.hpp"
 #include "dag/profile.hpp"
 
 namespace dagon {
@@ -208,10 +209,7 @@ CacheTraceResult run_cache_trace(const JobDag& dag,
     }
     oracle.set_priority_values(pv.values());
 
-    for (const auto& [block, meta] : bm.blocks()) {
-      row.cache_after.push_back(block);
-    }
-    std::sort(row.cache_after.begin(), row.cache_after.end());
+    row.cache_after = sorted_keys(bm.blocks());
     result.rows.push_back(std::move(row));
   }
   process_finishes(kTimeInfinity);

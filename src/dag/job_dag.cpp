@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/error.hpp"
+#include "common/sorted_view.hpp"
 
 namespace dagon {
 
@@ -80,22 +81,22 @@ std::vector<TaskInput> JobDag::task_inputs(StageId id,
 
 std::vector<BlockId> JobDag::stage_input_blocks(StageId id) const {
   const Stage& s = stage(id);
-  std::vector<BlockId> blocks;
+  std::vector<BlockId> inputs;
   for (const RddRef& ref : s.inputs) {
     const Rdd& parent = rdd(ref.rdd);
     if (ref.kind == DepKind::Narrow) {
       for (std::int32_t t = 0; t < s.num_tasks; ++t) {
-        blocks.push_back(BlockId{ref.rdd, t});
+        inputs.push_back(BlockId{ref.rdd, t});
       }
     } else {
       for (std::int32_t p = 0; p < parent.num_partitions; ++p) {
-        blocks.push_back(BlockId{ref.rdd, p});
+        inputs.push_back(BlockId{ref.rdd, p});
       }
     }
   }
-  std::sort(blocks.begin(), blocks.end());
-  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
-  return blocks;
+  std::sort(inputs.begin(), inputs.end());
+  inputs.erase(std::unique(inputs.begin(), inputs.end()), inputs.end());
+  return inputs;
 }
 
 Bytes JobDag::task_input_bytes(StageId id, std::int32_t task) const {
@@ -292,8 +293,7 @@ JobDag JobDagBuilder::build() {
     }
     auto& out = dag_.successor_sets_[static_cast<std::size_t>(s.id.value())];
     out.reserve(acc.size());
-    for (const std::int32_t v : acc) out.push_back(StageId(v));
-    std::sort(out.begin(), out.end());
+    for (const std::int32_t v : sorted_keys(acc)) out.push_back(StageId(v));
   }
 
   return std::move(dag_);

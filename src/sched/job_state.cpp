@@ -230,6 +230,8 @@ std::optional<SimTime> JobState::observed_duration(StageId s) const {
   const StageRuntime& rt = stage(s);
   double sum = 0.0;
   std::int64_t count = 0;
+  // FP reduction in ascending locality-level order over a fixed-size
+  // array — the summation order is deterministic.
   for (std::size_t i = 0; i < rt.locality_count.size(); ++i) {
     sum += rt.locality_duration_sum[i];
     count += rt.locality_count[i];

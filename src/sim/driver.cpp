@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "common/sorted_view.hpp"
 #include "sched/task_locality.hpp"
 
 namespace dagon {
@@ -711,15 +712,9 @@ void SimDriver::handle_fault_tick(SimTime now) {
   for (const ExecutorRuntime& e : state_.executors()) {
     if (!e.alive) continue;
     const BlockManager& mgr = master_.manager(e.id);
-    std::vector<BlockId> blocks;
-    blocks.reserve(mgr.num_blocks());
-    for (const auto& [block, cached] : mgr.blocks()) {
-      blocks.push_back(block);
-    }
     // Ascending block order: the set of RNG draws is a deterministic
     // function of the (unordered) cache contents.
-    std::sort(blocks.begin(), blocks.end());
-    for (const BlockId& block : blocks) {
+    for (const BlockId& block : sorted_keys(mgr.blocks())) {
       if (!fault_plan_->draw_block_loss(master_.block_bytes(block),
                                         interval)) {
         continue;

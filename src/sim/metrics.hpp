@@ -5,7 +5,6 @@
 
 #include <array>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/locality.hpp"

@@ -1,0 +1,14 @@
+// dagonlint fixture: allow() without a justification (line 10) is
+// itself a finding — every suppression in the tree must stay audited.
+#include <unordered_map>
+
+struct FixtureBare {
+  std::unordered_map<int, int> table_;
+
+  int sum() const {
+    int total = 0;
+    // dagonlint: allow(unordered-iter)
+    for (const auto& [k, v] : table_) total += v;
+    return total;
+  }
+};

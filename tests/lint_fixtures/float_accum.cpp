@@ -1,0 +1,11 @@
+// dagonlint fixture: one unsuppressed float-accum violation (line 8).
+#include <vector>
+
+double fixture_mean(const std::vector<double>& xs) {
+  double acc = 0.0;
+
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+  }
+  return acc / static_cast<double>(xs.size());
+}

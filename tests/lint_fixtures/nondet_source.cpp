@@ -1,0 +1,8 @@
+// dagonlint fixture: one unsuppressed nondet-source violation (line 7).
+#include <cstdlib>
+
+struct FixtureSeed {};
+
+int ambient_seed() {
+  return rand();
+}

@@ -1,0 +1,7 @@
+// dagonlint fixture: one unsuppressed ptr-order violation (line 7).
+#include <functional>
+#include <map>
+
+struct FixtureWidget {};
+
+using FixtureRank = std::map<FixtureWidget*, int, std::less<FixtureWidget*>>;

@@ -1,0 +1,15 @@
+// dagonlint fixture: a justified allow() — this file must lint clean.
+#include <unordered_map>
+
+struct FixtureClean {
+  std::unordered_map<int, int> table_;
+
+  int count_even() const {
+    int even = 0;
+    // dagonlint: allow(unordered-iter): counting is order-independent.
+    for (const auto& [k, v] : table_) {
+      if (v % 2 == 0) ++even;
+    }
+    return even;
+  }
+};

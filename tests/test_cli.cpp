@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -110,6 +111,35 @@ TEST(Cli, FingerprintIsPrintedAndStable) {
   const std::string fa = extract(a.output);
   EXPECT_FALSE(fa.empty());
   EXPECT_EQ(fa, extract(b.output));
+}
+
+TEST(Cli, RepeatFingerprintRowsMatchAcrossJobs) {
+  // The CLI face of the sweep-equivalence contract: with --repeat K and
+  // --fingerprint, each repeat row carries its own digest, and fanning
+  // the repeats over a pool (--jobs 3) must reproduce the serial rows
+  // bit-for-bit.
+  const std::string base =
+      std::string(kTinyRun) + " --repeat 3 --fingerprint --jobs ";
+  const CliResult serial = run_cli(base + "1");
+  const CliResult parallel = run_cli(base + "3");
+  ASSERT_EQ(serial.exit_code, 0) << serial.output;
+  ASSERT_EQ(parallel.exit_code, 0) << parallel.output;
+
+  // Collect every 0x-prefixed 16-digit digest, in row order.
+  const auto digests = [](const std::string& out) {
+    std::vector<std::string> v;
+    for (std::size_t pos = out.find("0x"); pos != std::string::npos;
+         pos = out.find("0x", pos + 2)) {
+      if (pos + 18 <= out.size()) v.push_back(out.substr(pos, 18));
+    }
+    return v;
+  };
+  const std::vector<std::string> a = digests(serial.output);
+  const std::vector<std::string> b = digests(parallel.output);
+  ASSERT_GE(a.size(), 3u) << serial.output;
+  EXPECT_EQ(a, b) << "serial:\n"
+                  << serial.output << "\nparallel:\n"
+                  << parallel.output;
 }
 
 TEST(Cli, GrayboxPresetRunsWithFaultTable) {

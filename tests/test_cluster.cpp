@@ -4,6 +4,7 @@
 
 #include "cluster/cost_model.hpp"
 #include "cluster/hdfs.hpp"
+#include "common/sorted_view.hpp"
 #include "cluster/topology.hpp"
 #include "workloads/example_dag.hpp"
 
@@ -118,7 +119,7 @@ TEST(Hdfs, SkewConcentratesBlocks) {
   Rng rng(2);
   const HdfsPlacement hdfs(dag, topo, skewed, rng);
   int on_hot = 0;
-  for (const auto& [block, nodes] : hdfs.all()) {
+  for (const auto& [block, nodes] : sorted_view(hdfs.all())) {
     if (nodes.front() == NodeId(0)) ++on_hot;
   }
   // ~80% should land on the single hot node vs ~17% under even spread.
@@ -133,7 +134,7 @@ TEST(Hdfs, DeterministicForSeed) {
   const HdfsPlacement a(w.dag, topo, HdfsSpec{}, rng1);
   const HdfsPlacement b(w.dag, topo, HdfsSpec{}, rng2);
   EXPECT_EQ(a.all().size(), b.all().size());
-  for (const auto& [block, nodes] : a.all()) {
+  for (const auto& [block, nodes] : sorted_view(a.all())) {
     EXPECT_EQ(b.replicas(block), nodes);
   }
 }

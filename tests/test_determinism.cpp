@@ -1,0 +1,119 @@
+// The determinism acceptance gates (DESIGN.md §9):
+//
+//  1. The all-faults-off metrics_fingerprint for every preset × system ×
+//     workload row is pinned bit-for-bit. Any hash-order leak, float
+//     reassociation, or hidden entropy source moves at least one row.
+//  2. A sweep over the same 24-row matrix is bit-identical between
+//     --jobs 1 and --jobs N, per row — the parallel engine may change
+//     wall-clock, never results.
+//
+// If a pin moves because of an *intentional* model change, re-derive the
+// table (tools/dagonsim --fingerprint, or the loop below) and update the
+// values in the same commit with a note explaining why.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/presets.hpp"
+#include "core/runner.hpp"
+#include "exp/sweep.hpp"
+#include "workloads/suite.hpp"
+
+namespace dagon {
+namespace {
+
+struct Pin {
+  const char* preset;
+  SystemCombo combo;
+  WorkloadId workload;
+  std::uint64_t fingerprint;
+};
+
+// 2 presets × 4 systems × 3 workloads at WorkloadScale{0.3}, pinned
+// against the PR 3 build. Kept in matrix order: preset-major, then
+// system, then workload.
+std::vector<Pin> pinned_matrix() {
+  return {
+      {"testbed", stock_spark(), WorkloadId::KMeans, 0x775c8db45cb1eea9ull},
+      {"testbed", stock_spark(), WorkloadId::LogisticRegression,
+       0xb07cf5bbd3c89007ull},
+      {"testbed", stock_spark(), WorkloadId::PageRank, 0x16d4a6af5e737521ull},
+      {"testbed", graphene_lru(), WorkloadId::KMeans, 0x775c8db45cb1eea9ull},
+      {"testbed", graphene_lru(), WorkloadId::LogisticRegression,
+       0xe9298c0347add383ull},
+      {"testbed", graphene_lru(), WorkloadId::PageRank, 0x570db489caec0925ull},
+      {"testbed", graphene_mrd(), WorkloadId::KMeans, 0x696ab99a0d43feb1ull},
+      {"testbed", graphene_mrd(), WorkloadId::LogisticRegression,
+       0xca3462953330a22full},
+      {"testbed", graphene_mrd(), WorkloadId::PageRank, 0x118d94557c3e6272ull},
+      {"testbed", dagon_full(), WorkloadId::KMeans, 0x696ab99a0d43feb1ull},
+      {"testbed", dagon_full(), WorkloadId::LogisticRegression,
+       0xa4cfd10d67254d23ull},
+      {"testbed", dagon_full(), WorkloadId::PageRank, 0xc0c5c10cae20654full},
+      {"case", stock_spark(), WorkloadId::KMeans, 0x522c5cce30cc306aull},
+      {"case", stock_spark(), WorkloadId::LogisticRegression,
+       0xbc99af41fe78936full},
+      {"case", stock_spark(), WorkloadId::PageRank, 0xa17334dc8261e411ull},
+      {"case", graphene_lru(), WorkloadId::KMeans, 0x522c5cce30cc306aull},
+      {"case", graphene_lru(), WorkloadId::LogisticRegression,
+       0x057c1a59c174401aull},
+      {"case", graphene_lru(), WorkloadId::PageRank, 0xe7076f933ac57056ull},
+      {"case", graphene_mrd(), WorkloadId::KMeans, 0xe82bc0b2739da8a2ull},
+      {"case", graphene_mrd(), WorkloadId::LogisticRegression,
+       0x3835097fb732c6feull},
+      {"case", graphene_mrd(), WorkloadId::PageRank, 0x2eaa00db92fac5c9ull},
+      {"case", dagon_full(), WorkloadId::KMeans, 0xe82bc0b2739da8a2ull},
+      {"case", dagon_full(), WorkloadId::LogisticRegression,
+       0x044aea48bb8d844cull},
+      {"case", dagon_full(), WorkloadId::PageRank, 0xa2c77a8103d33672ull},
+  };
+}
+
+SimConfig preset_config(const char* preset) {
+  return std::string(preset) == "testbed" ? paper_testbed()
+                                          : case_study_cluster();
+}
+
+TEST(Determinism, AllFaultsOffMatrixFingerprintsArePinned) {
+  for (const Pin& pin : pinned_matrix()) {
+    const Workload w = make_workload(pin.workload, WorkloadScale{0.3});
+    const RunMetrics m =
+        run_system(w, pin.combo, preset_config(pin.preset)).metrics;
+    EXPECT_EQ(metrics_fingerprint(m), pin.fingerprint)
+        << pin.preset << " / " << pin.combo.label << " / " << w.name;
+  }
+}
+
+TEST(Determinism, MatrixSweepJobs1EqualsJobsN) {
+  // Same 24 rows, driven through the sweep engine: per-row fingerprints
+  // must match between the serial and the parallel schedule.
+  std::vector<SweepRun> grid;
+  for (const Pin& pin : pinned_matrix()) {
+    const Workload w = make_workload(pin.workload, WorkloadScale{0.3});
+    const SimConfig config =
+        apply_combo(preset_config(pin.preset), pin.combo);
+    grid.push_back(
+        {std::string(pin.preset) + "/" + pin.combo.label + "/" + w.name, w,
+         config});
+  }
+
+  const SweepReport serial = run_sweep(grid, SweepOptions{1});
+  const SweepReport parallel = run_sweep(grid, SweepOptions{4});
+  ASSERT_EQ(serial.runs.size(), grid.size());
+  ASSERT_EQ(parallel.runs.size(), grid.size());
+  const std::vector<Pin> pins = pinned_matrix();
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const std::uint64_t s = metrics_fingerprint(serial.runs[i].metrics);
+    const std::uint64_t p = metrics_fingerprint(parallel.runs[i].metrics);
+    EXPECT_EQ(s, p) << "row " << grid[i].label
+                    << " diverged between --jobs 1 and --jobs 4";
+    // The sweep path must also agree with the direct run_system() path —
+    // one engine, one answer.
+    EXPECT_EQ(s, pins[i].fingerprint) << "row " << grid[i].label;
+  }
+}
+
+}  // namespace
+}  // namespace dagon

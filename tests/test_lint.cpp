@@ -1,0 +1,138 @@
+// Coverage for the dagonlint determinism-audit tool itself: each rule
+// fires on its seeded fixture with the exact rule id, path, and line;
+// a justified allow() suppresses; a bare allow() is itself a finding;
+// and the real src/ tree stays at zero unsuppressed findings.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct LintResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+/// Runs dagonlint with `args`, capturing stdout+stderr and exit code.
+LintResult run_lint(const std::string& args) {
+  const std::string cmd = std::string(DAGONLINT_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to launch " << cmd;
+  LintResult r;
+  if (!pipe) return r;
+  std::array<char, 4096> buf;
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe)) {
+    r.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(LINT_FIXTURES_DIR) + "/" + name;
+}
+
+/// The exact finding prefix dagonlint prints: `path:line: [rule]`.
+std::string finding(const std::string& file, int line,
+                    const std::string& rule) {
+  return fixture(file) + ":" + std::to_string(line) + ": [" + rule + "]";
+}
+
+TEST(Lint, UnorderedIterFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("unordered_iter.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("unordered_iter.cpp", 9,
+                                  "unordered-iter")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, NondetSourceFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("nondet_source.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(
+      r.output.find(finding("nondet_source.cpp", 7, "nondet-source")),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, PtrOrderFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("ptr_order.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("ptr_order.cpp", 7, "ptr-order")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, FloatAccumFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("float_accum.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("float_accum.cpp", 8, "float-accum")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, JustifiedAllowSuppressesAndExitsZero) {
+  const LintResult r = run_lint(fixture("suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, BareAllowIsItselfAFinding) {
+  const LintResult r = run_lint(fixture("bare_allow.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // The suppression still applies (no unordered-iter report), but the
+  // missing justification is reported at the directive's line.
+  EXPECT_NE(r.output.find(finding("bare_allow.cpp", 10, "bare-allow")),
+            std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("[unordered-iter]"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, WholeFixtureDirReportsEveryRuleOnce) {
+  const LintResult r = run_lint(std::string(LINT_FIXTURES_DIR));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  for (const char* rule :
+       {"unordered-iter", "nondet-source", "ptr-order", "float-accum",
+        "bare-allow"}) {
+    EXPECT_NE(r.output.find(std::string("[") + rule + "]"),
+              std::string::npos)
+        << "missing " << rule << " in:\n"
+        << r.output;
+  }
+  EXPECT_NE(r.output.find("5 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, ListRulesNamesEveryRule) {
+  const LintResult r = run_lint("--list-rules");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* rule : {"unordered-iter", "nondet-source", "ptr-order",
+                           "float-accum", "bare-allow"}) {
+    EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
+  }
+}
+
+TEST(Lint, MissingPathExitsTwo) {
+  const LintResult r = run_lint(fixture("no_such_file.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// The acceptance gate, enforced continuously: the real source tree has
+// zero unsuppressed findings. If this fails, either fix the new hazard
+// or add an audited `// dagonlint: allow(<rule>): <why>` annotation.
+TEST(Lint, RepoSourceTreeIsClean) {
+  const LintResult r = run_lint(std::string(DAGON_SRC_DIR));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -2,6 +2,7 @@
 // metrics, and full SimDriver runs over small DAGs.
 #include <gtest/gtest.h>
 
+#include "common/sorted_view.hpp"
 #include "core/runner.hpp"
 #include "sim/driver.hpp"
 #include "sim/event_queue.hpp"
@@ -178,7 +179,7 @@ TEST(SimDriver, SeedChangesPlacement) {
   const SimDriver b(w.dag, profile, config);
   // Different seeds almost surely place at least one block differently.
   bool any_diff = false;
-  for (const auto& [block, nodes] : a.hdfs().all()) {
+  for (const auto& [block, nodes] : sorted_view(a.hdfs().all())) {
     if (b.hdfs().replicas(block) != nodes) {
       any_diff = true;
       break;

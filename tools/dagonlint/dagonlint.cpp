@@ -1,0 +1,753 @@
+// dagonlint — Dagon's determinism-audit static-analysis pass.
+//
+// Every claim this reproduction makes rests on bit-identical
+// determinism: the parallel sweep engine, the faults-off fingerprint
+// pins, and the cross-build 24-row verification all assume no hidden
+// nondeterminism in the control plane. Fingerprint comparisons catch a
+// regression only after a full sweep diverges; dagonlint catches the
+// *source* of one at lint time.
+//
+// It is a token-level (AST-lite) scanner — no libclang, no compile
+// database — over the rules in kRules:
+//
+//   unordered-iter   range/iterator iteration over std::unordered_map /
+//                    std::unordered_set outside dagon::sorted_view() /
+//                    sorted_keys(). Hash-walk order is the number-one
+//                    fingerprint hazard (DESIGN.md §9).
+//   nondet-source    rand()/srand(), std::random_device, time(),
+//                    std::chrono::system_clock, getenv: ambient
+//                    nondeterminism outside the seeded RNG streams.
+//   ptr-order        ordering or hashing pointer *values*
+//                    (std::less/greater/hash over T*, uintptr_t
+//                    reinterpret_casts): allocator-dependent order.
+//   float-accum      uncommented float/double accumulation in loops:
+//                    FP addition is not associative, so a reduction's
+//                    value depends on its order. A justifying comment
+//                    on the same or preceding line satisfies the rule.
+//
+// Suppression syntax (audited, grep-able):
+//   // dagonlint: allow(<rule-id>): <one-line justification>
+// on the offending line, or alone on a comment line directly above it.
+// The justification is mandatory — an allow() without one is itself a
+// finding (bare-allow), so every exception in the tree stays audited.
+//
+// Usage: dagonlint [--list-rules] <file-or-dir>...
+// Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Rule table.
+
+struct Rule {
+  std::string_view id;
+  std::string_view summary;
+  /// Files whose path contains any of these substrings are exempt.
+  std::vector<std::string_view> exempt;
+};
+
+// Exemptions, with rationale:
+//  * common/sorted_view.hpp IS the sanctioned unordered walk (it erases
+//    the order with a sort before anything observes it);
+//  * common/rng.* is the seeded RNG implementation itself;
+//  * tools/ is off the decision path (CLIs may read argv/env freely);
+//  * sim/metrics.* is the sanctioned home of FP reductions — every
+//    derived metric is computed there, in one fixed order.
+const Rule kRules[] = {
+    {"unordered-iter",
+     "iteration over an unordered container outside dagon::sorted_view()/"
+     "sorted_keys()",
+     {"common/sorted_view.hpp"}},
+    {"nondet-source",
+     "ambient nondeterminism source (rand/random_device/time/system_clock/"
+     "getenv) outside the seeded RNG streams",
+     {"common/rng.", "tools/"}},
+    {"ptr-order",
+     "ordering or hashing raw pointer values (allocator-dependent order)",
+     {}},
+    {"float-accum",
+     "uncomment-ed float/double accumulation in a loop (reduction order "
+     "hazard); add a justifying comment",
+     {"sim/metrics."}},
+    {"bare-allow",
+     "dagonlint: allow() without a one-line justification",
+     {}},
+};
+
+const Rule* find_rule(std::string_view id) {
+  for (const Rule& r : kRules) {
+    if (r.id == id) return &r;
+  }
+  return nullptr;
+}
+
+bool rule_exempt(const Rule& rule, const std::string& path) {
+  return std::any_of(rule.exempt.begin(), rule.exempt.end(),
+                     [&](std::string_view e) {
+                       return path.find(e) != std::string::npos;
+                     });
+}
+
+// ---------------------------------------------------------------------------
+// Lexing: split a source file into code tokens (with line numbers) and
+// per-line comment text. Strings/chars are blanked; preprocessor lines
+// are skipped wholesale.
+
+enum class TokKind { Identifier, Number, Punct };
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+struct FileScan {
+  std::string path;
+  std::vector<Token> tokens;
+  /// 1-based line -> concatenated comment text on that line ("" = none).
+  std::vector<std::string> comments;
+  std::vector<std::string> raw_lines;
+};
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+FileScan lex_file(const std::string& path, const std::string& text) {
+  FileScan scan;
+  scan.path = path;
+
+  std::vector<std::string> lines;
+  {
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    lines.push_back(cur);
+  }
+  scan.raw_lines = lines;
+  scan.comments.assign(lines.size() + 2, "");
+
+  bool in_block_comment = false;
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    const int lineno = static_cast<int>(ln) + 1;
+    std::string code;
+    std::size_t i = 0;
+
+    // Preprocessor directives carry no decision-path code.
+    if (!in_block_comment) {
+      std::size_t first = line.find_first_not_of(" \t");
+      if (first != std::string::npos && line[first] == '#') continue;
+    }
+
+    while (i < line.size()) {
+      if (in_block_comment) {
+        const std::size_t end = line.find("*/", i);
+        if (end == std::string::npos) {
+          scan.comments[static_cast<std::size_t>(lineno)] +=
+              line.substr(i) + " ";
+          i = line.size();
+        } else {
+          scan.comments[static_cast<std::size_t>(lineno)] +=
+              line.substr(i, end - i) + " ";
+          i = end + 2;
+          in_block_comment = false;
+        }
+        continue;
+      }
+      const char c = line[i];
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+        scan.comments[static_cast<std::size_t>(lineno)] +=
+            line.substr(i + 2) + " ";
+        i = line.size();
+        continue;
+      }
+      if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      if (c == '"' || c == '\'') {
+        const char quote = c;
+        ++i;
+        while (i < line.size()) {
+          if (line[i] == '\\') {
+            i += 2;
+            continue;
+          }
+          if (line[i] == quote) {
+            ++i;
+            break;
+          }
+          ++i;
+        }
+        code += ' ';
+        continue;
+      }
+      code += c;
+      ++i;
+    }
+
+    // Tokenize the stripped code.
+    std::size_t j = 0;
+    while (j < code.size()) {
+      const char c = code[j];
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++j;
+        continue;
+      }
+      if (ident_char(c) &&
+          std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        std::size_t k = j;
+        while (k < code.size() && ident_char(code[k])) ++k;
+        scan.tokens.push_back(
+            {TokKind::Identifier, code.substr(j, k - j), lineno});
+        j = k;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        std::size_t k = j;
+        while (k < code.size() &&
+               (ident_char(code[k]) || code[k] == '.' || code[k] == '\'')) {
+          ++k;
+        }
+        scan.tokens.push_back(
+            {TokKind::Number, code.substr(j, k - j), lineno});
+        j = k;
+        continue;
+      }
+      // Multi-char operators we care about as single tokens.
+      static const char* kOps[] = {"+=", "-=", "*=", "::", "->", "=="};
+      bool matched = false;
+      for (const char* op : kOps) {
+        if (code.compare(j, 2, op) == 0) {
+          scan.tokens.push_back({TokKind::Punct, op, lineno});
+          j += 2;
+          matched = true;
+          break;
+        }
+      }
+      if (matched) continue;
+      scan.tokens.push_back({TokKind::Punct, std::string(1, c), lineno});
+      ++j;
+    }
+  }
+  return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions.
+
+struct Allow {
+  std::string rule;
+  bool justified = false;
+  int line = 0;  // comment line the directive sits on
+};
+
+/// Parses every `dagonlint: allow(<rule>)[: justification]` directive in
+/// the file's comments and computes, per directive, the code line it
+/// covers: the line it sits on if that line has code, else the next
+/// line that has any code token.
+///
+/// A directive must be anchored at the start of the comment text (only
+/// whitespace before `dagonlint:`). Mid-comment mentions — prose that
+/// *documents* the syntax, like this very header — are not directives.
+std::vector<Allow> parse_allows(const FileScan& scan) {
+  std::vector<Allow> out;
+  for (std::size_t ln = 1; ln < scan.comments.size(); ++ln) {
+    const std::string& comment = scan.comments[ln];
+    std::size_t pos = comment.find("dagonlint:");
+    if (pos != std::string::npos &&
+        comment.find_first_not_of(" \t") != pos) {
+      pos = std::string::npos;
+    }
+    while (pos != std::string::npos) {
+      std::size_t a = comment.find("allow", pos);
+      if (a == std::string::npos) break;
+      std::size_t open = comment.find('(', a);
+      std::size_t close =
+          open == std::string::npos ? std::string::npos
+                                    : comment.find(')', open);
+      if (close == std::string::npos) break;
+      Allow allow;
+      allow.rule = comment.substr(open + 1, close - open - 1);
+      allow.line = static_cast<int>(ln);
+      std::size_t after = close + 1;
+      while (after < comment.size() &&
+             (comment[after] == ' ' || comment[after] == ':')) {
+        if (comment[after] == ':') {
+          // Anything non-blank after the colon is the justification.
+          std::string just = comment.substr(after + 1);
+          allow.justified =
+              just.find_first_not_of(" \t") != std::string::npos;
+          break;
+        }
+        ++after;
+      }
+      out.push_back(allow);
+      pos = comment.find("dagonlint:", close);
+    }
+  }
+  return out;
+}
+
+/// Lines with at least one code token, ascending.
+std::vector<int> code_lines(const FileScan& scan) {
+  std::vector<int> lines;
+  for (const Token& t : scan.tokens) {
+    if (lines.empty() || lines.back() != t.line) lines.push_back(t.line);
+  }
+  return lines;
+}
+
+/// The set of code lines each allow directive covers. A directive on a
+/// code-bearing line covers that line; a directive on a comment-only
+/// line covers the next code-bearing line (skipping further comments).
+std::set<std::pair<std::string, int>> allow_coverage(
+    const FileScan& scan, const std::vector<Allow>& allows) {
+  const std::vector<int> codes = code_lines(scan);
+  std::set<std::pair<std::string, int>> covered;
+  for (const Allow& a : allows) {
+    const auto it =
+        std::lower_bound(codes.begin(), codes.end(), a.line);
+    int target = a.line;
+    if (it == codes.end() || *it != a.line) {
+      const auto next = std::lower_bound(codes.begin(), codes.end(), a.line);
+      if (next != codes.end()) target = *next;
+    }
+    covered.insert({a.rule, target});
+  }
+  return covered;
+}
+
+// ---------------------------------------------------------------------------
+// Findings.
+
+struct Finding {
+  std::string path;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+struct Context {
+  /// Identifiers declared (anywhere in the scanned set) as unordered
+  /// containers, or accessors returning references to them.
+  std::set<std::string> unordered_names;
+  std::vector<Finding> findings;
+};
+
+void report(Context& ctx, const FileScan& scan,
+            const std::set<std::pair<std::string, int>>& allowed,
+            int line, std::string_view rule, std::string message) {
+  const Rule* r = find_rule(rule);
+  if (r != nullptr && rule_exempt(*r, scan.path)) return;
+  if (allowed.count({std::string(rule), line}) != 0) return;
+  ctx.findings.push_back(
+      {scan.path, line, std::string(rule), std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Pass A: collect unordered container / accessor names.
+
+void collect_unordered_names(const FileScan& scan, Context& ctx) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        (toks[i].text != "unordered_map" &&
+         toks[i].text != "unordered_set")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j >= toks.size() || toks[j].text != "<") continue;
+    // Skip the balanced template argument list.
+    int depth = 0;
+    while (j < toks.size()) {
+      if (toks[j].text == "<") ++depth;
+      if (toks[j].text == ">") {
+        --depth;
+        if (depth == 0) break;
+      }
+      ++j;
+    }
+    if (j >= toks.size()) continue;
+    ++j;
+    // Member-type uses (::const_iterator etc.) are not declarations.
+    if (j < toks.size() && toks[j].text == "::") continue;
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::Identifier) continue;
+    const std::string& name = toks[j].text;
+    if (j + 1 < toks.size()) {
+      const std::string& next = toks[j + 1].text;
+      // Variable/member declaration, or accessor function returning a
+      // reference to the container — both make `name` an unordered
+      // iteration source wherever it appears.
+      if (next == ";" || next == "=" || next == "{" || next == "(" ||
+          next == ",") {
+        ctx.unordered_names.insert(name);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass B helpers.
+
+std::size_t matching_close(const std::vector<Token>& toks, std::size_t open,
+                           const char* open_t, const char* close_t) {
+  int depth = 0;
+  for (std::size_t i = open; i < toks.size(); ++i) {
+    if (toks[i].text == open_t) ++depth;
+    if (toks[i].text == close_t) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return toks.size();
+}
+
+struct LoopRegion {
+  std::size_t begin;
+  std::size_t end;  // inclusive token range of the loop body
+  int header_line;
+};
+
+/// Body token ranges of every for/while loop (including range-fors).
+std::vector<LoopRegion> loop_regions(const std::vector<Token>& toks) {
+  std::vector<LoopRegion> regions;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        (toks[i].text != "for" && toks[i].text != "while")) {
+      continue;
+    }
+    if (i + 1 >= toks.size() || toks[i + 1].text != "(") continue;
+    const std::size_t close = matching_close(toks, i + 1, "(", ")");
+    if (close >= toks.size()) continue;
+    std::size_t body = close + 1;
+    if (body < toks.size() && toks[body].text == "{") {
+      const std::size_t end = matching_close(toks, body, "{", "}");
+      regions.push_back({body, end, toks[i].line});
+    } else {
+      std::size_t end = body;
+      while (end < toks.size() && toks[end].text != ";") ++end;
+      regions.push_back({body, end, toks[i].line});
+    }
+  }
+  return regions;
+}
+
+bool in_any_region(const std::vector<LoopRegion>& regions, std::size_t idx) {
+  return std::any_of(regions.begin(), regions.end(),
+                     [idx](const LoopRegion& r) {
+                       return idx >= r.begin && idx <= r.end;
+                     });
+}
+
+/// float/double variable names declared in this file.
+std::set<std::string> float_names(const std::vector<Token>& toks) {
+  std::set<std::string> names;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        (toks[i].text != "float" && toks[i].text != "double")) {
+      continue;
+    }
+    // `static_cast<double>(x)`, `vector<double>` — a type use, not a
+    // declaration.
+    if (i > 0 && (toks[i - 1].text == "<" || toks[i - 1].text == ",")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < toks.size() && (toks[j].text == "&" || toks[j].text == "*")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == TokKind::Identifier) {
+      names.insert(toks[j].text);
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Pass B: rule checks.
+
+void check_unordered_iter(const FileScan& scan, Context& ctx,
+                          const std::set<std::pair<std::string, int>>& ok) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    // Range-for: for ( decl : range )
+    if (toks[i].kind == TokKind::Identifier && toks[i].text == "for" &&
+        toks[i + 1].text == "(") {
+      const std::size_t close = matching_close(toks, i + 1, "(", ")");
+      // Find the range `:` at parenthesis depth 1.
+      int depth = 0;
+      std::size_t colon = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (toks[j].text == "(" || toks[j].text == "[") ++depth;
+        if (toks[j].text == ")" || toks[j].text == "]") --depth;
+        if (toks[j].text == ":" && depth == 1) {
+          colon = j;
+          break;
+        }
+      }
+      if (colon == 0) continue;
+      bool sanctioned = false;
+      std::string culprit;
+      for (std::size_t j = colon + 1; j < close; ++j) {
+        if (toks[j].kind != TokKind::Identifier) continue;
+        if (toks[j].text == "sorted_view" || toks[j].text == "sorted_keys") {
+          sanctioned = true;
+          break;
+        }
+        // `map_[key]` / `map_.at(key)` range over an *element* of the
+        // container, not the container itself — no hash-order exposure.
+        const bool element_access =
+            j + 1 < close &&
+            (toks[j + 1].text == "[" ||
+             (toks[j + 1].text == "." && j + 2 < close &&
+              toks[j + 2].text == "at"));
+        if (culprit.empty() && !element_access &&
+            ctx.unordered_names.count(toks[j].text) != 0) {
+          culprit = toks[j].text;
+        }
+      }
+      if (!sanctioned && !culprit.empty()) {
+        report(ctx, scan, ok, toks[i].line, "unordered-iter",
+               "range-for over unordered container '" + culprit +
+                   "'; iterate dagon::sorted_view()/sorted_keys() instead");
+      }
+      continue;
+    }
+    // Iterator walk: <unordered>.begin() / .cbegin() / .rbegin()
+    if (toks[i].kind == TokKind::Identifier &&
+        ctx.unordered_names.count(toks[i].text) != 0 &&
+        toks[i + 1].text == "." && i + 2 < toks.size() &&
+        (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
+         toks[i + 2].text == "rbegin") &&
+        i + 3 < toks.size() && toks[i + 3].text == "(") {
+      report(ctx, scan, ok, toks[i].line, "unordered-iter",
+             "iterator walk over unordered container '" + toks[i].text +
+                 "'; iterate dagon::sorted_view()/sorted_keys() instead");
+    }
+  }
+}
+
+void check_nondet_source(const FileScan& scan, Context& ctx,
+                         const std::set<std::pair<std::string, int>>& ok) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier) continue;
+    const std::string& t = toks[i].text;
+    const bool member = i > 0 && (toks[i - 1].text == "." ||
+                                  toks[i - 1].text == "->");
+    if (t == "random_device" || t == "system_clock") {
+      report(ctx, scan, ok, toks[i].line, "nondet-source",
+             "'" + t + "' is an ambient nondeterminism source; draw from "
+                 "the run's seeded dagon::Rng stream instead");
+      continue;
+    }
+    if (member) continue;  // e.time, obj->rand — not the libc symbols
+    const bool call = i + 1 < toks.size() && toks[i + 1].text == "(";
+    if (!call) continue;
+    if (t == "rand" || t == "srand" || t == "time" || t == "getenv" ||
+        t == "clock") {
+      report(ctx, scan, ok, toks[i].line, "nondet-source",
+             "call to '" + t + "()' outside the seeded RNG streams; wire "
+                 "the value through SimConfig or dagon::Rng");
+    }
+  }
+}
+
+void check_ptr_order(const FileScan& scan, Context& ctx,
+                     const std::set<std::pair<std::string, int>>& ok) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier) continue;
+    const std::string& t = toks[i].text;
+    if ((t == "hash" || t == "less" || t == "greater") &&
+        toks[i + 1].text == "<") {
+      const std::size_t close = matching_close(toks, i + 1, "<", ">");
+      for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
+        if (toks[j].text == "*") {
+          report(ctx, scan, ok, toks[i].line, "ptr-order",
+                 "std::" + t + " over a raw pointer type orders/hashes "
+                     "allocator-dependent addresses; key on a stable id");
+          break;
+        }
+      }
+    }
+    if (t == "reinterpret_cast" && toks[i + 1].text == "<") {
+      const std::size_t close = matching_close(toks, i + 1, "<", ">");
+      for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
+        if (toks[j].text == "uintptr_t" || toks[j].text == "intptr_t") {
+          report(ctx, scan, ok, toks[i].line, "ptr-order",
+                 "pointer-to-integer cast used as an ordering/hash key is "
+                     "allocator-dependent; key on a stable id");
+          break;
+        }
+      }
+    }
+  }
+}
+
+void check_float_accum(const FileScan& scan, Context& ctx,
+                       const std::set<std::pair<std::string, int>>& ok) {
+  const auto& toks = scan.tokens;
+  const std::vector<LoopRegion> loops = loop_regions(toks);
+  const std::set<std::string> floats = float_names(toks);
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        floats.count(toks[i].text) == 0) {
+      continue;
+    }
+    const std::string& op = toks[i + 1].text;
+    if (op != "+=" && op != "-=") continue;
+    if (!in_any_region(loops, i)) continue;
+    // "Uncommented" is the offense: a justifying comment on the line,
+    // the line above, or directly above an enclosing loop's header (the
+    // document-the-reduction-before-the-loop idiom) satisfies the rule.
+    const auto has_comment = [&](int l) {
+      return l >= 1 && static_cast<std::size_t>(l) < scan.comments.size() &&
+             !scan.comments[static_cast<std::size_t>(l)].empty();
+    };
+    bool commented =
+        has_comment(toks[i].line) || has_comment(toks[i].line - 1);
+    for (const LoopRegion& r : loops) {
+      if (commented) break;
+      if (i >= r.begin && i <= r.end) {
+        commented = has_comment(r.header_line) ||
+                    has_comment(r.header_line - 1);
+      }
+    }
+    if (commented) continue;
+    report(ctx, scan, ok, toks[i].line, "float-accum",
+           "floating-point accumulation into '" + toks[i].text +
+               "' in a loop; comment the reduction-order contract or move "
+               "it to sim/metrics");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+bool source_file(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
+}
+
+int run(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    fs::path p(root);
+    std::error_code ec;
+    if (fs::is_directory(p, ec)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (entry.is_regular_file() && source_file(entry.path())) {
+          files.push_back(entry.path().generic_string());
+        }
+      }
+    } else if (fs::is_regular_file(p, ec)) {
+      files.push_back(p.generic_string());
+    } else {
+      std::fprintf(stderr, "dagonlint: no such file or directory: %s\n",
+                   root.c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<FileScan> scans;
+  scans.reserve(files.size());
+  Context ctx;
+  for (const std::string& f : files) {
+    std::ifstream in(f);
+    if (!in) {
+      std::fprintf(stderr, "dagonlint: cannot read %s\n", f.c_str());
+      return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    scans.push_back(lex_file(f, ss.str()));
+    collect_unordered_names(scans.back(), ctx);
+  }
+
+  for (const FileScan& scan : scans) {
+    const std::vector<Allow> allows = parse_allows(scan);
+    const auto ok = allow_coverage(scan, allows);
+    for (const Allow& a : allows) {
+      if (find_rule(a.rule) == nullptr) {
+        ctx.findings.push_back(
+            {scan.path, a.line, "bare-allow",
+             "allow() names unknown rule '" + a.rule + "'"});
+      } else if (!a.justified) {
+        ctx.findings.push_back(
+            {scan.path, a.line, "bare-allow",
+             "allow(" + a.rule + ") without a one-line justification"});
+      }
+    }
+    check_unordered_iter(scan, ctx, ok);
+    check_nondet_source(scan, ctx, ok);
+    check_ptr_order(scan, ctx, ok);
+    check_float_accum(scan, ctx, ok);
+  }
+
+  std::sort(ctx.findings.begin(), ctx.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& f : ctx.findings) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf("dagonlint: %zu finding(s) in %zu file(s) scanned\n",
+              ctx.findings.size(), scans.size());
+  return ctx.findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--list-rules") {
+      for (const Rule& r : kRules) {
+        std::printf("%-15s %.*s\n", std::string(r.id).c_str(),
+                    static_cast<int>(r.summary.size()), r.summary.data());
+      }
+      return 0;
+    }
+    if (arg == "--help" || arg == "-h") {
+      std::printf("usage: dagonlint [--list-rules] <file-or-dir>...\n");
+      return 0;
+    }
+    roots.emplace_back(arg);
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: dagonlint [--list-rules] <file-or-dir>...\n");
+    return 2;
+  }
+  return run(roots);
+}

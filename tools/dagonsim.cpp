@@ -363,20 +363,35 @@ int main(int argc, char** argv) {
   const RunMetrics& m = sweep.runs.front().metrics;
 
   if (opt.repeat > 1) {
-    TextTable reps({"repeat", "seed", "jct", "CPU util", "hit ratio"});
+    // With --fingerprint, every repeat row carries its own digest: this
+    // is what the --jobs 1 vs --jobs N equivalence regression compares
+    // (per-row, not just the aggregate).
+    std::vector<std::string> cols = {"repeat", "seed", "jct", "CPU util",
+                                     "hit ratio"};
+    if (opt.fingerprint) cols.push_back("fingerprint");
+    TextTable reps(cols);
     double sum = 0.0;
     double lo = to_seconds(sweep.runs.front().metrics.jct);
     double hi = lo;
     for (std::size_t k = 0; k < sweep.runs.size(); ++k) {
       const RunMetrics& rm = sweep.runs[k].metrics;
       const double jct = to_seconds(rm.jct);
+      // FP mean over the repeats in fixed seed order — deterministic.
       sum += jct;
       lo = std::min(lo, jct);
       hi = std::max(hi, jct);
-      reps.add_row({std::to_string(k), std::to_string(opt.seed + k),
-                    format_duration(rm.jct),
-                    TextTable::percent(rm.cpu_utilization()),
-                    TextTable::percent(rm.cache.hit_ratio())});
+      std::vector<std::string> row = {
+          std::to_string(k), std::to_string(opt.seed + k),
+          format_duration(rm.jct), TextTable::percent(rm.cpu_utilization()),
+          TextTable::percent(rm.cache.hit_ratio())};
+      if (opt.fingerprint) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "0x%016llx",
+                      static_cast<unsigned long long>(
+                          metrics_fingerprint(rm)));
+        row.emplace_back(buf);
+      }
+      reps.add_row(std::move(row));
     }
     reps.print(std::cout);
     std::cout << "JCT mean " << TextTable::num(sum / static_cast<double>(
