@@ -295,7 +295,7 @@ int main(int argc, char** argv) {
         for (std::int32_t k = 0; k < rdd.num_partitions; ++k) {
           for (const ExecutorId holder :
                driver.master().memory_holders(BlockId{rdd.id, k})) {
-            check(driver.state().executor(holder).alive, sc.label,
+            check(driver.state().executor(holder).alive(), sc.label,
                   "memory copy held by a dead executor");
           }
         }

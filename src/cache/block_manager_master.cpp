@@ -24,6 +24,18 @@ BlockManagerMaster::BlockManagerMaster(const Topology& topo,
     managers_.emplace_back(e.id, e.cache_bytes, policy);
   }
   suspect_.assign(topo.num_executors(), 0);
+  // Input blocks are born on HDFS node disks: Disk is their *initial*
+  // lifecycle state, seeded directly (there is no edge into it from
+  // Absent — only produced blocks materialize).
+  for (const Rdd& rdd : dag.rdds()) {
+    if (!rdd.is_input) continue;
+    for (std::int32_t p = 0; p < rdd.num_partitions; ++p) {
+      const BlockId block{rdd.id, p};
+      if (!hdfs.replicas(block).empty()) {
+        residency_.emplace(block, BlockResidency::Disk);
+      }
+    }
+  }
   // Cacheable input blocks start on HDFS disk with no memory copy: they
   // are the initial prefetch candidates (MRD pre-warms the first
   // stages' inputs this way).
@@ -33,6 +45,48 @@ BlockManagerMaster::BlockManagerMaster(const Topology& topo,
       for (std::int32_t p = 0; p < rdd.num_partitions; ++p) {
         prefetchable_.insert(BlockId{rdd.id, p});
       }
+    }
+  }
+}
+
+BlockResidency BlockManagerMaster::residency(const BlockId& block) const {
+  const auto it = residency_.find(block);
+  return it == residency_.end() ? BlockResidency::Absent : it->second;
+}
+
+void BlockManagerMaster::set_residency(const BlockId& block,
+                                       BlockResidency to) {
+  // Entity id packs (rdd, partition) for transition diagnostics.
+  const auto entity =
+      (static_cast<std::int64_t>(block.rdd.value()) << 32) | block.partition;
+  const auto it = residency_.try_emplace(block, BlockResidency::Absent).first;
+  fsm::transition(it->second, to, entity, fsm_violations_);
+}
+
+void BlockManagerMaster::verify_residency() const {
+  for (const auto& [block, r] : sorted_view(residency_)) {
+    const bool in_memory = memory_copies_.contains(block);
+    switch (r) {
+      case BlockResidency::Absent:
+      case BlockResidency::Lost:
+        DAGON_CHECK_MSG(!exists(block),
+                        "block " << block << " is " << to_string(r)
+                                 << " but a copy exists");
+        break;
+      case BlockResidency::Materializing:
+        DAGON_CHECK_MSG(false, "block " << block
+                                        << " stuck Materializing");
+        break;
+      case BlockResidency::Memory:
+        DAGON_CHECK_MSG(in_memory,
+                        "block " << block << " is Memory but no holder");
+        break;
+      case BlockResidency::Disk:
+      case BlockResidency::Evicted:
+        DAGON_CHECK_MSG(!in_memory && exists(block),
+                        "block " << block << " is " << to_string(r)
+                                 << " but copies diverge");
+        break;
     }
   }
 }
@@ -132,10 +186,19 @@ void BlockManagerMaster::apply_insert(
       holders.push_back(exec);
       ++placement_version_;
     }
+    // First holder promotes the block to Memory (from Materializing on
+    // the produce path, Disk on a read-admit, Evicted on a re-admit).
+    if (residency(block) != BlockResidency::Memory) {
+      set_residency(block, BlockResidency::Memory);
+    }
     prefetchable_.erase(block);
     ++counters_.insertions;
   } else {
     ++counters_.rejected_admissions;
+    // A refused produce-time admission still has its durable disk copy.
+    if (residency(block) == BlockResidency::Materializing) {
+      set_residency(block, BlockResidency::Disk);
+    }
     if (dag_->rdd(block.rdd).cacheable && !memory_copies_.contains(block)) {
       prefetchable_.insert(block);
     }
@@ -151,6 +214,9 @@ void BlockManagerMaster::note_evicted(const BlockId& block, ExecutorId exec) {
   ++placement_version_;
   if (holders.empty()) {
     memory_copies_.erase(it);
+    // Last memory copy gone; the durable disk copy keeps the block
+    // recoverable (eviction is always safe, DESIGN.md §4).
+    set_residency(block, BlockResidency::Evicted);
     if (dag_->rdd(block.rdd).cacheable) prefetchable_.insert(block);
   }
 }
@@ -169,9 +235,15 @@ void BlockManagerMaster::on_block_produced(const BlockId& block,
     disk_union_.erase(block);
     ++placement_version_;
   }
-  if (!cache_enabled_) return;
+  // Lifecycle: Absent → Materializing on first production, Lost →
+  // Materializing on a lineage recompute; apply_insert (or the
+  // non-cacheable early-out below) then settles Memory vs Disk.
+  set_residency(block, BlockResidency::Materializing);
   const Rdd& rdd = dag_->rdd(block.rdd);
-  if (!rdd.cacheable || rdd.bytes_per_partition <= 0) return;
+  if (!cache_enabled_ || !rdd.cacheable || rdd.bytes_per_partition <= 0) {
+    set_residency(block, BlockResidency::Disk);
+    return;
+  }
   auto result = managers_[static_cast<std::size_t>(exec.value())].insert(
       block, rdd.bytes_per_partition, now, *oracle_);
   apply_insert(result, block, exec);
@@ -356,6 +428,10 @@ BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
       ++result.rereplicated;
     } else {
       // No copy anywhere: only lineage recomputation can bring it back.
+      // The memory-drop pass above already moved the block to Evicted if
+      // this executor held the last memory copy, so the edge here is
+      // Disk → Lost or Evicted → Lost.
+      set_residency(block, BlockResidency::Lost);
       prefetchable_.erase(block);
       result.lost.push_back(block);
     }

@@ -17,6 +17,7 @@
 #include "cluster/cost_model.hpp"
 #include "cluster/hdfs.hpp"
 #include "cluster/topology.hpp"
+#include "common/fsm.hpp"
 
 namespace dagon {
 
@@ -175,10 +176,30 @@ class BlockManagerMaster {
     return placement_version_;
   }
 
+  // -- lifecycle (fsm::StateMachine<BlockResidency>) -----------------------
+
+  /// Current residency of `block`. Input blocks start at Disk (HDFS);
+  /// a never-produced block reports Absent. Tracked through the block
+  /// transition table purely as a shadow of the copy maps — placement
+  /// decisions never read it, so it cannot perturb fingerprints.
+  [[nodiscard]] BlockResidency residency(const BlockId& block) const;
+
+  /// Checks every tracked block's residency against the copy maps
+  /// (Memory ⟺ a memory holder exists, Disk/Evicted ⟹ durable copy
+  /// only, Lost/Absent ⟹ no copy anywhere). Throws InvariantError on
+  /// divergence; the driver runs this at quiescence.
+  void verify_residency() const;
+
+  /// Release-build sink for illegal residency transitions (folded into
+  /// metrics_fingerprint by the driver). Null = throw-only enforcement.
+  void set_fsm_violations(fsm::Violations* sink) { fsm_violations_ = sink; }
+
  private:
   void apply_insert(const BlockManager::InsertResult& result,
                     const BlockId& block, ExecutorId exec);
   void note_evicted(const BlockId& block, ExecutorId exec);
+  /// Routes every residency write through the transition table.
+  void set_residency(const BlockId& block, BlockResidency to);
 
   const Topology* topo_;
   const JobDag* dag_;
@@ -210,6 +231,11 @@ class BlockManagerMaster {
   /// block, so disk_holders() is a view. Entries are erased when a new
   /// produced copy lands (disk copies are never removed otherwise).
   mutable std::unordered_map<BlockId, std::vector<NodeId>> disk_union_;
+  /// Shadow lifecycle state per block (fsm::StateMachine<BlockResidency>).
+  /// Blocks absent from the map are Absent. Every write flows through
+  /// set_residency() / fsm::transition().
+  std::unordered_map<BlockId, BlockResidency> residency_;
+  fsm::Violations* fsm_violations_ = nullptr;
   Counters counters_;
   std::uint64_t placement_version_ = 1;
 };

@@ -11,6 +11,12 @@ CostModel::CostModel(const CostModelSpec& spec) : spec_(spec) {
       spec_.net_bw_cross <= 0) {
     throw ConfigError("CostModelSpec bandwidths must be positive");
   }
+  if (spec_.disk_latency <= 0 || spec_.net_latency <= 0) {
+    throw ConfigError("CostModelSpec latencies must be positive");
+  }
+  if (spec_.serde_sec_per_byte < 0) {
+    throw ConfigError("CostModelSpec serde_sec_per_byte must be >= 0");
+  }
 }
 
 SimTime CostModel::transfer(Bytes bytes, BytesPerSec bw) {
@@ -18,24 +24,17 @@ SimTime CostModel::transfer(Bytes bytes, BytesPerSec bw) {
                               static_cast<double>(kSec));
 }
 
-SimTime CostModel::fetch_time(Bytes bytes, BlockSource source) const {
-  return fetch_time(bytes, source, spec_.serde_sec_per_byte);
-}
-
 SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
-                              double serde_sec_per_byte,
+                              std::optional<double> serde_sec_per_byte,
                               double slowdown) const {
-  const SimTime base = fetch_time(bytes, source, serde_sec_per_byte);
-  if (slowdown <= 1.0) return base;
-  return static_cast<SimTime>(static_cast<double>(base) * slowdown);
-}
-
-SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
-                              double serde_sec_per_byte) const {
+  if (slowdown > 1.0) {
+    const SimTime base = fetch_time(bytes, source, serde_sec_per_byte);
+    return static_cast<SimTime>(static_cast<double>(base) * slowdown);
+  }
   if (bytes <= 0) return 0;
   const SimTime serde = static_cast<SimTime>(
-      serde_sec_per_byte * static_cast<double>(bytes) *
-      static_cast<double>(kSec));
+      serde_sec_per_byte.value_or(spec_.serde_sec_per_byte) *
+      static_cast<double>(bytes) * static_cast<double>(kSec));
   switch (source) {
     case BlockSource::LocalMemory:
       return transfer(bytes, spec_.memory_bw);

@@ -4,6 +4,8 @@
 // (~150 MB/s sequential) and 10 Gbps Ethernet.
 #pragma once
 
+#include <optional>
+
 #include "common/sim_time.hpp"
 #include "common/units.hpp"
 #include "cluster/locality.hpp"
@@ -68,24 +70,24 @@ struct CostModelSpec {
 
 class CostModel {
  public:
+  /// Validates the spec: bandwidths and latencies must be positive and
+  /// the ser/de rate non-negative (throws ConfigError otherwise).
   explicit CostModel(const CostModelSpec& spec);
 
-  /// Time to fetch `bytes` of one block from `source`, using the spec's
-  /// default ser/de cost.
-  [[nodiscard]] SimTime fetch_time(Bytes bytes, BlockSource source) const;
-
-  /// Same, with an explicit ser/de cost (sec/byte). Serialized RDD data
-  /// pays it on every source except the reader's own memory store; raw
-  /// HDFS input passes 0 (parsing is part of task compute time).
-  [[nodiscard]] SimTime fetch_time(Bytes bytes, BlockSource source,
-                                   double serde_sec_per_byte) const;
-
-  /// Same, with the whole transfer scaled by `slowdown` (>= 1.0) — a
-  /// degraded executor's NIC, disk and ser/de CPU are all impaired, so
-  /// the factor applies uniformly (gray-failure degrade faults).
-  [[nodiscard]] SimTime fetch_time(Bytes bytes, BlockSource source,
-                                   double serde_sec_per_byte,
-                                   double slowdown) const;
+  /// Time to fetch `bytes` of one block from `source`.
+  ///
+  /// `serde_sec_per_byte` overrides the spec's ser/de cost (sec/byte):
+  /// serialized RDD data pays it on every source except the reader's own
+  /// memory store; raw HDFS input passes 0.0 (parsing is part of task
+  /// compute time); omit it to use the spec default.
+  ///
+  /// `slowdown` (>= 1.0) scales the whole transfer — a degraded
+  /// executor's NIC, disk and ser/de CPU are all impaired, so the factor
+  /// applies uniformly (gray-failure degrade faults).
+  [[nodiscard]] SimTime fetch_time(
+      Bytes bytes, BlockSource source,
+      std::optional<double> serde_sec_per_byte = std::nullopt,
+      double slowdown = 1.0) const;
 
   [[nodiscard]] const CostModelSpec& spec() const { return spec_; }
 

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/fsm.hpp"
 #include "common/sim_time.hpp"
 #include "common/strong_id.hpp"
 
@@ -29,7 +30,10 @@ namespace dagon {
 
 class FailureDetector {
  public:
-  enum class State : std::uint8_t { Healthy, Suspect, Dead };
+  /// Classification outcomes are the executor-health lifecycle states of
+  /// fsm::StateMachine<ExecutorHealth>; the driver turns a changed
+  /// classification into an fsm::transition() on the executor.
+  using State = ExecutorHealth;
 
   /// `expected_interval` seeds every executor's inter-arrival window;
   /// `suspect_phi` / `dead_phi` are the classification thresholds

@@ -21,6 +21,8 @@ JobState::JobState(const JobDag& dag, const Topology& topo,
       rt.pending[static_cast<std::size_t>(t)] = t;
     }
     rt.remaining_work = profile.workload(s.id, s.num_tasks);
+    rt.task_status.assign(static_cast<std::size_t>(s.num_tasks),
+                          TaskStatus::Pending);
     rt.ready = s.parents.empty();
     rt.ready_time = rt.ready ? 0 : -1;
     stages_.push_back(std::move(rt));
@@ -95,12 +97,24 @@ std::vector<CpuWork> JobState::priority_values() const {
   return pv;
 }
 
+void JobState::set_status(StageRuntime& rt, std::int32_t index,
+                          TaskStatus to) {
+  DAGON_CHECK(index >= 0 && index < rt.num_tasks);
+  // Entity id packs (stage, index) so an illegal-edge diagnostic or a
+  // counted breach can be traced back to one task.
+  const auto entity =
+      (static_cast<std::int64_t>(rt.id.value()) << 32) | index;
+  fsm::transition(rt.task_status[static_cast<std::size_t>(index)], to,
+                  entity, fsm_violations_);
+}
+
 void JobState::mark_launched(StageId s, std::int32_t index, ExecutorId exec,
                              SimTime now) {
   StageRuntime& rt = stage(s);
   const auto it = std::find(rt.pending.begin(), rt.pending.end(), index);
   DAGON_CHECK_MSG(it != rt.pending.end(),
                   "task " << index << " of stage " << s << " not pending");
+  set_status(rt, index, TaskStatus::Running);
   rt.pending.erase(it);
   ++rt.running;
   if (rt.first_launch < 0) rt.first_launch = now;
@@ -119,10 +133,12 @@ void JobState::mark_launched(StageId s, std::int32_t index, ExecutorId exec,
   ++e.tasks_launched;
 }
 
-bool JobState::mark_finished(StageId s, ExecutorId exec, Locality locality,
-                             SimTime launch_time, SimTime now) {
+bool JobState::mark_finished(StageId s, std::int32_t index, ExecutorId exec,
+                             Locality locality, SimTime launch_time,
+                             SimTime now) {
   StageRuntime& rt = stage(s);
   DAGON_CHECK(rt.running > 0);
+  set_status(rt, index, TaskStatus::Finished);
   --rt.running;
   ++rt.finished_tasks;
 
@@ -164,9 +180,15 @@ std::vector<StageId> JobState::refresh_ready(SimTime now) {
   return newly_ready;
 }
 
+void JobState::mark_failed(StageId s, std::int32_t index) {
+  StageRuntime& rt = stage(s);
+  set_status(rt, index, TaskStatus::Failed);
+}
+
 void JobState::readd_pending(StageId s, std::int32_t index) {
   StageRuntime& rt = stage(s);
   DAGON_CHECK(index >= 0 && index < rt.num_tasks);
+  set_status(rt, index, TaskStatus::Pending);
   rt.pending.push_back(index);
   const StageEstimate& est = profile_->stage(s);
   rt.remaining_work +=
@@ -182,6 +204,7 @@ void JobState::reopen_task(StageId s, std::int32_t index) {
   DAGON_CHECK_MSG(std::find(rt.pending.begin(), rt.pending.end(), index) ==
                       rt.pending.end(),
                   "task " << index << " of stage " << s << " already pending");
+  set_status(rt, index, TaskStatus::Pending);
   --rt.finished_tasks;
   if (rt.finished) {
     rt.finished = false;

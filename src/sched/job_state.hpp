@@ -12,13 +12,12 @@
 
 #include "cluster/locality.hpp"
 #include "cluster/topology.hpp"
+#include "common/fsm.hpp"
 #include "common/sim_time.hpp"
 #include "dag/job_dag.hpp"
 #include "dag/profile.hpp"
 
 namespace dagon {
-
-enum class TaskStatus { Pending, Running, Finished, Failed };
 
 struct TaskRuntime {
   StageId stage;
@@ -67,19 +66,28 @@ struct StageRuntime {
   /// Durations of finished tasks (for speculation medians and metrics).
   std::vector<SimTime> finished_durations;
 
+  /// Lifecycle state per task index (not per attempt: a speculative twin
+  /// shares its index's state). Every write flows through
+  /// fsm::transition() in job_state.cpp.
+  std::vector<TaskStatus> task_status;
+
   [[nodiscard]] bool has_pending() const { return !pending.empty(); }
+
+  [[nodiscard]] TaskStatus status_of(std::int32_t index) const {
+    return task_status[static_cast<std::size_t>(index)];
+  }
 };
 
 struct ExecutorRuntime {
   ExecutorId id;
-  /// False once the fault plan crashed this executor; a dead executor
-  /// holds no cores and is skipped by every placement decision.
-  bool alive = true;
-  /// True while the failure detector suspects this executor (missed
-  /// heartbeats). A suspect keeps its cores and running attempts — it
-  /// may well recover — but receives no new launches and grants no
-  /// locality preference.
-  bool suspect = false;
+  /// Healthy / Suspect / Dead lifecycle (fsm::StateMachine<
+  /// ExecutorHealth>). Dead once the fault plan crashed this executor —
+  /// it holds no cores and is skipped by every placement decision.
+  /// Suspect while the failure detector sees missed heartbeats: the
+  /// executor keeps its cores and running attempts — it may well recover
+  /// — but receives no new launches and grants no locality preference.
+  /// Every write flows through fsm::transition() in the driver.
+  ExecutorHealth health = ExecutorHealth::Healthy;
   /// End of blacklist probation; 0 when not blacklisted. A blacklisted
   /// executor receives no new launches until the probation expires.
   SimTime blacklisted_until = 0;
@@ -95,11 +103,16 @@ struct ExecutorRuntime {
   std::optional<BlockId> prefetching;
   std::int64_t tasks_launched = 0;
 
+  [[nodiscard]] bool alive() const { return health != ExecutorHealth::Dead; }
+  [[nodiscard]] bool suspect() const {
+    return health == ExecutorHealth::Suspect;
+  }
+
   /// May the scheduler place a *new* attempt here at `now`? Dead,
   /// suspect and blacklisted executors are all excluded; already-running
   /// attempts are unaffected.
   [[nodiscard]] bool schedulable(SimTime now) const {
-    return alive && !suspect && blacklisted_until <= now;
+    return health == ExecutorHealth::Healthy && blacklisted_until <= now;
   }
 };
 
@@ -177,21 +190,30 @@ class JobState {
   // -- state transitions (called by the simulation driver) ----------------
 
   /// Removes task `index` from stage `s`'s pending queue and charges the
-  /// executor's cores; updates w_i / Table III bookkeeping.
+  /// executor's cores; updates w_i / Table III bookkeeping. The first
+  /// launch of an index transitions it Pending → Running; a speculative
+  /// twin leaves the (already Running) index state untouched.
   void mark_launched(StageId s, std::int32_t index, ExecutorId exec,
                      SimTime now);
 
-  /// Returns cores and records duration stats; marks the stage finished
-  /// when its last task completes (returns true in that case).
-  bool mark_finished(StageId s, ExecutorId exec, Locality locality,
-                     SimTime launch_time, SimTime now);
+  /// Returns cores and records duration stats; transitions task `index`
+  /// Running → Finished; marks the stage finished when its last task
+  /// completes (returns true in that case).
+  bool mark_finished(StageId s, std::int32_t index, ExecutorId exec,
+                     Locality locality, SimTime launch_time, SimTime now);
+
+  /// Transitions task `index` Running → Failed. Called by the driver
+  /// when the last live attempt of an unproduced index fails; the retry
+  /// path (readd_pending) later moves it Failed → Pending.
+  void mark_failed(StageId s, std::int32_t index);
 
   /// Promotes stages whose parents have all finished; returns the newly
   /// ready stage ids.
   std::vector<StageId> refresh_ready(SimTime now);
 
-  /// Re-inserts a pending task (used when a speculative copy wins and
-  /// the original is cancelled — or for tests).
+  /// Re-queues a *failed* task for retry: transitions it
+  /// Failed → Pending, re-inserts it into the pending queue and restores
+  /// its share of remaining_work.
   void readd_pending(StageId s, std::int32_t index);
 
   /// Lineage recovery: re-opens a *finished* task of a (possibly
@@ -214,13 +236,21 @@ class JobState {
   /// Mean duration over all finished tasks of `s` (any locality).
   [[nodiscard]] std::optional<SimTime> observed_duration(StageId s) const;
 
+  /// Release-build sink for illegal task-status transitions (folded into
+  /// metrics_fingerprint by the driver). Null = throw-only enforcement.
+  void set_fsm_violations(fsm::Violations* sink) { fsm_violations_ = sink; }
+
  private:
+  /// Routes every task_status write through the transition table.
+  void set_status(StageRuntime& rt, std::int32_t index, TaskStatus to);
+
   const JobDag* dag_;
   const Topology* topo_;
   const JobProfile* profile_;
   std::vector<StageRuntime> stages_;
   std::vector<ExecutorRuntime> executors_;
   std::uint64_t pv_epoch_ = 1;
+  fsm::Violations* fsm_violations_ = nullptr;
 };
 
 }  // namespace dagon

@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/error.hpp"
+#include "common/fsm.hpp"
 #include "common/log.hpp"
 #include "common/sorted_view.hpp"
 #include "sched/task_locality.hpp"
@@ -28,6 +29,11 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
       delay_(make_delay_policy(config.delay, config.waits, cost_,
                                config.ect_slack)) {
   validate();
+  // Release-build lifecycle enforcement: illegal transitions in
+  // job_state / cache master / the driver itself land in these counters
+  // and poison the fingerprint (see metrics_fingerprint).
+  state_.set_fsm_violations(&metrics_.fsm.task);
+  master_.set_fsm_violations(&metrics_.fsm.block);
   if (config_.faults.enabled) {
     fault_plan_.emplace(config_.faults, topo_.num_executors(),
                         topo_.num_racks(), config_.seed);
@@ -298,7 +304,8 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   AttemptRuntime attempt;
   attempt.task.stage = s;
   attempt.task.index = a.task_index;
-  attempt.task.status = TaskStatus::Running;
+  fsm::transition(attempt.task.status, TaskStatus::Running, id.value(),
+                  &metrics_.fsm.task);
   attempt.task.executor = a.exec;
   attempt.task.locality = a.locality;
   attempt.task.launch_time = now;
@@ -358,7 +365,8 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
   if (attempt.cancelled) return;  // lost a speculation race earlier
   if (attempt.task.status == TaskStatus::Failed) return;  // crashed earlier
   DAGON_CHECK(attempt.task.status == TaskStatus::Running);
-  attempt.task.status = TaskStatus::Finished;
+  fsm::transition(attempt.task.status, TaskStatus::Finished, id.value(),
+                  &metrics_.fsm.task);
   attempt.task.finish_time = now;
 
   const StageId s = attempt.task.stage;
@@ -372,7 +380,7 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
   }
 
   const bool stage_done = state_.mark_finished(
-      s, attempt.task.executor, attempt.task.locality,
+      s, index, attempt.task.executor, attempt.task.locality,
       attempt.task.launch_time, now);
   claim_reservation(attempt.task.executor, now);
 
@@ -435,7 +443,7 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
       config_.capacity_phases[static_cast<std::size_t>(index)]
           .reserved_fraction;
   for (ExecutorRuntime& e : state_.executors()) {
-    if (!e.alive) continue;  // crashed executors have no cores to reserve
+    if (!e.alive()) continue;  // crashed executors have no cores to reserve
     const Cpus cores = topo_.executor(e.id).cores;
     const auto target = static_cast<Cpus>(
         fraction * static_cast<double>(cores) + 0.5);
@@ -464,7 +472,7 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
 
 void SimDriver::claim_reservation(ExecutorId exec, SimTime now) {
   ExecutorRuntime& e = state_.executor(exec);
-  if (!e.alive || e.pending_reservation <= 0) return;
+  if (!e.alive() || e.pending_reservation <= 0) return;
   const Cpus take = std::min(e.free_cores, e.pending_reservation);
   if (take > 0) {
     e.free_cores -= take;
@@ -479,7 +487,7 @@ void SimDriver::handle_prefetch_done(const Event& e, SimTime now) {
   ExecutorRuntime& ex = state_.executor(e.exec);
   ex.prefetching.reset();
   // The executor died while the IO was in flight: the data never landed.
-  if (!ex.alive) return;
+  if (!ex.alive()) return;
   master_.finish_prefetch(e.block, e.exec, now);
 }
 
@@ -488,7 +496,7 @@ void SimDriver::issue_prefetches(SimTime now) {
   for (ExecutorRuntime& e : state_.executors()) {
     // Suspect executors get no prefetch IO: filling a possibly-dying
     // cache wastes the channel.
-    if (!e.alive || e.suspect || e.prefetching.has_value()) continue;
+    if (!e.alive() || e.suspect() || e.prefetching.has_value()) continue;
     const auto choice = master_.prefetch_candidate(e.id);
     if (!choice || prefetch_inflight_.contains(choice->block)) continue;
     prefetch_inflight_.insert(choice->block);
@@ -511,7 +519,7 @@ void SimDriver::try_speculation(SimTime now) {
       // candidates with a relaxed threshold (gray-failure defense).
       if (gray_active_) {
         impaired.push_back(
-            state_.executor(a.task.executor).suspect ||
+            state_.executor(a.task.executor).suspect() ||
             fault_plan_->degrade_factor(a.task.executor, now) > 1.0);
       }
     }
@@ -565,15 +573,15 @@ void SimDriver::try_speculation(SimTime now) {
 
 void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
   ExecutorRuntime& e = state_.executor(exec);
-  if (!e.alive) return;
+  if (!e.alive()) return;
   std::int64_t alive = 0;
   for (const ExecutorRuntime& other : state_.executors()) {
-    if (other.alive) ++alive;
+    if (other.alive()) ++alive;
   }
   DAGON_CHECK_MSG(alive > 1, "fault plan would crash the last executor");
   // Tear down the gray-failure state first so suspicion/blacklist flags
   // never survive on a dead executor.
-  if (e.suspect) clear_suspicion(exec, now, /*recovered=*/false);
+  if (e.suspect()) clear_suspicion(exec, now, /*recovered=*/false);
   e.blacklisted_until = 0;
   e.blacklist_failures = 0;
   if (detector_) detector_->stop(exec);
@@ -594,8 +602,10 @@ void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
   }
   for (const TaskId id : victims) fail_attempt(id, now, /*from_crash=*/true);
 
-  // 2. Remove the executor from the cluster for good.
-  e.alive = false;
+  // 2. Remove the executor from the cluster for good. Suspicion was
+  // cleared above, so the edge here is always Healthy → Dead.
+  fsm::transition(e.health, ExecutorHealth::Dead, exec.value(),
+                  &metrics_.fsm.executor);
   if (e.reserved_cores > 0) {
     metrics_.reserved_cores.add(now,
                                 -static_cast<double>(e.reserved_cores));
@@ -628,7 +638,8 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
   if (attempt.cancelled || attempt.task.status != TaskStatus::Running) {
     return;  // lost a speculation race / already failed via the crash
   }
-  attempt.task.status = TaskStatus::Failed;
+  fsm::transition(attempt.task.status, TaskStatus::Failed, id.value(),
+                  &metrics_.fsm.task);
   attempt.task.finish_time = now;
 
   const StageId s = attempt.task.stage;
@@ -665,6 +676,10 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
   if (!produced_[static_cast<std::size_t>(s.value())]
                [static_cast<std::size_t>(index)] &&
       !has_live_attempt(s, index)) {
+    // Nothing can still complete the index: it fails at the task level
+    // too (Running → Failed); the retry requeue moves it back to
+    // Pending.
+    state_.mark_failed(s, index);
     schedule_retry(s, index, now);
   }
 }
@@ -710,7 +725,7 @@ void SimDriver::handle_task_retry(StageId s, std::int32_t index,
 void SimDriver::handle_fault_tick(SimTime now) {
   const SimTime interval = config_.faults.block_loss_interval;
   for (const ExecutorRuntime& e : state_.executors()) {
-    if (!e.alive) continue;
+    if (!e.alive()) continue;
     const BlockManager& mgr = master_.manager(e.id);
     // Ascending block order: the set of RNG draws is a deterministic
     // function of the (unordered) cache contents.
@@ -800,7 +815,7 @@ void SimDriver::handle_heartbeat(ExecutorId exec, SimTime now) {
   const ExecutorRuntime& e = state_.executor(exec);
   // Dead executors emit no heartbeats; a late declared-dead executor
   // never re-registers (Spark would refuse the stale executor id too).
-  if (!e.alive) return;
+  if (!e.alive()) return;
   if (fault_plan_->partitioned_until(rack_of_exec(exec), now) > now) {
     ++metrics_.faults.heartbeats_dropped;
   } else {
@@ -820,19 +835,19 @@ void SimDriver::handle_heartbeat(ExecutorId exec, SimTime now) {
 
 void SimDriver::evaluate_suspicions(SimTime now) {
   for (const ExecutorRuntime& e : state_.executors()) {
-    if (e.alive) evaluate_executor(e.id, now);
+    if (e.alive()) evaluate_executor(e.id, now);
   }
 }
 
 void SimDriver::evaluate_executor(ExecutorId exec, SimTime now) {
   ExecutorRuntime& e = state_.executor(exec);
-  if (!e.alive) return;
+  if (!e.alive()) return;
   switch (detector_->classify(exec, now)) {
     case FailureDetector::State::Healthy:
-      if (e.suspect) clear_suspicion(exec, now, /*recovered=*/true);
+      if (e.suspect()) clear_suspicion(exec, now, /*recovered=*/true);
       break;
     case FailureDetector::State::Suspect:
-      if (!e.suspect) enter_suspicion(exec, now);
+      if (!e.suspect()) enter_suspicion(exec, now);
       break;
     case FailureDetector::State::Dead:
       declare_dead(exec, now);
@@ -842,7 +857,8 @@ void SimDriver::evaluate_executor(ExecutorId exec, SimTime now) {
 
 void SimDriver::enter_suspicion(ExecutorId exec, SimTime now) {
   ExecutorRuntime& e = state_.executor(exec);
-  e.suspect = true;
+  fsm::transition(e.health, ExecutorHealth::Suspect, exec.value(),
+                  &metrics_.fsm.executor);
   master_.set_executor_suspect(exec, true);
   ++metrics_.faults.suspicions;
   ++exec_faults(exec).suspicions;
@@ -855,7 +871,7 @@ void SimDriver::enter_suspicion(ExecutorId exec, SimTime now) {
   // instantaneous; its bytes are reported, not charged to the network.)
   ExecutorId target = ExecutorId::invalid();
   for (const ExecutorRuntime& other : state_.executors()) {
-    if (other.alive && !other.suspect) {
+    if (other.alive() && !other.suspect()) {
       target = other.id;
       break;
     }
@@ -875,7 +891,8 @@ void SimDriver::enter_suspicion(ExecutorId exec, SimTime now) {
 void SimDriver::clear_suspicion(ExecutorId exec, SimTime now,
                                 bool recovered) {
   ExecutorRuntime& e = state_.executor(exec);
-  e.suspect = false;
+  fsm::transition(e.health, ExecutorHealth::Healthy, exec.value(),
+                  &metrics_.fsm.executor);
   master_.set_executor_suspect(exec, false);
   if (recovered) {
     ++metrics_.faults.false_suspicions;
@@ -890,7 +907,7 @@ void SimDriver::declare_dead(ExecutorId exec, SimTime now) {
   // partitioned at once): keep it suspect and let the heal decide.
   std::int64_t alive = 0;
   for (const ExecutorRuntime& other : state_.executors()) {
-    if (other.alive) ++alive;
+    if (other.alive()) ++alive;
   }
   if (alive <= 1) return;
   ++metrics_.faults.executors_declared_dead;
@@ -906,7 +923,7 @@ void SimDriver::note_attempt_failure(ExecutorId exec, SimTime now) {
   const std::int32_t threshold = config_.faults.blacklist_threshold;
   if (threshold <= 0) return;
   ExecutorRuntime& e = state_.executor(exec);
-  if (!e.alive) return;
+  if (!e.alive()) return;
   ++e.blacklist_failures;
   if (e.blacklisted_until <= now && e.blacklist_failures >= threshold) {
     e.blacklisted_until = now + config_.faults.blacklist_probation;
@@ -921,7 +938,7 @@ void SimDriver::note_attempt_failure(ExecutorId exec, SimTime now) {
 void SimDriver::expire_blacklists(SimTime now) {
   if (config_.faults.blacklist_threshold <= 0) return;
   for (ExecutorRuntime& e : state_.executors()) {
-    if (!e.alive || e.blacklisted_until == 0 || e.blacklisted_until > now) {
+    if (!e.alive() || e.blacklisted_until == 0 || e.blacklisted_until > now) {
       continue;
     }
     // Probation over: clean slate.
@@ -940,7 +957,7 @@ void SimDriver::verify_quiescent() const {
   DAGON_CHECK_MSG(metrics_.running_tasks.value() == 0.0,
                   "end of run: running_tasks did not return to zero");
   for (const ExecutorRuntime& e : state_.executors()) {
-    if (e.alive) {
+    if (e.alive()) {
       DAGON_CHECK_MSG(
           e.free_cores + e.reserved_cores == topo_.executor(e.id).cores,
           "end of run: cores leaked on executor " << e.id);
@@ -952,10 +969,10 @@ void SimDriver::verify_quiescent() const {
                           e.pending_reservation == 0,
                       "end of run: crashed executor " << e.id
                                                       << " holds cores");
-      DAGON_CHECK_MSG(!e.suspect, "end of run: dead executor "
+      DAGON_CHECK_MSG(!e.suspect(), "end of run: dead executor "
                                       << e.id << " still marked suspect");
     }
-    DAGON_CHECK_MSG(e.suspect == master_.executor_suspect(e.id),
+    DAGON_CHECK_MSG(e.suspect() == master_.executor_suspect(e.id),
                     "end of run: suspect flag for executor "
                         << e.id << " diverged between driver and master");
   }
@@ -963,7 +980,17 @@ void SimDriver::verify_quiescent() const {
     DAGON_CHECK_MSG(s.finished && s.running == 0 && s.pending.empty() &&
                         s.finished_tasks == s.num_tasks,
                     "end of run: stage " << s.id << " not quiescent");
+    for (std::int32_t t = 0; t < s.num_tasks; ++t) {
+      DAGON_CHECK_MSG(s.status_of(t) == TaskStatus::Finished,
+                      "end of run: stage " << s.id << " task " << t
+                                           << " is "
+                                           << to_string(s.status_of(t)));
+    }
   }
+  // Residency lifecycle must agree with the copy maps at quiescence.
+  master_.verify_residency();
+  DAGON_CHECK_MSG(!metrics_.fsm.any(),
+                  "end of run: lifecycle transition breaches counted");
   for (const AttemptRuntime& a : attempts_) {
     DAGON_CHECK_MSG(a.cancelled || a.task.status != TaskStatus::Running,
                     "end of run: attempt of stage "

@@ -137,6 +137,14 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
     }
     for (const TaskRecord& t : m.tasks) h.mix_value(t.failed);
   }
+  // Lifecycle breaches likewise gate in only when one fired: clean runs
+  // keep their pinned digests, while a release-build run that bypassed a
+  // transition table can never alias a clean run's fingerprint.
+  if (m.fsm.any()) {
+    h.mix_value(m.fsm.task.illegal);
+    h.mix_value(m.fsm.block.illegal);
+    h.mix_value(m.fsm.executor.illegal);
+  }
   return h.value();
 }
 

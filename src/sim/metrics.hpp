@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "cluster/locality.hpp"
+#include "common/fsm.hpp"
 #include "common/stats.hpp"
 #include "common/strong_id.hpp"
 #include "common/units.hpp"
@@ -144,6 +145,20 @@ struct FaultStats {
   }
 };
 
+/// Release-build lifecycle breach counters, one sink per state machine
+/// (see common/fsm.hpp). All zero on a correct run; any non-zero counter
+/// is folded into metrics_fingerprint so a violating run can never alias
+/// a clean one's digest.
+struct FsmStats {
+  fsm::Violations task;
+  fsm::Violations block;
+  fsm::Violations executor;
+
+  [[nodiscard]] bool any() const {
+    return task.any() || block.any() || executor.any();
+  }
+};
+
 /// Sampled pending-task counts for one executor (Fig. 4 top panes).
 struct PendingSample {
   SimTime time = 0;
@@ -180,6 +195,7 @@ class RunMetrics {
   std::vector<StageRecord> stages;
   CacheStats cache;
   FaultStats faults;
+  FsmStats fsm;
   /// Launch counts per locality level (Fig. 10b).
   std::array<std::int64_t, 5> locality_histogram{};
 

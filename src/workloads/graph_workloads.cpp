@@ -96,11 +96,11 @@ Workload make_superstep_graph(const SuperstepParams& p) {
                                           p.radj_block});
   const RddId radj = b.output_of(rbuild);
 
-  RddId state = init.valid() ? b.output_of(init) : RddId::invalid();
+  RddId state_rdd = init.valid() ? b.output_of(init) : RddId::invalid();
   for (std::int32_t step = 1; step <= p.supersteps; ++step) {
     // Light gather over the out-edges (lower stage id).
     std::vector<RddRef> gather_inputs{{adj, DepKind::Narrow}};
-    if (state.valid()) gather_inputs.push_back({state, DepKind::Shuffle});
+    if (state_rdd.valid()) gather_inputs.push_back({state_rdd, DepKind::Shuffle});
     const StageId gather =
         b.add_stage({.name = "gather" + std::to_string(step),
                      .inputs = std::move(gather_inputs),
@@ -121,7 +121,7 @@ Workload make_superstep_graph(const SuperstepParams& p) {
       }
     }
     std::vector<RddRef> scatter_inputs{{radj, DepKind::Narrow}};
-    if (state.valid()) scatter_inputs.push_back({state, DepKind::Shuffle});
+    if (state_rdd.valid()) scatter_inputs.push_back({state_rdd, DepKind::Shuffle});
     // d=3 on 4-core executors: one spare vCPU per executor that only
     // the gather stage's d=1 tasks can use — DAG-aware packing fodder.
     const StageId scatter =
@@ -144,11 +144,11 @@ Workload make_superstep_graph(const SuperstepParams& p) {
                      .output_bytes_per_partition = p.state_block});
     // The previous superstep's state is now dead: proactive-eviction
     // policies (MRD/LRP) reclaim its cache space immediately.
-    state = b.output_of(update);
+    state_rdd = b.output_of(update);
   }
 
   b.add_stage({.name = "collect",
-               .inputs = {{state, DepKind::Shuffle}},
+               .inputs = {{state_rdd, DepKind::Shuffle}},
                .num_tasks = std::max(2, n / 8),
                .task_cpus = 1,
                .task_duration = kSec,

@@ -1,0 +1,12 @@
+// dagonlint fixture: one enum-switch-default violation (line 9): the
+// `default:` arm defeats -Wswitch-enum exhaustiveness.
+enum class FixtureMode { Fifo, Fair };
+
+int fixture_pick(FixtureMode m) {
+  switch (m) {
+    case FixtureMode::Fifo:
+      return 1;
+    default:
+      return 0;
+  }
+}

@@ -1,0 +1,14 @@
+// dagonlint fixture driver: dispatches TaskFinish and Tick but not
+// Heartbeat; the gap is reported at the enumerator's declaration in
+// event_queue.hpp, not here.
+#include "event_queue.hpp"
+
+int fixture_dispatch(EventType t) {
+  switch (t) {
+    case EventType::TaskFinish:
+      return 1;
+    case EventType::Tick:
+      return 2;
+  }
+  return 0;
+}

@@ -1,0 +1,7 @@
+// dagonlint fixture: EventType::Heartbeat (line 6) has no dispatch in
+// the sibling driver.cpp — one event-handler-complete violation.
+enum class EventType {
+  TaskFinish,
+  Tick,
+  Heartbeat,
+};

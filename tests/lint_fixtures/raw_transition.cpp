@@ -1,0 +1,11 @@
+// dagonlint fixture: one unsuppressed raw-transition violation (line
+// 9): the lifecycle write bypasses fsm::transition().
+enum class Phase { Idle, Busy };
+
+struct FixtureWorker {
+  Phase status = Phase::Idle;
+
+  void begin() {
+    status = Phase::Busy;
+  }
+};

@@ -213,6 +213,45 @@ TEST(CostModel, RejectsBadSpec) {
   EXPECT_THROW(CostModel{spec}, ConfigError);
 }
 
+TEST(CostModel, RejectsNonPositiveLatencies) {
+  CostModelSpec spec;
+  spec.disk_latency = 0;
+  EXPECT_THROW(CostModel{spec}, ConfigError);
+  spec = CostModelSpec{};
+  spec.net_latency = -1;
+  EXPECT_THROW(CostModel{spec}, ConfigError);
+}
+
+TEST(CostModel, RejectsNegativeSerdeRate) {
+  CostModelSpec spec;
+  spec.serde_sec_per_byte = -1e-9;
+  EXPECT_THROW(CostModel{spec}, ConfigError);
+  // Zero is the raw-HDFS-input case and must stay legal.
+  spec.serde_sec_per_byte = 0.0;
+  EXPECT_NO_THROW(CostModel{spec});
+}
+
+TEST(CostModel, DefaultedSerdeArgumentUsesTheSpecRate) {
+  CostModelSpec spec;
+  spec.serde_sec_per_byte = 1e-8;
+  const CostModel cost(spec);
+  const Bytes b = 64 * kMiB;
+  // Omitting the override reads the spec; passing it explicitly and
+  // passing 0.0 bracket the defaulted value.
+  EXPECT_EQ(cost.fetch_time(b, BlockSource::RackMemory),
+            cost.fetch_time(b, BlockSource::RackMemory, 1e-8));
+  EXPECT_GT(cost.fetch_time(b, BlockSource::RackMemory),
+            cost.fetch_time(b, BlockSource::RackMemory, 0.0));
+}
+
+TEST(CostModel, SlowdownScalesTheWholeFetch) {
+  const CostModel cost{CostModelSpec{}};
+  const Bytes b = 64 * kMiB;
+  const SimTime base = cost.fetch_time(b, BlockSource::LocalDisk);
+  EXPECT_EQ(cost.fetch_time(b, BlockSource::LocalDisk, std::nullopt, 2.0),
+            static_cast<SimTime>(static_cast<double>(base) * 2.0));
+}
+
 TEST(BlockSource, Names) {
   EXPECT_STREQ(block_source_name(BlockSource::LocalMemory), "local-mem");
   EXPECT_STREQ(block_source_name(BlockSource::RemoteDisk), "remote-disk");

@@ -218,7 +218,7 @@ TEST(FaultRecovery, CrashedExecutorLeavesClusterAndCacheStaysDiskBacked) {
   const RunMetrics m = driver.run();
   EXPECT_EQ(m.faults.executor_crashes, 1);
 
-  EXPECT_FALSE(driver.state().executor(ExecutorId(0)).alive);
+  EXPECT_FALSE(driver.state().executor(ExecutorId(0)).alive());
   EXPECT_EQ(driver.state().executor(ExecutorId(0)).free_cores, 0);
   EXPECT_EQ(driver.master().manager(ExecutorId(0)).num_blocks(), 0u);
 

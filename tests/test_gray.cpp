@@ -249,8 +249,8 @@ TEST(GraySuspicion, SuspectedThenRecoveredExecutorIsReadmitted) {
   // False-positive handling: nobody died, accounting intact, and the
   // formerly-suspect rack-0 executors run tasks again after the heal.
   for (const ExecutorRuntime& e : driver.state().executors()) {
-    EXPECT_TRUE(e.alive);
-    EXPECT_FALSE(e.suspect);
+    EXPECT_TRUE(e.alive());
+    EXPECT_FALSE(e.suspect());
   }
   bool readmitted = false;
   for (const TaskRecord& t : m.tasks) {
@@ -279,8 +279,8 @@ TEST(GraySuspicion, NeverResumingSuspectIsDeclaredDeadAndRecovered) {
   EXPECT_EQ(m.faults.executors_declared_dead, 2);
   EXPECT_EQ(m.faults.executor_crashes, 2);  // recovered via the crash path
   EXPECT_EQ(m.faults.false_suspicions, 0);
-  EXPECT_FALSE(driver.state().executor(ExecutorId(0)).alive);
-  EXPECT_FALSE(driver.state().executor(ExecutorId(1)).alive);
+  EXPECT_FALSE(driver.state().executor(ExecutorId(0)).alive());
+  EXPECT_FALSE(driver.state().executor(ExecutorId(1)).alive());
   // The job still finishes, on the surviving rack alone.
   EXPECT_GT(m.jct, 0);
   for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
@@ -374,16 +374,15 @@ TEST(GrayDegrade, DegradeSlowsExactlyTheTargetExecutor) {
 
 TEST(GrayBlacklist, SchedulableGatesOnLivenessSuspicionAndProbation) {
   ExecutorRuntime e;
-  e.alive = true;
   EXPECT_TRUE(e.schedulable(10 * kSec));
-  e.suspect = true;
+  fsm::transition(e.health, ExecutorHealth::Suspect);
   EXPECT_FALSE(e.schedulable(10 * kSec));
-  e.suspect = false;
+  fsm::transition(e.health, ExecutorHealth::Healthy);
   e.blacklisted_until = 20 * kSec;
   EXPECT_FALSE(e.schedulable(10 * kSec));
   EXPECT_TRUE(e.schedulable(20 * kSec));  // probation over
   e.blacklisted_until = 0;
-  e.alive = false;
+  fsm::transition(e.health, ExecutorHealth::Dead);
   EXPECT_FALSE(e.schedulable(10 * kSec));
 }
 
@@ -427,7 +426,7 @@ TEST(GrayChained, CrashDuringPartitionDrainsToQuiescence) {
   EXPECT_EQ(m.faults.executor_crashes, 1);
   EXPECT_GT(m.faults.suspicions, 0);
   EXPECT_EQ(m.faults.executors_declared_dead, 0);
-  EXPECT_FALSE(driver.state().executor(ExecutorId(2)).alive);
+  EXPECT_FALSE(driver.state().executor(ExecutorId(2)).alive());
   for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
 }
 

@@ -79,6 +79,49 @@ TEST(Lint, FloatAccumFixtureFiresWithExactLocation) {
   EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
 }
 
+TEST(Lint, RawTransitionFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("raw_transition.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("raw_transition.cpp", 9,
+                                  "raw-transition")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, EnumSwitchDefaultFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("enum_switch_default.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("enum_switch_default.cpp", 9,
+                                  "enum-switch-default")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, EventHandlerGapReportedAtEnumeratorDeclaration) {
+  // The fixture subdir holds a 3-enumerator EventType and a driver.cpp
+  // dispatching only 2 of them; the gap is reported at the enumerator's
+  // declaration site in the header, not in the driver.
+  const LintResult r = run_lint(fixture("event_handler"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("event_handler/event_queue.hpp", 6,
+                                  "event-handler-complete")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("EventType::Heartbeat"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, EventHandlerRuleInertWithoutDriverInScope) {
+  // Linting the header alone must not fire: without driver.cpp in the
+  // scanned set there is no dispatch site to check against.
+  const LintResult r = run_lint(fixture("event_handler/event_queue.hpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
+}
+
 TEST(Lint, JustifiedAllowSuppressesAndExitsZero) {
   const LintResult r = run_lint(fixture("suppressed.cpp"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -103,20 +146,23 @@ TEST(Lint, WholeFixtureDirReportsEveryRuleOnce) {
   EXPECT_EQ(r.exit_code, 1) << r.output;
   for (const char* rule :
        {"unordered-iter", "nondet-source", "ptr-order", "float-accum",
-        "bare-allow"}) {
+        "bare-allow", "raw-transition", "enum-switch-default",
+        "event-handler-complete"}) {
     EXPECT_NE(r.output.find(std::string("[") + rule + "]"),
               std::string::npos)
         << "missing " << rule << " in:\n"
         << r.output;
   }
-  EXPECT_NE(r.output.find("5 finding(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("8 finding(s)"), std::string::npos) << r.output;
 }
 
 TEST(Lint, ListRulesNamesEveryRule) {
   const LintResult r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
   for (const char* rule : {"unordered-iter", "nondet-source", "ptr-order",
-                           "float-accum", "bare-allow"}) {
+                           "float-accum", "bare-allow", "raw-transition",
+                           "enum-switch-default",
+                           "event-handler-complete"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
   }
 }

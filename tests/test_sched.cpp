@@ -96,11 +96,11 @@ TEST_F(SchedFixture, MarkFinishedCompletesStage) {
   for (const std::int32_t t : {0, 1, 2}) {
     state_.mark_launched(StageId(0), t, ExecutorId(t), 0);
   }
-  EXPECT_FALSE(state_.mark_finished(StageId(0), ExecutorId(0),
+  EXPECT_FALSE(state_.mark_finished(StageId(0), 0, ExecutorId(0),
                                     Locality::Node, 0, 4 * kMinute));
-  EXPECT_FALSE(state_.mark_finished(StageId(0), ExecutorId(1),
+  EXPECT_FALSE(state_.mark_finished(StageId(0), 1, ExecutorId(1),
                                     Locality::Node, 0, 4 * kMinute));
-  EXPECT_TRUE(state_.mark_finished(StageId(0), ExecutorId(2),
+  EXPECT_TRUE(state_.mark_finished(StageId(0), 2, ExecutorId(2),
                                    Locality::Node, 0, 4 * kMinute));
   EXPECT_TRUE(state_.stage(StageId(0)).finished);
   EXPECT_EQ(state_.stage(StageId(0)).finish_time, 4 * kMinute);
@@ -111,7 +111,7 @@ TEST_F(SchedFixture, RefreshReadyPromotesChildren) {
   // Finish S2 -> S3 becomes ready; S4 still blocked on S1/S3.
   for (const std::int32_t t : {0, 1, 2}) {
     state_.mark_launched(StageId(1), t, ExecutorId(t), 0);
-    state_.mark_finished(StageId(1), ExecutorId(t), Locality::Node, 0,
+    state_.mark_finished(StageId(1), t, ExecutorId(t), Locality::Node, 0,
                          2 * kMinute);
   }
   const auto newly = state_.refresh_ready(2 * kMinute);
@@ -122,10 +122,10 @@ TEST_F(SchedFixture, RefreshReadyPromotesChildren) {
 
 TEST_F(SchedFixture, ObservedDurations) {
   state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
-  state_.mark_finished(StageId(0), ExecutorId(0), Locality::Process, 0,
+  state_.mark_finished(StageId(0), 0, ExecutorId(0), Locality::Process, 0,
                        10 * kSec);
   state_.mark_launched(StageId(0), 1, ExecutorId(0), 0);
-  state_.mark_finished(StageId(0), ExecutorId(0), Locality::Process, 0,
+  state_.mark_finished(StageId(0), 1, ExecutorId(0), Locality::Process, 0,
                        20 * kSec);
   EXPECT_EQ(*state_.observed_duration(StageId(0), Locality::Process),
             15 * kSec);
@@ -137,6 +137,9 @@ TEST_F(SchedFixture, ObservedDurations) {
 TEST_F(SchedFixture, ReaddPendingRestoresWork) {
   state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
   const CpuWork after_launch = state_.stage(StageId(0)).remaining_work;
+  // The legal route back to pending is through a failure (the retry
+  // path the driver takes); readd_pending enforces Failed -> Pending.
+  state_.mark_failed(StageId(0), 0);
   state_.readd_pending(StageId(0), 0);
   EXPECT_EQ(state_.stage(StageId(0)).remaining_work,
             after_launch + 16 * kMinute);
@@ -190,7 +193,7 @@ TEST_F(SchedFixture, ValidLocalityLevels) {
 TEST_F(SchedFixture, EstimatorUsesObservedDurations) {
   const TaskTimeEstimator est(state_, cost_);
   state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
-  state_.mark_finished(StageId(0), ExecutorId(0), Locality::Rack, 0,
+  state_.mark_finished(StageId(0), 0, ExecutorId(0), Locality::Rack, 0,
                        9 * kSec);
   EXPECT_EQ(est.estimate(StageId(0), Locality::Rack), 9 * kSec);
 }

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/fsm.hpp"
 #include "core/dagon.hpp"
 #include "exp/sweep.hpp"
 
@@ -139,6 +140,9 @@ void print_help() {
       "                     runs)\n"
       "  --verbose          per-stage table\n"
       "  --list             list workloads and exit\n"
+      "  --dump-fsm M       print the lifecycle state machine M as\n"
+      "                     Graphviz DOT and exit: task | block |\n"
+      "                     executor (see DESIGN.md §10)\n"
       "\nfault injection (any flag enables the failure model; layered on\n"
       "top of the preset's faults):\n"
       "  --fault-crash T[:E]      crash executor E (or a random one) at\n"
@@ -204,6 +208,14 @@ int main(int argc, char** argv) {
         std::cout << workload_name(id) << "\n";
       }
       std::cout << "PageRank\nShortestPaths\n";
+      return 0;
+    } else if (arg == "--dump-fsm") {
+      const std::string v = next();
+      if (v == "task") std::cout << fsm::to_dot<TaskStatus>();
+      else if (v == "block") std::cout << fsm::to_dot<BlockResidency>();
+      else if (v == "executor") std::cout << fsm::to_dot<ExecutorHealth>();
+      else usage_error("unknown machine '" + v + "' for --dump-fsm "
+                       "(task | block | executor)");
       return 0;
     } else if (arg == "--workload") {
       opt.workload = next();
