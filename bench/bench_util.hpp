@@ -24,6 +24,8 @@ struct BenchOptions {
   std::size_t jobs = 1;
   /// Directory for CSV/JSON outputs (empty = current directory).
   std::string out_dir;
+  /// Shrinks the workload grid / sweep points for CI smoke runs.
+  bool quick = false;
 };
 
 inline BenchOptions& options() {
@@ -33,6 +35,7 @@ inline BenchOptions& options() {
       o.jobs = static_cast<std::size_t>(std::atoll(jobs));
     }
     if (const char* dir = std::getenv("DAGON_OUT_DIR")) o.out_dir = dir;
+    if (std::getenv("DAGON_QUICK") != nullptr) o.quick = true;
     return o;
   }();
   return opts;
@@ -54,13 +57,17 @@ inline void parse_args(int argc, char** argv) {
       options().jobs = static_cast<std::size_t>(std::atoll(next().c_str()));
     } else if (arg == "--out-dir") {
       options().out_dir = next();
+    } else if (arg == "--quick") {
+      options().quick = true;
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--jobs N] [--out-dir DIR]\n"
+                << " [--jobs N] [--out-dir DIR] [--quick]\n"
                    "  --jobs N      parallel sweep workers (0 = #cores) "
                    "[env DAGON_JOBS; default 1]\n"
                    "  --out-dir DIR write CSVs/JSON under DIR instead of "
-                   "the cwd [env DAGON_OUT_DIR]\n";
+                   "the cwd [env DAGON_OUT_DIR]\n"
+                   "  --quick       shrink the grid/sweep for CI smoke "
+                   "runs [env DAGON_QUICK]\n";
       std::exit(0);
     } else {
       std::cerr << "unknown argument " << arg << " (try --help)\n";

@@ -2,9 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
+#include "cache/ref_oracle.hpp"
 #include "common/error.hpp"
-#include "common/sorted_view.hpp"
 
 namespace dagon {
 
@@ -14,13 +15,32 @@ BlockManager::BlockManager(ExecutorId executor, Bytes capacity,
   DAGON_CHECK(capacity >= 0);
 }
 
+namespace {
+
+struct EntryLess {
+  bool operator()(const BlockManager::Entry& e, const BlockId& id) const {
+    return e.id < id;
+  }
+};
+
+}  // namespace
+
+const BlockManager::Entry* BlockManager::find(const BlockId& block) const {
+  const auto it =
+      std::lower_bound(blocks_.begin(), blocks_.end(), block, EntryLess{});
+  if (it == blocks_.end() || it->id != block) return nullptr;
+  return &*it;
+}
+
+BlockManager::Entry* BlockManager::find(const BlockId& block) {
+  return const_cast<Entry*>(std::as_const(*this).find(block));
+}
+
 double BlockManager::min_retention(const ReferenceOracle& oracle) const {
   double best = std::numeric_limits<double>::infinity();
-  // dagonlint: allow(unordered-iter): min over independently computed
-  // doubles is iteration-order independent.
-  for (const auto& [id, meta] : blocks_) {
-    best = std::min(best,
-                    policy_->retention_priority(id, meta.last_access, oracle));
+  for (const Entry& e : blocks_) {
+    best = std::min(
+        best, policy_->retention_priority(e.id, e.meta.last_access, oracle));
   }
   return best;
 }
@@ -31,8 +51,8 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& block,
                                                 bool strict_admission) {
   InsertResult result;
   DAGON_CHECK(bytes >= 0);
-  if (const auto it = blocks_.find(block); it != blocks_.end()) {
-    it->second.last_access = now;
+  if (Entry* e = find(block)) {
+    e->meta.last_access = now;
     result.admitted = true;
     return result;
   }
@@ -50,12 +70,10 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& block,
     };
     std::vector<Candidate> candidates;
     candidates.reserve(blocks_.size());
-    // dagonlint: allow(unordered-iter): collection order is erased by
-    // the total (retention, last_access, block) sort just below.
-    for (const auto& [id, meta] : blocks_) {
+    for (const Entry& e : blocks_) {
       candidates.push_back(Candidate{
-          policy_->retention_priority(id, meta.last_access, oracle),
-          meta.last_access, id, meta.bytes});
+          policy_->retention_priority(e.id, e.meta.last_access, oracle),
+          e.meta.last_access, e.id, e.meta.bytes});
     }
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
@@ -83,28 +101,26 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& block,
       freed += c.bytes;
     }
   }
-  for (const BlockId& v : victims) {
-    const auto it = blocks_.find(v);
-    used_ -= it->second.bytes;
-    blocks_.erase(it);
-  }
+  for (const BlockId& v : victims) remove(v);
   result.evicted = std::move(victims);
-  blocks_.emplace(block, CachedBlock{bytes, now, now});
+  const auto it =
+      std::lower_bound(blocks_.begin(), blocks_.end(), block, EntryLess{});
+  blocks_.insert(it, Entry{block, CachedBlock{bytes, now, now}});
   used_ += bytes;
+  inserted_since_sweep_ = true;
   result.admitted = true;
   return result;
 }
 
 void BlockManager::touch(const BlockId& block, SimTime now) {
-  if (const auto it = blocks_.find(block); it != blocks_.end()) {
-    it->second.last_access = now;
-  }
+  if (Entry* e = find(block)) e->meta.last_access = now;
 }
 
 bool BlockManager::remove(const BlockId& block) {
-  const auto it = blocks_.find(block);
-  if (it == blocks_.end()) return false;
-  used_ -= it->second.bytes;
+  const auto it =
+      std::lower_bound(blocks_.begin(), blocks_.end(), block, EntryLess{});
+  if (it == blocks_.end() || it->id != block) return false;
+  used_ -= it->meta.bytes;
   blocks_.erase(it);
   return true;
 }
@@ -112,15 +128,26 @@ bool BlockManager::remove(const BlockId& block) {
 std::vector<BlockId> BlockManager::evict_dead(const ReferenceOracle& oracle) {
   std::vector<BlockId> evicted;
   if (!policy_->proactive_eviction()) return evicted;
-  // Ascending block id so the evicted list (and the master's bookkeeping
-  // driven by it) does not depend on hash order.
-  for (const BlockId& id : sorted_keys(blocks_)) {
-    const auto it = blocks_.find(id);
-    if (!policy_->is_dead(it->first, oracle)) continue;
-    used_ -= it->second.bytes;
-    evicted.push_back(it->first);
-    blocks_.erase(it);
+  // A block's deadness depends only on the block and oracle state, and
+  // the previous sweep removed everything dead then — so with the same
+  // oracle epoch and no new inserts, there is nothing to find.
+  if (swept_epoch_ == oracle.epoch() && !inserted_since_sweep_) {
+    return evicted;
   }
+  // Ascending block id (storage order) so the evicted list — and the
+  // master's bookkeeping driven by it — is deterministic.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < blocks_.size(); ++i) {
+    if (policy_->is_dead(blocks_[i].id, oracle)) {
+      used_ -= blocks_[i].meta.bytes;
+      evicted.push_back(blocks_[i].id);
+    } else {
+      blocks_[keep++] = blocks_[i];
+    }
+  }
+  blocks_.resize(keep);
+  swept_epoch_ = oracle.epoch();
+  inserted_since_sweep_ = false;
   return evicted;
 }
 

@@ -5,9 +5,14 @@
 // the configured CachePolicy. The manager never loses data: every block
 // also has a disk copy (input blocks on HDFS, produced blocks on the
 // producer's local disk), so eviction only drops the memory copy.
+//
+// Storage is a flat vector sorted by block id: caches hold at most a
+// few hundred blocks, so binary-search lookups beat hashing, and every
+// walk is in ascending block-id order by construction — no sorted_view
+// detour, no hash-order hazard.
 #pragma once
 
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "cache/cache_policy.hpp"
@@ -25,6 +30,11 @@ class BlockManager {
     Bytes bytes = 0;
     SimTime last_access = 0;
     SimTime inserted_at = 0;
+  };
+
+  struct Entry {
+    BlockId id;
+    CachedBlock meta;
   };
 
   struct InsertResult {
@@ -46,7 +56,7 @@ class BlockManager {
   [[nodiscard]] double min_retention(const ReferenceOracle& oracle) const;
 
   [[nodiscard]] bool contains(const BlockId& block) const {
-    return blocks_.contains(block);
+    return find(block) != nullptr;
   }
 
   /// Records an access for recency bookkeeping.
@@ -57,6 +67,9 @@ class BlockManager {
 
   /// Proactively evicts blocks the policy declares dead (zero remaining
   /// references / zero reference priority). Returns the evicted ids.
+  /// Cheap when nothing changed: the scan is skipped unless the oracle's
+  /// epoch moved or a block was inserted since the last sweep (a block's
+  /// deadness depends only on the block and the oracle state).
   std::vector<BlockId> evict_dead(const ReferenceOracle& oracle);
 
   [[nodiscard]] ExecutorId executor() const { return executor_; }
@@ -65,23 +78,26 @@ class BlockManager {
   [[nodiscard]] Bytes free_bytes() const { return capacity_ - used_; }
   [[nodiscard]] std::size_t num_blocks() const { return blocks_.size(); }
 
-  /// The raw (hash-ordered) store. Never range-iterate this directly in
-  /// decision or emission paths — route through dagon::sorted_view() /
-  /// sorted_keys() so the walk order is the key order (dagonlint
-  /// enforces this; see DESIGN.md §9).
-  [[nodiscard]] const std::unordered_map<BlockId, CachedBlock>& blocks()
-      const {
-    return blocks_;
-  }
+  /// The store, sorted by ascending block id — range-iteration order is
+  /// deterministic. Invalidated by any mutation; callers that mutate
+  /// while walking must copy the ids first.
+  [[nodiscard]] const std::vector<Entry>& entries() const { return blocks_; }
 
   [[nodiscard]] const CachePolicy& policy() const { return *policy_; }
 
  private:
+  [[nodiscard]] const Entry* find(const BlockId& block) const;
+  [[nodiscard]] Entry* find(const BlockId& block);
+
   ExecutorId executor_;
   Bytes capacity_;
   const CachePolicy* policy_;
-  std::unordered_map<BlockId, CachedBlock> blocks_;
+  std::vector<Entry> blocks_;  // sorted by Entry::id
   Bytes used_ = 0;
+  /// Dead-sweep memo: last oracle epoch swept at, and whether an insert
+  /// landed since (see evict_dead).
+  std::uint64_t swept_epoch_ = ~std::uint64_t{0};
+  bool inserted_since_sweep_ = false;
 };
 
 }  // namespace dagon

@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "common/sorted_view.hpp"
 
 namespace dagon {
 
@@ -23,7 +22,16 @@ BlockManagerMaster::BlockManagerMaster(const Topology& topo,
   for (const Executor& e : topo.executors()) {
     managers_.emplace_back(e.id, e.cache_bytes, policy);
   }
+  const auto nb = static_cast<std::size_t>(dag.num_blocks());
+  memory_copies_.resize(nb);
+  produced_disk_.resize(nb);
+  produced_by_.resize(nb);
+  prefetchable_.assign(nb, 0);
+  prefetch_by_node_.resize(topo.num_nodes());
   suspect_.assign(topo.num_executors(), 0);
+  disk_union_.resize(nb);
+  disk_union_valid_.assign(nb, 0);
+  residency_.assign(nb, BlockResidency::Absent);
   // Input blocks are born on HDFS node disks: Disk is their *initial*
   // lifecycle state, seeded directly (there is no edge into it from
   // Absent — only produced blocks materialize).
@@ -32,7 +40,10 @@ BlockManagerMaster::BlockManagerMaster(const Topology& topo,
     for (std::int32_t p = 0; p < rdd.num_partitions; ++p) {
       const BlockId block{rdd.id, p};
       if (!hdfs.replicas(block).empty()) {
-        residency_.emplace(block, BlockResidency::Disk);
+        // dagonlint: allow(raw-transition): initial-state seed, not a
+        // transition — input blocks are born Disk and no table edge
+        // leads there from Absent.
+        residency_[ord(block)] = BlockResidency::Disk;
       }
     }
   }
@@ -43,15 +54,42 @@ BlockManagerMaster::BlockManagerMaster(const Topology& topo,
     for (const Rdd& rdd : dag.rdds()) {
       if (!rdd.is_input || !rdd.cacheable) continue;
       for (std::int32_t p = 0; p < rdd.num_partitions; ++p) {
-        prefetchable_.insert(BlockId{rdd.id, p});
+        add_prefetchable(ord(BlockId{rdd.id, p}));
       }
     }
   }
 }
 
-BlockResidency BlockManagerMaster::residency(const BlockId& block) const {
-  const auto it = residency_.find(block);
-  return it == residency_.end() ? BlockResidency::Absent : it->second;
+void BlockManagerMaster::index_prefetchable(std::size_t o) {
+  const auto signed_ord = static_cast<std::int64_t>(o);
+  for (const NodeId n : hdfs_->replicas_by_ord(signed_ord)) {
+    prefetch_by_node_[static_cast<std::size_t>(n.value())].insert(signed_ord);
+  }
+  for (const NodeId n : produced_disk_[o]) {
+    prefetch_by_node_[static_cast<std::size_t>(n.value())].insert(signed_ord);
+  }
+}
+
+void BlockManagerMaster::unindex_prefetchable(std::size_t o) {
+  const auto signed_ord = static_cast<std::int64_t>(o);
+  for (const NodeId n : hdfs_->replicas_by_ord(signed_ord)) {
+    prefetch_by_node_[static_cast<std::size_t>(n.value())].erase(signed_ord);
+  }
+  for (const NodeId n : produced_disk_[o]) {
+    prefetch_by_node_[static_cast<std::size_t>(n.value())].erase(signed_ord);
+  }
+}
+
+void BlockManagerMaster::add_prefetchable(std::size_t o) {
+  if (prefetchable_[o] != 0) return;
+  prefetchable_[o] = 1;
+  index_prefetchable(o);
+}
+
+void BlockManagerMaster::remove_prefetchable(std::size_t o) {
+  if (prefetchable_[o] == 0) return;
+  prefetchable_[o] = 0;
+  unindex_prefetchable(o);
 }
 
 void BlockManagerMaster::set_residency(const BlockId& block,
@@ -59,13 +97,14 @@ void BlockManagerMaster::set_residency(const BlockId& block,
   // Entity id packs (rdd, partition) for transition diagnostics.
   const auto entity =
       (static_cast<std::int64_t>(block.rdd.value()) << 32) | block.partition;
-  const auto it = residency_.try_emplace(block, BlockResidency::Absent).first;
-  fsm::transition(it->second, to, entity, fsm_violations_);
+  fsm::transition(residency_[ord(block)], to, entity, fsm_violations_);
 }
 
 void BlockManagerMaster::verify_residency() const {
-  for (const auto& [block, r] : sorted_view(residency_)) {
-    const bool in_memory = memory_copies_.contains(block);
+  for (std::int64_t o = 0; o < dag_->num_blocks(); ++o) {
+    const BlockId block = dag_->block_at(o);
+    const BlockResidency r = residency_[static_cast<std::size_t>(o)];
+    const bool in_memory = !memory_copies_[static_cast<std::size_t>(o)].empty();
     switch (r) {
       case BlockResidency::Absent:
       case BlockResidency::Lost:
@@ -115,15 +154,17 @@ void BlockManagerMaster::seed_initial_cache(SimTime now) {
 }
 
 bool BlockManagerMaster::exists(const BlockId& block) const {
-  if (memory_copies_.contains(block)) return true;
-  if (produced_disk_.contains(block)) return true;
-  return !hdfs_->replicas(block).empty();
+  const std::size_t o = ord(block);
+  if (!memory_copies_[o].empty()) return true;
+  if (!produced_disk_[o].empty()) return true;
+  return !hdfs_->replicas_by_ord(static_cast<std::int64_t>(o)).empty();
 }
 
 BlockManagerMaster::Lookup BlockManagerMaster::lookup(
     const BlockId& block, ExecutorId reader) const {
   const NodeId my_node = topo_->node_of(reader);
   const RackId my_rack = topo_->rack_of(my_node);
+  const std::size_t o = ord(block);
 
   Lookup best;
   int best_rank = INT32_MAX;
@@ -135,20 +176,17 @@ BlockManagerMaster::Lookup BlockManagerMaster::lookup(
     }
   };
 
-  if (const auto it = memory_copies_.find(block);
-      it != memory_copies_.end()) {
-    for (const ExecutorId holder : it->second) {
-      if (holder == reader) {
-        consider(BlockSource::LocalMemory, holder, NodeId::invalid());
+  for (const ExecutorId holder : memory_copies_[o]) {
+    if (holder == reader) {
+      consider(BlockSource::LocalMemory, holder, NodeId::invalid());
+    } else {
+      const NodeId hn = topo_->node_of(holder);
+      if (hn == my_node) {
+        consider(BlockSource::SameNodeMemory, holder, NodeId::invalid());
+      } else if (topo_->rack_of(hn) == my_rack) {
+        consider(BlockSource::RackMemory, holder, NodeId::invalid());
       } else {
-        const NodeId hn = topo_->node_of(holder);
-        if (hn == my_node) {
-          consider(BlockSource::SameNodeMemory, holder, NodeId::invalid());
-        } else if (topo_->rack_of(hn) == my_rack) {
-          consider(BlockSource::RackMemory, holder, NodeId::invalid());
-        } else {
-          consider(BlockSource::RemoteMemory, holder, NodeId::invalid());
-        }
+        consider(BlockSource::RemoteMemory, holder, NodeId::invalid());
       }
     }
   }
@@ -162,11 +200,10 @@ BlockManagerMaster::Lookup BlockManagerMaster::lookup(
       consider(BlockSource::RemoteDisk, ExecutorId::invalid(), n);
     }
   };
-  for (const NodeId n : hdfs_->replicas(block)) consider_disk(n);
-  if (const auto it = produced_disk_.find(block);
-      it != produced_disk_.end()) {
-    for (const NodeId n : it->second) consider_disk(n);
+  for (const NodeId n : hdfs_->replicas_by_ord(static_cast<std::int64_t>(o))) {
+    consider_disk(n);
   }
+  for (const NodeId n : produced_disk_[o]) consider_disk(n);
 
   DAGON_CHECK_MSG(best_rank != INT32_MAX,
                   "block " << block << " read before it exists anywhere");
@@ -180,59 +217,65 @@ void BlockManagerMaster::apply_insert(
     note_evicted(evicted, exec);
     ++counters_.evictions;
   }
+  const std::size_t o = ord(block);
   if (result.admitted) {
-    auto& holders = memory_copies_[block];
+    auto& holders = memory_copies_[o];
     if (std::find(holders.begin(), holders.end(), exec) == holders.end()) {
       holders.push_back(exec);
       ++placement_version_;
     }
     // First holder promotes the block to Memory (from Materializing on
     // the produce path, Disk on a read-admit, Evicted on a re-admit).
-    if (residency(block) != BlockResidency::Memory) {
+    if (residency_[o] != BlockResidency::Memory) {
       set_residency(block, BlockResidency::Memory);
     }
-    prefetchable_.erase(block);
+    remove_prefetchable(o);
     ++counters_.insertions;
   } else {
     ++counters_.rejected_admissions;
     // A refused produce-time admission still has its durable disk copy.
-    if (residency(block) == BlockResidency::Materializing) {
+    if (residency_[o] == BlockResidency::Materializing) {
       set_residency(block, BlockResidency::Disk);
     }
-    if (dag_->rdd(block.rdd).cacheable && !memory_copies_.contains(block)) {
-      prefetchable_.insert(block);
+    if (dag_->rdd(block.rdd).cacheable && memory_copies_[o].empty()) {
+      add_prefetchable(o);
     }
   }
 }
 
 void BlockManagerMaster::note_evicted(const BlockId& block, ExecutorId exec) {
-  const auto it = memory_copies_.find(block);
-  if (it == memory_copies_.end()) return;
-  auto& holders = it->second;
+  const std::size_t o = ord(block);
+  auto& holders = memory_copies_[o];
+  if (holders.empty()) return;
   holders.erase(std::remove(holders.begin(), holders.end(), exec),
                 holders.end());
   ++placement_version_;
   if (holders.empty()) {
-    memory_copies_.erase(it);
     // Last memory copy gone; the durable disk copy keeps the block
     // recoverable (eviction is always safe, DESIGN.md §4).
     set_residency(block, BlockResidency::Evicted);
-    if (dag_->rdd(block.rdd).cacheable) prefetchable_.insert(block);
+    if (dag_->rdd(block.rdd).cacheable) add_prefetchable(o);
   }
 }
 
 void BlockManagerMaster::on_block_produced(const BlockId& block,
                                            ExecutorId exec, SimTime now) {
   const NodeId node = topo_->node_of(exec);
-  auto& producers = produced_by_[block];
+  const std::size_t o = ord(block);
+  auto& producers = produced_by_[o];
   if (std::find(producers.begin(), producers.end(), exec) ==
       producers.end()) {
     producers.push_back(exec);
   }
-  auto& disks = produced_disk_[block];
+  auto& disks = produced_disk_[o];
   if (std::find(disks.begin(), disks.end(), node) == disks.end()) {
+    // A flagged block gains a disk-holder node: keep the per-node
+    // candidate index in sync (unindex before, reindex after).
+    const bool was_pf = prefetchable_[o] != 0;
+    if (was_pf) unindex_prefetchable(o);
     disks.push_back(node);
-    disk_union_.erase(block);
+    if (was_pf) index_prefetchable(o);
+    disk_union_valid_[o] = 0;
     ++placement_version_;
   }
   // Lifecycle: Absent → Materializing on first production, Lost →
@@ -300,19 +343,15 @@ BlockManagerMaster::prefetch_candidate(ExecutorId exec) const {
   // reference priority is the largest" (§IV). Eviction-to-prefetch (as
   // in MRD's own paper) measured net-negative here — see the prefetch
   // ablation bench. Node-local disk blocks only: prefetching is a local
-  // disk->memory promotion that overlaps computation. The candidate set
-  // is maintained incrementally (cacheable + on disk + not in memory).
-  for (const BlockId& block : prefetchable_) {
+  // disk->memory promotion that overlaps computation, so the scan covers
+  // exactly this node's candidate set (cacheable + on local disk + not
+  // in memory), maintained incrementally. Ascending ordinal == ascending
+  // block id, so ties resolve to the smallest block id as before.
+  for (const std::int64_t o :
+       prefetch_by_node_[static_cast<std::size_t>(my_node.value())]) {
+    const BlockId block = dag_->block_at(o);
     const Bytes bytes = block_bytes(block);
     if (bytes <= 0 || bytes > mgr.free_bytes()) continue;
-    const auto& hdfs_nodes = hdfs_->replicas(block);
-    const auto& disk_nodes = produced_disk_nodes(block);
-    const bool local =
-        std::find(hdfs_nodes.begin(), hdfs_nodes.end(), my_node) !=
-            hdfs_nodes.end() ||
-        std::find(disk_nodes.begin(), disk_nodes.end(), my_node) !=
-            disk_nodes.end();
-    if (!local) continue;
     const auto priority = policy_->prefetch_priority(block, *oracle_);
     if (!priority) continue;
     if (!best || *priority > best_priority ||
@@ -334,38 +373,19 @@ bool BlockManagerMaster::finish_prefetch(const BlockId& block,
   return result.admitted;
 }
 
-const std::vector<ExecutorId>& BlockManagerMaster::memory_holders(
-    const BlockId& block) const {
-  const auto it = memory_copies_.find(block);
-  return it == memory_copies_.end() ? no_holders_ : it->second;
-}
-
-const std::vector<NodeId>& BlockManagerMaster::hdfs_replicas(
-    const BlockId& block) const {
-  return hdfs_->replicas(block);
-}
-
-const std::vector<NodeId>& BlockManagerMaster::produced_disk_nodes(
-    const BlockId& block) const {
-  const auto it = produced_disk_.find(block);
-  return it == produced_disk_.end() ? no_nodes_ : it->second;
-}
-
 const std::vector<NodeId>& BlockManagerMaster::disk_holders(
     const BlockId& block) const {
-  if (const auto it = disk_union_.find(block); it != disk_union_.end()) {
-    return it->second;
-  }
-  std::vector<NodeId> nodes = hdfs_->replicas(block);
-  if (const auto it = produced_disk_.find(block);
-      it != produced_disk_.end()) {
-    for (const NodeId n : it->second) {
-      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
-        nodes.push_back(n);
-      }
+  const std::size_t o = ord(block);
+  if (disk_union_valid_[o] != 0) return disk_union_[o];
+  std::vector<NodeId> nodes = hdfs_->replicas_by_ord(static_cast<std::int64_t>(o));
+  for (const NodeId n : produced_disk_[o]) {
+    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end()) {
+      nodes.push_back(n);
     }
   }
-  return disk_union_.emplace(block, std::move(nodes)).first->second;
+  disk_union_[o] = std::move(nodes);
+  disk_union_valid_[o] = 1;
+  return disk_union_[o];
 }
 
 BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
@@ -375,7 +395,12 @@ BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
   // 1. Destroy the executor's memory store (ascending block id for
   // deterministic placement_version / prefetchable churn).
   BlockManager& mgr = manager(exec);
-  for (const BlockId& block : sorted_keys(mgr.blocks())) {
+  std::vector<BlockId> mem_blocks;
+  mem_blocks.reserve(mgr.num_blocks());
+  for (const BlockManager::Entry& e : mgr.entries()) {
+    mem_blocks.push_back(e.id);
+  }
+  for (const BlockId& block : mem_blocks) {
     mgr.remove(block);
     note_evicted(block, exec);
     ++result.memory_dropped;
@@ -383,16 +408,18 @@ BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
 
   // 2. Destroy the durable disk copies this executor produced. The node
   // keeps a copy only if another (surviving) producer on the same node
-  // also wrote it.
-  std::vector<BlockId> disk_blocks;
-  for (const auto& [block, producers] : sorted_view(produced_by_)) {
+  // also wrote it. Ascending-ordinal scan == ascending block id.
+  std::vector<std::size_t> disk_blocks;
+  for (std::size_t o = 0; o < produced_by_.size(); ++o) {
+    const auto& producers = produced_by_[o];
     if (std::find(producers.begin(), producers.end(), exec) !=
         producers.end()) {
-      disk_blocks.push_back(block);
+      disk_blocks.push_back(o);
     }
   }
-  for (const BlockId& block : disk_blocks) {
-    auto& producers = produced_by_[block];
+  for (const std::size_t o : disk_blocks) {
+    const BlockId block = dag_->block_at(static_cast<std::int64_t>(o));
+    auto& producers = produced_by_[o];
     producers.erase(std::remove(producers.begin(), producers.end(), exec),
                     producers.end());
     std::vector<NodeId> nodes;
@@ -402,37 +429,43 @@ BlockManagerMaster::DropResult BlockManagerMaster::drop_executor(
         nodes.push_back(n);
       }
     }
-    auto& disks = produced_disk_[block];
+    auto& disks = produced_disk_[o];
     if (nodes.size() == disks.size()) continue;  // node copy survives
     result.disk_dropped +=
         static_cast<std::int64_t>(disks.size() - nodes.size());
+    // The block's disk-holder set is about to change; a flagged block
+    // must leave the per-node index for the stale set and rejoin for the
+    // new one (or not at all, if it ends up Lost).
+    const bool was_pf = prefetchable_[o] != 0;
+    if (was_pf) unindex_prefetchable(o);
     disks = std::move(nodes);
-    if (disks.empty()) produced_disk_.erase(block);
-    disk_union_.erase(block);
+    disk_union_valid_[o] = 0;
     ++placement_version_;
 
-    if (produced_disk_.contains(block) || !hdfs_->replicas(block).empty()) {
+    if (!disks.empty() ||
+        !hdfs_->replicas_by_ord(static_cast<std::int64_t>(o)).empty()) {
+      if (was_pf) index_prefetchable(o);
       continue;  // a durable copy survives elsewhere
     }
     // Last disk copy gone. If some executor still caches the block,
     // immediately re-materialize a disk copy at that holder's node so
     // the eviction-is-always-safe invariant keeps holding.
-    const auto mem_it = memory_copies_.find(block);
-    if (mem_it != memory_copies_.end() && !mem_it->second.empty()) {
-      const ExecutorId holder =
-          *std::min_element(mem_it->second.begin(), mem_it->second.end());
-      produced_by_[block].push_back(holder);
-      produced_disk_[block].push_back(topo_->node_of(holder));
-      disk_union_.erase(block);
+    const auto& mem = memory_copies_[o];
+    if (!mem.empty()) {
+      const ExecutorId holder = *std::min_element(mem.begin(), mem.end());
+      producers.push_back(holder);
+      disks.push_back(topo_->node_of(holder));
+      disk_union_valid_[o] = 0;
       ++placement_version_;
       ++result.rereplicated;
+      if (was_pf) index_prefetchable(o);
     } else {
       // No copy anywhere: only lineage recomputation can bring it back.
       // The memory-drop pass above already moved the block to Evicted if
       // this executor held the last memory copy, so the edge here is
       // Disk → Lost or Evicted → Lost.
       set_residency(block, BlockResidency::Lost);
-      prefetchable_.erase(block);
+      prefetchable_[o] = 0;  // already unindexed above (if flagged)
       result.lost.push_back(block);
     }
   }
@@ -470,10 +503,11 @@ BlockManagerMaster::rereplicate_suspect_blocks(ExecutorId target) {
   DAGON_CHECK(!executor_suspect(target));
 
   // At-risk = every produced-disk attribution on a suspect executor, no
-  // HDFS replica, and no healthy memory holder. Sorted scan for
-  // deterministic placement_version churn.
-  std::vector<BlockId> at_risk;
-  for (const auto& [block, producers] : sorted_view(produced_by_)) {
+  // HDFS replica, and no healthy memory holder. Ascending-ordinal scan
+  // for deterministic placement_version churn.
+  std::vector<std::size_t> at_risk;
+  for (std::size_t o = 0; o < produced_by_.size(); ++o) {
+    const auto& producers = produced_by_[o];
     if (producers.empty()) continue;
     bool all_suspect = true;
     for (const ExecutorId p : producers) {
@@ -483,22 +517,35 @@ BlockManagerMaster::rereplicate_suspect_blocks(ExecutorId target) {
       }
     }
     if (!all_suspect) continue;
-    if (!hdfs_->replicas(block).empty()) continue;
-    if (any_healthy_memory_holder(block)) continue;
-    at_risk.push_back(block);
+    if (!hdfs_->replicas_by_ord(static_cast<std::int64_t>(o)).empty()) {
+      continue;
+    }
+    bool any_healthy = false;
+    for (const ExecutorId holder : memory_copies_[o]) {
+      if (!executor_suspect(holder)) {
+        any_healthy = true;
+        break;
+      }
+    }
+    if (any_healthy) continue;
+    at_risk.push_back(o);
   }
 
   const NodeId target_node = topo_->node_of(target);
-  for (const BlockId& block : at_risk) {
-    produced_by_[block].push_back(target);
-    auto& disks = produced_disk_[block];
+  for (const std::size_t o : at_risk) {
+    produced_by_[o].push_back(target);
+    auto& disks = produced_disk_[o];
     if (std::find(disks.begin(), disks.end(), target_node) == disks.end()) {
+      const bool was_pf = prefetchable_[o] != 0;
+      if (was_pf) unindex_prefetchable(o);
       disks.push_back(target_node);
+      if (was_pf) index_prefetchable(o);
     }
-    disk_union_.erase(block);
+    disk_union_valid_[o] = 0;
     ++placement_version_;
     ++result.blocks;
-    result.bytes += std::max<Bytes>(block_bytes(block), 0);
+    result.bytes +=
+        std::max<Bytes>(block_bytes(dag_->block_at(static_cast<std::int64_t>(o))), 0);
   }
   return result;
 }

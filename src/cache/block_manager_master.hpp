@@ -6,11 +6,15 @@
 //  * input RDD blocks live on HDFS node disks per HdfsPlacement, forever;
 //  * every produced block is durably written to the producer node's disk;
 //  * memory copies are the cache: eviction drops the memory copy only.
+//
+// All per-block state is stored in flat arrays indexed by the DAG's
+// dense block ordinal (JobDag::block_ord); ordinal order is ascending
+// BlockId order, so index-order walks are the deterministic walks the
+// sorted_view discipline used to provide (DESIGN.md §11).
 #pragma once
 
 #include <optional>
 #include <set>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/block_manager.hpp"
@@ -81,7 +85,9 @@ class BlockManagerMaster {
   /// Executors holding `block` in memory (for locality preferences).
   /// Returns a view into internal state; invalidated by any mutation.
   [[nodiscard]] const std::vector<ExecutorId>& memory_holders(
-      const BlockId& block) const;
+      const BlockId& block) const {
+    return memory_copies_[ord(block)];
+  }
 
   /// Nodes holding `block` on disk (HDFS replicas + produced copies,
   /// deduplicated). Returns a view into a lazily maintained per-block
@@ -92,11 +98,15 @@ class BlockManagerMaster {
 
   /// HDFS replica nodes of `block` (empty for non-input blocks).
   [[nodiscard]] const std::vector<NodeId>& hdfs_replicas(
-      const BlockId& block) const;
+      const BlockId& block) const {
+    return hdfs_->replicas(block);
+  }
 
   /// Nodes holding a produced durable copy of `block`.
   [[nodiscard]] const std::vector<NodeId>& produced_disk_nodes(
-      const BlockId& block) const;
+      const BlockId& block) const {
+    return produced_disk_[ord(block)];
+  }
 
   // -- fault injection ----------------------------------------------------
 
@@ -182,7 +192,9 @@ class BlockManagerMaster {
   /// a never-produced block reports Absent. Tracked through the block
   /// transition table purely as a shadow of the copy maps — placement
   /// decisions never read it, so it cannot perturb fingerprints.
-  [[nodiscard]] BlockResidency residency(const BlockId& block) const;
+  [[nodiscard]] BlockResidency residency(const BlockId& block) const {
+    return residency_[ord(block)];
+  }
 
   /// Checks every tracked block's residency against the copy maps
   /// (Memory ⟺ a memory holder exists, Disk/Evicted ⟹ durable copy
@@ -195,11 +207,28 @@ class BlockManagerMaster {
   void set_fsm_violations(fsm::Violations* sink) { fsm_violations_ = sink; }
 
  private:
+  [[nodiscard]] std::size_t ord(const BlockId& block) const {
+    return static_cast<std::size_t>(dag_->block_ord(block));
+  }
+
   void apply_insert(const BlockManager::InsertResult& result,
                     const BlockId& block, ExecutorId exec);
   void note_evicted(const BlockId& block, ExecutorId exec);
   /// Routes every residency write through the transition table.
   void set_residency(const BlockId& block, BlockResidency to);
+
+  // -- prefetch candidate index -------------------------------------------
+  // prefetchable_[o] flags blocks that are cacheable, durably on disk,
+  // and in no executor's memory; prefetch_by_node_[n] holds exactly the
+  // flagged ordinals with a disk copy (HDFS or produced) on node n, so
+  // prefetch_candidate() scans only the node-local subset. Invariant:
+  // flagged ⟺ indexed under every current disk-holder node. Any code
+  // mutating a flagged block's disk-node set must unindex first and
+  // reindex after (see drop_executor / on_block_produced).
+  void index_prefetchable(std::size_t o);
+  void unindex_prefetchable(std::size_t o);
+  void add_prefetchable(std::size_t o);
+  void remove_prefetchable(std::size_t o);
 
   const Topology* topo_;
   const JobDag* dag_;
@@ -209,32 +238,29 @@ class BlockManagerMaster {
   bool cache_enabled_;
 
   std::vector<BlockManager> managers_;  // indexed by executor id
-  /// block -> executors holding a memory copy.
-  std::unordered_map<BlockId, std::vector<ExecutorId>> memory_copies_;
-  /// produced blocks' durable disk nodes (inputs are answered via hdfs_).
-  std::unordered_map<BlockId, std::vector<NodeId>> produced_disk_;
+  /// Executors holding a memory copy, indexed by block ordinal.
+  std::vector<std::vector<ExecutorId>> memory_copies_;
+  /// Produced blocks' durable disk nodes (inputs are answered via
+  /// hdfs_), indexed by block ordinal.
+  std::vector<std::vector<NodeId>> produced_disk_;
   /// Executors that wrote a durable copy of each produced block — the
   /// attribution drop_executor() needs to rebuild produced_disk_ after a
-  /// crash. Empty map overhead when faults are off is one insert per
-  /// produced block.
-  std::unordered_map<BlockId, std::vector<ExecutorId>> produced_by_;
-  /// Cacheable blocks that have a durable disk copy but no memory copy
-  /// anywhere — the prefetch candidate set (ordered for determinism).
-  /// Kept small: blocks enter on eviction / refused admission and leave
-  /// when any executor caches them.
-  std::set<BlockId> prefetchable_;
+  /// crash. Indexed by block ordinal.
+  std::vector<std::vector<ExecutorId>> produced_by_;
+  /// Prefetch candidate flags + per-node candidate sets (see above).
+  std::vector<char> prefetchable_;
+  std::vector<std::set<std::int64_t>> prefetch_by_node_;
   /// 1 = suspected by the failure detector (indexed by executor id).
   std::vector<char> suspect_;
-  std::vector<ExecutorId> no_holders_;
-  std::vector<NodeId> no_nodes_;
   /// Lazily built union of hdfs_replicas + produced_disk_nodes per
-  /// block, so disk_holders() is a view. Entries are erased when a new
+  /// block ordinal, so disk_holders() is a view. Invalidated when a new
   /// produced copy lands (disk copies are never removed otherwise).
-  mutable std::unordered_map<BlockId, std::vector<NodeId>> disk_union_;
-  /// Shadow lifecycle state per block (fsm::StateMachine<BlockResidency>).
-  /// Blocks absent from the map are Absent. Every write flows through
-  /// set_residency() / fsm::transition().
-  std::unordered_map<BlockId, BlockResidency> residency_;
+  mutable std::vector<std::vector<NodeId>> disk_union_;
+  mutable std::vector<char> disk_union_valid_;
+  /// Shadow lifecycle state per block ordinal
+  /// (fsm::StateMachine<BlockResidency>); Absent until seeded/produced.
+  /// Every write flows through set_residency() / fsm::transition().
+  std::vector<BlockResidency> residency_;
   fsm::Violations* fsm_violations_ = nullptr;
   Counters counters_;
   std::uint64_t placement_version_ = 1;

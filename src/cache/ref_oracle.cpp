@@ -3,7 +3,6 @@
 #include <algorithm>
 
 #include "common/error.hpp"
-#include "common/sorted_view.hpp"
 #include "dag/dag_analysis.hpp"
 
 namespace dagon {
@@ -11,23 +10,25 @@ namespace dagon {
 ReferenceOracle::ReferenceOracle(const JobDag& dag) : dag_(&dag) {
   finished_.assign(dag.num_stages(), false);
   pv_ = initial_priority_values(dag);
+  refs_.resize(static_cast<std::size_t>(dag.num_blocks()));
   for (const Stage& s : dag.stages()) {
     for (const RddRef& ref : s.inputs) {
       const Rdd& parent = dag.rdd(ref.rdd);
       if (ref.kind == DepKind::Narrow) {
         // Block k is read by exactly task k.
         for (std::int32_t t = 0; t < s.num_tasks; ++t) {
-          refs_[BlockId{ref.rdd, t}].push_back(Ref{s.id, 1});
+          refs_of(BlockId{ref.rdd, t}).push_back(Ref{s.id, 1});
         }
       } else {
         // Every task pulls a slice of every parent block.
         for (std::int32_t p = 0; p < parent.num_partitions; ++p) {
-          refs_[BlockId{ref.rdd, p}].push_back(Ref{s.id, s.num_tasks});
+          refs_of(BlockId{ref.rdd, p}).push_back(Ref{s.id, s.num_tasks});
         }
       }
     }
   }
-  for (auto& [block, refs] : sorted_view(refs_)) {
+  for (std::vector<Ref>& refs : refs_) {
+    if (refs.empty()) continue;
     std::sort(refs.begin(), refs.end(),
               [](const Ref& a, const Ref& b) { return a.stage < b.stage; });
     // Merge duplicate (block, stage) records (a stage may reference one
@@ -46,10 +47,9 @@ ReferenceOracle::ReferenceOracle(const JobDag& dag) : dag_(&dag) {
 }
 
 void ReferenceOracle::on_task_launched(StageId stage, std::int32_t task) {
+  ++epoch_;
   for (const TaskInput& in : dag_->task_inputs(stage, task)) {
-    const auto it = refs_.find(in.block);
-    if (it == refs_.end()) continue;
-    for (Ref& r : it->second) {
+    for (Ref& r : refs_of(in.block)) {
       if (r.stage == stage && r.remaining > 0) {
         --r.remaining;
         break;
@@ -61,17 +61,17 @@ void ReferenceOracle::on_task_launched(StageId stage, std::int32_t task) {
 void ReferenceOracle::mark_stage_finished(StageId stage) {
   DAGON_CHECK(stage.valid() &&
               static_cast<std::size_t>(stage.value()) < finished_.size());
+  ++epoch_;
   finished_[static_cast<std::size_t>(stage.value())] = true;
 }
 
 void ReferenceOracle::restore_task_refs(StageId stage, std::int32_t task) {
   DAGON_CHECK(stage.valid() &&
               static_cast<std::size_t>(stage.value()) < finished_.size());
+  ++epoch_;
   finished_[static_cast<std::size_t>(stage.value())] = false;
   for (const TaskInput& in : dag_->task_inputs(stage, task)) {
-    const auto it = refs_.find(in.block);
-    if (it == refs_.end()) continue;
-    for (Ref& r : it->second) {
+    for (Ref& r : refs_of(in.block)) {
       if (r.stage == stage) {
         ++r.remaining;
         break;
@@ -82,35 +82,27 @@ void ReferenceOracle::restore_task_refs(StageId stage, std::int32_t task) {
 
 void ReferenceOracle::set_priority_values(std::vector<CpuWork> pv) {
   DAGON_CHECK(pv.size() == finished_.size());
+  ++epoch_;
   pv_ = std::move(pv);
 }
 
 void ReferenceOracle::set_current_stage(StageId stage) {
   DAGON_CHECK(stage.valid());
+  ++epoch_;
   current_stage_ord_ = stage.value();
 }
 
-const std::vector<ReferenceOracle::Ref>* ReferenceOracle::refs_of(
-    const BlockId& block) const {
-  const auto it = refs_.find(block);
-  return it == refs_.end() ? nullptr : &it->second;
-}
-
 int ReferenceOracle::remaining_ref_count(const BlockId& block) const {
-  const auto* refs = refs_of(block);
-  if (refs == nullptr) return 0;
   int count = 0;
-  for (const Ref& r : *refs) {
+  for (const Ref& r : refs_of(block)) {
     if (live(r)) ++count;
   }
   return count;
 }
 
 int ReferenceOracle::stage_distance(const BlockId& block) const {
-  const auto* refs = refs_of(block);
-  if (refs == nullptr) return kNeverUsed;
   int best = kNeverUsed;
-  for (const Ref& r : *refs) {
+  for (const Ref& r : refs_of(block)) {
     if (!live(r)) continue;
     // MRD measures distance in stage-id (FIFO) order; a stage at or
     // before the current one is about to run: distance 0.
@@ -121,10 +113,8 @@ int ReferenceOracle::stage_distance(const BlockId& block) const {
 }
 
 CpuWork ReferenceOracle::reference_priority(const BlockId& block) const {
-  const auto* refs = refs_of(block);
-  if (refs == nullptr) return 0;
   CpuWork best = 0;
-  for (const Ref& r : *refs) {
+  for (const Ref& r : refs_of(block)) {
     if (!live(r)) continue;
     best = std::max(best, pv_[static_cast<std::size_t>(r.stage.value())]);
   }
@@ -134,10 +124,8 @@ CpuWork ReferenceOracle::reference_priority(const BlockId& block) const {
 std::vector<StageId> ReferenceOracle::live_readers(
     const BlockId& block) const {
   std::vector<StageId> out;
-  if (const auto* refs = refs_of(block)) {
-    for (const Ref& r : *refs) {
-      if (live(r)) out.push_back(r.stage);
-    }
+  for (const Ref& r : refs_of(block)) {
+    if (live(r)) out.push_back(r.stage);
   }
   return out;
 }

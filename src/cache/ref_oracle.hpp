@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <limits>
-#include <unordered_map>
 #include <vector>
 
 #include "common/units.hpp"
@@ -80,6 +79,12 @@ class ReferenceOracle {
 
   [[nodiscard]] CpuWork priority_value(StageId stage) const;
 
+  /// Monotonic counter bumped on every mutation (launch/finish/restore/
+  /// pv/current-stage). Consumers caching oracle-derived answers (e.g.
+  /// BlockManager's dead-block sweep) compare it to skip re-computation
+  /// when nothing could have changed.
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+
  private:
   struct Ref {
     StageId stage;
@@ -87,19 +92,24 @@ class ReferenceOracle {
     std::int32_t remaining = 0;
   };
 
-  [[nodiscard]] const std::vector<Ref>* refs_of(const BlockId& block) const;
+  [[nodiscard]] const std::vector<Ref>& refs_of(const BlockId& block) const {
+    return refs_[static_cast<std::size_t>(dag_->block_ord(block))];
+  }
+  [[nodiscard]] std::vector<Ref>& refs_of(const BlockId& block) {
+    return refs_[static_cast<std::size_t>(dag_->block_ord(block))];
+  }
   [[nodiscard]] bool live(const Ref& ref) const {
     return ref.remaining > 0 && !stage_finished(ref.stage);
   }
 
   const JobDag* dag_;
-  /// block -> per-stage reference records, ascending stage id. Never
-  /// range-iterated directly: walks go through dagon::sorted_view() so
-  /// no oracle decision depends on hash order (dagonlint enforces this).
-  std::unordered_map<BlockId, std::vector<Ref>> refs_;
+  /// Per-stage reference records (ascending stage id), indexed by dense
+  /// block ordinal (JobDag::block_ord); empty for unreferenced blocks.
+  std::vector<std::vector<Ref>> refs_;
   std::vector<bool> finished_;
   std::vector<CpuWork> pv_;
   std::int32_t current_stage_ord_ = 0;
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace dagon

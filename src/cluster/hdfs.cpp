@@ -5,10 +5,12 @@
 namespace dagon {
 
 HdfsPlacement::HdfsPlacement(const JobDag& dag, const Topology& topo,
-                             const HdfsSpec& spec, Rng& rng) {
+                             const HdfsSpec& spec, Rng& rng)
+    : dag_(&dag) {
   if (spec.replication <= 0) {
     throw ConfigError("HDFS replication must be positive");
   }
+  placement_.resize(static_cast<std::size_t>(dag.num_blocks()));
   const auto num_nodes = static_cast<std::int32_t>(topo.num_nodes());
   const std::int32_t replication = std::min(spec.replication, num_nodes);
   const std::int32_t hot =
@@ -31,14 +33,10 @@ HdfsPlacement::HdfsPlacement(const JobDag& dag, const Topology& topo,
       for (std::int32_t r = 0; r < replication; ++r) {
         nodes.push_back(NodeId((first + r) % num_nodes));
       }
-      placement_.emplace(BlockId{rdd.id, p}, std::move(nodes));
+      placement_[static_cast<std::size_t>(dag.block_ord(BlockId{rdd.id, p}))] =
+          std::move(nodes);
     }
   }
-}
-
-const std::vector<NodeId>& HdfsPlacement::replicas(const BlockId& block) const {
-  const auto it = placement_.find(block);
-  return it == placement_.end() ? empty_ : it->second;
 }
 
 }  // namespace dagon

@@ -6,7 +6,6 @@
 // node-local work and exposes the delay-scheduling pathology.
 #pragma once
 
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/topology.hpp"
@@ -31,20 +30,26 @@ class HdfsPlacement {
                 Rng& rng);
 
   /// Nodes holding a disk replica of `block`; empty for non-input blocks.
-  [[nodiscard]] const std::vector<NodeId>& replicas(const BlockId& block) const;
+  [[nodiscard]] const std::vector<NodeId>& replicas(
+      const BlockId& block) const {
+    return placement_[static_cast<std::size_t>(dag_->block_ord(block))];
+  }
 
-  /// The raw (hash-ordered) placement map. Never range-iterate this
-  /// directly — route through dagon::sorted_view() / sorted_keys() so
-  /// emission order is the block-id order (dagonlint enforces this; see
-  /// DESIGN.md §9).
-  [[nodiscard]] const std::unordered_map<BlockId, std::vector<NodeId>>&
-  all() const {
-    return placement_;
+  /// Replicas by dense block ordinal (see JobDag::block_ord). Iterating
+  /// ordinals ascending visits blocks in ascending BlockId order.
+  [[nodiscard]] const std::vector<NodeId>& replicas_by_ord(
+      std::int64_t ord) const {
+    return placement_[static_cast<std::size_t>(ord)];
+  }
+
+  [[nodiscard]] std::int64_t num_blocks() const {
+    return static_cast<std::int64_t>(placement_.size());
   }
 
  private:
-  std::unordered_map<BlockId, std::vector<NodeId>> placement_;
-  std::vector<NodeId> empty_;
+  const JobDag* dag_;
+  /// Indexed by block ordinal; empty for non-input blocks.
+  std::vector<std::vector<NodeId>> placement_;
 };
 
 }  // namespace dagon

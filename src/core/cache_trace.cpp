@@ -209,7 +209,10 @@ CacheTraceResult run_cache_trace(const JobDag& dag,
     }
     oracle.set_priority_values(pv.values());
 
-    row.cache_after = sorted_keys(bm.blocks());
+    row.cache_after.reserve(bm.num_blocks());
+    for (const BlockManager::Entry& e : bm.entries()) {
+      row.cache_after.push_back(e.id);
+    }
     result.rows.push_back(std::move(row));
   }
   process_finishes(kTimeInfinity);

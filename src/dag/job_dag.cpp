@@ -23,6 +23,15 @@ const Rdd& JobDag::rdd(RddId id) const {
   return rdds_[static_cast<std::size_t>(id.value())];
 }
 
+BlockId JobDag::block_at(std::int64_t ord) const {
+  DAGON_CHECK_MSG(ord >= 0 && ord < num_blocks(),
+                  "block ordinal " << ord << " out of range");
+  const auto it =
+      std::upper_bound(block_offset_.begin(), block_offset_.end(), ord) - 1;
+  const auto rdd_idx = static_cast<std::int32_t>(it - block_offset_.begin());
+  return BlockId{RddId(rdd_idx), static_cast<std::int32_t>(ord - *it)};
+}
+
 std::optional<StageId> JobDag::producer_of(RddId rdd) const {
   for (const Stage& s : stages_) {
     if (s.output == rdd) return s.id;
@@ -295,6 +304,16 @@ JobDag JobDagBuilder::build() {
     out.reserve(acc.size());
     for (const std::int32_t v : sorted_keys(acc)) out.push_back(StageId(v));
   }
+
+  // Dense block ordinals: prefix sums of partition counts in rdd-id
+  // order, so ordinal order == ascending BlockId order.
+  dag_.block_offset_.reserve(dag_.rdds_.size() + 1);
+  std::int64_t total_blocks = 0;
+  for (const Rdd& r : dag_.rdds_) {
+    dag_.block_offset_.push_back(total_blocks);
+    total_blocks += r.num_partitions;
+  }
+  dag_.block_offset_.push_back(total_blocks);
 
   return std::move(dag_);
 }

@@ -64,6 +64,28 @@ class JobDag {
   /// Total number of tasks across stages.
   [[nodiscard]] std::int64_t total_tasks() const;
 
+  // -- dense block ordinals ------------------------------------------------
+  // Every block of the DAG (one per RDD partition) has a dense ordinal in
+  // [0, num_blocks()), assigned in ascending BlockId order: all blocks of
+  // rdd 0 first, then rdd 1, ... Hot-path state (HDFS placement, copy
+  // sets, reference records) is stored in flat arrays indexed by ordinal
+  // instead of hash maps, and iterating ordinals ascending IS the sorted
+  // block-id order the determinism discipline requires.
+
+  /// Total number of blocks across all RDDs.
+  [[nodiscard]] std::int64_t num_blocks() const {
+    return block_offset_.empty() ? 0 : block_offset_.back();
+  }
+
+  /// Dense ordinal of `b`; `b` must be a valid block of this DAG.
+  [[nodiscard]] std::int64_t block_ord(BlockId b) const {
+    return block_offset_[static_cast<std::size_t>(b.rdd.value())] +
+           b.partition;
+  }
+
+  /// Inverse of block_ord.
+  [[nodiscard]] BlockId block_at(std::int64_t ord) const;
+
  private:
   friend class JobDagBuilder;
 
@@ -73,6 +95,9 @@ class JobDag {
   std::vector<StageId> topo_order_;
   /// successor_sets_[i] = transitive descendants of stage i.
   std::vector<std::vector<StageId>> successor_sets_;
+  /// block_offset_[r] = ordinal of rdd r's partition 0; one trailing
+  /// entry holds num_blocks(). Built by JobDagBuilder::build().
+  std::vector<std::int64_t> block_offset_;
 };
 
 /// Incremental builder; see workloads/ for usage examples.

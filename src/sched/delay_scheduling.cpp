@@ -74,9 +74,17 @@ std::optional<Assignment> DelayPolicy::best_task_on(
     const JobState& state, const BlockManagerMaster& master, StageId s,
     ExecutorId exec) const {
   const Cpus demand = state.dag().stage(s).task_cpus;
-  if (state.executor(exec).free_cores < demand) return std::nullopt;
+  if (state.executor(exec).free_cores() < demand) return std::nullopt;
+  const StageRuntime& rt = state.stage(s);
+  // Pure-shuffle stage: with no narrow input, task_locality_on answers
+  // NoPref for every task, so a full scan would keep the first pending
+  // index (no later NoPref beats it). Answer in O(1).
+  if (!rt.has_narrow) {
+    if (rt.pending.empty()) return std::nullopt;
+    return Assignment{rt.pending.front(), exec, Locality::NoPref};
+  }
   std::optional<Assignment> best;
-  for (const std::int32_t index : state.stage(s).pending) {
+  for (const std::int32_t index : rt.pending) {
     const Locality l = locality_of(state, master, s, index, exec);
     if (!best || static_cast<int>(l) < static_cast<int>(best->locality)) {
       best = Assignment{index, exec, l};
@@ -86,39 +94,30 @@ std::optional<Assignment> DelayPolicy::best_task_on(
   return best;
 }
 
-std::vector<ExecutorId> DelayPolicy::executor_order(
-    const JobState& state) const {
-  std::vector<ExecutorId> order;
-  order.reserve(state.executors().size());
-  std::int64_t launched = 0;
-  for (const ExecutorRuntime& e : state.executors()) {
-    order.push_back(e.id);
-    launched += e.tasks_launched;
-  }
-  if (!order.empty()) {
-    const auto shift = static_cast<std::size_t>(
-        launched % static_cast<std::int64_t>(order.size()));
-    std::rotate(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(shift),
-                order.end());
-  }
-  return order;
-}
-
 std::optional<Assignment> NativeDelayPolicy::find(
     JobState& state, const BlockManagerMaster& master, StageId s,
     SimTime now) const {
   const Locality allowed = allowed_locality(state, master, s, now);
-  for (const ExecutorId exec : executor_order(state)) {
+  std::optional<Assignment> chosen;
+  // Rotation-ordered walk over executors that have a free core, straight
+  // off JobState's free-slot index. A core-less executor can never fit
+  // the stage's demand (task_cpus >= 1 by construction), so skipping it
+  // cannot change which launch the historical full scan would find.
+  state.for_each_free_executor([&](ExecutorId exec) {
     // Suspect/blacklisted executors take no new work; they also grant no
     // Process preference (task_locality filters their memory copies), so
     // the locality ladder never waits for them.
-    if (!state.executor(exec).schedulable(now)) continue;
+    if (!state.executor(exec).schedulable(now)) return false;
     const auto best = best_task_on(state, master, s, exec);
-    if (best && at_least(best->locality, allowed)) return best;
+    if (best && at_least(best->locality, allowed)) {
+      chosen = best;
+      return true;
+    }
     // Otherwise this executor stays idle for this stage — the core
     // pathology the paper's Fig. 4 illustrates.
-  }
-  return std::nullopt;
+    return false;
+  });
+  return chosen;
 }
 
 std::optional<Assignment> SensitivityAwareDelayPolicy::find(
@@ -130,11 +129,15 @@ std::optional<Assignment> SensitivityAwareDelayPolicy::find(
   // the stage's earliest completion time (Eq. 7, with slack).
   const auto ect = static_cast<SimTime>(
       ect_slack_ * static_cast<double>(estimator.earliest_completion(s)));
-  for (const ExecutorId exec : executor_order(state)) {
-    if (!state.executor(exec).schedulable(now)) continue;
+  std::optional<Assignment> chosen;
+  state.for_each_free_executor([&](ExecutorId exec) {
+    if (!state.executor(exec).schedulable(now)) return false;
     const auto best = best_task_on(state, master, s, exec);
-    if (!best) continue;
-    if (at_least(best->locality, allowed)) return best;
+    if (!best) return false;
+    if (at_least(best->locality, allowed)) {
+      chosen = best;
+      return true;
+    }
     const SimTime est = estimator.estimate(s, best->locality);
     if (est < ect) {
       DAGON_TRACE("algorithm2 accepts stage "
@@ -142,7 +145,8 @@ std::optional<Assignment> SensitivityAwareDelayPolicy::find(
                   << locality_name(best->locality) << " on exec " << exec
                   << " (est " << format_duration(est) << " < ect "
                   << format_duration(ect) << ")");
-      return best;
+      chosen = best;
+      return true;
     }
     DAGON_TRACE("algorithm2 refuses stage "
                 << s << " @" << locality_name(best->locality) << " on exec "
@@ -150,8 +154,9 @@ std::optional<Assignment> SensitivityAwareDelayPolicy::find(
                 << format_duration(ect) << ")");
     // Locality-sensitive stage: skip this executor, try the next one
     // (Algorithm 2 line 9).
-  }
-  return std::nullopt;
+    return false;
+  });
+  return chosen;
 }
 
 std::unique_ptr<DelayPolicy> make_delay_policy(DelayKind kind,

@@ -71,11 +71,6 @@ class DelayPolicy {
       const JobState& state, const BlockManagerMaster& master, StageId s,
       ExecutorId exec) const;
 
-  /// Deterministic executor visit order, rotated by launch count so one
-  /// executor does not monopolize assignments.
-  [[nodiscard]] std::vector<ExecutorId> executor_order(
-      const JobState& state) const;
-
   /// Locality of (s, index) on `exec`, via the memo when enabled.
   [[nodiscard]] Locality locality_of(const JobState& state,
                                      const BlockManagerMaster& master,

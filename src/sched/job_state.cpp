@@ -16,9 +16,12 @@ JobState::JobState(const JobDag& dag, const Topology& topo,
     StageRuntime rt;
     rt.id = s.id;
     rt.num_tasks = s.num_tasks;
-    rt.pending.resize(static_cast<std::size_t>(s.num_tasks));
-    for (std::int32_t t = 0; t < s.num_tasks; ++t) {
-      rt.pending[static_cast<std::size_t>(t)] = t;
+    rt.pending.assign_all(s.num_tasks);
+    for (const RddRef& ref : s.inputs) {
+      if (ref.kind == DepKind::Narrow) {
+        rt.has_narrow = true;
+        break;
+      }
     }
     rt.remaining_work = profile.workload(s.id, s.num_tasks);
     rt.task_status.assign(static_cast<std::size_t>(s.num_tasks),
@@ -31,8 +34,16 @@ JobState::JobState(const JobDag& dag, const Topology& topo,
   for (const Executor& e : topo.executors()) {
     ExecutorRuntime rt;
     rt.id = e.id;
-    rt.free_cores = e.cores;
+    rt.free_cores_ = e.cores;
     executors_.push_back(rt);
+  }
+  free_bits_.assign((executors_.size() + 63) / 64, 0);
+  for (const ExecutorRuntime& e : executors_) {
+    if (e.free_cores_ > 0) {
+      const auto idx = static_cast<std::size_t>(e.id.value());
+      free_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
+      ++num_free_;
+    }
   }
 }
 
@@ -73,11 +84,21 @@ bool JobState::all_finished() const {
                      [](const StageRuntime& s) { return s.finished; });
 }
 
-bool JobState::any_free_cores() const {
-  return std::any_of(executors_.begin(), executors_.end(),
-                     [](const ExecutorRuntime& e) {
-                       return e.free_cores > 0;
-                     });
+void JobState::set_free_cores(ExecutorId exec, Cpus cores) {
+  DAGON_CHECK(cores >= 0);
+  ExecutorRuntime& e = executor(exec);
+  const bool was_free = e.free_cores_ > 0;
+  const bool is_free = cores > 0;
+  e.free_cores_ = cores;
+  if (was_free != is_free) {
+    const auto idx = static_cast<std::size_t>(exec.value());
+    free_bits_[idx >> 6] ^= std::uint64_t{1} << (idx & 63);
+    num_free_ += is_free ? 1 : -1;
+  }
+}
+
+void JobState::add_free_cores(ExecutorId exec, Cpus delta) {
+  set_free_cores(exec, executor(exec).free_cores_ + delta);
 }
 
 CpuWork JobState::priority_value(StageId id) const {
@@ -111,11 +132,10 @@ void JobState::set_status(StageRuntime& rt, std::int32_t index,
 void JobState::mark_launched(StageId s, std::int32_t index, ExecutorId exec,
                              SimTime now) {
   StageRuntime& rt = stage(s);
-  const auto it = std::find(rt.pending.begin(), rt.pending.end(), index);
-  DAGON_CHECK_MSG(it != rt.pending.end(),
+  DAGON_CHECK_MSG(rt.pending.contains(index),
                   "task " << index << " of stage " << s << " not pending");
   set_status(rt, index, TaskStatus::Running);
-  rt.pending.erase(it);
+  rt.pending.erase(index);
   ++rt.running;
   if (rt.first_launch < 0) rt.first_launch = now;
 
@@ -127,10 +147,11 @@ void JobState::mark_launched(StageId s, std::int32_t index, ExecutorId exec,
 
   ExecutorRuntime& e = executor(exec);
   const Cpus demand = dag_->stage(s).task_cpus;
-  DAGON_CHECK_MSG(e.free_cores >= demand,
+  DAGON_CHECK_MSG(e.free_cores_ >= demand,
                   "executor " << exec << " lacks cores for stage " << s);
-  e.free_cores -= demand;
+  set_free_cores(exec, e.free_cores_ - demand);
   ++e.tasks_launched;
+  ++total_launched_;
 }
 
 bool JobState::mark_finished(StageId s, std::int32_t index, ExecutorId exec,
@@ -147,9 +168,8 @@ bool JobState::mark_finished(StageId s, std::int32_t index, ExecutorId exec,
   ++rt.locality_count[li];
   rt.finished_durations.push_back(now - launch_time);
 
-  ExecutorRuntime& e = executor(exec);
-  e.free_cores += dag_->stage(s).task_cpus;
-  DAGON_CHECK(e.free_cores <=
+  add_free_cores(exec, dag_->stage(s).task_cpus);
+  DAGON_CHECK(executor(exec).free_cores_ <=
               topo_->executor(exec).cores);
 
   if (rt.finished_tasks == rt.num_tasks) {
@@ -201,8 +221,7 @@ void JobState::reopen_task(StageId s, std::int32_t index) {
   DAGON_CHECK(index >= 0 && index < rt.num_tasks);
   DAGON_CHECK_MSG(rt.finished_tasks > 0,
                   "reopen_task on stage " << s << " with no finished tasks");
-  DAGON_CHECK_MSG(std::find(rt.pending.begin(), rt.pending.end(), index) ==
-                      rt.pending.end(),
+  DAGON_CHECK_MSG(!rt.pending.contains(index),
                   "task " << index << " of stage " << s << " already pending");
   set_status(rt, index, TaskStatus::Pending);
   --rt.finished_tasks;

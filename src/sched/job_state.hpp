@@ -7,6 +7,7 @@
 #pragma once
 
 #include <array>
+#include <bit>
 #include <optional>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/sim_time.hpp"
 #include "dag/job_dag.hpp"
 #include "dag/profile.hpp"
+#include "sched/pending_list.hpp"
 
 namespace dagon {
 
@@ -39,8 +41,12 @@ struct StageRuntime {
 
   bool ready = false;     // all parents finished
   bool finished = false;
+  /// Stage has at least one narrow input (set once at construction).
+  /// Without one, task_locality_on answers NoPref for every task, which
+  /// lets the scheduler skip per-task locality scans entirely.
+  bool has_narrow = false;
 
-  std::vector<std::int32_t> pending;  // task indices not yet launched
+  PendingList pending;  // task indices not yet launched, in queue order
   std::int32_t running = 0;
   std::int32_t finished_tasks = 0;
   std::int32_t num_tasks = 0;
@@ -94,7 +100,6 @@ struct ExecutorRuntime {
   /// Attempt failures accumulated toward the blacklist threshold; reset
   /// when probation expires.
   std::int32_t blacklist_failures = 0;
-  Cpus free_cores = 0;
   /// Cores currently held by other tenants (multi-tenant reservation).
   Cpus reserved_cores = 0;
   /// Reservation demand not yet satisfiable (claimed as tasks finish).
@@ -114,6 +119,15 @@ struct ExecutorRuntime {
   [[nodiscard]] bool schedulable(SimTime now) const {
     return health == ExecutorHealth::Healthy && blacklisted_until <= now;
   }
+
+  [[nodiscard]] Cpus free_cores() const { return free_cores_; }
+
+ private:
+  friend class JobState;
+  /// Writable only through JobState (set_free_cores / add_free_cores /
+  /// mark_launched / mark_finished), which keeps the free-slot index in
+  /// lockstep with the value.
+  Cpus free_cores_ = 0;
 };
 
 /// Wait times per locality level, Spark's spark.locality.wait.* family.
@@ -170,8 +184,40 @@ class JobState {
   /// True when every stage has finished.
   [[nodiscard]] bool all_finished() const;
 
-  /// Any executor with at least one free core?
-  [[nodiscard]] bool any_free_cores() const;
+  /// Any executor with at least one free core? O(1) off the free-slot
+  /// index (health and blacklists do not matter here — this gates the
+  /// scheduler loop, not placement).
+  [[nodiscard]] bool any_free_cores() const { return num_free_ > 0; }
+
+  // -- free-slot executor index -------------------------------------------
+  //
+  // A bitmap over executor ids with bit e set iff free_cores() > 0,
+  // plus the total launch count that defines the scheduler's rotation.
+  // Every free-core mutation flows through set_free_cores /
+  // add_free_cores (free_cores_ is private to enforce it), so the index
+  // is exact at all times and a scheduling decision costs a word-scan
+  // over n/64 words plus the executors actually visited, instead of a
+  // full O(executors) walk.
+
+  /// Sets `exec`'s free cores to `cores`, updating the index.
+  void set_free_cores(ExecutorId exec, Cpus cores);
+
+  /// Adjusts `exec`'s free cores by `delta`, updating the index.
+  void add_free_cores(ExecutorId exec, Cpus delta);
+
+  /// Visits every executor with free_cores() > 0 in the exact order the
+  /// historical full scan used — executor ids rotated left by
+  /// (Σ tasks_launched) mod n — and stops early when `fn` returns true.
+  /// `fn` must not change any executor's free-core state mid-scan.
+  /// Returns true when `fn` stopped the scan.
+  template <typename Fn>
+  bool for_each_free_executor(Fn&& fn) const {
+    const std::size_t n = executors_.size();
+    if (n == 0 || num_free_ == 0) return false;
+    const auto shift = static_cast<std::size_t>(
+        total_launched_ % static_cast<std::int64_t>(n));
+    return scan_free(shift, n, fn) || scan_free(0, shift, fn);
+  }
 
   // -- the paper's pv_i (Eq. 6) -------------------------------------------
 
@@ -244,11 +290,42 @@ class JobState {
   /// Routes every task_status write through the transition table.
   void set_status(StageRuntime& rt, std::int32_t index, TaskStatus to);
 
+  /// Visits free executors with ids in [lo, hi) in ascending order;
+  /// true when `fn` stopped the scan.
+  template <typename Fn>
+  bool scan_free(std::size_t lo, std::size_t hi, Fn&& fn) const {
+    if (lo >= hi) return false;
+    std::size_t w = lo >> 6;
+    const std::size_t wlast = (hi - 1) >> 6;
+    std::uint64_t word = free_bits_[w] & (~std::uint64_t{0} << (lo & 63));
+    while (true) {
+      if (w == wlast) {
+        const std::size_t tail = hi & 63;
+        if (tail != 0) word &= (std::uint64_t{1} << tail) - 1;
+      }
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (fn(ExecutorId(static_cast<std::int32_t>((w << 6) | bit)))) {
+          return true;
+        }
+      }
+      if (w == wlast) return false;
+      word = free_bits_[++w];
+    }
+  }
+
   const JobDag* dag_;
   const Topology* topo_;
   const JobProfile* profile_;
   std::vector<StageRuntime> stages_;
   std::vector<ExecutorRuntime> executors_;
+  /// Bit e set iff executors_[e].free_cores_ > 0.
+  std::vector<std::uint64_t> free_bits_;
+  /// Popcount of free_bits_ — executors with a free core right now.
+  std::int64_t num_free_ = 0;
+  /// Σ tasks_launched over all executors (the rotation phase).
+  std::int64_t total_launched_ = 0;
   std::uint64_t pv_epoch_ = 1;
   fsm::Violations* fsm_violations_ = nullptr;
 };

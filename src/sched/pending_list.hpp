@@ -1,0 +1,147 @@
+// Pending task indices of one stage.
+//
+// Semantically a std::vector<std::int32_t> under the three operations
+// the scheduler needs — iterate in order, erase one value, push_back —
+// but with O(1) erase/contains via an intrusive doubly-linked list over
+// a dense per-index node array. Iteration order is exactly what the
+// vector discipline would produce: erase preserves the relative order
+// of the survivors and push_back appends, so swapping the
+// representation changes no scheduling decision.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dagon {
+
+class PendingList {
+ public:
+  class const_iterator {
+   public:
+    using iterator_category = std::forward_iterator_tag;
+    using value_type = std::int32_t;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const std::int32_t*;
+    using reference = std::int32_t;
+
+    const_iterator() = default;
+    const_iterator(const PendingList* list, std::int32_t cur)
+        : list_(list), cur_(cur) {}
+
+    [[nodiscard]] std::int32_t operator*() const { return cur_; }
+    const_iterator& operator++() {
+      cur_ = list_->next_[static_cast<std::size_t>(cur_)];
+      return *this;
+    }
+    const_iterator operator++(int) {
+      const_iterator tmp = *this;
+      ++*this;
+      return tmp;
+    }
+    [[nodiscard]] bool operator==(const const_iterator& o) const {
+      return cur_ == o.cur_;
+    }
+    [[nodiscard]] bool operator!=(const const_iterator& o) const {
+      return cur_ != o.cur_;
+    }
+
+   private:
+    const PendingList* list_ = nullptr;
+    std::int32_t cur_ = -1;
+  };
+
+  PendingList() = default;
+
+  /// Initializes to the full set {0, 1, ..., n-1} in ascending order.
+  void assign_all(std::int32_t n) {
+    DAGON_CHECK(n >= 0);
+    const auto un = static_cast<std::size_t>(n);
+    next_.resize(un);
+    prev_.resize(un);
+    in_.assign(un, 1);
+    for (std::int32_t i = 0; i < n; ++i) {
+      next_[static_cast<std::size_t>(i)] = (i + 1 < n) ? i + 1 : -1;
+      prev_[static_cast<std::size_t>(i)] = i - 1;
+    }
+    head_ = n > 0 ? 0 : -1;
+    tail_ = n - 1;
+    size_ = un;
+  }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::int32_t front() const {
+    DAGON_CHECK(head_ >= 0);
+    return head_;
+  }
+
+  [[nodiscard]] bool contains(std::int32_t index) const {
+    return index >= 0 && static_cast<std::size_t>(index) < in_.size() &&
+           in_[static_cast<std::size_t>(index)] != 0;
+  }
+
+  void erase(std::int32_t index) {
+    DAGON_CHECK(contains(index));
+    const auto i = static_cast<std::size_t>(index);
+    const std::int32_t p = prev_[i];
+    const std::int32_t n = next_[i];
+    if (p >= 0) {
+      next_[static_cast<std::size_t>(p)] = n;
+    } else {
+      head_ = n;
+    }
+    if (n >= 0) {
+      prev_[static_cast<std::size_t>(n)] = p;
+    } else {
+      tail_ = p;
+    }
+    in_[i] = 0;
+    --size_;
+  }
+
+  void push_back(std::int32_t index) {
+    DAGON_CHECK(index >= 0 &&
+                static_cast<std::size_t>(index) < in_.size() &&
+                !contains(index));
+    const auto i = static_cast<std::size_t>(index);
+    prev_[i] = tail_;
+    next_[i] = -1;
+    if (tail_ >= 0) {
+      next_[static_cast<std::size_t>(tail_)] = index;
+    } else {
+      head_ = index;
+    }
+    tail_ = index;
+    in_[i] = 1;
+    ++size_;
+  }
+
+  void clear() {
+    std::fill(in_.begin(), in_.end(), static_cast<char>(0));
+    head_ = -1;
+    tail_ = -1;
+    size_ = 0;
+  }
+
+  [[nodiscard]] const_iterator begin() const {
+    return const_iterator{this, head_};
+  }
+  [[nodiscard]] const_iterator end() const {
+    return const_iterator{this, -1};
+  }
+
+ private:
+  std::vector<std::int32_t> next_;
+  std::vector<std::int32_t> prev_;
+  std::vector<char> in_;  // membership flag per index
+  std::int32_t head_ = -1;
+  std::int32_t tail_ = -1;
+  std::size_t size_ = 0;
+};
+
+}  // namespace dagon

@@ -142,28 +142,24 @@ void LocalityCache::sync(const BlockManagerMaster& master) {
   }
 }
 
-std::vector<std::int8_t>& LocalityCache::stage_slots(const JobDag& dag,
-                                                     const Topology& topo,
-                                                     StageId s) {
-  if (loc_.empty()) {
-    loc_.resize(dag.num_stages());
-    num_executors_ = topo.num_executors();
-  }
-  auto& slots = loc_[static_cast<std::size_t>(s.value())];
-  if (slots.empty()) {
-    slots.assign(static_cast<std::size_t>(dag.stage(s).num_tasks) *
-                     num_executors_,
-                 static_cast<std::int8_t>(-1));
-  }
-  return slots;
-}
-
 Locality LocalityCache::locality(const JobDag& dag,
                                  const BlockManagerMaster& master,
                                  const Topology& topo, StageId s,
                                  std::int32_t index, ExecutorId exec) {
   sync(master);
-  auto& slots = stage_slots(dag, topo, s);
+  if (loc_.empty()) {
+    loc_.resize(dag.num_stages());
+    num_executors_ = topo.num_executors();
+  }
+  const std::size_t want =
+      static_cast<std::size_t>(dag.stage(s).num_tasks) * num_executors_;
+  if (want > kMaxMemoSlots) {
+    // Memo table would be too large for this stage (see kMaxMemoSlots);
+    // recompute directly — identical answer, no storage.
+    return task_locality_on(dag, master, topo, s, index, exec);
+  }
+  auto& slots = loc_[static_cast<std::size_t>(s.value())];
+  if (slots.empty()) slots.assign(want, static_cast<std::int8_t>(-1));
   const std::size_t slot =
       static_cast<std::size_t>(index) * num_executors_ +
       static_cast<std::size_t>(exec.value());

@@ -56,6 +56,13 @@ struct TaskPreferences {
 /// one run (not thread-safe across runs; each SimDriver owns its own).
 class LocalityCache {
  public:
+  /// Per-stage memo ceiling: a stage whose num_tasks × num_executors
+  /// table would exceed this many entries (16 MiB of int8) is served by
+  /// direct recomputation instead — same answers, bounded footprint.
+  /// Matters only at bench_scale sizes (e.g. 1M tasks × 10k executors
+  /// would want a 10 GB table).
+  static constexpr std::size_t kMaxMemoSlots = std::size_t{1} << 24;
+
   /// Same answer as task_locality_on, served from the memo when the
   /// placement has not changed since it was computed.
   [[nodiscard]] Locality locality(const JobDag& dag,
@@ -78,8 +85,6 @@ class LocalityCache {
 
  private:
   void sync(const BlockManagerMaster& master);
-  [[nodiscard]] std::vector<std::int8_t>& stage_slots(
-      const JobDag& dag, const Topology& topo, StageId s);
 
   std::uint64_t version_ = 0;  // 0 = never synced (real versions start at 1)
   std::size_t num_executors_ = 0;

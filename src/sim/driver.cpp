@@ -51,6 +51,22 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
     produced_[static_cast<std::size_t>(s.id.value())].assign(
         static_cast<std::size_t>(s.num_tasks), false);
   }
+  task_offset_.reserve(dag.num_stages());
+  std::int64_t total_tasks = 0;
+  for (const Stage& s : dag.stages()) {
+    task_offset_.push_back(total_tasks);
+    total_tasks += s.num_tasks;
+  }
+  attempt_first_.assign(static_cast<std::size_t>(total_tasks), -1);
+  attempt_last_.assign(static_cast<std::size_t>(total_tasks), -1);
+  attempt_next_.reserve(static_cast<std::size_t>(total_tasks));
+  attempts_.reserve(static_cast<std::size_t>(total_tasks));
+  retry_counts_.assign(static_cast<std::size_t>(total_tasks), 0);
+  prefetch_inflight_.assign(static_cast<std::size_t>(dag.num_blocks()), 0);
+  // Pre-size the event queue's overflow heap from the task count: only
+  // far-future events land there, so a modest clamp suffices.
+  queue_.reserve(static_cast<std::size_t>(
+      std::min<std::int64_t>(total_tasks + 64, 1 << 16)));
   metrics_.total_cores = topo_.total_cores();
   if (config_.per_executor_profiles) {
     metrics_.executor_profiles.resize(topo_.num_executors());
@@ -142,27 +158,27 @@ RunMetrics SimDriver::run() {
   }
 
   SimTime now = 0;
+  Event ev;
   while (!state_.all_finished()) {
-    const auto event = queue_.pop();
-    DAGON_CHECK_MSG(event.has_value(),
+    DAGON_CHECK_MSG(queue_.pop_into(ev),
                     "simulation deadlock: job unfinished, no events");
-    now = event->time;
+    now = ev.time;
     if (now > config_.max_sim_time) {
       throw InvariantError("simulation exceeded max_sim_time — livelock?");
     }
     ++metrics_.sim_events;
-    switch (event->type) {
+    switch (ev.type) {
       case EventType::TaskFinish:
         // A completion behind an active partition is invisible to the
         // driver until the partition heals.
-        if (gray_active_ && defer_partitioned_report(*event, now)) break;
-        handle_task_finish(event->task, now);
+        if (gray_active_ && defer_partitioned_report(ev, now)) break;
+        handle_task_finish(ev.task, now);
         break;
       case EventType::PrefetchDone:
-        handle_prefetch_done(*event, now);
+        handle_prefetch_done(ev, now);
         break;
       case EventType::CapacityChange:
-        handle_capacity_change(event->aux, now);
+        handle_capacity_change(ev.aux, now);
         break;
       case EventType::Tick:
         if (!state_.all_finished()) {
@@ -176,20 +192,20 @@ RunMetrics SimDriver::run() {
         }
         break;
       case EventType::ExecutorCrash:
-        handle_executor_crash(event->exec, now);
+        handle_executor_crash(ev.exec, now);
         break;
       case EventType::TaskFail:
-        if (gray_active_ && defer_partitioned_report(*event, now)) break;
-        fail_attempt(event->task, now, /*from_crash=*/false);
+        if (gray_active_ && defer_partitioned_report(ev, now)) break;
+        fail_attempt(ev.task, now, /*from_crash=*/false);
         break;
       case EventType::TaskRetry:
-        handle_task_retry(StageId(event->aux), event->aux2, now);
+        handle_task_retry(StageId(ev.aux), ev.aux2, now);
         break;
       case EventType::FaultTick:
         handle_fault_tick(now);
         break;
       case EventType::Heartbeat:
-        handle_heartbeat(event->exec, now);
+        handle_heartbeat(ev.exec, now);
         break;
     }
     schedule_loop(now);
@@ -197,8 +213,8 @@ RunMetrics SimDriver::run() {
     // O(candidates x executors): run them at tick granularity (plus on
     // stage completions inside handle_task_finish), not on every event —
     // and not on heartbeats, which arrive once per executor per interval.
-    if (event->type != EventType::TaskFinish &&
-        event->type != EventType::Heartbeat) {
+    if (ev.type != EventType::TaskFinish &&
+        ev.type != EventType::Heartbeat) {
       master_.proactive_sweep();
       issue_prefetches(now);
     }
@@ -313,13 +329,19 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   attempt.task.compute_time = compute;
   attempt.task.speculative = speculative;
   attempts_.push_back(attempt);
-  attempt_index_[attempt_key(s, a.task_index)].push_back(id);
+  attempt_next_.push_back(-1);
+  const std::size_t ord = task_ord(s, a.task_index);
+  if (attempt_first_[ord] < 0) {
+    attempt_first_[ord] = id.value();
+  } else {
+    attempt_next_[static_cast<std::size_t>(attempt_last_[ord])] = id.value();
+  }
+  attempt_last_[ord] = id.value();
 
   const Cpus demand = dag_->stage(s).task_cpus;
   if (speculative) {
-    ExecutorRuntime& e = state_.executor(a.exec);
-    DAGON_CHECK(e.free_cores >= demand);
-    e.free_cores -= demand;
+    DAGON_CHECK(state_.executor(a.exec).free_cores() >= demand);
+    state_.add_free_cores(a.exec, -demand);
     ++state_.stage(s).running;
   } else {
     state_.mark_launched(s, a.task_index, a.exec, now);
@@ -374,9 +396,10 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
   const Cpus demand = dag_->stage(s).task_cpus;
 
   // Cancel the losing twin attempts before stage bookkeeping.
-  for (const TaskId other : attempt_index_[attempt_key(s, index)]) {
-    if (other == id) continue;
-    cancel_attempt(other, now);
+  for (std::int64_t other = attempt_first_[task_ord(s, index)]; other >= 0;
+       other = attempt_next_[static_cast<std::size_t>(other)]) {
+    if (TaskId(other) == id) continue;
+    cancel_attempt(TaskId(other), now);
   }
 
   const bool stage_done = state_.mark_finished(
@@ -422,8 +445,7 @@ void SimDriver::cancel_attempt(TaskId id, SimTime now) {
   attempt.cancelled = true;
   attempt.task.finish_time = now;
   const Cpus demand = dag_->stage(attempt.task.stage).task_cpus;
-  ExecutorRuntime& e = state_.executor(attempt.task.executor);
-  e.free_cores += demand;
+  state_.add_free_cores(attempt.task.executor, demand);
   --state_.stage(attempt.task.stage).running;
   claim_reservation(attempt.task.executor, now);
   metrics_.busy_cores.add(now, -static_cast<double>(demand));
@@ -450,8 +472,8 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
     const Cpus current = e.reserved_cores + e.pending_reservation;
     Cpus delta = target - current;
     if (delta > 0) {
-      const Cpus take = std::min(e.free_cores, delta);
-      e.free_cores -= take;
+      const Cpus take = std::min(e.free_cores(), delta);
+      state_.add_free_cores(e.id, -take);
       e.reserved_cores += take;
       e.pending_reservation += delta - take;
       metrics_.reserved_cores.add(now, static_cast<double>(take));
@@ -463,7 +485,7 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
       if (delta < 0) {
         const Cpus release = std::min(e.reserved_cores, -delta);
         e.reserved_cores -= release;
-        e.free_cores += release;
+        state_.add_free_cores(e.id, release);
         metrics_.reserved_cores.add(now, -static_cast<double>(release));
       }
     }
@@ -473,9 +495,9 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
 void SimDriver::claim_reservation(ExecutorId exec, SimTime now) {
   ExecutorRuntime& e = state_.executor(exec);
   if (!e.alive() || e.pending_reservation <= 0) return;
-  const Cpus take = std::min(e.free_cores, e.pending_reservation);
+  const Cpus take = std::min(e.free_cores(), e.pending_reservation);
   if (take > 0) {
-    e.free_cores -= take;
+    state_.add_free_cores(exec, -take);
     e.reserved_cores += take;
     e.pending_reservation -= take;
     metrics_.reserved_cores.add(now, static_cast<double>(take));
@@ -483,7 +505,7 @@ void SimDriver::claim_reservation(ExecutorId exec, SimTime now) {
 }
 
 void SimDriver::handle_prefetch_done(const Event& e, SimTime now) {
-  prefetch_inflight_.erase(e.block);
+  prefetch_inflight_[static_cast<std::size_t>(dag_->block_ord(e.block))] = 0;
   ExecutorRuntime& ex = state_.executor(e.exec);
   ex.prefetching.reset();
   // The executor died while the IO was in flight: the data never landed.
@@ -498,8 +520,11 @@ void SimDriver::issue_prefetches(SimTime now) {
     // cache wastes the channel.
     if (!e.alive() || e.suspect() || e.prefetching.has_value()) continue;
     const auto choice = master_.prefetch_candidate(e.id);
-    if (!choice || prefetch_inflight_.contains(choice->block)) continue;
-    prefetch_inflight_.insert(choice->block);
+    if (!choice) continue;
+    const auto block_ord =
+        static_cast<std::size_t>(dag_->block_ord(choice->block));
+    if (prefetch_inflight_[block_ord] != 0) continue;
+    prefetch_inflight_[block_ord] = 1;
     e.prefetching = choice->block;
     const SimTime fetch =
         cost_.fetch_time(choice->bytes, BlockSource::LocalDisk);
@@ -528,9 +553,9 @@ void SimDriver::try_speculation(SimTime now) {
            state_, running, impaired, config_.speculation, now)) {
     // Already has a live speculative copy?
     bool has_copy = false;
-    for (const TaskId id : attempt_index_[attempt_key(c.stage, c.task_index)]) {
-      const AttemptRuntime& a =
-          attempts_[static_cast<std::size_t>(id.value())];
+    for (std::int64_t id = attempt_first_[task_ord(c.stage, c.task_index)];
+         id >= 0; id = attempt_next_[static_cast<std::size_t>(id)]) {
+      const AttemptRuntime& a = attempts_[static_cast<std::size_t>(id)];
       if (!a.cancelled && a.task.status == TaskStatus::Running &&
           a.task.speculative) {
         has_copy = true;
@@ -558,7 +583,7 @@ void SimDriver::try_speculation(SimTime now) {
     std::optional<Assignment> best;
     for (const ExecutorRuntime& e : state_.executors()) {
       if (!e.schedulable(now)) continue;
-      if (e.free_cores < demand) continue;
+      if (e.free_cores() < demand) continue;
       const Locality l = task_locality_on(*dag_, master_, topo_, c.stage,
                                           c.task_index, e.id);
       if (!best || static_cast<int>(l) < static_cast<int>(best->locality)) {
@@ -612,7 +637,7 @@ void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
   }
   e.reserved_cores = 0;
   e.pending_reservation = 0;
-  e.free_cores = 0;
+  state_.set_free_cores(exec, 0);
 
   // 3. Drop its blocks. Blocks whose last copy died are recomputed from
   // lineage — eagerly when a live reader still wants them, lazily (via
@@ -645,8 +670,7 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
   const StageId s = attempt.task.stage;
   const std::int32_t index = attempt.task.index;
   const Cpus demand = dag_->stage(s).task_cpus;
-  ExecutorRuntime& e = state_.executor(attempt.task.executor);
-  e.free_cores += demand;
+  state_.add_free_cores(attempt.task.executor, demand);
   --state_.stage(s).running;
   claim_reservation(attempt.task.executor, now);
 
@@ -685,7 +709,7 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
 }
 
 void SimDriver::schedule_retry(StageId s, std::int32_t index, SimTime now) {
-  std::int32_t& count = retry_counts_[attempt_key(s, index)];
+  std::int32_t& count = retry_counts_[task_ord(s, index)];
   if (count >= config_.faults.max_task_retries) {
     throw InvariantError("task exceeded max_task_retries — job failed");
   }
@@ -705,11 +729,7 @@ void SimDriver::handle_task_retry(StageId s, std::int32_t index,
     return;
   }
   if (has_live_attempt(s, index)) return;
-  const StageRuntime& rt = state_.stage(s);
-  if (std::find(rt.pending.begin(), rt.pending.end(), index) !=
-      rt.pending.end()) {
-    return;
-  }
+  if (state_.stage(s).pending.contains(index)) return;
   // A crash between failure and retry may have destroyed the inputs.
   ensure_inputs_available(s, index, now);
   // The failed launch consumed this task's block references; make them
@@ -727,9 +747,14 @@ void SimDriver::handle_fault_tick(SimTime now) {
   for (const ExecutorRuntime& e : state_.executors()) {
     if (!e.alive()) continue;
     const BlockManager& mgr = master_.manager(e.id);
-    // Ascending block order: the set of RNG draws is a deterministic
-    // function of the (unordered) cache contents.
-    for (const BlockId& block : sorted_keys(mgr.blocks())) {
+    // Snapshot ids first (ascending storage order): the loop body drops
+    // blocks, which would invalidate a live walk of the store.
+    std::vector<BlockId> cached;
+    cached.reserve(mgr.num_blocks());
+    for (const BlockManager::Entry& be : mgr.entries()) {
+      cached.push_back(be.id);
+    }
+    for (const BlockId& block : cached) {
       if (!fault_plan_->draw_block_loss(master_.block_bytes(block),
                                         interval)) {
         continue;
@@ -781,10 +806,9 @@ void SimDriver::recover_block(const BlockId& block, SimTime now) {
 }
 
 bool SimDriver::has_live_attempt(StageId s, std::int32_t index) const {
-  const auto it = attempt_index_.find(attempt_key(s, index));
-  if (it == attempt_index_.end()) return false;
-  for (const TaskId id : it->second) {
-    const AttemptRuntime& a = attempts_[static_cast<std::size_t>(id.value())];
+  for (std::int64_t id = attempt_first_[task_ord(s, index)]; id >= 0;
+       id = attempt_next_[static_cast<std::size_t>(id)]) {
+    const AttemptRuntime& a = attempts_[static_cast<std::size_t>(id)];
     if (!a.cancelled && a.task.status == TaskStatus::Running) return true;
   }
   return false;
@@ -959,13 +983,13 @@ void SimDriver::verify_quiescent() const {
   for (const ExecutorRuntime& e : state_.executors()) {
     if (e.alive()) {
       DAGON_CHECK_MSG(
-          e.free_cores + e.reserved_cores == topo_.executor(e.id).cores,
+          e.free_cores() + e.reserved_cores == topo_.executor(e.id).cores,
           "end of run: cores leaked on executor " << e.id);
       DAGON_CHECK_MSG(e.pending_reservation == 0,
                       "end of run: unclaimed reservation on executor "
                           << e.id);
     } else {
-      DAGON_CHECK_MSG(e.free_cores == 0 && e.reserved_cores == 0 &&
+      DAGON_CHECK_MSG(e.free_cores() == 0 && e.reserved_cores == 0 &&
                           e.pending_reservation == 0,
                       "end of run: crashed executor " << e.id
                                                       << " holds cores");

@@ -10,8 +10,6 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "cache/block_manager_master.hpp"
@@ -115,8 +113,11 @@ class SimDriver {
   void sample_pending(SimTime now);
   void finalize_metrics(SimTime end);
 
-  [[nodiscard]] std::int64_t attempt_key(StageId s, std::int32_t index) const {
-    return static_cast<std::int64_t>(s.value()) * (1LL << 32) + index;
+  /// Dense global ordinal of task (s, index): prefix sums of stage task
+  /// counts, so all per-task bookkeeping lives in flat arrays.
+  [[nodiscard]] std::size_t task_ord(StageId s, std::int32_t index) const {
+    return static_cast<std::size_t>(
+        task_offset_[static_cast<std::size_t>(s.value())] + index);
   }
 
   SimConfig config_;
@@ -148,13 +149,20 @@ class SimDriver {
     bool cancelled = false;
   };
   std::vector<AttemptRuntime> attempts_;  // indexed by TaskId
-  /// (stage, index) -> attempt ids, for speculation twins.
-  std::unordered_map<std::int64_t, std::vector<TaskId>> attempt_index_;
+  /// task_offset_[s] = global ordinal of stage s's task 0 (see task_ord).
+  std::vector<std::int64_t> task_offset_;
+  /// Attempt chain per task ordinal (speculation twins, retries): an
+  /// intrusive singly-linked list of attempt ids in launch order —
+  /// first/last per task, next per attempt, -1 = none.
+  std::vector<std::int64_t> attempt_first_;
+  std::vector<std::int64_t> attempt_last_;
+  std::vector<std::int64_t> attempt_next_;  // parallel to attempts_
   /// per stage: which task indices have produced their output block.
   std::vector<std::vector<bool>> produced_;
-  std::unordered_set<BlockId> prefetch_inflight_;
-  /// (stage, index) -> failures so far, for retry backoff / the cap.
-  std::unordered_map<std::int64_t, std::int32_t> retry_counts_;
+  /// 1 = a prefetch of this block ordinal is in flight somewhere.
+  std::vector<char> prefetch_inflight_;
+  /// failures so far per task ordinal, for retry backoff / the cap.
+  std::vector<std::int32_t> retry_counts_;
 
   RunMetrics metrics_;
   /// Last JobState::pv_epoch pushed into the oracle (0 = never).

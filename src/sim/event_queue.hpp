@@ -1,11 +1,21 @@
 // Discrete-event queue with a total, deterministic order:
 // (time, insertion sequence). Two runs that push the same events pop
 // them identically — the foundation of the simulator's reproducibility.
+//
+// Implementation: a calendar (bucketed) queue. Near-future events land
+// in one of 1024 fixed-width time buckets (32.768 ms each, so shifts
+// replace divisions), each a small binary min-heap on (time, seq); the
+// occupancy bitmap lets pop() skip runs of empty buckets 64 at a time.
+// Events beyond the ~33.5 s horizon — and stragglers below the current
+// window after a far-forward jump — go to an overflow min-heap, the
+// heap fallback for sparse tails. pop() compares the first occupied
+// bucket's top against the overflow top, so the (time, seq) order is
+// exact by construction, independent of bucket geometry.
 #pragma once
 
 #include <cstdint>
 #include <optional>
-#include <queue>
+#include <vector>
 
 #include "common/sim_time.hpp"
 #include "common/strong_id.hpp"
@@ -56,8 +66,17 @@ class EventQueue {
   /// Pops the earliest event; nullopt when empty.
   std::optional<Event> pop();
 
-  [[nodiscard]] bool empty() const { return heap_.empty(); }
-  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  /// Allocation-free drain-loop fast path: writes the earliest event
+  /// into `out` and returns true, or returns false when empty.
+  bool pop_into(Event& out);
+
+  /// Pre-sizes the overflow heap (the only container that grows with
+  /// far-future backlog); bucket storage is allocated lazily on first
+  /// push and reused for the rest of the run.
+  void reserve(std::size_t n) { overflow_.reserve(n); }
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
 
   /// Time of the earliest event (kTimeInfinity when empty).
   [[nodiscard]] SimTime next_time() const;
@@ -71,7 +90,36 @@ class EventQueue {
       return seq > other.seq;
     }
   };
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+
+  static constexpr int kWidthBits = 15;   // 32.768 ms per bucket
+  static constexpr int kBucketBits = 10;  // 1024 buckets
+  static constexpr SimTime kWidth = SimTime{1} << kWidthBits;
+  static constexpr std::size_t kNumBuckets = std::size_t{1} << kBucketBits;
+  static constexpr SimTime kHorizon =
+      kWidth * static_cast<SimTime>(kNumBuckets);
+
+  [[nodiscard]] static std::size_t bucket_of(SimTime t) {
+    return static_cast<std::size_t>(t >> kWidthBits) & (kNumBuckets - 1);
+  }
+  [[nodiscard]] static SimTime window_start(SimTime t) {
+    return (t >> kWidthBits) << kWidthBits;
+  }
+
+  void init_calendar(SimTime t);
+  void bucket_push(const Entry& entry);
+  /// Re-anchors the (empty) calendar at `t` and promotes overflow
+  /// entries that now fall inside the horizon into their buckets.
+  void rebase(SimTime t);
+  /// First occupied bucket at/after cur_ (circular). Pre: bucketed_ > 0.
+  [[nodiscard]] std::size_t first_occupied() const;
+
+  std::vector<std::vector<Entry>> buckets_;  // per-bucket min-heaps
+  std::vector<std::uint64_t> occupied_;      // bitmap over buckets_
+  std::vector<Entry> overflow_;              // min-heap (heap fallback)
+  SimTime base_ = 0;     // window start of bucket cur_
+  std::size_t cur_ = 0;  // bucket holding the current time window
+  std::size_t bucketed_ = 0;
+  std::size_t size_ = 0;
   std::uint64_t next_seq_ = 0;
 };
 

@@ -47,10 +47,12 @@ class LadderFixture : public ::testing::Test {
 
   /// Leaves cores only on an executor whose rack holds no input data.
   ExecutorId isolate_far_executor() {
-    for (ExecutorRuntime& e : state_.executors()) e.free_cores = 0;
+    for (const ExecutorRuntime& e : state_.executors()) {
+      state_.set_free_cores(e.id, 0);
+    }
     for (const Executor& e : topo_.executors()) {
       if (topo_.rack_of(topo_.node_of(e.id)) == RackId(1)) {
-        state_.executor(e.id).free_cores = 16;
+        state_.set_free_cores(e.id, 16);
         return e.id;
       }
     }

@@ -1,0 +1,192 @@
+// Property tests: the calendar (bucketed) EventQueue must pop the exact
+// (time, seq) sequence a plain binary heap would — the total order the
+// whole simulator's determinism rests on (DESIGN.md §11).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace dagon {
+namespace {
+
+/// Reference model: the pre-overhaul binary heap on (time, seq).
+class ReferenceQueue {
+ public:
+  void push(const Event& e) { heap_.push(Entry{e, next_seq_++}); }
+
+  bool pop_into(Event& out) {
+    if (heap_.empty()) return false;
+    out = heap_.top().event;
+    heap_.pop();
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+ private:
+  struct Entry {
+    Event event;
+    std::uint64_t seq;
+    bool operator>(const Entry& other) const {
+      if (event.time != other.event.time) {
+        return event.time > other.event.time;
+      }
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+Event make_event(SimTime t, std::uint32_t tag) {
+  Event e;
+  e.time = t;
+  e.type = EventType::Tick;
+  // Tag the payload so sequence mismatches are visible even on time ties.
+  e.aux = static_cast<std::int32_t>(tag);
+  return e;
+}
+
+/// Pops both queues fully and asserts identical (time, payload) streams.
+void drain_and_compare(EventQueue& q, ReferenceQueue& ref) {
+  Event got;
+  Event want;
+  std::size_t i = 0;
+  while (ref.pop_into(want)) {
+    ASSERT_TRUE(q.pop_into(got)) << "bucketed queue ran dry at pop " << i;
+    ASSERT_EQ(got.time, want.time) << "time mismatch at pop " << i;
+    ASSERT_EQ(got.aux, want.aux) << "order mismatch at pop " << i;
+    ++i;
+  }
+  EXPECT_FALSE(q.pop_into(got)) << "bucketed queue has extra events";
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueProperty, MatchesBinaryHeapOnUniformStorm) {
+  std::mt19937_64 rng(20260809);
+  std::uniform_int_distribution<SimTime> dist(0, 600 * kSec);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    ReferenceQueue ref;
+    std::uint32_t tag = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const Event e = make_event(dist(rng), tag++);
+      q.push(e);
+      ref.push(e);
+    }
+    drain_and_compare(q, ref);
+  }
+}
+
+// Heavy duplicate times: seq must break every tie identically.
+TEST(EventQueueProperty, MatchesBinaryHeapOnClusteredTies) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<SimTime> cluster(0, 7);
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    ReferenceQueue ref;
+    std::uint32_t tag = 0;
+    for (int i = 0; i < 1500; ++i) {
+      const Event e = make_event(cluster(rng) * kMsec, tag++);
+      q.push(e);
+      ref.push(e);
+    }
+    drain_and_compare(q, ref);
+  }
+}
+
+// Interleaved push/pop with a monotone clock, as the sim driver does:
+// every pop defines `now`, and pushes are now + bounded delay. Exercises
+// in-window bucketing, circular wrap, and bucket advance.
+TEST(EventQueueProperty, MatchesBinaryHeapOnMonotoneInterleaving) {
+  std::mt19937_64 rng(777);
+  std::uniform_int_distribution<SimTime> delay(0, 90 * kSec);
+  std::uniform_int_distribution<int> burst(1, 4);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue q;
+    ReferenceQueue ref;
+    std::uint32_t tag = 0;
+    const Event seed = make_event(0, tag++);
+    q.push(seed);
+    ref.push(seed);
+    Event got;
+    Event want;
+    std::size_t pops = 0;
+    while (ref.pop_into(want)) {
+      ASSERT_TRUE(q.pop_into(got));
+      ASSERT_EQ(got.time, want.time) << "at pop " << pops;
+      ASSERT_EQ(got.aux, want.aux) << "at pop " << pops;
+      ++pops;
+      if (pops < 3000) {
+        const int n = burst(rng);
+        for (int i = 0; i < n; ++i) {
+          const Event e = make_event(want.time + delay(rng), tag++);
+          q.push(e);
+          ref.push(e);
+        }
+      }
+    }
+    EXPECT_FALSE(q.pop_into(got));
+  }
+}
+
+// Far-future jumps force overflow-heap traffic, rebase, and promotion
+// back into buckets; stragglers below the re-anchored window must still
+// come out in order (they ride the overflow heap).
+TEST(EventQueueProperty, MatchesBinaryHeapAcrossHorizonJumps) {
+  std::mt19937_64 rng(1234);
+  std::uniform_int_distribution<SimTime> near(0, 10 * kSec);
+  std::uniform_int_distribution<SimTime> far(0, 4 * 3600 * kSec);
+  std::uniform_int_distribution<int> pick(0, 9);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue q;
+    ReferenceQueue ref;
+    std::uint32_t tag = 0;
+    SimTime now = 0;
+    for (int step = 0; step < 400; ++step) {
+      const int n = pick(rng) + 1;
+      for (int i = 0; i < n; ++i) {
+        // 30% of pushes land hours out, the rest near `now`.
+        const SimTime t = pick(rng) < 3 ? far(rng) : now + near(rng);
+        const Event e = make_event(t, tag++);
+        q.push(e);
+        ref.push(e);
+      }
+      // Pop a few to advance the clock (possibly across the horizon).
+      for (int i = 0; i < 3 && !ref.empty(); ++i) {
+        Event got;
+        Event want;
+        ASSERT_TRUE(ref.pop_into(want));
+        ASSERT_TRUE(q.pop_into(got));
+        ASSERT_EQ(got.time, want.time);
+        ASSERT_EQ(got.aux, want.aux);
+        now = want.time;
+      }
+    }
+    drain_and_compare(q, ref);
+  }
+}
+
+TEST(EventQueue, PopReturnsOptionalAndReserveIsHarmless) {
+  EventQueue q;
+  q.reserve(1024);
+  EXPECT_EQ(q.pop(), std::nullopt);
+  q.push(make_event(5 * kMsec, 1));
+  q.push(make_event(2 * kMsec, 2));
+  const auto a = q.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->time, 2 * kMsec);
+  EXPECT_EQ(q.next_time(), 5 * kMsec);
+  const auto b = q.pop();
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->time, 5 * kMsec);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace dagon

@@ -219,16 +219,15 @@ TEST(FaultRecovery, CrashedExecutorLeavesClusterAndCacheStaysDiskBacked) {
   EXPECT_EQ(m.faults.executor_crashes, 1);
 
   EXPECT_FALSE(driver.state().executor(ExecutorId(0)).alive());
-  EXPECT_EQ(driver.state().executor(ExecutorId(0)).free_cores, 0);
+  EXPECT_EQ(driver.state().executor(ExecutorId(0)).free_cores(), 0);
   EXPECT_EQ(driver.master().manager(ExecutorId(0)).num_blocks(), 0u);
 
   // Recovery invariant: every memory copy anywhere is still disk-backed,
   // so ordinary eviction can never lose data.
   for (const Executor& e : driver.topology().executors()) {
-    for (const auto& [block, cached] :
-         driver.master().manager(e.id).blocks()) {
-      EXPECT_FALSE(driver.master().disk_holders(block).empty())
-          << "block " << block << " cached without a disk copy";
+    for (const auto& entry : driver.master().manager(e.id).entries()) {
+      EXPECT_FALSE(driver.master().disk_holders(entry.id).empty())
+          << "block " << entry.id << " cached without a disk copy";
     }
   }
 }

@@ -79,7 +79,7 @@ TEST_F(SchedFixture, MarkLaunchedUpdatesWorkAndCores) {
   // Table III step 1: w2 36 -> 24, pv2 64 -> 52, free 16 -> 10.
   EXPECT_EQ(state_.stage(StageId(1)).remaining_work, 24 * kMinute);
   EXPECT_EQ(state_.priority_value(StageId(1)), 52 * kMinute);
-  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores, 10);
+  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores(), 10);
   EXPECT_EQ(state_.stage(StageId(1)).running, 1);
   EXPECT_EQ(state_.stage(StageId(1)).pending.size(), 2u);
 }
@@ -104,7 +104,7 @@ TEST_F(SchedFixture, MarkFinishedCompletesStage) {
                                    Locality::Node, 0, 4 * kMinute));
   EXPECT_TRUE(state_.stage(StageId(0)).finished);
   EXPECT_EQ(state_.stage(StageId(0)).finish_time, 4 * kMinute);
-  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores, 16);
+  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores(), 16);
 }
 
 TEST_F(SchedFixture, RefreshReadyPromotesChildren) {
@@ -244,12 +244,14 @@ TEST_F(SchedFixture, NativeDelayHoldsBackLowLocality) {
   // Drain every node-local task; the remaining pending tasks would be
   // rack/any on every executor with spare cores.
   // Occupy the replica nodes' executors fully with fake core usage.
-  for (ExecutorRuntime& e : state_.executors()) e.free_cores = 0;
+  for (const ExecutorRuntime& e : state_.executors()) {
+    state_.set_free_cores(e.id, 0);
+  }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   // Give cores only to an executor on a different rack.
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) != topo_.rack_of(n0)) {
-      state_.executor(e.id).free_cores = 16;
+      state_.set_free_cores(e.id, 16);
       break;
     }
   }
@@ -264,7 +266,9 @@ TEST_F(SchedFixture, NativeDelayHoldsBackLowLocality) {
 
 TEST_F(SchedFixture, NativeDelayEscalatesAfterWait) {
   const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
-  for (ExecutorRuntime& e : state_.executors()) e.free_cores = 0;
+  for (const ExecutorRuntime& e : state_.executors()) {
+    state_.set_free_cores(e.id, 0);
+  }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   ExecutorId far = ExecutorId::invalid();
   for (const Executor& e : topo_.executors()) {
@@ -274,7 +278,7 @@ TEST_F(SchedFixture, NativeDelayEscalatesAfterWait) {
     }
   }
   ASSERT_TRUE(far.valid());
-  state_.executor(far).free_cores = 16;
+  state_.set_free_cores(far, 16);
   // Find a task that is NOT local to `far` to ensure the low-locality
   // case exists; after two full waits (node -> rack -> any) every task
   // is launchable anywhere.
@@ -284,11 +288,13 @@ TEST_F(SchedFixture, NativeDelayEscalatesAfterWait) {
 
 TEST_F(SchedFixture, ZeroWaitDisablesDelay) {
   const NativeDelayPolicy delay(LocalityWaits::uniform(0), cost_);
-  for (ExecutorRuntime& e : state_.executors()) e.free_cores = 0;
+  for (const ExecutorRuntime& e : state_.executors()) {
+    state_.set_free_cores(e.id, 0);
+  }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) != topo_.rack_of(n0)) {
-      state_.executor(e.id).free_cores = 16;
+      state_.set_free_cores(e.id, 16);
       break;
     }
   }
@@ -298,7 +304,9 @@ TEST_F(SchedFixture, ZeroWaitDisablesDelay) {
 
 TEST_F(SchedFixture, DelayRespectsResourceDemand) {
   const NativeDelayPolicy delay(LocalityWaits::uniform(0), cost_);
-  for (ExecutorRuntime& e : state_.executors()) e.free_cores = 5;
+  for (const ExecutorRuntime& e : state_.executors()) {
+    state_.set_free_cores(e.id, 5);
+  }
   // S2 demands 6 vCPUs: no executor fits.
   EXPECT_FALSE(delay.find(state_, master_, StageId(1), 0).has_value());
   // S1 demands 4: fits.
@@ -311,11 +319,13 @@ TEST_F(SchedFixture, SensitivityAwareLaunchesInsensitiveTasksEarly) {
   // Make only a remote executor available; S1's 1 MiB inputs make any
   // locality penalty negligible vs its 4-minute compute, so Algorithm 2
   // must launch immediately instead of idling.
-  for (ExecutorRuntime& e : state_.executors()) e.free_cores = 0;
+  for (const ExecutorRuntime& e : state_.executors()) {
+    state_.set_free_cores(e.id, 0);
+  }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) != topo_.rack_of(n0)) {
-      state_.executor(e.id).free_cores = 16;
+      state_.set_free_cores(e.id, 16);
       break;
     }
   }
@@ -370,11 +380,13 @@ TEST_F(SchedFixture, SensitivityAwareHoldsBackSensitiveTasks) {
   // Only a cross-rack executor has cores: its est. duration (~10s of
   // serde) dwarfs ect (~0.4s for 4 process-local waves), so Algorithm 2
   // must NOT launch there at t=0.
-  for (ExecutorRuntime& e : state2.executors()) e.free_cores = 0;
+  for (const ExecutorRuntime& e : state2.executors()) {
+    state2.set_free_cores(e.id, 0);
+  }
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) !=
         topo_.rack_of(topo_.node_of(ExecutorId(0)))) {
-      state2.executor(e.id).free_cores = 16;
+      state2.set_free_cores(e.id, 16);
       break;
     }
   }
@@ -382,7 +394,7 @@ TEST_F(SchedFixture, SensitivityAwareHoldsBackSensitiveTasks) {
   // The data-holding executor is immediately usable. (The fixture's
   // 16 MiB caches cannot hold the 256 MiB partitions, so the best
   // locality is Node — the block sits on executor 0's node disk.)
-  state2.executor(ExecutorId(0)).free_cores = 16;
+  state2.set_free_cores(ExecutorId(0), 16);
   const auto a = delay.find(state2, master2, StageId(1), 0);
   ASSERT_TRUE(a.has_value());
   EXPECT_TRUE(at_least(a->locality, Locality::Node));

@@ -179,8 +179,8 @@ TEST(SimDriver, SeedChangesPlacement) {
   const SimDriver b(w.dag, profile, config);
   // Different seeds almost surely place at least one block differently.
   bool any_diff = false;
-  for (const auto& [block, nodes] : sorted_view(a.hdfs().all())) {
-    if (b.hdfs().replicas(block) != nodes) {
+  for (std::int64_t ord = 0; ord < a.hdfs().num_blocks(); ++ord) {
+    if (b.hdfs().replicas_by_ord(ord) != a.hdfs().replicas_by_ord(ord)) {
       any_diff = true;
       break;
     }
