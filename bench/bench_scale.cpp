@@ -22,17 +22,25 @@
 // partition per consumer task, so a wide parent would turn input
 // assembly itself into the bottleneck being measured.
 //
-// Points run in ascending size in one process, so ru_maxrss after each
-// point is dominated by that point's own footprint; the JSON documents
-// this. Prefetch is off (its scan is O(executors) per tick and belongs
-// to the cache plane, not the event core being measured).
+// Each point runs in a forked child process and pipes its result back,
+// so every "peak RSS" is that point's own high-water mark. (ru_maxrss
+// is monotone for the life of a process: sampling it after each point
+// in one process reports the LARGEST point so far, not the current one
+// — ascending order only masked the bug, it did not fix it.) When fork
+// is unavailable the harness falls back to in-process runs and the JSON
+// labels the RSS numbers as cumulative. Prefetch is off (its scan is
+// O(executors) per tick and belongs to the cache plane, not the event
+// core being measured).
 #include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include <cinttypes>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -103,6 +111,10 @@ double peak_rss_mb_now() {
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
+/// True when the per-point RSS numbers came from isolated child
+/// processes (accurate) rather than one cumulative process.
+bool g_forked_rss = true;
+
 ScaleResult run_point(const ScalePoint& p) {
   const Workload w = make_scale_workload(p.fan_tasks);
   const SimConfig config = make_scale_config(p);
@@ -124,6 +136,58 @@ ScaleResult run_point(const ScalePoint& p) {
   r.jct_sec = to_seconds(result.metrics.jct);
   r.peak_rss_mb = peak_rss_mb_now();
   r.fingerprint = metrics_fingerprint(result.metrics);
+  return r;
+}
+
+/// Runs the point in a forked child and pipes the (trivially copyable)
+/// result back, so ru_maxrss — monotone per process — reflects only
+/// this point. Falls back to in-process on fork/pipe failure.
+ScaleResult run_point_isolated(const ScalePoint& p) {
+  static_assert(std::is_trivially_copyable_v<ScaleResult>);
+  int fd[2];
+  if (pipe(fd) != 0) {
+    g_forked_rss = false;
+    return run_point(p);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fd[0]);
+    close(fd[1]);
+    g_forked_rss = false;
+    return run_point(p);
+  }
+  if (pid == 0) {
+    close(fd[0]);
+    const ScaleResult r = run_point(p);
+    ssize_t left = sizeof r;
+    const char* src = reinterpret_cast<const char*>(&r);
+    while (left > 0) {
+      const ssize_t n = write(fd[1], src, static_cast<std::size_t>(left));
+      if (n <= 0) _exit(1);
+      src += n;
+      left -= n;
+    }
+    close(fd[1]);
+    _exit(0);
+  }
+  close(fd[1]);
+  ScaleResult r;
+  ssize_t got = 0;
+  char* dst = reinterpret_cast<char*>(&r);
+  while (got < static_cast<ssize_t>(sizeof r)) {
+    const ssize_t n = read(fd[0], dst + got, sizeof r - got);
+    if (n <= 0) break;
+    got += n;
+  }
+  close(fd[0]);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (got != static_cast<ssize_t>(sizeof r) || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    // Child died before reporting: rerun here so the sweep completes.
+    g_forked_rss = false;
+    return run_point(p);
+  }
   return r;
 }
 
@@ -153,7 +217,7 @@ int main(int argc, char** argv) {
   std::vector<ScaleResult> results;
   results.reserve(points.size());
   for (const ScalePoint& p : points) {
-    const ScaleResult r = run_point(p);
+    const ScaleResult r = run_point_isolated(p);
     results.push_back(r);
     table.add_row({std::to_string(r.executors),
                    std::to_string(r.total_cores), std::to_string(r.tasks),
@@ -177,9 +241,14 @@ int main(int argc, char** argv) {
           "->shuffle fan(N, zero-output)\",\n"
        << "  \"prefetch_enabled\": false,\n"
        << "  \"incremental_scheduling\": true,\n"
-       << "  \"peak_rss_note\": \"process ru_maxrss sampled after each "
-          "point; points run smallest-first in one process, so each "
-          "value is dominated by that point's own footprint\",\n"
+       << "  \"peak_rss_note\": \""
+       << (g_forked_rss
+               ? "each point ran in its own forked child process, so "
+                 "peak_rss_mb is that point's true high-water mark"
+               : "fork unavailable: points ran in one process, so "
+                 "peak_rss_mb is CUMULATIVE (ru_maxrss is monotone) and "
+                 "upper-bounds each point by the largest so far")
+       << "\",\n"
        << "  \"points\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ScaleResult& r = results[i];

@@ -228,6 +228,8 @@ void BlockManagerMaster::apply_insert(
     // the produce path, Disk on a read-admit, Evicted on a re-admit).
     if (residency_[o] != BlockResidency::Memory) {
       set_residency(block, BlockResidency::Memory);
+      // Mirror into the oracle's LERC peer groups (no-op unless enabled).
+      oracle_->set_memory_resident(block, true);
     }
     remove_prefetchable(o);
     ++counters_.insertions;
@@ -254,6 +256,8 @@ void BlockManagerMaster::note_evicted(const BlockId& block, ExecutorId exec) {
     // Last memory copy gone; the durable disk copy keeps the block
     // recoverable (eviction is always safe, DESIGN.md §4).
     set_residency(block, BlockResidency::Evicted);
+    // Mirror into the oracle's LERC peer groups (no-op unless enabled).
+    oracle_->set_memory_resident(block, false);
     if (dag_->rdd(block.rdd).cacheable) add_prefetchable(o);
   }
 }

@@ -50,14 +50,26 @@ std::optional<double> LrpPolicy::prefetch_priority(
   return static_cast<double>(p);
 }
 
+double LercPolicy::retention_priority(const BlockId& block,
+                                      SimTime /*last_access*/,
+                                      const ReferenceOracle& oracle) const {
+  // Effective count dominates; the raw count breaks ties inside one
+  // effectiveness class (both are bounded by the stage count, so the
+  // scaled sum stays exact in a double).
+  return static_cast<double>(oracle.effective_ref_count(block)) * 65536.0 +
+         static_cast<double>(oracle.remaining_ref_count(block));
+}
+
 std::unique_ptr<CachePolicy> make_cache_policy(CachePolicyKind kind) {
   switch (kind) {
     case CachePolicyKind::Lru: return std::make_unique<LruPolicy>();
     case CachePolicyKind::Lrc: return std::make_unique<LrcPolicy>();
     case CachePolicyKind::Mrd: return std::make_unique<MrdPolicy>();
     case CachePolicyKind::Lrp: return std::make_unique<LrpPolicy>();
+    case CachePolicyKind::Lerc: return std::make_unique<LercPolicy>();
   }
-  throw ConfigError("unknown cache policy kind");
+  throw ConfigError(std::string("unknown cache policy kind (expected ") +
+                    kCachePolicyNames + ")");
 }
 
 }  // namespace dagon

@@ -3,10 +3,14 @@
 // A policy is a pure decision function over (block, local LRU state,
 // ReferenceOracle); the BlockManager owns the mechanics (capacity,
 // victim search, admission). Implemented policies:
-//   LRU — Spark's default BlockManager policy (DAG-oblivious)
-//   LRC — least reference count [Yu et al., INFOCOM'17]
-//   MRD — most reference distance, FIFO stage order [Perez et al., ICPP'18]
-//   LRP — least reference priority, the paper's contribution (§III-C)
+//   LRU  — Spark's default BlockManager policy (DAG-oblivious)
+//   LRC  — least reference count [Yu et al., INFOCOM'17]
+//   MRD  — most reference distance, FIFO stage order [Perez et al., ICPP'18]
+//   LRP  — least reference priority, the paper's contribution (§III-C)
+//   LERC — least effective reference count [Yu et al., ICDCS'17]:
+//          all-or-nothing caching per consumer stage, so memory is only
+//          spent on blocks whose whole peer group can produce effective
+//          hits (needs ReferenceOracle peer tracking)
 #pragma once
 
 #include <memory>
@@ -18,7 +22,7 @@
 
 namespace dagon {
 
-enum class CachePolicyKind { Lru, Lrc, Mrd, Lrp };
+enum class CachePolicyKind { Lru, Lrc, Mrd, Lrp, Lerc };
 
 [[nodiscard]] constexpr const char* cache_policy_name(CachePolicyKind k) {
   switch (k) {
@@ -26,9 +30,14 @@ enum class CachePolicyKind { Lru, Lrc, Mrd, Lrp };
     case CachePolicyKind::Lrc: return "LRC";
     case CachePolicyKind::Mrd: return "MRD";
     case CachePolicyKind::Lrp: return "LRP";
+    case CachePolicyKind::Lerc: return "LERC";
   }
   return "?";
 }
+
+/// The accepted --cache / config spellings, for actionable errors.
+inline constexpr const char* kCachePolicyNames =
+    "lru | lrc | mrd | lrp | lerc";
 
 class CachePolicy {
  public:
@@ -116,6 +125,23 @@ class LrpPolicy final : public CachePolicy {
   [[nodiscard]] bool proactive_eviction() const override { return true; }
   [[nodiscard]] std::optional<double> prefetch_priority(
       const BlockId& block, const ReferenceOracle& oracle) const override;
+};
+
+/// LERC [Yu et al., ICDCS'17]: retention = effective reference count
+/// (live reader stages whose peer group is — or, with this block, would
+/// be — fully cached), with the raw reference count as tie-break so
+/// dead data still leaves before merely ineffective data. Proactively
+/// evicts dead blocks; admission must beat a victim (all-or-nothing
+/// pressure: a block of an uncachable-in-full group scores 0 and loses
+/// to any effective block). Requires
+/// ReferenceOracle::enable_peer_tracking().
+class LercPolicy final : public CachePolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "LERC"; }
+  [[nodiscard]] double retention_priority(
+      const BlockId& block, SimTime last_access,
+      const ReferenceOracle& oracle) const override;
+  [[nodiscard]] bool proactive_eviction() const override { return true; }
 };
 
 [[nodiscard]] std::unique_ptr<CachePolicy> make_cache_policy(

@@ -9,6 +9,7 @@ namespace dagon {
 
 ReferenceOracle::ReferenceOracle(const JobDag& dag) : dag_(&dag) {
   finished_.assign(dag.num_stages(), false);
+  active_.assign(dag.num_stages(), 1);
   pv_ = initial_priority_values(dag);
   refs_.resize(static_cast<std::size_t>(dag.num_blocks()));
   for (const Stage& s : dag.stages()) {
@@ -90,6 +91,97 @@ void ReferenceOracle::set_current_stage(StageId stage) {
   DAGON_CHECK(stage.valid());
   ++epoch_;
   current_stage_ord_ = stage.value();
+}
+
+void ReferenceOracle::set_stage_active(StageId stage, bool stage_on) {
+  DAGON_CHECK(stage.valid() &&
+              static_cast<std::size_t>(stage.value()) < active_.size());
+  auto& slot = active_[static_cast<std::size_t>(stage.value())];
+  const char next = stage_on ? 1 : 0;
+  if (slot == next) return;
+  ++epoch_;
+  slot = next;
+}
+
+void ReferenceOracle::enable_peer_tracking() {
+  if (peer_tracking_) return;
+  peer_tracking_ = true;
+  in_memory_.assign(static_cast<std::size_t>(dag_->num_blocks()), 0);
+  // A task's peer group = partition p of every cacheable parent it
+  // reads through a narrow dep (a non-cacheable block can never be
+  // memory-resident, so including it would make all-or-nothing
+  // unsatisfiable forever; a shuffle read touches every parent block,
+  // so it carries no per-task group).
+  narrow_readers_.assign(dag_->rdds().size(), {});
+  task_group_offset_.assign(static_cast<std::size_t>(dag_->num_stages()) + 1,
+                            0);
+  for (const Stage& s : dag_->stages()) {
+    const auto i = static_cast<std::size_t>(s.id.value());
+    task_group_offset_[i + 1] = task_group_offset_[i] + s.num_tasks;
+  }
+  task_missing_.assign(static_cast<std::size_t>(task_group_offset_.back()),
+                       0);
+  for (const Stage& s : dag_->stages()) {
+    for (const RddRef& ref : s.inputs) {
+      if (ref.kind != DepKind::Narrow) continue;
+      if (!dag_->rdd(ref.rdd).cacheable) continue;
+      auto& readers = narrow_readers_[static_cast<std::size_t>(
+          ref.rdd.value())];
+      // A stage may read one RDD through several narrow edges; the
+      // group slot counts the distinct block once.
+      if (std::find(readers.begin(), readers.end(), s.id) != readers.end()) {
+        continue;
+      }
+      readers.push_back(s.id);
+      for (std::int32_t t = 0; t < s.num_tasks; ++t) {
+        ++task_missing_[group_ord(s.id, t)];
+      }
+    }
+  }
+}
+
+void ReferenceOracle::set_memory_resident(const BlockId& block,
+                                          bool resident) {
+  if (!peer_tracking_) return;
+  if (!dag_->rdd(block.rdd).cacheable) return;
+  const auto o = static_cast<std::size_t>(dag_->block_ord(block));
+  const char next = resident ? 1 : 0;
+  if (in_memory_[o] == next) return;
+  ++epoch_;
+  in_memory_[o] = next;
+  const std::int32_t delta = resident ? -1 : 1;
+  for (const StageId s :
+       narrow_readers_[static_cast<std::size_t>(block.rdd.value())]) {
+    auto& missing = task_missing_[group_ord(s, block.partition)];
+    missing += delta;
+    DAGON_CHECK(missing >= 0);
+  }
+}
+
+int ReferenceOracle::effective_ref_count(const BlockId& block) const {
+  DAGON_CHECK_MSG(peer_tracking_,
+                  "effective_ref_count needs enable_peer_tracking()");
+  const auto o = static_cast<std::size_t>(dag_->block_ord(block));
+  if (!dag_->rdd(block.rdd).cacheable) return 0;
+  // If `block` itself is absent it still contributes one "missing" slot
+  // to each of its groups; the question LERC asks is whether caching it
+  // would *complete* the group.
+  const std::int32_t self_missing = in_memory_[o] == 0 ? 1 : 0;
+  const auto& readers =
+      narrow_readers_[static_cast<std::size_t>(block.rdd.value())];
+  int count = 0;
+  for (const Ref& r : refs_[o]) {
+    if (!live(r)) continue;
+    if (std::find(readers.begin(), readers.end(), r.stage) ==
+        readers.end()) {
+      continue;  // shuffle-only reader: no per-task peer group
+    }
+    if (task_missing_[group_ord(r.stage, block.partition)] - self_missing ==
+        0) {
+      ++count;
+    }
+  }
+  return count;
 }
 
 int ReferenceOracle::remaining_ref_count(const BlockId& block) const {

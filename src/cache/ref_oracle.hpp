@@ -15,6 +15,23 @@
 // has started, s no longer holds a reference on b — this is what lets
 // MRD/LRP discard data the moment its last reader has picked it up
 // (Fig. 6's per-stage reference deletion).
+//
+// Online serving extends the same structure across jobs. The merged
+// serving DAG contains every job's stages, so one oracle aggregates
+// remaining references over all of them; stages of jobs that have not
+// *arrived* yet are marked inactive (set_stage_active) and hold no live
+// references until their JobSubmit fires — a cache policy only ever
+// sees demand from jobs the cluster actually knows about. The LERC
+// policy (arXiv:1708.07941) additionally needs peer-group state: a
+// consumer task's peers are the cacheable blocks it reads together (for
+// narrow deps, partition p of every cacheable parent), and a hit is
+// only effective when the whole group is memory-resident.
+// BlockManagerMaster mirrors residency in via set_memory_resident;
+// effective_ref_count(b) then counts the live reader stages whose
+// consuming task's peer group would be fully cached if b itself were —
+// the "effective cache hit" criterion (all-or-nothing caching per
+// consumer task). Peer tracking is off unless enabled explicitly, so
+// non-LERC runs never touch (or pay for) the mirror.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +72,39 @@ class ReferenceOracle {
   /// The stage whose tasks are currently being launched, as a position
   /// in FIFO (stage-id) order; MRD measures distances from here.
   void set_current_stage(StageId stage);
+
+  /// Serving mode: stages of jobs that have not arrived yet are marked
+  /// inactive — their references are not live, so cross-job policies
+  /// only see demand from submitted jobs. Stages default to active.
+  void set_stage_active(StageId stage, bool active);
+
+  // -- LERC peer groups (effective-cache-hit management) -----------------
+
+  /// Builds the per-task peer-group counters (for every consumer task,
+  /// how many of its cacheable narrow input blocks are NOT
+  /// memory-resident). Must be called before the first
+  /// set_memory_resident; idempotent. Only the LERC policy needs this —
+  /// when never enabled, residency mirroring is a no-op and single-job
+  /// runs stay bit-identical.
+  void enable_peer_tracking();
+
+  [[nodiscard]] bool peer_tracking_enabled() const {
+    return peer_tracking_;
+  }
+
+  /// BlockManagerMaster mirrors memory residency here: `resident` flips
+  /// when `block` gains its first / loses its last memory copy anywhere
+  /// in the cluster. No-op unless peer tracking is enabled.
+  void set_memory_resident(const BlockId& block, bool resident);
+
+  /// LERC's count: live narrow-reader stages of `block` whose consuming
+  /// task's peer group (partition p of every cacheable narrow parent)
+  /// would be fully memory-resident if `block` itself were cached. A
+  /// block with effective count 0 cannot currently produce an effective
+  /// hit, so caching it is wasted memory — while a block that would
+  /// *complete* a group outranks every broken-group resident. Requires
+  /// peer tracking.
+  [[nodiscard]] int effective_ref_count(const BlockId& block) const;
 
   // -- queries ------------------------------------------------------------
 
@@ -99,7 +149,8 @@ class ReferenceOracle {
     return refs_[static_cast<std::size_t>(dag_->block_ord(block))];
   }
   [[nodiscard]] bool live(const Ref& ref) const {
-    return ref.remaining > 0 && !stage_finished(ref.stage);
+    return ref.remaining > 0 && !stage_finished(ref.stage) &&
+           active_[static_cast<std::size_t>(ref.stage.value())] != 0;
   }
 
   const JobDag* dag_;
@@ -107,9 +158,33 @@ class ReferenceOracle {
   /// block ordinal (JobDag::block_ord); empty for unreferenced blocks.
   std::vector<std::vector<Ref>> refs_;
   std::vector<bool> finished_;
+  /// 0 = the stage's job has not arrived; its references are inactive.
+  std::vector<char> active_;
   std::vector<CpuWork> pv_;
   std::int32_t current_stage_ord_ = 0;
   std::uint64_t epoch_ = 0;
+
+  // -- peer-group state (populated by enable_peer_tracking) --------------
+  [[nodiscard]] std::size_t group_ord(StageId stage,
+                                      std::int32_t task) const {
+    return static_cast<std::size_t>(
+        task_group_offset_[static_cast<std::size_t>(stage.value())] + task);
+  }
+
+  bool peer_tracking_ = false;
+  /// 1 = some executor holds this block ordinal in memory.
+  std::vector<char> in_memory_;
+  /// Stages reading each RDD through a narrow dep (cacheable parents
+  /// only): the consumers whose task-level peer groups the RDD's blocks
+  /// belong to. Indexed by RDD id.
+  std::vector<std::vector<StageId>> narrow_readers_;
+  /// Per (stage, task) — flattened via task_group_offset_: cacheable
+  /// narrow input blocks of that task currently NOT memory-resident.
+  /// 0 means the task's whole peer group is cached (its read would be
+  /// an effective hit).
+  std::vector<std::int32_t> task_missing_;
+  /// Prefix sums of num_tasks by stage id; size num_stages + 1.
+  std::vector<std::int64_t> task_group_offset_;
 };
 
 }  // namespace dagon

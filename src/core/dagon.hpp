@@ -57,6 +57,7 @@
 #include "workloads/graph_workloads.hpp"
 #include "workloads/ml_workloads.hpp"
 #include "workloads/random_dag.hpp"
+#include "workloads/serving.hpp"
 #include "workloads/suite.hpp"
 
 #include "core/app_profiler.hpp"

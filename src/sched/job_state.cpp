@@ -185,7 +185,7 @@ bool JobState::mark_finished(StageId s, std::int32_t index, ExecutorId exec,
 std::vector<StageId> JobState::refresh_ready(SimTime now) {
   std::vector<StageId> newly_ready;
   for (StageRuntime& rt : stages_) {
-    if (rt.ready || rt.finished) continue;
+    if (rt.ready || rt.finished || rt.gated) continue;
     const Stage& s = dag_->stage(rt.id);
     const bool ok = std::all_of(
         s.parents.begin(), s.parents.end(),
@@ -198,6 +198,18 @@ std::vector<StageId> JobState::refresh_ready(SimTime now) {
     }
   }
   return newly_ready;
+}
+
+void JobState::set_stage_gated(StageId s, bool gated) {
+  StageRuntime& rt = stage(s);
+  if (rt.gated == gated) return;
+  rt.gated = gated;
+  if (gated) {
+    DAGON_CHECK_MSG(rt.running == 0 && rt.finished_tasks == 0,
+                    "cannot gate started stage " << s);
+    rt.ready = false;
+    rt.ready_time = -1;
+  }
 }
 
 void JobState::mark_failed(StageId s, std::int32_t index) {

@@ -41,6 +41,10 @@ struct StageRuntime {
 
   bool ready = false;     // all parents finished
   bool finished = false;
+  /// Serving mode: the stage's job has not been submitted yet. A gated
+  /// stage is never promoted to ready (even with zero parents) until the
+  /// driver ungates it on JobSubmit.
+  bool gated = false;
   /// Stage has at least one narrow input (set once at construction).
   /// Without one, task_locality_on answers NoPref for every task, which
   /// lets the scheduler skip per-task locality scans entirely.
@@ -254,8 +258,14 @@ class JobState {
   void mark_failed(StageId s, std::int32_t index);
 
   /// Promotes stages whose parents have all finished; returns the newly
-  /// ready stage ids.
+  /// ready stage ids. Gated stages are never promoted.
   std::vector<StageId> refresh_ready(SimTime now);
+
+  /// Serving mode: (un)gates a stage. Gating demotes an already-ready
+  /// stage (only legal before any of its tasks launched); ungating does
+  /// not promote — call refresh_ready afterwards so promotion runs the
+  /// usual parent check and timestamps ready_time with the submit time.
+  void set_stage_gated(StageId s, bool gated);
 
   /// Re-queues a *failed* task for retry: transitions it
   /// Failed → Pending, re-inserts it into the pending queue and restores

@@ -46,6 +46,31 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
     metrics_.faults.per_executor.resize(topo_.num_executors());
   }
   delay_->set_locality_cache_enabled(config_.incremental_scheduling);
+  // LERC scores blocks by effective reference count, which needs the
+  // oracle's peer-group residency mirror. Enabled only for LERC so every
+  // other policy's runs stay bit-identical to pre-LERC builds.
+  if (config_.cache == CachePolicyKind::Lerc) {
+    oracle_.enable_peer_tracking();
+  }
+  serving_ = config_.serving.enabled();
+  if (serving_) {
+    stage_job_.assign(dag.num_stages(), -1);
+    jobs_.resize(config_.serving.jobs.size());
+    for (std::size_t j = 0; j < config_.serving.jobs.size(); ++j) {
+      const SimConfig::ServingJob& job = config_.serving.jobs[j];
+      jobs_[j].submit_time = std::max<SimTime>(0, job.submit_at);
+      jobs_[j].unfinished_stages =
+          static_cast<std::int32_t>(job.stages.size());
+      for (const StageId s : job.stages) {
+        stage_job_[static_cast<std::size_t>(s.value())] =
+            static_cast<std::int32_t>(j);
+        // Every job starts gated; run() ungates submit-at-0 jobs before
+        // the first schedule pass and queues JobSubmit for the rest.
+        state_.set_stage_gated(s, true);
+        oracle_.set_stage_active(s, false);
+      }
+    }
+  }
   produced_.resize(dag.num_stages());
   for (const Stage& s : dag.stages()) {
     produced_[static_cast<std::size_t>(s.id.value())].assign(
@@ -107,6 +132,36 @@ void SimDriver::validate() const {
   if (config_.speculation.multiplier <= 0.0) {
     throw ConfigError("speculation multiplier must be positive");
   }
+  if (config_.serving.enabled()) {
+    std::vector<char> owned(dag_->num_stages(), 0);
+    for (const SimConfig::ServingJob& job : config_.serving.jobs) {
+      if (job.weight < 1) {
+        throw ConfigError("serving job '" + job.name +
+                          "' needs weight >= 1");
+      }
+      if (job.stages.empty()) {
+        throw ConfigError("serving job '" + job.name + "' has no stages");
+      }
+      for (const StageId s : job.stages) {
+        if (!s.valid() ||
+            static_cast<std::size_t>(s.value()) >= owned.size()) {
+          throw ConfigError("serving job '" + job.name +
+                            "' lists an unknown stage");
+        }
+        if (owned[static_cast<std::size_t>(s.value())] != 0) {
+          throw ConfigError("serving jobs must partition the DAG: stage "
+                            "owned twice");
+        }
+        owned[static_cast<std::size_t>(s.value())] = 1;
+      }
+    }
+    for (const char o : owned) {
+      if (o == 0) {
+        throw ConfigError(
+            "serving jobs must partition the DAG: unowned stage");
+      }
+    }
+  }
   SimTime prev = -1;
   for (const SimConfig::CapacityPhase& phase : config_.capacity_phases) {
     if (phase.at < 0 || phase.at <= prev) {
@@ -124,6 +179,19 @@ RunMetrics SimDriver::run() {
   ran_ = true;
 
   master_.seed_initial_cache(0);
+  if (serving_) {
+    for (std::size_t j = 0; j < config_.serving.jobs.size(); ++j) {
+      const SimTime at = config_.serving.jobs[j].submit_at;
+      if (at <= 0) {
+        // Already here at start of time: ungate directly, no event.
+        handle_job_submit(static_cast<std::int32_t>(j), 0);
+      } else {
+        queue_.push(Event{at, EventType::JobSubmit, TaskId::invalid(),
+                          ExecutorId::invalid(), BlockId{},
+                          static_cast<std::int32_t>(j)});
+      }
+    }
+  }
   state_.refresh_ready(0);
   push_priority_update();
   schedule_loop(0);
@@ -207,6 +275,18 @@ RunMetrics SimDriver::run() {
       case EventType::Heartbeat:
         handle_heartbeat(ev.exec, now);
         break;
+      case EventType::JobSubmit:
+        handle_job_submit(ev.aux, now);
+        break;
+      case EventType::JobFinish:
+        // Bookkeeping already ran at the job's final TaskFinish; the
+        // event makes the completion visible in the event stream.
+        DAGON_DEBUG("t=" << format_duration(now) << " job "
+                         << config_.serving.jobs[static_cast<std::size_t>(
+                                                     ev.aux)]
+                                .name
+                         << " finished");
+        break;
     }
     schedule_loop(now);
     // Proactive sweeps and prefetch scans are O(cached blocks) /
@@ -227,17 +307,61 @@ RunMetrics SimDriver::run() {
 void SimDriver::schedule_loop(SimTime now) {
   // Algorithm 1: repeat {order stages; first admissible launch; restart}
   // until no stage can place a task.
+  const bool fair = serving_ && config_.serving.fair_share;
   bool progress = true;
   while (progress) {
     progress = false;
     if (!state_.any_free_cores()) break;
-    for (const StageId s : selector_->order(state_)) {
-      const auto a = delay_->find(state_, master_, s, now);
-      if (a) {
-        launch_task(s, *a, now, /*speculative=*/false);
-        progress = true;
-        break;
+    const std::vector<StageId> order = selector_->order(state_);
+    if (!fair) {
+      for (const StageId s : order) {
+        const auto a = delay_->find(state_, master_, s, now);
+        if (a) {
+          launch_task(s, *a, now, /*speculative=*/false);
+          progress = true;
+          break;
+        }
       }
+      continue;
+    }
+    // Weighted fair share: offer the next slot to jobs in ascending
+    // running_cores/weight order (exact int64 cross-multiplication;
+    // ties to the lower job index), falling through to the next job
+    // when a job has no admissible task — the loop stays
+    // work-conserving. Within one job, the stage selector's order is
+    // preserved.
+    job_order_.clear();
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      if (jobs_[j].submitted && jobs_[j].unfinished_stages > 0) {
+        job_order_.push_back(static_cast<std::int32_t>(j));
+      }
+    }
+    std::sort(job_order_.begin(), job_order_.end(),
+              [&](std::int32_t a, std::int32_t b) {
+                const auto ca = static_cast<std::int64_t>(
+                    jobs_[static_cast<std::size_t>(a)].running_cores);
+                const auto cb = static_cast<std::int64_t>(
+                    jobs_[static_cast<std::size_t>(b)].running_cores);
+                const auto wa = static_cast<std::int64_t>(
+                    config_.serving.jobs[static_cast<std::size_t>(a)]
+                        .weight);
+                const auto wb = static_cast<std::int64_t>(
+                    config_.serving.jobs[static_cast<std::size_t>(b)]
+                        .weight);
+                if (ca * wb != cb * wa) return ca * wb < cb * wa;
+                return a < b;
+              });
+    for (const std::int32_t j : job_order_) {
+      for (const StageId s : order) {
+        if (stage_job_[static_cast<std::size_t>(s.value())] != j) continue;
+        const auto a = delay_->find(state_, master_, s, now);
+        if (a) {
+          launch_task(s, *a, now, /*speculative=*/false);
+          progress = true;
+          break;
+        }
+      }
+      if (progress) break;
     }
   }
 }
@@ -256,6 +380,12 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   const double slow =
       gray_active_ ? fault_plan_->degrade_factor(a.exec, now) : 1.0;
   SimTime partition_stall = 0;
+  // Effective-hit accounting (LERC's metric): the read is effective only
+  // when EVERY cacheable narrow input is served from cluster memory —
+  // a remote-memory read is still a BlockManager cache hit; only a disk
+  // read or recompute breaks the peer group's effectiveness.
+  bool any_cacheable_narrow = false;
+  bool all_inputs_memory = true;
   for (const TaskInput& in : dag_->task_inputs(s, a.task_index)) {
     const auto lookup = master_.lookup(in.block, a.exec);
     const Rdd& rdd = dag_->rdd(in.block.rdd);
@@ -280,15 +410,26 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
     // accounting: shuffle fetches and unpersisted inputs never count.
     if (rdd.cacheable && in.kind == DepKind::Narrow) {
       ++metrics_.cache.total_reads;
+      any_cacheable_narrow = true;
       if (lookup.source == BlockSource::LocalMemory) {
         ++metrics_.cache.local_memory_hits;
       } else if (is_memory_source(lookup.source)) {
         ++metrics_.cache.other_memory_hits;
       } else {
         ++metrics_.cache.disk_reads;
+        all_inputs_memory = false;
       }
     }
     master_.on_block_read(in.block, a.exec, lookup, now);
+  }
+  if (any_cacheable_narrow) {
+    ++metrics_.cache.effective_task_reads;
+    if (all_inputs_memory) ++metrics_.cache.effective_task_hits;
+    if (serving_) {
+      JobRuntime& j = jobs_[static_cast<std::size_t>(job_of(s))];
+      ++j.effective_task_reads;
+      if (all_inputs_memory) ++j.effective_task_hits;
+    }
   }
   SimTime fetch = 0;
   for (std::size_t src = 0; src < bytes_by_source.size(); ++src) {
@@ -351,6 +492,12 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
     push_priority_update();
   }
 
+  if (serving_) {
+    JobRuntime& j = jobs_[static_cast<std::size_t>(job_of(s))];
+    j.running_cores += demand;
+    if (j.first_launch < 0) j.first_launch = now;
+  }
+
   metrics_.busy_cores.add(now, static_cast<double>(demand));
   metrics_.running_tasks.add(now, 1.0);
   ++metrics_.locality_histogram[static_cast<std::size_t>(a.locality)];
@@ -406,6 +553,9 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
       s, index, attempt.task.executor, attempt.task.locality,
       attempt.task.launch_time, now);
   claim_reservation(attempt.task.executor, now);
+  if (serving_) {
+    jobs_[static_cast<std::size_t>(job_of(s))].running_cores -= demand;
+  }
 
   metrics_.busy_cores.add(now, -static_cast<double>(demand));
   metrics_.running_tasks.add(now, -1.0);
@@ -433,6 +583,16 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
     master_.proactive_sweep();
     DAGON_DEBUG("t=" << format_duration(now) << " stage " << s << " ("
                      << dag_->stage(s).name << ") finished");
+    if (serving_) {
+      const std::int32_t ji = job_of(s);
+      JobRuntime& j = jobs_[static_cast<std::size_t>(ji)];
+      DAGON_CHECK(j.unfinished_stages > 0);
+      if (--j.unfinished_stages == 0) {
+        j.finished = now;
+        queue_.push(Event{now, EventType::JobFinish, TaskId::invalid(),
+                          ExecutorId::invalid(), BlockId{}, ji});
+      }
+    }
   }
   push_priority_update();
 }
@@ -448,6 +608,10 @@ void SimDriver::cancel_attempt(TaskId id, SimTime now) {
   state_.add_free_cores(attempt.task.executor, demand);
   --state_.stage(attempt.task.stage).running;
   claim_reservation(attempt.task.executor, now);
+  if (serving_) {
+    jobs_[static_cast<std::size_t>(job_of(attempt.task.stage))]
+        .running_cores -= demand;
+  }
   metrics_.busy_cores.add(now, -static_cast<double>(demand));
   metrics_.running_tasks.add(now, -1.0);
   if (config_.per_executor_profiles) {
@@ -673,6 +837,9 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
   state_.add_free_cores(attempt.task.executor, demand);
   --state_.stage(s).running;
   claim_reservation(attempt.task.executor, now);
+  if (serving_) {
+    jobs_[static_cast<std::size_t>(job_of(s))].running_cores -= demand;
+  }
 
   metrics_.busy_cores.add(now, -static_cast<double>(demand));
   metrics_.running_tasks.add(now, -1.0);
@@ -794,8 +961,15 @@ void SimDriver::recover_block(const BlockId& block, SimTime now) {
     return;  // recompute already pending (or running)
   }
   produced[static_cast<std::size_t>(p)] = false;
+  const bool was_finished = state_.stage(s).finished;
   state_.reopen_task(s, p);
   oracle_.restore_task_refs(s, p);
+  // A re-opened stage un-finishes its job: completion will be detected
+  // (and a fresh JobFinish emitted) when the recompute lands.
+  if (serving_ && was_finished) {
+    JobRuntime& j = jobs_[static_cast<std::size_t>(job_of(s))];
+    if (j.unfinished_stages++ == 0) j.finished = -1;
+  }
   ++metrics_.faults.lineage_recomputes;
   DAGON_DEBUG("t=" << format_duration(now) << " recomputing stage " << s
                    << " task " << p << " for lost block " << block);
@@ -975,6 +1149,28 @@ void SimDriver::expire_blacklists(SimTime now) {
   }
 }
 
+void SimDriver::handle_job_submit(std::int32_t job, SimTime now) {
+  DAGON_CHECK(job >= 0 &&
+              static_cast<std::size_t>(job) < jobs_.size());
+  JobRuntime& j = jobs_[static_cast<std::size_t>(job)];
+  DAGON_CHECK_MSG(!j.submitted, "job submitted twice");
+  j.submitted = true;
+  j.submit_time = now;
+  for (const StageId s :
+       config_.serving.jobs[static_cast<std::size_t>(job)].stages) {
+    state_.set_stage_gated(s, false);
+    oracle_.set_stage_active(s, true);
+  }
+  // Promotion runs the normal parent check, so root stages of the job
+  // become schedulable now and downstream stages wait as usual.
+  state_.refresh_ready(now);
+  push_priority_update();
+  DAGON_DEBUG("t=" << format_duration(now) << " job "
+                   << config_.serving.jobs[static_cast<std::size_t>(job)]
+                          .name
+                   << " submitted");
+}
+
 void SimDriver::verify_quiescent() const {
   DAGON_CHECK_MSG(metrics_.busy_cores.value() == 0.0,
                   "end of run: busy_cores did not return to zero");
@@ -1009,6 +1205,19 @@ void SimDriver::verify_quiescent() const {
                       "end of run: stage " << s.id << " task " << t
                                            << " is "
                                            << to_string(s.status_of(t)));
+    }
+  }
+  if (serving_) {
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const JobRuntime& job = jobs_[j];
+      DAGON_CHECK_MSG(job.submitted && job.unfinished_stages == 0 &&
+                          job.finished >= 0,
+                      "end of run: serving job " << j << " incomplete");
+      DAGON_CHECK_MSG(job.running_cores == 0,
+                      "end of run: serving job " << j << " holds cores");
+      DAGON_CHECK_MSG(job.effective_task_hits <= job.effective_task_reads,
+                      "end of run: job " << j
+                                         << " effective-hit accounting");
     }
   }
   // Residency lifecycle must agree with the copy maps at quiescence.
@@ -1103,6 +1312,27 @@ void SimDriver::finalize_metrics(SimTime end) {
   metrics_.cache.proactive_evictions = counters.proactive_evictions;
   metrics_.cache.prefetches = counters.prefetches;
   metrics_.cache.rejected_admissions = counters.rejected_admissions;
+
+  if (serving_) {
+    metrics_.jobs.reserve(jobs_.size());
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const SimConfig::ServingJob& spec = config_.serving.jobs[j];
+      const JobRuntime& rt = jobs_[j];
+      JobStats stats;
+      stats.name = spec.name;
+      stats.weight = spec.weight;
+      stats.submitted = rt.submit_time;
+      stats.first_launch = rt.first_launch;
+      stats.finished = rt.finished;
+      stats.stages = static_cast<std::int64_t>(spec.stages.size());
+      for (const StageId s : spec.stages) {
+        stats.tasks += dag_->stage(s).num_tasks;
+      }
+      stats.effective_task_reads = rt.effective_task_reads;
+      stats.effective_task_hits = rt.effective_task_hits;
+      metrics_.jobs.push_back(std::move(stats));
+    }
+  }
 }
 
 }  // namespace dagon

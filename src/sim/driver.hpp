@@ -104,6 +104,14 @@ class SimDriver {
     return metrics_.faults.per_executor[static_cast<std::size_t>(
         exec.value())];
   }
+  // -- online serving (multi-job mode) ------------------------------------
+  /// JobSubmit fired: ungates the job's stages and re-activates their
+  /// references in the oracle.
+  void handle_job_submit(std::int32_t job, SimTime now);
+  /// Job index owning stage `s`; -1 on single-job runs.
+  [[nodiscard]] std::int32_t job_of(StageId s) const {
+    return serving_ ? stage_job_[static_cast<std::size_t>(s.value())] : -1;
+  }
   /// End-of-run invariant: every resource returned, no half-open state.
   void verify_quiescent() const;
   /// Pushes current pv values / current stage into the oracle so the
@@ -163,6 +171,27 @@ class SimDriver {
   std::vector<char> prefetch_inflight_;
   /// failures so far per task ordinal, for retry backoff / the cap.
   std::vector<std::int32_t> retry_counts_;
+
+  // -- online serving state (empty on single-job runs) --------------------
+  /// True iff config_.serving.enabled(): multi-job mode.
+  bool serving_ = false;
+  /// Stage -> owning job index (dense, from ServingConfig::jobs).
+  std::vector<std::int32_t> stage_job_;
+  struct JobRuntime {
+    bool submitted = false;
+    SimTime submit_time = 0;
+    SimTime first_launch = -1;
+    SimTime finished = -1;
+    /// Stages of this job not yet finished; 0 = job complete.
+    std::int32_t unfinished_stages = 0;
+    /// vCPUs its running attempts hold right now (fair-share numerator).
+    Cpus running_cores = 0;
+    std::int64_t effective_task_reads = 0;
+    std::int64_t effective_task_hits = 0;
+  };
+  std::vector<JobRuntime> jobs_;
+  /// Scratch job ordering for the fair-share schedule loop.
+  std::vector<std::int32_t> job_order_;
 
   RunMetrics metrics_;
   /// Last JobState::pv_epoch pushed into the oracle (0 = never).

@@ -43,6 +43,13 @@ enum class EventType {
   /// (gray-failure monitoring; dropped while the executor's rack is
   /// partitioned).
   Heartbeat,
+  /// Online serving: a job arrives (`aux` = index into
+  /// SimConfig::serving.jobs); its stages leave the gated state.
+  JobSubmit,
+  /// Online serving: a job's last stage completed (`aux` = job index).
+  /// Emitted for metrics/trace symmetry — all bookkeeping already
+  /// happened at the final TaskFinish.
+  JobFinish,
 };
 
 struct Event {

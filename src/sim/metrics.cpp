@@ -145,6 +145,24 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
     h.mix_value(m.fsm.block.illegal);
     h.mix_value(m.fsm.executor.illegal);
   }
+  // Serving fields gate in only on multi-job runs, keeping every
+  // single-job digest bit-identical to pre-serving builds. The
+  // effective-hit counters ride along here for the same reason.
+  if (!m.jobs.empty()) {
+    h.mix_value(m.cache.effective_task_reads);
+    h.mix_value(m.cache.effective_task_hits);
+    for (const JobStats& j : m.jobs) {
+      h.mix(j.name.data(), j.name.size());
+      h.mix_value(j.weight);
+      h.mix_value(j.submitted);
+      h.mix_value(j.first_launch);
+      h.mix_value(j.finished);
+      h.mix_value(j.tasks);
+      h.mix_value(j.stages);
+      h.mix_value(j.effective_task_reads);
+      h.mix_value(j.effective_task_hits);
+    }
+  }
   return h.value();
 }
 

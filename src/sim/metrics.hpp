@@ -57,12 +57,31 @@ struct CacheStats {
   std::int64_t prefetches = 0;
   std::int64_t rejected_admissions = 0;
 
+  /// Effective-hit accounting (LERC, arXiv:1708.07941): a task *read* is
+  /// effective only when EVERY cacheable narrow input of the task was
+  /// served from cluster memory (local or remote) — a single disk read
+  /// or recompute stalls the task just as badly as missing them all.
+  /// Counted per task (with >=1 cacheable narrow input), not per block.
+  /// Excluded from the base fingerprint mix so pre-serving digests are
+  /// preserved; serving runs gate them in via the jobs block.
+  std::int64_t effective_task_reads = 0;
+  std::int64_t effective_task_hits = 0;
+
   /// The paper's "cache hit ratio": reads served from the local memory
   /// store over all block reads.
   [[nodiscard]] double hit_ratio() const {
     return total_reads > 0 ? static_cast<double>(local_memory_hits) /
                                  static_cast<double>(total_reads)
                            : 0.0;
+  }
+
+  /// Fraction of tasks (with cacheable narrow inputs) whose entire input
+  /// peer group was served from cluster memory.
+  [[nodiscard]] double effective_hit_ratio() const {
+    return effective_task_reads > 0
+               ? static_cast<double>(effective_task_hits) /
+                     static_cast<double>(effective_task_reads)
+               : 0.0;
   }
 };
 
@@ -159,6 +178,27 @@ struct FsmStats {
   }
 };
 
+/// Per-job metrics of one online-serving run; empty unless
+/// SimConfig::serving is enabled.
+struct JobStats {
+  std::string name;
+  std::int32_t weight = 1;
+  SimTime submitted = 0;
+  SimTime first_launch = -1;
+  SimTime finished = -1;
+  std::int64_t tasks = 0;
+  std::int64_t stages = 0;
+  /// Per-job slice of CacheStats::effective_task_{reads,hits}.
+  std::int64_t effective_task_reads = 0;
+  std::int64_t effective_task_hits = 0;
+
+  /// Job completion time = finish − submit (the serving latency, which
+  /// includes any queueing delay before the first launch).
+  [[nodiscard]] SimTime jct() const {
+    return finished >= 0 ? finished - submitted : -1;
+  }
+};
+
 /// Sampled pending-task counts for one executor (Fig. 4 top panes).
 struct PendingSample {
   SimTime time = 0;
@@ -196,6 +236,9 @@ class RunMetrics {
   CacheStats cache;
   FaultStats faults;
   FsmStats fsm;
+  /// Per-job serving metrics, indexed like SimConfig::serving.jobs;
+  /// empty on single-job (batch) runs.
+  std::vector<JobStats> jobs;
   /// Launch counts per locality level (Fig. 10b).
   std::array<std::int64_t, 5> locality_histogram{};
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cache/cache_policy.hpp"
@@ -80,6 +81,33 @@ struct SimConfig {
     double reserved_fraction = 0.0;
   };
   std::vector<CapacityPhase> capacity_phases;
+
+  /// Online serving: one logical job inside a merged multi-job DAG.
+  /// `stages` lists the stage ids belonging to this job (a partition of
+  /// the DAG's stages across all jobs); until `submit_at` those stages
+  /// are gated (not schedulable, references inactive in the oracle).
+  struct ServingJob {
+    std::string name;
+    SimTime submit_at = 0;
+    /// Weighted-fair-share weight (>=1); a job with weight 2 is entitled
+    /// to twice the running cores of a weight-1 job under contention.
+    std::int32_t weight = 1;
+    std::vector<StageId> stages;
+  };
+
+  /// Online multi-job serving mode. Empty `jobs` = classic single-job
+  /// batch semantics, bit-identical to builds without the subsystem.
+  struct ServingConfig {
+    std::vector<ServingJob> jobs;
+    /// Inter-job weighted fair sharing: the schedule loop offers free
+    /// cores to the job with the lowest running_cores/weight ratio
+    /// first. Off = FIFO across jobs (arrival order, stage-selector
+    /// order within).
+    bool fair_share = false;
+
+    [[nodiscard]] bool enabled() const { return !jobs.empty(); }
+  };
+  ServingConfig serving;
 
   /// Hard wall on simulated time (runaway guard).
   SimTime max_sim_time = 24LL * 3600 * kSec;

@@ -6,10 +6,21 @@
 
 namespace dagon {
 
-BatchWorkload merge_workloads(const std::vector<Workload>& workloads) {
+BatchWorkload merge_workloads(const std::vector<Workload>& workloads,
+                              bool share_inputs) {
   if (workloads.empty()) {
     throw ConfigError("merge_workloads needs at least one workload");
   }
+  // Shared input datasets registered so far: (bare name, merged id),
+  // linear-searched — input counts are tiny.
+  struct SharedInput {
+    std::string name;
+    RddId id;
+    std::int32_t num_partitions;
+    Bytes bytes_per_partition;
+    bool cacheable;
+  };
+  std::vector<SharedInput> shared;
   std::string name;
   std::size_t name_len = 0;
   for (const Workload& w : workloads) name_len += w.name.size() + 1;
@@ -32,6 +43,34 @@ BatchWorkload merge_workloads(const std::vector<Workload>& workloads) {
     std::vector<RddId> rdd_map(w.dag.rdds().size(), RddId::invalid());
     for (const Rdd& r : w.dag.rdds()) {
       if (!r.is_input) continue;
+      if (share_inputs) {
+        const SharedInput* found = nullptr;
+        for (const SharedInput& si : shared) {
+          if (si.name == r.name) {
+            found = &si;
+            break;
+          }
+        }
+        if (found != nullptr) {
+          if (found->num_partitions != r.num_partitions ||
+              found->bytes_per_partition != r.bytes_per_partition ||
+              found->cacheable != r.cacheable) {
+            throw ConfigError("shared input '" + r.name +
+                              "' has mismatched shapes across jobs");
+          }
+          rdd_map[static_cast<std::size_t>(r.id.value())] = found->id;
+          continue;
+        }
+        const RddId id =
+            builder.input_rdd(r.name, r.num_partitions,
+                              r.bytes_per_partition,
+                              r.initially_cached_partitions);
+        if (!r.cacheable) builder.set_rdd_cacheable(id, false);
+        shared.push_back(SharedInput{r.name, id, r.num_partitions,
+                                     r.bytes_per_partition, r.cacheable});
+        rdd_map[static_cast<std::size_t>(r.id.value())] = id;
+        continue;
+      }
       const RddId id =
           builder.input_rdd(w.name + "/" + r.name, r.num_partitions,
                             r.bytes_per_partition,

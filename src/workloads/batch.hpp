@@ -31,8 +31,20 @@ struct BatchWorkload {
 /// Merges `workloads` (in submission order) into one BatchWorkload.
 /// Stage and RDD ids are renumbered job by job, so FIFO's stage-id order
 /// equals submission order.
+///
+/// With `share_inputs`, input RDDs keep their bare names and identically
+/// named inputs across jobs become ONE dataset in the merged DAG (their
+/// shape must match exactly) — the structural basis for cross-job cache
+/// sharing in serving mode: one job's cached read benefits every other
+/// job touching the same input. Without it, inputs are prefixed
+/// "job/name" and stay private.
 [[nodiscard]] BatchWorkload merge_workloads(
-    const std::vector<Workload>& workloads);
+    const std::vector<Workload>& workloads, bool share_inputs);
+
+[[nodiscard]] inline BatchWorkload merge_workloads(
+    const std::vector<Workload>& workloads) {
+  return merge_workloads(workloads, /*share_inputs=*/false);
+}
 
 /// Per-job completion times extracted from a merged run.
 struct JobCompletion {

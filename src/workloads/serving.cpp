@@ -1,0 +1,89 @@
+#include "workloads/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace dagon {
+
+namespace {
+
+/// One exponential inter-arrival gap at `rate_per_sec`, in SimTime µs.
+SimTime exponential_gap(Rng& rng, double rate_per_sec) {
+  DAGON_CHECK_MSG(rate_per_sec > 0.0, "arrival rate must be positive");
+  // 1 - uniform() is in (0, 1], so the log argument never hits zero.
+  const double gap_sec = -std::log(1.0 - rng.uniform()) / rate_per_sec;
+  return std::max<SimTime>(1, static_cast<SimTime>(
+                                  gap_sec * static_cast<double>(kSec)));
+}
+
+}  // namespace
+
+std::vector<SimTime> generate_arrivals(const ArrivalSpec& spec,
+                                       std::int32_t n) {
+  DAGON_CHECK_MSG(n > 0, "need at least one arriving job");
+  // Dedicated stream: the same seed drives HDFS placement etc. in the
+  // run itself, and arrivals must not perturb those draws.
+  Rng rng = Rng(spec.seed).fork(/*stream=*/0x5e21);
+  std::vector<SimTime> at;
+  at.reserve(static_cast<std::size_t>(n));
+  SimTime t = 0;
+  for (std::int32_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      switch (spec.kind) {
+        case ArrivalKind::Poisson:
+          t += exponential_gap(rng, spec.rate_per_sec);
+          break;
+        case ArrivalKind::Trace: {
+          DAGON_CHECK_MSG(!spec.trace_gaps_sec.empty(),
+                          "trace arrivals need at least one gap");
+          const double gap_sec =
+              spec.trace_gaps_sec[static_cast<std::size_t>(i - 1) %
+                                  spec.trace_gaps_sec.size()];
+          DAGON_CHECK_MSG(gap_sec >= 0.0, "trace gaps must be >= 0");
+          t += static_cast<SimTime>(gap_sec * static_cast<double>(kSec));
+          break;
+        }
+        case ArrivalKind::Bursty: {
+          DAGON_CHECK_MSG(spec.burst_len > 0, "burst_len must be positive");
+          // Phases alternate every burst_len arrivals: jobs 0..L-1 land
+          // in a burst, L..2L-1 trickle in, and so on.
+          const bool in_burst = (i / spec.burst_len) % 2 == 0;
+          t += exponential_gap(rng, in_burst ? spec.burst_rate_per_sec
+                                             : spec.idle_rate_per_sec);
+          break;
+        }
+      }
+    }
+    at.push_back(t);
+  }
+  return at;
+}
+
+ServingWorkload make_serving(const std::vector<Workload>& jobs,
+                             const ArrivalSpec& spec,
+                             const ServingOptions& opt) {
+  DAGON_CHECK_MSG(!jobs.empty(), "make_serving needs at least one job");
+  if (!opt.weights.empty() && opt.weights.size() != jobs.size()) {
+    throw ConfigError("serving weights must match the job count");
+  }
+  ServingWorkload out;
+  out.batch = merge_workloads(jobs, opt.share_inputs);
+  const std::vector<SimTime> arrivals =
+      generate_arrivals(spec, static_cast<std::int32_t>(jobs.size()));
+  out.serving.fair_share = opt.fair_share;
+  out.serving.jobs.reserve(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    SimConfig::ServingJob sj;
+    sj.name = out.batch.jobs[j].name;
+    sj.submit_at = arrivals[j];
+    sj.weight = opt.weights.empty() ? 1 : opt.weights[j];
+    sj.stages = out.batch.jobs[j].stages;
+    out.serving.jobs.push_back(std::move(sj));
+  }
+  return out;
+}
+
+}  // namespace dagon

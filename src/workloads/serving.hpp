@@ -1,0 +1,88 @@
+// Online multi-job serving: a stream of job arrivals over one shared
+// cluster and cache.
+//
+// The paper evaluates one application per run; production Spark
+// clusters instead serve a stream of concurrent jobs whose cached data
+// compete for the same memory (the setting LERC [Yu et al.,
+// arXiv:1708.07941] targets). This module turns a list of per-job
+// Workloads into one serving run: an arrival process assigns each job a
+// submit time, the jobs' DAGs merge into one super-DAG (optionally
+// sharing identically named input datasets, so one job's cache fill
+// serves another's read), and the resulting SimConfig::ServingConfig
+// gates each job's stages until its JobSubmit event fires.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/sim_config.hpp"
+#include "workloads/batch.hpp"
+
+namespace dagon {
+
+enum class ArrivalKind {
+  /// Memoryless arrivals: exponential inter-arrival gaps at `rate`.
+  Poisson,
+  /// Trace-driven: explicit gap sequence, repeated cyclically.
+  Trace,
+  /// Heavy-traffic bursts: alternating phases of `burst_len` jobs at
+  /// `burst_rate` and `burst_len` jobs at `idle_rate`.
+  Bursty,
+};
+
+[[nodiscard]] constexpr const char* arrival_kind_name(ArrivalKind k) {
+  switch (k) {
+    case ArrivalKind::Poisson: return "poisson";
+    case ArrivalKind::Trace: return "trace";
+    case ArrivalKind::Bursty: return "bursty";
+  }
+  return "?";
+}
+
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::Poisson;
+  /// Poisson mean arrival rate, jobs per second.
+  double rate_per_sec = 0.5;
+  /// Trace gaps between consecutive arrivals, seconds; cycled when the
+  /// job count exceeds the trace length.
+  std::vector<double> trace_gaps_sec;
+  /// Bursty: in-burst and between-burst rates (jobs per second).
+  double burst_rate_per_sec = 4.0;
+  double idle_rate_per_sec = 0.25;
+  /// Jobs per bursty phase.
+  std::int32_t burst_len = 4;
+  /// Arrival draws use a dedicated forked stream off this seed, so the
+  /// arrival pattern never perturbs the run's other random choices.
+  std::uint64_t seed = 42;
+};
+
+/// Submit times for `n` jobs: non-decreasing, first arrival at t=0 (the
+/// stream starts with work). Deterministic in (spec, n).
+[[nodiscard]] std::vector<SimTime> generate_arrivals(
+    const ArrivalSpec& spec, std::int32_t n);
+
+struct ServingOptions {
+  /// Merge identically named input RDDs across jobs into one dataset
+  /// (cross-job cache sharing). Off = private prefixed inputs.
+  bool share_inputs = true;
+  /// Inter-job weighted fair sharing in the schedule loop.
+  bool fair_share = true;
+  /// Per-job fair-share weights; empty = all 1. Length must match the
+  /// job count otherwise.
+  std::vector<std::int32_t> weights;
+};
+
+struct ServingWorkload {
+  /// Merged super-DAG plus per-job stage lists.
+  BatchWorkload batch;
+  /// Ready to assign into SimConfig::serving.
+  SimConfig::ServingConfig serving;
+};
+
+/// Builds a serving run: merges `jobs` and pairs each with its arrival
+/// time from `spec`.
+[[nodiscard]] ServingWorkload make_serving(const std::vector<Workload>& jobs,
+                                           const ArrivalSpec& spec,
+                                           const ServingOptions& opt = {});
+
+}  // namespace dagon

@@ -3,11 +3,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <string>
 
 #include "cache/block_manager.hpp"
 #include "cache/block_manager_master.hpp"
 #include "cache/cache_policy.hpp"
 #include "cache/ref_oracle.hpp"
+#include "common/error.hpp"
+#include "dag/job_dag.hpp"
 #include "workloads/example_dag.hpp"
 
 namespace dagon {
@@ -143,10 +147,157 @@ TEST_F(CacheFixture, LrpFollowsReferencePriority) {
 
 TEST(CachePolicyFactory, MakesAllKinds) {
   for (const auto kind : {CachePolicyKind::Lru, CachePolicyKind::Lrc,
-                          CachePolicyKind::Mrd, CachePolicyKind::Lrp}) {
+                          CachePolicyKind::Mrd, CachePolicyKind::Lrp,
+                          CachePolicyKind::Lerc}) {
     const auto policy = make_cache_policy(kind);
     EXPECT_STREQ(policy->name(), cache_policy_name(kind));
   }
+}
+
+TEST(CachePolicyFactory, ErrorEnumeratesAcceptedNames) {
+  try {
+    (void)make_cache_policy(static_cast<CachePolicyKind>(99));
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find(kCachePolicyNames),
+              std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("lerc"), std::string::npos);
+  }
+}
+
+// --- LERC peer groups -----------------------------------------------------
+
+/// Paired-intermediate DAG: join's task p reads a[p] AND b[p], so every
+/// consumer task has a two-block peer group.
+class LercFixture : public ::testing::Test {
+ protected:
+  LercFixture() {
+    JobDagBuilder builder("lerc");
+    const RddId ds = builder.input_rdd("ds", 2, 4 * kMiB);
+    builder.set_rdd_cacheable(ds, false);
+    load_ = builder.add_stage({.name = "load",
+                               .inputs = {{ds, DepKind::Narrow}},
+                               .num_tasks = 2,
+                               .task_cpus = 1,
+                               .task_duration = kSec,
+                               .output_bytes_per_partition = kMiB,
+                               .output_name = "a"});
+    feat_ = builder.add_stage({.name = "feat",
+                               .inputs = {{ds, DepKind::Narrow}},
+                               .num_tasks = 2,
+                               .task_cpus = 1,
+                               .task_duration = kSec,
+                               .output_bytes_per_partition = kMiB,
+                               .output_name = "b"});
+    a_ = builder.output_of(load_);
+    b_ = builder.output_of(feat_);
+    join_ = builder.add_stage({.name = "join",
+                               .inputs = {{a_, DepKind::Narrow},
+                                          {b_, DepKind::Narrow}},
+                               .num_tasks = 2,
+                               .task_cpus = 1,
+                               .task_duration = kSec,
+                               .output_bytes_per_partition = 0,
+                               .cache_output = false});
+    dag_ = builder.build();
+    oracle_ = std::make_unique<ReferenceOracle>(dag_);
+    oracle_->enable_peer_tracking();
+  }
+
+  BlockId a(int p) const { return {a_, p}; }
+  BlockId b(int p) const { return {b_, p}; }
+
+  StageId load_, feat_, join_;
+  RddId a_, b_;
+  JobDag dag_;
+  std::unique_ptr<ReferenceOracle> oracle_;
+};
+
+TEST_F(LercFixture, EffectiveCountNeedsWholeGroupResident) {
+  // Nothing resident: caching a0 alone would not complete {a0, b0}.
+  EXPECT_EQ(oracle_->effective_ref_count(a(0)), 0);
+  // With the peer b0 resident, a0 would complete the group for join.
+  oracle_->set_memory_resident(b(0), true);
+  EXPECT_EQ(oracle_->effective_ref_count(a(0)), 1);
+  // b0 itself is still ineffective: ITS group misses a0.
+  EXPECT_EQ(oracle_->effective_ref_count(b(0)), 0);
+  // Partition 1's group is independent.
+  EXPECT_EQ(oracle_->effective_ref_count(a(1)), 0);
+  oracle_->set_memory_resident(a(0), true);
+  EXPECT_EQ(oracle_->effective_ref_count(a(0)), 1);
+  EXPECT_EQ(oracle_->effective_ref_count(b(0)), 1);
+}
+
+TEST_F(LercFixture, EvictionBreaksTheGroup) {
+  oracle_->set_memory_resident(a(0), true);
+  oracle_->set_memory_resident(b(0), true);
+  EXPECT_EQ(oracle_->effective_ref_count(a(0)), 1);
+  oracle_->set_memory_resident(b(0), false);
+  EXPECT_EQ(oracle_->effective_ref_count(a(0)), 0);
+  EXPECT_EQ(oracle_->effective_ref_count(b(0)), 1);  // would re-complete
+}
+
+TEST_F(LercFixture, ConsumedAndInactiveReadersAreNotEffective) {
+  oracle_->set_memory_resident(a(0), true);
+  oracle_->set_memory_resident(b(0), true);
+  // Launching join task 0 consumes its references on a0/b0.
+  oracle_->on_task_launched(join_, 0);
+  EXPECT_EQ(oracle_->effective_ref_count(a(0)), 0);
+  // Partition 1 is untouched...
+  oracle_->set_memory_resident(a(1), true);
+  oracle_->set_memory_resident(b(1), true);
+  EXPECT_EQ(oracle_->effective_ref_count(a(1)), 1);
+  // ...until its job is gated inactive (serving: job not yet arrived).
+  oracle_->set_stage_active(join_, false);
+  EXPECT_EQ(oracle_->effective_ref_count(a(1)), 0);
+  oracle_->set_stage_active(join_, true);
+  EXPECT_EQ(oracle_->effective_ref_count(a(1)), 1);
+}
+
+TEST_F(LercFixture, LercRetentionRanksCompleteGroupsAboveBroken) {
+  LercPolicy lerc;
+  oracle_->set_memory_resident(a(0), true);
+  oracle_->set_memory_resident(b(0), true);
+  oracle_->set_memory_resident(a(1), true);  // b1 missing: broken group
+  const double complete = lerc.retention_priority(a(0), 0, *oracle_);
+  const double broken = lerc.retention_priority(a(1), 0, *oracle_);
+  EXPECT_GT(complete, broken);
+  // The raw reference count still separates broken-but-live data from
+  // dead data.
+  oracle_->mark_stage_finished(join_);
+  EXPECT_LT(lerc.retention_priority(a(0), 0, *oracle_), 1.0);
+  EXPECT_TRUE(lerc.is_dead(a(0), *oracle_));
+}
+
+TEST_F(LercFixture, CompletingBlockDisplacesBrokenResidents) {
+  // One-slot-short cache: {a0, b0, a1} resident, b1 arrives. LERC must
+  // evict the broken-group a1 to admit the group-completing b1; LRC
+  // refuses the tie and strands the half group.
+  LercPolicy lerc;
+  BlockManager bm(ExecutorId(0), 3 * kMiB, lerc);
+  (void)bm.insert(a(0), kMiB, 1, *oracle_);
+  oracle_->set_memory_resident(a(0), true);
+  (void)bm.insert(b(0), kMiB, 2, *oracle_);
+  oracle_->set_memory_resident(b(0), true);
+  (void)bm.insert(a(1), kMiB, 3, *oracle_);
+  oracle_->set_memory_resident(a(1), true);
+  const auto res = bm.insert(b(1), kMiB, 4, *oracle_);
+  ASSERT_TRUE(res.admitted);
+  ASSERT_EQ(res.evicted.size(), 1u);
+  EXPECT_EQ(res.evicted[0], a(1));
+  EXPECT_TRUE(bm.contains(a(0)));
+  EXPECT_TRUE(bm.contains(b(0)));
+}
+
+TEST_F(LercFixture, PeerTrackingIsIdempotentAndGated) {
+  EXPECT_TRUE(oracle_->peer_tracking_enabled());
+  oracle_->enable_peer_tracking();  // idempotent
+  EXPECT_TRUE(oracle_->peer_tracking_enabled());
+  // A fresh oracle without tracking ignores residency mirroring.
+  ReferenceOracle bare(dag_);
+  EXPECT_FALSE(bare.peer_tracking_enabled());
+  bare.set_memory_resident(a(0), true);  // must be a no-op, not a crash
+  EXPECT_EQ(bare.remaining_ref_count(a(0)), 1);
 }
 
 // --- BlockManager ---------------------------------------------------------

@@ -172,6 +172,111 @@ TEST(EventQueueProperty, MatchesBinaryHeapAcrossHorizonJumps) {
   }
 }
 
+// Adversarial boundary sweep: every push lands at the pop clock plus an
+// EXACT multiple of the bucket width or the horizon (or its ±1
+// neighbor). Pops then walk the clock onto those edges, so rebase
+// re-anchors precisely on bucket/horizon boundaries while the overflow
+// heap still holds entries at the rim of the new window — the promotion
+// split (bucket vs. stay-in-overflow) sits on the == case of every
+// comparison, and must match the reference heap pop-for-pop.
+TEST(EventQueueProperty, MatchesBinaryHeapOnExactBoundaryJumps) {
+  // Mirror of EventQueue's private geometry (event_queue.hpp): 2^15 µs
+  // buckets x 1024 buckets = 2^25 µs horizon. Keep in sync.
+  constexpr SimTime kWidth = SimTime{1} << 15;
+  constexpr SimTime kHorizon = SimTime{1} << 25;
+  const std::vector<SimTime> offsets = {
+      0,
+      1,
+      kWidth - 1,
+      kWidth,
+      kWidth + 1,
+      2 * kWidth,
+      513 * kWidth,  // mid-calendar: forces circular bucket wrap
+      kHorizon - kWidth,
+      kHorizon - 1,
+      kHorizon,  // first overflow-eligible offset
+      kHorizon + 1,
+      2 * kHorizon - 1,
+      2 * kHorizon,
+      2 * kHorizon + 1,
+      5 * kHorizon + 3 * kWidth,  // multi-horizon jump, off-rim landing
+  };
+  std::mt19937_64 rng(9001);
+  std::uniform_int_distribution<std::size_t> pick_off(0, offsets.size() - 1);
+  std::uniform_int_distribution<int> burst(1, 6);
+  std::uniform_int_distribution<int> pops(1, 4);
+  for (int round = 0; round < 10; ++round) {
+    EventQueue q;
+    ReferenceQueue ref;
+    std::uint32_t tag = 0;
+    SimTime now = 0;
+    const Event seed = make_event(0, tag++);
+    q.push(seed);
+    ref.push(seed);
+    for (int step = 0; step < 600; ++step) {
+      // Calendar pushes (offset < horizon) and overflow pushes
+      // (offset >= horizon) interleave freely within one burst.
+      const int n = burst(rng);
+      for (int i = 0; i < n; ++i) {
+        const Event e = make_event(now + offsets[pick_off(rng)], tag++);
+        q.push(e);
+        ref.push(e);
+      }
+      for (int i = 0, k = pops(rng); i < k && !ref.empty(); ++i) {
+        Event got;
+        Event want;
+        ASSERT_TRUE(ref.pop_into(want));
+        ASSERT_TRUE(q.pop_into(got));
+        ASSERT_EQ(got.time, want.time)
+            << "round " << round << " step " << step;
+        ASSERT_EQ(got.aux, want.aux) << "round " << round << " step " << step;
+        now = want.time;
+      }
+    }
+    drain_and_compare(q, ref);
+  }
+}
+
+// Deterministic rim check: one far-forward pop sequence that re-anchors
+// the calendar exactly at a horizon multiple, with overflow entries
+// sitting at h-1 / h / h+1 around every multiple, plus a straggler
+// pushed BELOW the re-anchored window afterwards (it must ride the
+// overflow heap back out in (time, seq) order).
+TEST(EventQueueProperty, PromotionSplitsExactHorizonRim) {
+  constexpr SimTime kWidth = SimTime{1} << 15;
+  constexpr SimTime kHorizon = SimTime{1} << 25;
+  EventQueue q;
+  ReferenceQueue ref;
+  std::uint32_t tag = 0;
+  const auto push = [&](SimTime t) {
+    const Event e = make_event(t, tag++);
+    q.push(e);
+    ref.push(e);
+  };
+  push(0);
+  for (SimTime k = 1; k <= 4; ++k) {
+    push(k * kHorizon - 1);  // last bucket of the k-1 window
+    push(k * kHorizon);      // exactly on the anchor candidate
+    push(k * kHorizon + 1);
+    push(k * kHorizon + (kWidth - 1));  // last slot of the first bucket
+    push(k * kHorizon + kWidth);        // first slot of the second
+  }
+  // Pop through the first rim only: 0, h-1, h, h+1. The pop of `h`
+  // lands the rebase anchor exactly on the horizon multiple.
+  for (int i = 0; i < 4; ++i) {
+    Event got;
+    Event want;
+    ASSERT_TRUE(ref.pop_into(want));
+    ASSERT_TRUE(q.pop_into(got));
+    ASSERT_EQ(got.time, want.time) << "rim pop " << i;
+    ASSERT_EQ(got.aux, want.aux) << "rim pop " << i;
+  }
+  push(kWidth);            // straggler far below the re-anchored window
+  push(2 * kHorizon);      // duplicate of an already-queued rim time
+  push(kHorizon + kWidth);  // ties the queued first-bucket entry
+  drain_and_compare(q, ref);
+}
+
 TEST(EventQueue, PopReturnsOptionalAndReserveIsHarmless) {
   EventQueue q;
   q.reserve(1024);

@@ -47,6 +47,11 @@ struct Options {
   std::size_t jobs = 1;
   bool verbose = false;
   bool fingerprint = false;
+  /// Online serving: >1 turns the run into a multi-job stream (N
+  /// instances of --workload) over one shared cache.
+  std::size_t serve_jobs = 1;
+  ArrivalSpec arrival;
+  bool fair_share = false;
   FaultConfig faults;  // preset faults + any --fault-* flag on top
 };
 
@@ -117,7 +122,7 @@ void print_help() {
       "dagonsim — DAG-aware scheduling + caching simulator\n\n"
       "  --workload NAME    suite workload (see --list) [KMeans]\n"
       "  --scheduler KIND   fifo | fair | cp | graphene | dagon [dagon]\n"
-      "  --cache KIND       lru | lrc | mrd | lrp | off [lrp]\n"
+      "  --cache KIND       lru | lrc | mrd | lrp | lerc | off [lrp]\n"
       "  --delay KIND       native | aware [aware]\n"
       "  --wait SECONDS     spark.locality.wait [3.0]\n"
       "  --scale FACTOR     workload size multiplier [1.0]\n"
@@ -143,6 +148,16 @@ void print_help() {
       "  --dump-fsm M       print the lifecycle state machine M as\n"
       "                     Graphviz DOT and exit: task | block |\n"
       "                     executor (see DESIGN.md §10)\n"
+      "\nonline serving (multi-job streams over one shared cache):\n"
+      "  --serve-jobs N     serve N instances of --workload (shared\n"
+      "                     input datasets) through one cluster;\n"
+      "                     enables serving mode [1]\n"
+      "  --arrival SPEC     arrival process: poisson:RATE |\n"
+      "                     trace:G1,G2,... | bursty:BURST:IDLE:LEN\n"
+      "                     (rates jobs/sec, gaps seconds)\n"
+      "                     [poisson:0.5]\n"
+      "  --fair-share       weighted fair sharing across live jobs\n"
+      "                     (default: FIFO across jobs)\n"
       "\nfault injection (any flag enables the failure model; layered on\n"
       "top of the preset's faults):\n"
       "  --fault-crash T[:E]      crash executor E (or a random one) at\n"
@@ -233,8 +248,10 @@ int main(int argc, char** argv) {
       else if (v == "lrc") opt.cache = CachePolicyKind::Lrc;
       else if (v == "mrd") opt.cache = CachePolicyKind::Mrd;
       else if (v == "lrp") opt.cache = CachePolicyKind::Lrp;
+      else if (v == "lerc") opt.cache = CachePolicyKind::Lerc;
       else if (v == "off") opt.cache_enabled = false;
-      else usage_error("unknown cache " + v);
+      else usage_error("unknown cache '" + v + "' (expected " +
+                       std::string(kCachePolicyNames) + " | off)");
     } else if (arg == "--delay") {
       const std::string v = next();
       if (v == "native") opt.delay = DelayKind::Native;
@@ -318,6 +335,41 @@ int main(int argc, char** argv) {
     } else if (arg == "--blacklist-probation") {
       opt.faults.blacklist_probation = from_seconds(parse_double(arg, next()));
       opt.faults.enabled = true;
+    } else if (arg == "--serve-jobs") {
+      opt.serve_jobs = static_cast<std::size_t>(parse_int(arg, next()));
+      if (opt.serve_jobs == 0) opt.serve_jobs = 1;
+    } else if (arg == "--arrival") {
+      const auto f = parse_spec(arg, next(), 1, 4);
+      if (f[0] == "poisson") {
+        if (f.size() != 2) usage_error("--arrival poisson:RATE");
+        opt.arrival.kind = ArrivalKind::Poisson;
+        opt.arrival.rate_per_sec = parse_double(arg, f[1]);
+      } else if (f[0] == "trace") {
+        if (f.size() != 2) usage_error("--arrival trace:G1,G2,...");
+        opt.arrival.kind = ArrivalKind::Trace;
+        opt.arrival.trace_gaps_sec.clear();
+        std::size_t start = 0;
+        const std::string& gaps = f[1];
+        while (start <= gaps.size()) {
+          const std::size_t comma = gaps.find(',', start);
+          opt.arrival.trace_gaps_sec.push_back(
+              parse_double(arg, gaps.substr(start, comma - start)));
+          if (comma == std::string::npos) break;
+          start = comma + 1;
+        }
+      } else if (f[0] == "bursty") {
+        if (f.size() != 4) usage_error("--arrival bursty:BURST:IDLE:LEN");
+        opt.arrival.kind = ArrivalKind::Bursty;
+        opt.arrival.burst_rate_per_sec = parse_double(arg, f[1]);
+        opt.arrival.idle_rate_per_sec = parse_double(arg, f[2]);
+        opt.arrival.burst_len =
+            static_cast<std::int32_t>(parse_int(arg, f[3]));
+      } else {
+        usage_error("unknown arrival kind '" + f[0] +
+                    "' (poisson | trace | bursty)");
+      }
+    } else if (arg == "--fair-share") {
+      opt.fair_share = true;
     } else if (arg == "--fingerprint") {
       opt.fingerprint = true;
     } else if (arg == "--verbose") {
@@ -334,7 +386,6 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const Workload workload = make_workload(*id, WorkloadScale{opt.scale});
   SimConfig config = preset_config(opt.preset);
   config.scheduler = opt.scheduler;
   config.cache = opt.cache;
@@ -344,6 +395,21 @@ int main(int argc, char** argv) {
   config.seed = opt.seed;
   if (opt.noise >= 0.0) config.duration_noise = opt.noise;
   config.faults = opt.faults;
+
+  Workload workload = make_workload(*id, WorkloadScale{opt.scale});
+  const bool serving = opt.serve_jobs > 1;
+  std::vector<Workload> serve_jobs;
+  if (serving) {
+    // N instances of the selected workload; shared bare input names make
+    // every instance read the SAME datasets in the merged DAG, so one
+    // job's cache fill serves another's read.
+    for (std::size_t i = 0; i < opt.serve_jobs; ++i) {
+      Workload w = make_workload(*id, WorkloadScale{opt.scale});
+      w.name += "#" + std::to_string(i);
+      serve_jobs.push_back(std::move(w));
+    }
+    workload = merge_workloads(serve_jobs, /*share_inputs=*/true).combined;
+  }
 
   const DagShape shape = analyze_shape(workload.dag);
   std::cout << workload.name << " (" << category_name(workload.category)
@@ -355,7 +421,14 @@ int main(int argc, char** argv) {
             << " + " << delay_kind_name(config.delay) << ", preset "
             << opt.preset
             << (opt.preset == "case" ? " (7 nodes)" : " (18 nodes)")
-            << "\n\n";
+            << "\n";
+  if (serving) {
+    std::cout << "serving: " << opt.serve_jobs << " jobs, arrival "
+              << arrival_kind_name(opt.arrival.kind)
+              << (opt.fair_share ? ", fair-share" : ", FIFO across jobs")
+              << "\n";
+  }
+  std::cout << "\n";
 
   // One SweepRun per repeat, seeds seed..seed+K-1; --jobs fans them over
   // the pool (bit-identical to serial for the same seeds).
@@ -363,7 +436,20 @@ int main(int argc, char** argv) {
   for (std::size_t k = 0; k < opt.repeat; ++k) {
     SimConfig c = config;
     c.seed = opt.seed + k;
-    repeats.push_back({"seed=" + std::to_string(c.seed), workload, c});
+    if (serving) {
+      // The repeat seed also drives the arrival draws, so repeats see
+      // genuinely different (but reproducible) traffic.
+      ArrivalSpec spec = opt.arrival;
+      spec.seed = c.seed;
+      ServingOptions so;
+      so.fair_share = opt.fair_share;
+      ServingWorkload sw = make_serving(serve_jobs, spec, so);
+      c.serving = sw.serving;
+      repeats.push_back({"seed=" + std::to_string(c.seed),
+                         std::move(sw.batch.combined), c});
+    } else {
+      repeats.push_back({"seed=" + std::to_string(c.seed), workload, c});
+    }
   }
   SweepReport sweep;
   try {
@@ -439,6 +525,28 @@ int main(int argc, char** argv) {
                                           workload.dag, m.total_cores)),
                                   2)});
   summary.print(std::cout);
+
+  if (!m.jobs.empty()) {
+    std::cout << "\nper-job serving breakdown:\n";
+    TextTable jt({"job", "wt", "submitted", "finished", "JCT",
+                  "eff-reads", "eff-hit"});
+    for (const JobStats& j : m.jobs) {
+      const double ratio =
+          j.effective_task_reads > 0
+              ? static_cast<double>(j.effective_task_hits) /
+                    static_cast<double>(j.effective_task_reads)
+              : 0.0;
+      jt.add_row({j.name, std::to_string(j.weight),
+                  format_duration(j.submitted),
+                  j.finished >= 0 ? format_duration(j.finished) : "-",
+                  j.jct() >= 0 ? format_duration(j.jct()) : "-",
+                  std::to_string(j.effective_task_reads),
+                  TextTable::percent(ratio)});
+    }
+    jt.print(std::cout);
+    std::cout << "effective cache-hit ratio: "
+              << TextTable::percent(m.cache.effective_hit_ratio()) << "\n";
+  }
 
   if (opt.faults.enabled) {
     std::cout << "\nfault injection (crashes=" << opt.faults.crashes.size()
