@@ -27,7 +27,7 @@ SimTime CostModel::transfer(Bytes bytes, BytesPerSec bw) {
 SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
                               std::optional<double> serde_sec_per_byte,
                               double slowdown) const {
-  if (slowdown > 1.0) {
+  if (slowdown != 1.0 && slowdown > 0.0) {
     const SimTime base = fetch_time(bytes, source, serde_sec_per_byte);
     return static_cast<SimTime>(static_cast<double>(base) * slowdown);
   }

@@ -81,9 +81,10 @@ class CostModel {
   /// memory store; raw HDFS input passes 0.0 (parsing is part of task
   /// compute time); omit it to use the spec default.
   ///
-  /// `slowdown` (>= 1.0) scales the whole transfer — a degraded
-  /// executor's NIC, disk and ser/de CPU are all impaired, so the factor
-  /// applies uniformly (gray-failure degrade faults).
+  /// `slowdown` (> 0) scales the whole transfer — a degraded executor's
+  /// NIC, disk and ser/de CPU are all impaired, so the factor applies
+  /// uniformly (gray-failure degrade faults). Values < 1 model a
+  /// fast-tier executor (heterogeneity); 1.0 is the no-op baseline.
   [[nodiscard]] SimTime fetch_time(
       Bytes bytes, BlockSource source,
       std::optional<double> serde_sec_per_byte = std::nullopt,

@@ -34,8 +34,18 @@ namespace dagon {
 
 /// Lifecycle of one task index within a stage. `Failed → Pending` is the
 /// retry requeue; `Finished → Pending` is lineage recovery re-opening a
-/// completed task whose output block was lost.
-enum class TaskStatus : std::uint8_t { Pending, Running, Finished, Failed };
+/// completed task whose output block was lost. `Running → Cancelled` is
+/// a hedged/speculative attempt losing the race: a sibling attempt of
+/// the same task finished first, so this one is torn down and its cores
+/// returned. `Cancelled` is terminal for the attempt (the *task* lives
+/// on through the winning sibling).
+enum class TaskStatus : std::uint8_t {
+  Pending,
+  Running,
+  Finished,
+  Failed,
+  Cancelled,
+};
 
 /// Residency of one block (rdd, partition) as tracked by the cache
 /// master. `Absent` is the implicit initial state of a not-yet-produced
@@ -83,16 +93,18 @@ struct StateMachine<TaskStatus> {
       case TaskStatus::Running: return "Running";
       case TaskStatus::Finished: return "Finished";
       case TaskStatus::Failed: return "Failed";
+      case TaskStatus::Cancelled: return "Cancelled";
     }
     return "?";
   }
 
-  static constexpr std::array<Edge<TaskStatus>, 5> kEdges{{
-      {TaskStatus::Pending, TaskStatus::Running},   // scheduler launch
-      {TaskStatus::Running, TaskStatus::Finished},  // attempt completed
-      {TaskStatus::Running, TaskStatus::Failed},    // fault / crash
-      {TaskStatus::Failed, TaskStatus::Pending},    // retry requeue
-      {TaskStatus::Finished, TaskStatus::Pending},  // lineage reopen
+  static constexpr std::array<Edge<TaskStatus>, 6> kEdges{{
+      {TaskStatus::Pending, TaskStatus::Running},    // scheduler launch
+      {TaskStatus::Running, TaskStatus::Finished},   // attempt completed
+      {TaskStatus::Running, TaskStatus::Failed},     // fault / crash
+      {TaskStatus::Running, TaskStatus::Cancelled},  // hedge lost the race
+      {TaskStatus::Failed, TaskStatus::Pending},     // retry requeue
+      {TaskStatus::Finished, TaskStatus::Pending},   // lineage reopen
   }};
 };
 

@@ -7,6 +7,17 @@
 
 namespace dagon {
 
+SimTime median_of(std::vector<SimTime> v) {
+  DAGON_CHECK_MSG(!v.empty(), "median_of over an empty sample set");
+  const std::size_t mid = v.size() / 2;
+  const auto mid_it = v.begin() + static_cast<std::ptrdiff_t>(mid);
+  std::nth_element(v.begin(), mid_it, v.end());
+  const SimTime upper = v[mid];
+  if (v.size() % 2 != 0) return upper;
+  const SimTime lower = *std::max_element(v.begin(), mid_it);
+  return lower + (upper - lower) / 2;
+}
+
 void OnlineStats::add(double x) {
   if (n_ == 0) {
     min_ = max_ = x;

@@ -12,6 +12,13 @@
 
 namespace dagon {
 
+/// True median of a sample vector: the middle element for odd sizes,
+/// the midpoint of the two middle elements for even sizes. O(n) via
+/// nth_element (the vector is taken by value and partially reordered).
+/// Shared by speculation thresholds and reporting code so nobody
+/// re-implements the even-count case as "upper middle element".
+[[nodiscard]] SimTime median_of(std::vector<SimTime> v);
+
 /// Streaming mean/variance/min/max (Welford).
 class OnlineStats {
  public:

@@ -70,6 +70,19 @@ SimConfig graybox_testbed() {
   return config;
 }
 
+SimConfig tail_testbed() {
+  SimConfig config = paper_testbed();
+  config.tail.tiers.push_back(SimConfig::ExecTier{"slow", 0.25, 2.0});
+  config.tail.tiers.push_back(SimConfig::ExecTier{"fast", 0.25, 0.5});
+  config.tail.escalate = true;
+  config.faults.enabled = true;
+  config.faults.heavy_tail_prob = 0.05;
+  config.faults.heavy_tail_mult = 6.0;
+  config.speculation.enabled = true;
+  config.speculation.hedge = true;
+  return config;
+}
+
 SystemCombo stock_spark() {
   return {"FIFO+LRU", SchedulerKind::Fifo, CachePolicyKind::Lru,
           DelayKind::Native};

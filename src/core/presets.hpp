@@ -31,6 +31,14 @@ namespace dagon {
 /// bit-identical to paper_testbed() until the first gray event fires.
 [[nodiscard]] SimConfig graybox_testbed();
 
+/// The testbed as a heterogeneous, heavy-tailed cluster: a quarter of
+/// the executors run 2x slow and a quarter 2x fast, 5% of attempts draw
+/// a 6x heavy-tail duration, and the full tail-tolerance response is on
+/// (hedged speculation with cancellation + critical-path escalation).
+/// Base trace is NOT bit-identical to paper_testbed(): tiers reshape
+/// every compute time from t=0.
+[[nodiscard]] SimConfig tail_testbed();
+
 /// A named (scheduler, cache, delay) combination.
 struct SystemCombo {
   std::string label;

@@ -69,6 +69,15 @@ struct FaultConfig {
   /// must be retried (Spark's transient task failures). In [0, 1).
   double task_fail_prob = 0.0;
 
+  /// Heavy-tail duration injection: with probability `heavy_tail_prob`
+  /// (one draw per launched attempt, from a dedicated forked RNG
+  /// stream) the attempt's compute time is multiplied by
+  /// `heavy_tail_mult`. Straggling is a property of the *attempt*, not
+  /// the task — a hedged copy on a healthy executor redraws and
+  /// genuinely escapes the tail. prob in [0, 1]; mult >= 1.
+  double heavy_tail_prob = 0.0;
+  double heavy_tail_mult = 10.0;
+
   /// Poisson-style loss rate of cached memory blocks, per GiB of block
   /// size per hour; sampled every `block_loss_interval`. Models bit-rot
   /// / OOM-killed cache entries: the durable disk copy survives, so the
@@ -124,7 +133,8 @@ struct FaultConfig {
   /// True when enabling this config can change a run at all.
   [[nodiscard]] bool active() const {
     return enabled && (!crashes.empty() || task_fail_prob > 0.0 ||
-                       block_loss_per_gb_hour > 0.0 || gray_active());
+                       block_loss_per_gb_hour > 0.0 ||
+                       heavy_tail_prob > 0.0 || gray_active());
   }
 };
 

@@ -9,9 +9,17 @@ namespace dagon {
 
 FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
                      std::size_t num_racks, std::uint64_t seed)
-    : config_(config), rng_(Rng(seed).fork(kFaultRngStream)) {
+    : config_(config),
+      rng_(Rng(seed).fork(kFaultRngStream)),
+      tail_rng_(Rng(seed).fork(kHeavyTailRngStream)) {
   if (config.task_fail_prob < 0.0 || config.task_fail_prob >= 1.0) {
     throw ConfigError("faults.task_fail_prob must be in [0, 1)");
+  }
+  if (config.heavy_tail_prob < 0.0 || config.heavy_tail_prob > 1.0) {
+    throw ConfigError("faults.heavy_tail_prob must be in [0, 1]");
+  }
+  if (config.heavy_tail_mult < 1.0) {
+    throw ConfigError("faults.heavy_tail_mult must be >= 1.0");
   }
   if (config.block_loss_per_gb_hour < 0.0) {
     throw ConfigError("faults.block_loss_per_gb_hour must be >= 0");

@@ -24,6 +24,11 @@ namespace dagon {
 /// Rng::fork stream id reserved for fault draws.
 inline constexpr std::uint64_t kFaultRngStream = 0xfa;
 
+/// Rng::fork stream id reserved for heavy-tail duration draws. Separate
+/// from kFaultRngStream so enabling tail injection never perturbs the
+/// crash/transient/block-loss schedule of an existing faulty config.
+inline constexpr std::uint64_t kHeavyTailRngStream = 0x7a11;
+
 class FaultPlan {
  public:
   /// Validates `config` against a cluster of `num_executors` executors
@@ -92,6 +97,16 @@ class FaultPlan {
   [[nodiscard]] bool samples_block_loss() const {
     return config_.block_loss_per_gb_hour > 0.0;
   }
+  [[nodiscard]] bool samples_heavy_tail() const {
+    return config_.heavy_tail_prob > 0.0;
+  }
+
+  /// One draw per launched attempt (dedicated stream): does this attempt
+  /// hit the heavy tail? If so its compute time is scaled by
+  /// `config().heavy_tail_mult`.
+  [[nodiscard]] bool draw_heavy_tail() {
+    return tail_rng_.bernoulli(config_.heavy_tail_prob);
+  }
 
   /// One draw per launched attempt: does this attempt fail?
   [[nodiscard]] bool draw_task_failure() {
@@ -112,6 +127,7 @@ class FaultPlan {
  private:
   FaultConfig config_;
   Rng rng_;
+  Rng tail_rng_;
   std::vector<Crash> crashes_;
   std::vector<Partition> partitions_;
   std::vector<Degrade> degrades_;

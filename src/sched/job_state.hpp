@@ -111,6 +111,12 @@ struct ExecutorRuntime {
   /// Block currently being prefetched, if any (one IO channel).
   std::optional<BlockId> prefetching;
   std::int64_t tasks_launched = 0;
+  /// Speed-tier index into SimConfig::TailConfig::tiers (-1 = normal
+  /// tier) and the tier's compute/transfer multiplier (< 1 = faster
+  /// than baseline). Assigned once at driver construction; 1.0 when
+  /// heterogeneity is off.
+  std::int32_t speed_tier = -1;
+  double speed_mult = 1.0;
 
   [[nodiscard]] bool alive() const { return health != ExecutorHealth::Dead; }
   [[nodiscard]] bool suspect() const {

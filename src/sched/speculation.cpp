@@ -2,25 +2,9 @@
 
 #include <algorithm>
 
+#include "common/stats.hpp"
+
 namespace dagon {
-
-namespace {
-
-SimTime median_of(std::vector<SimTime> v) {
-  // True median: the upper-middle element for odd sizes, the midpoint of
-  // the two middle elements for even sizes. nth_element is O(n) vs the
-  // old full sort (which also took the upper element for even sizes,
-  // overestimating the median and under-speculating).
-  const std::size_t mid = v.size() / 2;
-  const auto mid_it = v.begin() + static_cast<std::ptrdiff_t>(mid);
-  std::nth_element(v.begin(), mid_it, v.end());
-  const SimTime upper = v[mid];
-  if (v.size() % 2 != 0) return upper;
-  const SimTime lower = *std::max_element(v.begin(), mid_it);
-  return lower + (upper - lower) / 2;
-}
-
-}  // namespace
 
 std::vector<SpeculationCandidate> speculation_candidates(
     const JobState& state, const std::vector<TaskRuntime>& running,

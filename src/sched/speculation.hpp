@@ -22,6 +22,12 @@ struct SpeculationConfig {
   /// How much slower than the median a task must be
   /// (spark.speculation.multiplier).
   double multiplier = 1.5;
+  /// Hedged mode: the speculative copy is a true hedge — placed on the
+  /// fastest available tier (never the straggler's own executor), and
+  /// when either attempt finishes the sibling is cancelled through the
+  /// `Running → Cancelled` FSM edge with its cores returned immediately
+  /// and the wasted core-time accounted in RunMetrics::HedgeStats.
+  bool hedge = false;
 };
 
 struct SpeculationCandidate {

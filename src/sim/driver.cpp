@@ -7,9 +7,20 @@
 #include "common/fsm.hpp"
 #include "common/log.hpp"
 #include "common/sorted_view.hpp"
+#include "dag/dag_analysis.hpp"
 #include "sched/task_locality.hpp"
 
 namespace dagon {
+
+namespace {
+
+/// Rng::fork stream id reserved for speed-tier membership draws.
+/// Dedicated (like the fault streams) so configuring tiers never
+/// perturbs HDFS placement or duration noise, and tiers-off runs never
+/// draw from it at all.
+constexpr std::uint64_t kTierRngStream = 0x7165;
+
+}  // namespace
 
 SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
                      const SimConfig& config)
@@ -44,6 +55,35 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
                         config_.faults.suspect_phi, config_.faults.dead_phi);
     }
     metrics_.faults.per_executor.resize(topo_.num_executors());
+  }
+  hedge_active_ = config_.speculation.enabled && config_.speculation.hedge;
+  if (config_.tail.enabled()) assign_speed_tiers();
+  escalate_active_ = config_.tail.enabled() && config_.tail.escalate;
+  if (escalate_active_) {
+    // Mark the DAG's critical chain: stage s is critical when the
+    // longest root-to-s prefix plus the cp-length through s spans the
+    // whole critical path (so ties mark every maximal chain).
+    const std::vector<SimTime> cp = critical_path_lengths(dag);
+    SimTime total = 0;
+    for (const SimTime v : cp) total = std::max(total, v);
+    std::vector<SimTime> up(dag.num_stages(), 0);
+    for (const StageId sid : dag.topological_order()) {
+      const Stage& st = dag.stage(sid);
+      SimTime longest_task = 0;
+      for (std::int32_t t = 0; t < st.num_tasks; ++t) {
+        longest_task = std::max(longest_task, st.task_compute_time(t));
+      }
+      for (const StageId c : st.children) {
+        SimTime& u = up[static_cast<std::size_t>(c.value())];
+        u = std::max(u,
+                     up[static_cast<std::size_t>(sid.value())] + longest_task);
+      }
+    }
+    stage_critical_.assign(dag.num_stages(), 0);
+    for (std::size_t i = 0; i < dag.num_stages(); ++i) {
+      if (up[i] + cp[i] == total) stage_critical_[i] = 1;
+    }
+    stage_last_launch_.assign(dag.num_stages(), -1);
   }
   delay_->set_locality_cache_enabled(config_.incremental_scheduling);
   // LERC scores blocks by effective reference count, which needs the
@@ -131,6 +171,26 @@ void SimDriver::validate() const {
   }
   if (config_.speculation.multiplier <= 0.0) {
     throw ConfigError("speculation multiplier must be positive");
+  }
+  double tier_total = 0.0;
+  // dagonlint: allow(float-accum): config validation over a fixed,
+  // spec-ordered tier list; the sum never feeds back into the sim.
+  for (const SimConfig::ExecTier& tier : config_.tail.tiers) {
+    if (tier.fraction < 0.0 || tier.fraction > 1.0) {
+      throw ConfigError("exec tier '" + tier.name +
+                        "' fraction must be in [0, 1]");
+    }
+    if (tier.mult <= 0.0) {
+      throw ConfigError("exec tier '" + tier.name +
+                        "' mult must be positive");
+    }
+    tier_total += tier.fraction;
+  }
+  if (tier_total > 1.0 + 1e-9) {
+    throw ConfigError("exec tier fractions must sum to <= 1");
+  }
+  if (config_.tail.escalation_wait <= 0) {
+    throw ConfigError("tail.escalation_wait must be positive");
   }
   if (config_.serving.enabled()) {
     std::vector<char> owned(dag_->num_stages(), 0);
@@ -253,6 +313,7 @@ RunMetrics SimDriver::run() {
           if (gray_active_) evaluate_suspicions(now);
           if (faults_active_) expire_blacklists(now);
           try_speculation(now);
+          if (escalate_active_) try_escalation(now);
           if (config_.per_executor_profiles) sample_pending(now);
           queue_.push(Event{now + config_.tick_interval, EventType::Tick,
                             TaskId::invalid(), ExecutorId::invalid(),
@@ -376,9 +437,11 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   Bytes serde_bytes = 0;
   // Gray faults: a degraded executor's transfers and compute are scaled
   // by the slowdown factor; a fetch whose best source sits across an
-  // active partition stalls until the heal.
-  const double slow =
+  // active partition stalls until the heal. Speed tiers compose
+  // multiplicatively (a fast tier's mult < 1 speeds everything up).
+  const double degrade =
       gray_active_ ? fault_plan_->degrade_factor(a.exec, now) : 1.0;
+  const double slow = degrade * state_.executor(a.exec).speed_mult;
   SimTime partition_stall = 0;
   // Effective-hit accounting (LERC's metric): the read is effective only
   // when EVERY cacheable narrow input is served from cluster memory —
@@ -452,9 +515,18 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
         std::max(0.1, rng_.normal(1.0, config_.duration_noise));
     compute = static_cast<SimTime>(static_cast<double>(compute) * factor);
   }
-  if (slow > 1.0) {
+  if (slow != 1.0) {
     compute = static_cast<SimTime>(static_cast<double>(compute) * slow);
-    ++metrics_.faults.degraded_launches;
+  }
+  if (degrade > 1.0) ++metrics_.faults.degraded_launches;
+  // Heavy-tail injection: one dedicated-stream draw per attempt. The
+  // multiplier sticks to THIS attempt only, so a hedge launched later
+  // redraws and can genuinely escape the tail.
+  if (faults_active_ && fault_plan_->samples_heavy_tail() &&
+      fault_plan_->draw_heavy_tail()) {
+    compute = static_cast<SimTime>(static_cast<double>(compute) *
+                                   config_.faults.heavy_tail_mult);
+    ++metrics_.faults.heavy_tail_injections;
   }
 
   const TaskId id(static_cast<std::int64_t>(attempts_.size()));
@@ -484,7 +556,11 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
     DAGON_CHECK(state_.executor(a.exec).free_cores() >= demand);
     state_.add_free_cores(a.exec, -demand);
     ++state_.stage(s).running;
+    if (hedge_active_) ++metrics_.hedge.hedges_launched;
   } else {
+    if (escalate_active_) {
+      stage_last_launch_[static_cast<std::size_t>(s.value())] = now;
+    }
     state_.mark_launched(s, a.task_index, a.exec, now);
     delay_->on_launch(state_, master_, s, a.locality, now);
     oracle_.on_task_launched(s, a.task_index);
@@ -531,12 +607,15 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
   DAGON_CHECK(id.valid() &&
               static_cast<std::size_t>(id.value()) < attempts_.size());
   AttemptRuntime& attempt = attempts_[static_cast<std::size_t>(id.value())];
-  if (attempt.cancelled) return;  // lost a speculation race earlier
-  if (attempt.task.status == TaskStatus::Failed) return;  // crashed earlier
+  // Cancelled = lost a hedge/speculation race; Failed = crashed earlier.
+  // Either way the attempt's terminal event is stale — ignore it.
+  if (attempt.task.status == TaskStatus::Cancelled) return;
+  if (attempt.task.status == TaskStatus::Failed) return;
   DAGON_CHECK(attempt.task.status == TaskStatus::Running);
   fsm::transition(attempt.task.status, TaskStatus::Finished, id.value(),
                   &metrics_.fsm.task);
   attempt.task.finish_time = now;
+  if (hedge_active_ && attempt.task.speculative) ++metrics_.hedge.hedges_won;
 
   const StageId s = attempt.task.stage;
   const std::int32_t index = attempt.task.index;
@@ -599,12 +678,22 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
 
 void SimDriver::cancel_attempt(TaskId id, SimTime now) {
   AttemptRuntime& attempt = attempts_[static_cast<std::size_t>(id.value())];
-  if (attempt.cancelled || attempt.task.status != TaskStatus::Running) {
-    return;
-  }
-  attempt.cancelled = true;
+  if (attempt.task.status != TaskStatus::Running) return;
+  // Cancellation-on-first-finish: the losing sibling is torn down
+  // through the one sanctioned Running → Cancelled edge and its cores
+  // return immediately; its in-flight terminal event later early-returns
+  // on the Cancelled status.
+  fsm::transition(attempt.task.status, TaskStatus::Cancelled, id.value(),
+                  &metrics_.fsm.task);
   attempt.task.finish_time = now;
   const Cpus demand = dag_->stage(attempt.task.stage).task_cpus;
+  if (hedge_active_) {
+    ++metrics_.hedge.hedges_cancelled;
+    // Work burned on the loser: cores held × time run (core-µs).
+    metrics_.hedge.wasted_core_us +=
+        static_cast<std::int64_t>(demand) *
+        (now - attempt.task.launch_time);
+  }
   state_.add_free_cores(attempt.task.executor, demand);
   --state_.stage(attempt.task.stage).running;
   claim_reservation(attempt.task.executor, now);
@@ -702,7 +791,7 @@ void SimDriver::try_speculation(SimTime now) {
   std::vector<TaskRuntime> running;
   std::vector<bool> impaired;
   for (const AttemptRuntime& a : attempts_) {
-    if (!a.cancelled && a.task.status == TaskStatus::Running) {
+    if (a.task.status == TaskStatus::Running) {
       running.push_back(a.task);
       // Attempts on suspect or degraded executors are straggler
       // candidates with a relaxed threshold (gray-failure defense).
@@ -720,8 +809,7 @@ void SimDriver::try_speculation(SimTime now) {
     for (std::int64_t id = attempt_first_[task_ord(c.stage, c.task_index)];
          id >= 0; id = attempt_next_[static_cast<std::size_t>(id)]) {
       const AttemptRuntime& a = attempts_[static_cast<std::size_t>(id)];
-      if (!a.cancelled && a.task.status == TaskStatus::Running &&
-          a.task.speculative) {
+      if (a.task.status == TaskStatus::Running && a.task.speculative) {
         has_copy = true;
         break;
       }
@@ -742,21 +830,119 @@ void SimDriver::try_speculation(SimTime now) {
       if (!inputs_ok) continue;
     }
     // Place the copy on the free executor with the best locality for the
-    // task's input data (§IV: "close to the input data").
+    // task's input data (§IV: "close to the input data"). Hedge mode
+    // instead optimizes the straggler escape: never co-locate with a
+    // live sibling attempt, fastest tier first, locality as tiebreak.
     const Cpus demand = dag_->stage(c.stage).task_cpus;
+    const auto hosts_live_sibling = [&](ExecutorId exec) {
+      for (std::int64_t id =
+               attempt_first_[task_ord(c.stage, c.task_index)];
+           id >= 0; id = attempt_next_[static_cast<std::size_t>(id)]) {
+        const AttemptRuntime& a = attempts_[static_cast<std::size_t>(id)];
+        if (a.task.status == TaskStatus::Running &&
+            a.task.executor == exec) {
+          return true;
+        }
+      }
+      return false;
+    };
     std::optional<Assignment> best;
+    double best_mult = 0.0;
     for (const ExecutorRuntime& e : state_.executors()) {
       if (!e.schedulable(now)) continue;
       if (e.free_cores() < demand) continue;
+      if (hedge_active_ && hosts_live_sibling(e.id)) continue;
       const Locality l = task_locality_on(*dag_, master_, topo_, c.stage,
                                           c.task_index, e.id);
-      if (!best || static_cast<int>(l) < static_cast<int>(best->locality)) {
+      if (hedge_active_) {
+        if (!best || e.speed_mult < best_mult ||
+            (e.speed_mult == best_mult &&
+             static_cast<int>(l) < static_cast<int>(best->locality))) {
+          best = Assignment{c.task_index, e.id, l};
+          best_mult = e.speed_mult;
+        }
+      } else if (!best ||
+                 static_cast<int>(l) < static_cast<int>(best->locality)) {
         best = Assignment{c.task_index, e.id, l};
       }
     }
     if (best) {
       launch_task(c.stage, *best, now, /*speculative=*/true);
     }
+  }
+}
+
+void SimDriver::assign_speed_tiers() {
+  // Dedicated forked stream so tier placement never perturbs the
+  // scheduling/fault RNG sequences (same discipline as kFaultRngStream).
+  Rng tier_rng = Rng(config_.seed).fork(kTierRngStream);
+  const std::size_t n = state_.executors().size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  // Fisher–Yates so tier membership is an unbiased random subset.
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(
+        tier_rng.uniform_int(static_cast<std::int64_t>(i)));
+    std::swap(order[i - 1], order[j]);
+  }
+  std::size_t next = 0;
+  for (std::size_t t = 0; t < config_.tail.tiers.size(); ++t) {
+    const SimConfig::ExecTier& tier = config_.tail.tiers[t];
+    std::size_t count = static_cast<std::size_t>(
+        tier.fraction * static_cast<double>(n) + 0.5);
+    count = std::min(count, n - next);
+    for (std::size_t k = 0; k < count; ++k, ++next) {
+      ExecutorRuntime& e = state_.executors()[order[next]];
+      e.speed_tier = static_cast<std::int32_t>(t);
+      e.speed_mult = tier.mult;
+    }
+  }
+}
+
+void SimDriver::try_escalation(SimTime now) {
+  for (const StageId s : state_.schedulable_stages()) {
+    if (stage_critical_[static_cast<std::size_t>(s.value())] == 0) continue;
+    const StageRuntime& rt = state_.stage(s);
+    if (rt.pending.empty()) continue;
+    // Delay-scheduling-style patience: escalate only once the stage's
+    // head-of-line task has sat past the configured wait with no
+    // ordinary launch relieving the queue.
+    const SimTime since = std::max(
+        rt.ready_time,
+        stage_last_launch_[static_cast<std::size_t>(s.value())]);
+    if (since < 0 || now - since < config_.tail.escalation_wait) continue;
+    const Cpus demand = dag_->stage(s).task_cpus;
+    const std::int32_t index = *rt.pending.begin();
+    if (faults_active_) {
+      bool inputs_ok = true;
+      for (const TaskInput& in : dag_->task_inputs(s, index)) {
+        if (!master_.exists(in.block)) {
+          inputs_ok = false;
+          break;
+        }
+      }
+      if (!inputs_ok) continue;
+    }
+    // Only escalate onto a strictly faster tier — an escalation onto
+    // baseline hardware is just a worse-locality ordinary launch.
+    std::optional<Assignment> best;
+    double best_mult = 1.0;
+    for (const ExecutorRuntime& e : state_.executors()) {
+      if (!e.schedulable(now)) continue;
+      if (e.free_cores() < demand) continue;
+      if (e.speed_mult >= 1.0) continue;
+      const Locality l =
+          task_locality_on(*dag_, master_, topo_, s, index, e.id);
+      if (!best || e.speed_mult < best_mult ||
+          (e.speed_mult == best_mult &&
+           static_cast<int>(l) < static_cast<int>(best->locality))) {
+        best = Assignment{index, e.id, l};
+        best_mult = e.speed_mult;
+      }
+    }
+    if (!best) continue;
+    ++metrics_.hedge.escalations;
+    launch_task(s, *best, now, /*speculative=*/false);
   }
 }
 
@@ -784,8 +970,7 @@ void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
   std::vector<TaskId> victims;
   for (std::size_t i = 0; i < attempts_.size(); ++i) {
     const AttemptRuntime& a = attempts_[i];
-    if (!a.cancelled && a.task.status == TaskStatus::Running &&
-        a.task.executor == exec) {
+    if (a.task.status == TaskStatus::Running && a.task.executor == exec) {
       victims.push_back(TaskId(static_cast<std::int64_t>(i)));
     }
   }
@@ -824,7 +1009,7 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
   DAGON_CHECK(id.valid() &&
               static_cast<std::size_t>(id.value()) < attempts_.size());
   AttemptRuntime& attempt = attempts_[static_cast<std::size_t>(id.value())];
-  if (attempt.cancelled || attempt.task.status != TaskStatus::Running) {
+  if (attempt.task.status != TaskStatus::Running) {
     return;  // lost a speculation race / already failed via the crash
   }
   fsm::transition(attempt.task.status, TaskStatus::Failed, id.value(),
@@ -983,7 +1168,7 @@ bool SimDriver::has_live_attempt(StageId s, std::int32_t index) const {
   for (std::int64_t id = attempt_first_[task_ord(s, index)]; id >= 0;
        id = attempt_next_[static_cast<std::size_t>(id)]) {
     const AttemptRuntime& a = attempts_[static_cast<std::size_t>(id)];
-    if (!a.cancelled && a.task.status == TaskStatus::Running) return true;
+    if (a.task.status == TaskStatus::Running) return true;
   }
   return false;
 }
@@ -995,7 +1180,7 @@ bool SimDriver::defer_partitioned_report(const Event& e, SimTime now) {
       attempts_[static_cast<std::size_t>(e.task.value())];
   // Cancelled / already-failed attempts fall through to the handler's
   // normal early-return; only a live attempt's report can be held back.
-  if (a.cancelled || a.task.status != TaskStatus::Running) return false;
+  if (a.task.status != TaskStatus::Running) return false;
   const SimTime heal =
       fault_plan_->partitioned_until(rack_of_exec(a.task.executor), now);
   if (heal <= now) return false;
@@ -1225,7 +1410,7 @@ void SimDriver::verify_quiescent() const {
   DAGON_CHECK_MSG(!metrics_.fsm.any(),
                   "end of run: lifecycle transition breaches counted");
   for (const AttemptRuntime& a : attempts_) {
-    DAGON_CHECK_MSG(a.cancelled || a.task.status != TaskStatus::Running,
+    DAGON_CHECK_MSG(a.task.status != TaskStatus::Running,
                     "end of run: attempt of stage "
                         << a.task.stage << " task " << a.task.index
                         << " still running");
@@ -1301,7 +1486,7 @@ void SimDriver::finalize_metrics(SimTime end) {
     record.fetch_time = a.task.fetch_time;
     record.compute_time = a.task.compute_time;
     record.speculative = a.task.speculative;
-    record.cancelled = a.cancelled;
+    record.cancelled = a.task.status == TaskStatus::Cancelled;
     record.failed = a.task.status == TaskStatus::Failed;
     metrics_.tasks.push_back(record);
   }

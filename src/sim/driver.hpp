@@ -52,6 +52,15 @@ class SimDriver {
   void claim_reservation(ExecutorId exec, SimTime now);
   void issue_prefetches(SimTime now);
   void try_speculation(SimTime now);
+  // -- tail tolerance -----------------------------------------------------
+  /// Assigns a speed tier (TailConfig::tiers) to each executor at
+  /// construction, from a dedicated forked RNG stream.
+  void assign_speed_tiers();
+  /// Congestion-aware escalation (TailConfig::escalate): a critical-path
+  /// stage whose pending tasks have waited past `escalation_wait` gets
+  /// its next task launched on the fastest free tier, bypassing the
+  /// locality ladder.
+  void try_escalation(SimTime now);
   // -- fault injection & lineage recovery --------------------------------
   /// Kills `exec`: fails its running attempts, removes its cores, drops
   /// its blocks and recovers whatever data died with it.
@@ -151,10 +160,24 @@ class SimDriver {
   bool gray_active_ = false;
   /// Present iff gray_active_.
   std::optional<FailureDetector> detector_;
+  // -- tail-tolerance state -----------------------------------------------
+  /// True when hedged speculation is on (speculation.enabled && hedge):
+  /// losing attempts go Running → Cancelled and HedgeStats is kept.
+  bool hedge_active_ = false;
+  /// True when tier escalation runs (tiers configured && tail.escalate).
+  bool escalate_active_ = false;
+  /// stage id -> 1 when the stage sits on the DAG's critical path
+  /// (longest cp-length chain); sized only when escalation is active.
+  std::vector<char> stage_critical_;
+  /// Last non-speculative launch time per stage (-1 = none yet); the
+  /// escalation wait runs from max(ready_time, last launch).
+  std::vector<SimTime> stage_last_launch_;
 
+  /// One task attempt. The attempt's own lifecycle lives in
+  /// task.status; `Cancelled` marks a hedge/speculation loser torn down
+  /// when a sibling finished first.
   struct AttemptRuntime {
     TaskRuntime task;
-    bool cancelled = false;
   };
   std::vector<AttemptRuntime> attempts_;  // indexed by TaskId
   /// task_offset_[s] = global ordinal of stage s's task 0 (see task_ord).

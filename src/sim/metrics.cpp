@@ -121,6 +121,11 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
     h.mix_value(m.faults.deferred_reports);
     h.mix_value(m.faults.partition_stalled_fetches);
     h.mix_value(m.faults.degraded_launches);
+    // Nested gate: faulty runs that predate heavy-tail injection mixed
+    // no such counter, so a zero value must stay out of their digests.
+    if (m.faults.heavy_tail_injections != 0) {
+      h.mix_value(m.faults.heavy_tail_injections);
+    }
     h.mix_value(m.faults.blacklist_entries);
     h.mix_value(m.faults.blacklist_exits);
     h.mix_value(m.faults.proactive_rereplications);
@@ -136,6 +141,15 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
       h.mix_value(e.rereplicated_bytes);
     }
     for (const TaskRecord& t : m.tasks) h.mix_value(t.failed);
+  }
+  // Hedged-speculation accounting gates in only when hedging actually
+  // did something, so hedge-off runs keep their pinned digests.
+  if (m.hedge.any()) {
+    h.mix_value(m.hedge.hedges_launched);
+    h.mix_value(m.hedge.hedges_won);
+    h.mix_value(m.hedge.hedges_cancelled);
+    h.mix_value(m.hedge.wasted_core_us);
+    h.mix_value(m.hedge.escalations);
   }
   // Lifecycle breaches likewise gate in only when one fired: clean runs
   // keep their pinned digests, while a release-build run that bypassed a

@@ -124,6 +124,9 @@ struct FaultStats {
   std::int64_t partition_stalled_fetches = 0;
   /// Attempts launched on an executor inside a degrade window.
   std::int64_t degraded_launches = 0;
+  /// Attempts whose duration drew the heavy tail
+  /// (FaultConfig::heavy_tail_prob/mult).
+  std::int64_t heavy_tail_injections = 0;
   /// Executors entering / leaving blacklist probation.
   std::int64_t blacklist_entries = 0;
   std::int64_t blacklist_exits = 0;
@@ -159,8 +162,36 @@ struct FaultStats {
            suspicions | false_suspicions | executors_declared_dead |
            heartbeats_dropped | deferred_reports |
            partition_stalled_fetches | degraded_launches |
-           blacklist_entries | blacklist_exits | proactive_rereplications |
-           rereplicated_bytes;
+           heavy_tail_injections | blacklist_entries | blacklist_exits |
+           proactive_rereplications | rereplicated_bytes;
+  }
+};
+
+/// Hedged-speculation accounting (SpeculationConfig::hedge); all zero
+/// unless hedge mode is on, and folded into metrics_fingerprint only
+/// when non-zero so hedge-off runs keep their pinned digests.
+struct HedgeStats {
+  /// Hedged (speculative) attempts launched.
+  std::int64_t hedges_launched = 0;
+  /// Hedges that finished before the original attempt.
+  std::int64_t hedges_won = 0;
+  /// Attempts cancelled because a sibling finished first (either the
+  /// losing hedge or the out-raced original).
+  std::int64_t hedges_cancelled = 0;
+  /// Core-microseconds spent on attempts that were later cancelled —
+  /// the price paid for the tail latency won.
+  std::int64_t wasted_core_us = 0;
+  /// Critical-path launches escalated to a faster tier past the
+  /// locality ladder (TailConfig::escalate).
+  std::int64_t escalations = 0;
+
+  [[nodiscard]] double wasted_core_seconds() const {
+    return static_cast<double>(wasted_core_us) / 1e6;
+  }
+
+  [[nodiscard]] bool any() const {
+    return hedges_launched | hedges_won | hedges_cancelled |
+           wasted_core_us | escalations;
   }
 };
 
@@ -235,6 +266,7 @@ class RunMetrics {
   std::vector<StageRecord> stages;
   CacheStats cache;
   FaultStats faults;
+  HedgeStats hedge;
   FsmStats fsm;
   /// Per-job serving metrics, indexed like SimConfig::serving.jobs;
   /// empty on single-job (batch) runs.

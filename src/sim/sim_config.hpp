@@ -44,6 +44,33 @@ struct SimConfig {
 
   SpeculationConfig speculation;
 
+  /// One executor speed tier: `fraction` of the cluster's executors run
+  /// all compute (and data movement) scaled by `mult` (< 1 = faster
+  /// than baseline, > 1 = slower). Executors not covered by any tier
+  /// stay at 1.0 ("normal").
+  struct ExecTier {
+    std::string name;
+    double fraction = 0.0;
+    double mult = 1.0;
+  };
+
+  /// Executor heterogeneity + congestion-aware escalation knobs.
+  struct TailConfig {
+    /// Speed tiers; empty = homogeneous cluster, bit-identical to
+    /// builds without the subsystem. Tier membership is assigned at
+    /// driver construction from a dedicated forked RNG stream.
+    std::vector<ExecTier> tiers;
+    /// Critical-path escalation: when a stage on the DAG's critical
+    /// path has pending tasks that have waited >= `escalation_wait`
+    /// and a faster-tier executor has free cores, launch there even at
+    /// worse locality (delay-scheduling-style patience, then escalate).
+    bool escalate = false;
+    SimTime escalation_wait = 2 * kSec;
+
+    [[nodiscard]] bool enabled() const { return !tiers.empty(); }
+  };
+  TailConfig tail;
+
   /// Failure model (executor crashes, block loss, transient task
   /// failures) and lineage-recovery knobs. Default off: every fault draw
   /// comes from a dedicated RNG stream, so fault-free runs are

@@ -142,6 +142,17 @@ TEST(Rng, RejectsNonPositiveBound) {
   EXPECT_THROW(rng.uniform_int(0), InvariantError);
 }
 
+TEST(MedianOf, OddAndEvenSampleCounts) {
+  EXPECT_EQ(median_of({7}), 7);
+  EXPECT_EQ(median_of({3, 1, 2}), 2);
+  // Even count: midpoint of the two middle elements, not the upper one.
+  EXPECT_EQ(median_of({4 * kSec, 2 * kSec, kSec, 3 * kSec}),
+            2 * kSec + kSec / 2);
+  EXPECT_EQ(median_of({10, 20}), 15);
+  // Duplicates around the middle collapse to the shared value.
+  EXPECT_EQ(median_of({5, 5, 1, 9}), 5);
+}
+
 TEST(OnlineStats, BasicMoments) {
   OnlineStats s;
   for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);

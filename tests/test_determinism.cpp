@@ -86,6 +86,32 @@ TEST(Determinism, AllFaultsOffMatrixFingerprintsArePinned) {
   }
 }
 
+// The tail-tolerance preset (tiers + heavy tail + hedging + escalation)
+// exercises every tail subsystem at once; its digests are pinned so the
+// whole response — tier membership, heavy-tail draws, hedge races,
+// escalations — stays bit-reproducible. Unlike the fault presets, its
+// base trace is NOT expected to match paper_testbed(): tiers reshape
+// compute from t=0.
+TEST(Determinism, TailPresetFingerprintsArePinned) {
+  const Pin pins[] = {
+      {"tail", dagon_full(), WorkloadId::KMeans, 0xefaf88f41789fd7eull},
+      {"tail", dagon_full(), WorkloadId::LogisticRegression,
+       0x678d7345a763f1f8ull},
+      {"tail", dagon_full(), WorkloadId::PageRank, 0xaa6c9ded6740f437ull},
+      {"tail", stock_spark(), WorkloadId::KMeans, 0xe622812fd8117369ull},
+  };
+  for (const Pin& pin : pins) {
+    const Workload w = make_workload(pin.workload, WorkloadScale{0.3});
+    const RunMetrics m = run_system(w, pin.combo, tail_testbed()).metrics;
+    EXPECT_EQ(metrics_fingerprint(m), pin.fingerprint)
+        << pin.preset << " / " << pin.combo.label << " / " << w.name;
+    // The tail machinery must actually have fired on these rows.
+    EXPECT_GT(m.faults.heavy_tail_injections, 0) << w.name;
+    EXPECT_GT(m.hedge.hedges_launched, 0) << w.name;
+    EXPECT_FALSE(m.fsm.any()) << w.name;
+  }
+}
+
 TEST(Determinism, MatrixSweepJobs1EqualsJobsN) {
   // Same 24 rows, driven through the sweep engine: per-row fingerprints
   // must match between the serial and the parallel schedule.

@@ -154,7 +154,9 @@ TEST(FsmTables, AllowedMatchesTheDocumentedEdgeCounts) {
   static_assert(!fsm::allowed(BlockResidency::Lost, BlockResidency::Memory));
   static_assert(fsm::allowed(ExecutorHealth::Suspect, ExecutorHealth::Dead));
   static_assert(!fsm::allowed(ExecutorHealth::Dead, ExecutorHealth::Suspect));
-  EXPECT_EQ(fsm::StateMachine<TaskStatus>::kEdges.size(), 5u);
+  static_assert(fsm::allowed(TaskStatus::Running, TaskStatus::Cancelled));
+  static_assert(!fsm::allowed(TaskStatus::Cancelled, TaskStatus::Running));
+  EXPECT_EQ(fsm::StateMachine<TaskStatus>::kEdges.size(), 6u);
   EXPECT_EQ(fsm::StateMachine<BlockResidency>::kEdges.size(), 10u);
   EXPECT_EQ(fsm::StateMachine<ExecutorHealth>::kEdges.size(), 4u);
 }

@@ -53,6 +53,9 @@ struct Options {
   ArrivalSpec arrival;
   bool fair_share = false;
   FaultConfig faults;  // preset faults + any --fault-* flag on top
+  // Tail tolerance: preset tiers/speculation + any flag on top.
+  SimConfig::TailConfig tail;
+  SpeculationConfig speculation;
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -106,8 +109,9 @@ SimConfig preset_config(const std::string& name) {
   if (name == "case") return case_study_cluster();
   if (name == "faulty") return faulty_testbed();
   if (name == "graybox") return graybox_testbed();
+  if (name == "tail") return tail_testbed();
   usage_error("unknown preset '" + name +
-              "' (testbed | case | faulty | graybox)");
+              "' (testbed | case | faulty | graybox | tail)");
 }
 
 /// Joins `file` onto --out-dir (creating it), or returns it unchanged.
@@ -139,7 +143,7 @@ void print_help() {
       "                     (0 = #cores); results are identical to\n"
       "                     serial for the same seeds [1]\n"
       "  --preset NAME      base cluster + fault preset: testbed | case\n"
-      "                     | faulty | graybox [testbed]\n"
+      "                     | faulty | graybox | tail [testbed]\n"
       "  --fingerprint      print the run's metrics fingerprint (a\n"
       "                     64-bit digest; equal across bit-identical\n"
       "                     runs)\n"
@@ -168,6 +172,22 @@ void print_help() {
       "                           from T to H seconds; repeatable\n"
       "  --fault-degrade T:U:F[:E] slow executor E (or a random one) by\n"
       "                           factor F from T to U seconds; repeatable\n"
+      "\ntail tolerance (heterogeneity, heavy tails, hedging):\n"
+      "  --exec-tiers SPEC        executor speed tiers, comma-separated\n"
+      "                           NAME:FRAC:MULT entries (FRAC of the\n"
+      "                           cluster runs compute scaled by MULT;\n"
+      "                           <1 = faster); e.g. slow:0.25:2.0\n"
+      "  --heavy-tail-prob P      per-attempt heavy-tail probability,\n"
+      "                           in [0, 1] [0]\n"
+      "  --heavy-tail-mult M      heavy-tail duration multiplier,\n"
+      "                           >= 1 [10]\n"
+      "  --hedge                  hedged speculation: copies race on the\n"
+      "                           fastest free tier and the loser is\n"
+      "                           cancelled on first finish (enables\n"
+      "                           speculation)\n"
+      "  --escalate               escalate waiting critical-path tasks\n"
+      "                           to a faster tier (needs --exec-tiers)\n"
+      "  --escalate-wait S        patience before escalating [2.0]\n"
       "\ngray-failure monitoring (any flag also enables heartbeats):\n"
       "  --heartbeat-interval S   executor heartbeat period [1.0]\n"
       "  --heartbeat-suspect PHI  phi threshold to suspect [1.0]\n"
@@ -199,7 +219,12 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--preset") == 0) opt.preset = argv[i + 1];
     if (std::strcmp(argv[i], "--case-cluster") == 0) opt.preset = "case";
   }
-  opt.faults = preset_config(opt.preset).faults;
+  {
+    const SimConfig preset = preset_config(opt.preset);
+    opt.faults = preset.faults;
+    opt.tail = preset.tail;
+    opt.speculation = preset.speculation;
+  }
 
   // Every flag is single-use except the repeatable fault-spec flags.
   const std::set<std::string> repeatable = {
@@ -335,6 +360,50 @@ int main(int argc, char** argv) {
     } else if (arg == "--blacklist-probation") {
       opt.faults.blacklist_probation = from_seconds(parse_double(arg, next()));
       opt.faults.enabled = true;
+    } else if (arg == "--heavy-tail-prob") {
+      opt.faults.heavy_tail_prob = parse_double(arg, next());
+      opt.faults.enabled = true;
+    } else if (arg == "--heavy-tail-mult") {
+      opt.faults.heavy_tail_mult = parse_double(arg, next());
+      opt.faults.enabled = true;
+    } else if (arg == "--exec-tiers") {
+      // Comma-separated tier entries, each a NAME:FRAC:MULT triple.
+      const std::string v = next();
+      const auto tier_error = [&](const std::string& entry) {
+        usage_error("malformed tier '" + entry + "' for " + arg +
+                    " (expected NAME:FRAC:MULT[,NAME:FRAC:MULT...], "
+                    "e.g. slow:0.25:2.0,fast:0.25:0.5)");
+      };
+      opt.tail.tiers.clear();
+      std::size_t start = 0;
+      while (start <= v.size()) {
+        const std::size_t comma = v.find(',', start);
+        const std::string entry = v.substr(start, comma - start);
+        std::vector<std::string> f;
+        std::size_t at = 0;
+        while (true) {
+          const std::size_t colon = entry.find(':', at);
+          f.push_back(entry.substr(at, colon - at));
+          if (colon == std::string::npos) break;
+          at = colon + 1;
+        }
+        if (f.size() != 3 || f[0].empty()) tier_error(entry);
+        SimConfig::ExecTier tier;
+        tier.name = f[0];
+        tier.fraction = parse_double(arg, f[1]);
+        tier.mult = parse_double(arg, f[2]);
+        opt.tail.tiers.push_back(std::move(tier));
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    } else if (arg == "--hedge") {
+      opt.speculation.enabled = true;
+      opt.speculation.hedge = true;
+    } else if (arg == "--escalate") {
+      opt.tail.escalate = true;
+    } else if (arg == "--escalate-wait") {
+      opt.tail.escalation_wait = from_seconds(parse_double(arg, next()));
+      opt.tail.escalate = true;
     } else if (arg == "--serve-jobs") {
       opt.serve_jobs = static_cast<std::size_t>(parse_int(arg, next()));
       if (opt.serve_jobs == 0) opt.serve_jobs = 1;
@@ -366,7 +435,9 @@ int main(int argc, char** argv) {
             static_cast<std::int32_t>(parse_int(arg, f[3]));
       } else {
         usage_error("unknown arrival kind '" + f[0] +
-                    "' (poisson | trace | bursty)");
+                    "' (expected poisson:RATE | trace:G1,G2,... | "
+                    "bursty:BURST:IDLE:LEN; rates jobs/sec, gaps "
+                    "seconds)");
       }
     } else if (arg == "--fair-share") {
       opt.fair_share = true;
@@ -395,6 +466,8 @@ int main(int argc, char** argv) {
   config.seed = opt.seed;
   if (opt.noise >= 0.0) config.duration_noise = opt.noise;
   config.faults = opt.faults;
+  config.tail = opt.tail;
+  config.speculation = opt.speculation;
 
   Workload workload = make_workload(*id, WorkloadScale{opt.scale});
   const bool serving = opt.serve_jobs > 1;
@@ -623,6 +696,22 @@ int main(int argc, char** argv) {
       }
       per.print(std::cout);
     }
+  }
+
+  if (m.faults.heavy_tail_injections > 0 || m.hedge.any()) {
+    std::cout << "\ntail tolerance:\n";
+    TextTable tail({"tail metric", "value"});
+    tail.add_row({"heavy-tail injections",
+                  std::to_string(m.faults.heavy_tail_injections)});
+    tail.add_row({"hedges launched",
+                  std::to_string(m.hedge.hedges_launched)});
+    tail.add_row({"hedges won", std::to_string(m.hedge.hedges_won)});
+    tail.add_row({"hedges cancelled",
+                  std::to_string(m.hedge.hedges_cancelled)});
+    tail.add_row({"wasted core-seconds",
+                  TextTable::num(m.hedge.wasted_core_seconds(), 1)});
+    tail.add_row({"escalations", std::to_string(m.hedge.escalations)});
+    tail.print(std::cout);
   }
 
   if (opt.fingerprint) {
