@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
         // Low-locality stragglers: no delay scheduling, so iteration
         // tasks get stolen at rack level and run ~9x slow until a
         // process-local copy rescues them.
-        config.waits = LocalityWaits::uniform(0);
+        config.waits = LocalityWaits::uniform(SimTime{0});
       }
       config.scheduler = SchedulerKind::Dagon;
       config.cache = CachePolicyKind::Lrp;

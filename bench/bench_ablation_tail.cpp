@@ -93,6 +93,7 @@ struct TailPoint {
 double percentile(std::vector<double> v, double p) {
   DAGON_CHECK(!v.empty());
   std::sort(v.begin(), v.end());
+  // dagonlint: allow(narrowing-cast): report-only percentile rank, not a unit quantity
   const auto rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(v.size())));
   return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];
@@ -134,7 +135,7 @@ TailPoint run_point(const Variant& v, double tail_prob,
     // quiescence and zero FSM breaches before returning).
     DAGON_CHECK_MSG(m.hedge.hedges_won <= m.hedge.hedges_launched,
                     "more hedges won than launched");
-    DAGON_CHECK_MSG(m.hedge.wasted_core_us >= 0,
+    DAGON_CHECK_MSG(m.hedge.wasted_core_us >= CpuWork{0},
                     "negative wasted core time");
     if (!v.hedge) {
       DAGON_CHECK_MSG(m.hedge.hedges_launched == 0 &&
@@ -152,6 +153,7 @@ TailPoint run_point(const Variant& v, double tail_prob,
                       "job '" << j.name << "' did not quiesce");
       out.jct_sec.push_back(to_seconds(j.jct()));
     }
+    // dagonlint: allow(float-accum): report-only mean over a fixed deterministic run order
     out.wasted_core_sec += m.hedge.wasted_core_seconds();
     out.hedges_launched += m.hedge.hedges_launched;
     out.hedges_won += m.hedge.hedges_won;

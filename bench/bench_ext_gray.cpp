@@ -206,7 +206,7 @@ SimConfig gray_cluster() {
   config.topology.racks = 2;
   config.topology.nodes_per_rack = 3;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.topology.cache_bytes_per_executor = 256 * kMiB;
   config.hdfs.replication = 2;
   return config;
@@ -233,6 +233,7 @@ int main(int argc, char** argv) {
   constexpr std::uint64_t kSeeds = 3;
   std::vector<Scenario> cases = scenarios();
   std::size_t limit = cases.size() * kSeeds;
+  // dagonlint: allow(nondet-source): bench harness cap, bounds runtime only, not sim state
   if (const char* cap = std::getenv("DAGON_GRAY_SCENARIOS")) {
     limit = static_cast<std::size_t>(std::atoll(cap));
   }
@@ -274,7 +275,7 @@ int main(int argc, char** argv) {
       const RunMetrics m = driver.run();
       const FaultStats& f = m.faults;
 
-      check(m.jct > 0, sc.label, "run did not complete");
+      check(m.jct > SimTime{0}, sc.label, "run did not complete");
       check(f.false_suspicions <= f.suspicions, sc.label,
             "more recoveries than suspicions");
       check(f.blacklist_exits <= f.blacklist_entries, sc.label,
@@ -325,6 +326,7 @@ int main(int argc, char** argv) {
                 sum.rereplicated_bytes == f.rereplicated_bytes,
             sc.label, "per-executor re-replication counters diverge");
 
+      // dagonlint: allow(float-accum): report-only mean over a fixed deterministic run order
       jct_sum += to_seconds(m.jct);
       suspicions += f.suspicions;
       false_pos += f.false_suspicions;
@@ -343,7 +345,7 @@ int main(int argc, char** argv) {
                    std::to_string(f.blacklist_entries),
                    std::to_string(f.blacklist_exits),
                    std::to_string(f.proactive_rereplications),
-                   std::to_string(f.rereplicated_bytes),
+                   std::to_string(f.rereplicated_bytes.count()),
                    std::to_string(f.executor_crashes),
                    std::to_string(f.retries)});
       for (std::size_t e = 0; e < f.per_executor.size(); ++e) {
@@ -357,7 +359,7 @@ int main(int argc, char** argv) {
                          std::to_string(pe.blacklist_entries),
                          std::to_string(pe.blacklist_exits),
                          std::to_string(pe.rereplicated_blocks),
-                         std::to_string(pe.rereplicated_bytes)});
+                         std::to_string(pe.rereplicated_bytes.count())});
       }
     }
     if (seeds_run == 0) continue;

@@ -24,9 +24,10 @@ void draw(const JobDag& dag, const char* label, const AssignmentTrace& tr,
   // One row per vCPU, one column per minute; tasks render as the stage
   // number. Greedy row packing for display only.
   const auto minutes = static_cast<std::size_t>(tr.makespan / kMinute);
-  std::vector<std::string> grid(static_cast<std::size_t>(capacity),
+  std::vector<std::string> grid(static_cast<std::size_t>(capacity.count()),
                                 std::string(minutes, '.'));
-  std::vector<SimTime> row_free(static_cast<std::size_t>(capacity), 0);
+  std::vector<SimTime> row_free(static_cast<std::size_t>(capacity.count()),
+                                SimTime{0});
   auto placements = tr.placements;
   std::sort(placements.begin(), placements.end(),
             [](const PlacedTask& a, const PlacedTask& b) {
@@ -36,9 +37,9 @@ void draw(const JobDag& dag, const char* label, const AssignmentTrace& tr,
   for (const PlacedTask& p : placements) {
     // Find `cpus` display rows free at p.start.
     Cpus needed = p.cpus;
-    for (std::size_t r = 0; r < grid.size() && needed > 0; ++r) {
+    for (std::size_t r = 0; r < grid.size() && needed > Cpus{0}; ++r) {
       if (row_free[r] > p.start) continue;
-      for (SimTime m = p.start / kMinute; m < p.end / kMinute; ++m) {
+      for (std::int64_t m = p.start / kMinute; m < p.end / kMinute; ++m) {
         grid[r][static_cast<std::size_t>(m)] =
             static_cast<char>('1' + p.stage.value());
       }
@@ -48,7 +49,7 @@ void draw(const JobDag& dag, const char* label, const AssignmentTrace& tr,
     csv.add_row({label, std::to_string(p.stage.value() + 1),
                  std::to_string(p.index), std::to_string(p.start / kMinute),
                  std::to_string(p.end / kMinute),
-                 std::to_string(p.cpus)});
+                 std::to_string(p.cpus.count())});
   }
   std::cout << "        minute 0";
   for (std::size_t m = 1; m < minutes; ++m) {
@@ -78,22 +79,22 @@ int main(int argc, char** argv) {
                 {"scheduler", "stage", "task", "start_min", "end_min",
                  "cpus"});
 
-  const auto fifo = trace_priority_assignment(w.dag, 16, SchedulerKind::Fifo);
+  const auto fifo = trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Fifo);
   const auto dagon =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
-  draw(w.dag, "FIFO (Fig. 2a)", fifo, 16, csv);
-  draw(w.dag, "DAG-aware (Fig. 2b)", dagon, 16, csv);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Dagon);
+  draw(w.dag, "FIFO (Fig. 2a)", fifo, Cpus{16}, csv);
+  draw(w.dag, "DAG-aware (Fig. 2b)", dagon, Cpus{16}, csv);
 
   TextTable t({"scheduler", "makespan (min)", "idle vCPU-min",
                "vs lower bound"});
-  const SimTime bound = makespan_lower_bound(w.dag, 16);
+  const SimTime bound = makespan_lower_bound(w.dag, Cpus{16});
   for (const auto& [name, tr] :
        {std::pair<const char*, const AssignmentTrace&>{"FIFO", fifo},
         {"DAG-aware", dagon}}) {
     t.add_row({name, std::to_string(tr.makespan / kMinute),
                std::to_string(tr.idle_cpu_time / kMinute),
-               TextTable::num(static_cast<double>(tr.makespan) /
-                                  static_cast<double>(bound),
+               TextTable::num(static_cast<double>(tr.makespan.count()) /
+                                  static_cast<double>(bound.count()),
                               2) +
                    "x"});
   }

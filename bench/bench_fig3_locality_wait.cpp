@@ -26,7 +26,7 @@ int main(int argc, char** argv) {
   const Workload w = make_kmeans(params);
 
   const std::vector<std::pair<const char*, SimTime>> waits = {
-      {"0s", 0},
+      {"0s", SimTime{0}},
       {"1.5s", 1500 * kMsec},
       {"3s", 3 * kSec},
       {"5s", 5 * kSec}};
@@ -70,6 +70,7 @@ int main(int argc, char** argv) {
                                    m.locality_count(Locality::Node)));
     double sum = 0;
     for (std::int32_t s = 1; s <= 15; ++s) {
+      // dagonlint: allow(float-accum): report-only mean over a fixed deterministic run order
       sum += m.stage_duration_sec(StageId(s));
     }
     iters.push_back(TextTable::num(sum / 15.0, 2));

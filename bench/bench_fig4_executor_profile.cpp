@@ -34,13 +34,13 @@ int main(int argc, char** argv) {
   const ExecutorProfile* exec_a = nullptr;
   const ExecutorProfile* exec_b = nullptr;
   for (const ExecutorProfile& p : m.executor_profiles) {
-    const double busy = p.busy_cores.integral(0, m.jct);
+    const double busy = p.busy_cores.integral(SimTime{0}, m.jct);
     if (!exec_a ||
-        busy < exec_a->busy_cores.integral(0, m.jct)) {
+        busy < exec_a->busy_cores.integral(SimTime{0}, m.jct)) {
       exec_a = &p;
     }
     if (!exec_b ||
-        busy > exec_b->busy_cores.integral(0, m.jct)) {
+        busy > exec_b->busy_cores.integral(SimTime{0}, m.jct)) {
       exec_b = &p;
     }
   }
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
         {"B (hot node)", exec_b}}) {
     std::cout << "executor " << label << " (id " << prof->id << ")\n";
     std::cout << "  busy vCPUs (0.." << bench::seconds(m.jct)
-              << "s):  " << sparkline(prof->busy_cores, 0, m.jct, 60, 4.0)
+              << "s):  " << sparkline(prof->busy_cores, SimTime{0}, m.jct, 60, 4.0)
               << "\n";
     // Pending counts sampled every tick; print a compressed table.
     TextTable t({"t (s)", "pending node-local", "pending rack-local",
@@ -77,16 +77,16 @@ int main(int argc, char** argv) {
     // Idle windows of >= 2s with the job still running.
     std::cout << "  idle windows (>=2s): ";
     bool any = false;
-    SimTime idle_start = -1;
+    SimTime idle_start{-1};
     for (const auto& point : prof->busy_cores.points()) {
-      if (point.value == 0.0 && idle_start < 0) idle_start = point.time;
-      if (point.value > 0.0 && idle_start >= 0) {
+      if (point.value == 0.0 && idle_start < SimTime{0}) idle_start = point.time;
+      if (point.value > 0.0 && idle_start >= SimTime{0}) {
         if (point.time - idle_start >= 2 * kSec) {
           std::cout << "[" << bench::seconds(idle_start) << "s, "
                     << bench::seconds(point.time) << "s] ";
           any = true;
         }
-        idle_start = -1;
+        idle_start = SimTime{-1};
       }
     }
     std::cout << (any ? "\n\n" : "none\n\n");

@@ -73,14 +73,14 @@ int main(int argc, char** argv) {
       config.delay = DelayKind::SensitivityAware;
     }
     const RunMetrics m = run_workload(dt, config).metrics;
-    const double cores = static_cast<double>(m.total_cores);
+    const double cores = static_cast<double>(m.total_cores.count());
     std::cout << "  " << scheduler_name(kind) << " (JCT "
               << bench::seconds(m.jct) << "s):\n"
               << "    parallelism  "
-              << sparkline(m.running_tasks, 0, m.jct, 64, cores / 2) << "  "
+              << sparkline(m.running_tasks, SimTime{0}, m.jct, 64, cores / 2) << "  "
               << "avg " << TextTable::num(m.avg_parallelism(), 1) << "\n"
               << "    busy vCPUs   "
-              << sparkline(m.busy_cores, 0, m.jct, 64, cores) << "  "
+              << sparkline(m.busy_cores, SimTime{0}, m.jct, 64, cores) << "  "
               << "util " << TextTable::percent(m.cpu_utilization())
               << "\n";
   }

@@ -43,7 +43,7 @@ void BM_GrapheneSelectorOrder(benchmark::State& state) {
   const Topology topo(TopologySpec{});
   const JobProfile profile = exact_profile(w.dag);
   JobState js(w.dag, topo, profile);
-  const GrapheneSelector selector(w.dag, profile, 4);
+  const GrapheneSelector selector(w.dag, profile, Cpus{4});
   for (auto _ : state) {
     benchmark::DoNotOptimize(selector.order(js));
   }
@@ -70,7 +70,7 @@ void BM_BlockManagerInsertEvict(benchmark::State& state) {
   const Bytes bytes = w.dag.rdd(adj).bytes_per_partition;
   BlockManager bm(ExecutorId(0), 8 * bytes, policy);
   std::int32_t p = 0;
-  SimTime now = 0;
+  SimTime now{};
   const auto parts = w.dag.rdd(adj).num_partitions;
   for (auto _ : state) {
     benchmark::DoNotOptimize(
@@ -82,16 +82,17 @@ BENCHMARK(BM_BlockManagerInsertEvict);
 
 void BM_EventQueue(benchmark::State& state) {
   EventQueue q;
-  SimTime t = 0;
+  SimTime t{};
   for (auto _ : state) {
     for (int i = 0; i < 64; ++i) {
-      q.push(Event{t + (i * 37) % 1000, EventType::Tick, TaskId::invalid(),
+      q.push(Event{t + SimTime{(i * 37) % 1000}, EventType::Tick,
+                   TaskId::invalid(),
                    ExecutorId::invalid(), BlockId{}});
     }
     for (int i = 0; i < 64; ++i) {
       benchmark::DoNotOptimize(q.pop());
     }
-    t += 1000;
+    t += SimTime{1000};
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           128);

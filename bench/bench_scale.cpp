@@ -57,7 +57,7 @@ struct ScalePoint {
 
 struct ScaleResult {
   std::int32_t executors = 0;
-  Cpus total_cores = 0;
+  Cpus total_cores{};
   std::int64_t tasks = 0;
   std::int64_t sim_events = 0;
   double wall_sec = 0.0;
@@ -75,15 +75,15 @@ Workload make_scale_workload(std::int32_t fan_tasks) {
   const StageId prep = b.add_stage({.name = "prep",
                                     .inputs = {{src, DepKind::Narrow}},
                                     .num_tasks = kParents,
-                                    .task_cpus = 1,
+                                    .task_cpus = Cpus{1},
                                     .task_duration = 2 * kSec,
                                     .output_bytes_per_partition = 64 * kMiB});
   b.add_stage({.name = "fan",
                .inputs = {{b.output_of(prep), DepKind::Shuffle}},
                .num_tasks = fan_tasks,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = 5 * kSec,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{0},
                .cache_output = false});
   Workload w;
   w.name = "scale_fan_" + std::to_string(fan_tasks);
@@ -97,7 +97,7 @@ SimConfig make_scale_config(const ScalePoint& p) {
   config.topology.racks = p.racks;
   config.topology.nodes_per_rack = p.nodes_per_rack;
   config.topology.executors_per_node = 4;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.topology.cache_bytes_per_executor = 256 * kMiB;
   config.prefetch_enabled = false;
   config.incremental_scheduling = true;
@@ -127,7 +127,7 @@ ScaleResult run_point(const ScalePoint& p) {
 
   ScaleResult r;
   r.executors = p.racks * p.nodes_per_rack * 4;
-  r.total_cores = r.executors * 4;
+  r.total_cores = Cpus{r.executors * 4};
   r.tasks = static_cast<std::int64_t>(p.fan_tasks) + kParents;
   r.sim_events = result.metrics.sim_events;
   r.wall_sec = wall;
@@ -220,7 +220,7 @@ int main(int argc, char** argv) {
     const ScaleResult r = run_point_isolated(p);
     results.push_back(r);
     table.add_row({std::to_string(r.executors),
-                   std::to_string(r.total_cores), std::to_string(r.tasks),
+                   std::to_string(r.total_cores.count()), std::to_string(r.tasks),
                    std::to_string(r.sim_events),
                    TextTable::num(r.wall_sec, 2),
                    TextTable::num(r.events_per_sec, 0),

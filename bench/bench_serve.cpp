@@ -54,14 +54,14 @@ Workload make_serve_job() {
   const StageId load = b.add_stage({.name = "load",
                                    .inputs = {{ds, DepKind::Narrow}},
                                    .num_tasks = kParts,
-                                   .task_cpus = 1,
+                                   .task_cpus = Cpus{1},
                                    .task_duration = 1 * kSec,
                                    .output_bytes_per_partition = kBlockBytes,
                                    .output_name = "a"});
   const StageId feat = b.add_stage({.name = "feat",
                                    .inputs = {{ds, DepKind::Narrow}},
                                    .num_tasks = kParts,
-                                   .task_cpus = 1,
+                                   .task_cpus = Cpus{1},
                                    .task_duration = 1 * kSec,
                                    .output_bytes_per_partition = kBlockBytes,
                                    .output_name = "b"});
@@ -70,16 +70,16 @@ Workload make_serve_job() {
   b.add_stage({.name = "join",
                .inputs = {{a, DepKind::Narrow}, {bb, DepKind::Narrow}},
                .num_tasks = kParts,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = 2 * kSec,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{0},
                .cache_output = false});
   b.add_stage({.name = "agg",
                .inputs = {{a, DepKind::Narrow}, {bb, DepKind::Narrow}},
                .num_tasks = kParts,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = 1 * kSec,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{0},
                .cache_output = false});
   Workload w;
   w.name = "etl";
@@ -117,6 +117,7 @@ struct ServePoint {
 double percentile(std::vector<double> v, double p) {
   DAGON_CHECK(!v.empty());
   std::sort(v.begin(), v.end());
+  // dagonlint: allow(narrowing-cast): report-only percentile rank, not a unit quantity
   const auto rank = static_cast<std::size_t>(
       std::ceil(p / 100.0 * static_cast<double>(v.size())));
   return v[std::min(v.size() - 1, rank == 0 ? 0 : rank - 1)];

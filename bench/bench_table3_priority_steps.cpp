@@ -21,7 +21,7 @@ int main(int argc, char** argv) {
 
   const Workload w = make_example_dag();
   const AssignmentTrace trace =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Dagon);
 
   CsvWriter csv(bench::csv_path("table3_priority_steps"),
                 {"step", "minute", "stage", "w1", "pv1", "w2", "pv2", "w3",
@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
       csv_row.push_back(row[row.size() - 2]);
       csv_row.push_back(row[row.size() - 1]);
     }
-    row.push_back(std::to_string(s.free_after));
+    row.push_back(std::to_string(s.free_after.count()));
     csv_row.push_back(row.back());
     t.add_row(row);
     csv.add_row(csv_row);

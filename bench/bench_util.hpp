@@ -31,10 +31,13 @@ struct BenchOptions {
 inline BenchOptions& options() {
   static BenchOptions opts = [] {
     BenchOptions o;
+    // dagonlint: allow(nondet-source): bench harness knob, affects parallelism only, not sim state
     if (const char* jobs = std::getenv("DAGON_JOBS")) {
       o.jobs = static_cast<std::size_t>(std::atoll(jobs));
     }
+    // dagonlint: allow(nondet-source): bench harness knob, affects output path only, not sim state
     if (const char* dir = std::getenv("DAGON_OUT_DIR")) o.out_dir = dir;
+    // dagonlint: allow(nondet-source): bench harness knob, trims repetitions only, not sim state
     if (std::getenv("DAGON_QUICK") != nullptr) o.quick = true;
     return o;
   }();

@@ -26,7 +26,7 @@ int main() {
       b.add_stage({.name = "parse-events",
                    .inputs = {{events, DepKind::Narrow}},
                    .num_tasks = 64,
-                   .task_cpus = 1,
+                   .task_cpus = Cpus{1},
                    .task_duration = 2 * kSec,
                    .output_bytes_per_partition = 96 * kMiB,
                    .output_name = "clean_events"});
@@ -34,7 +34,7 @@ int main() {
       b.add_stage({.name = "parse-users",
                    .inputs = {{users, DepKind::Narrow}},
                    .num_tasks = 64,
-                   .task_cpus = 1,
+                   .task_cpus = Cpus{1},
                    .task_duration = kSec,
                    .output_bytes_per_partition = 16 * kMiB,
                    .output_name = "clean_users"});
@@ -46,7 +46,7 @@ int main() {
        .inputs = {{b.output_of(parse_events), DepKind::Shuffle},
                   {b.output_of(parse_users), DepKind::Shuffle}},
        .num_tasks = 64,
-       .task_cpus = 2,
+       .task_cpus = Cpus{2},
        .task_duration = 3 * kSec,
        .output_bytes_per_partition = 64 * kMiB,
        .output_name = "joined"});
@@ -55,7 +55,7 @@ int main() {
       b.add_stage({.name = "sessionize",
                    .inputs = {{b.output_of(join), DepKind::Narrow}},
                    .num_tasks = 64,
-                   .task_cpus = 3,  // heavy branch
+                   .task_cpus = Cpus{3},  // heavy branch
                    .task_duration = 5 * kSec,
                    .output_bytes_per_partition = 8 * kMiB,
                    .cache_output = false});
@@ -63,7 +63,7 @@ int main() {
       b.add_stage({.name = "daily-counts",
                    .inputs = {{b.output_of(join), DepKind::Shuffle}},
                    .num_tasks = 16,
-                   .task_cpus = 1,  // light branch
+                   .task_cpus = Cpus{1},  // light branch
                    .task_duration = 2 * kSec,
                    .output_bytes_per_partition = kMiB,
                    .cache_output = false});
@@ -72,9 +72,9 @@ int main() {
                .inputs = {{b.output_of(sessionize), DepKind::Shuffle},
                           {b.output_of(daily_counts), DepKind::Shuffle}},
                .num_tasks = 8,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{0}});
 
   const Workload workload{"etl-pipeline", WorkloadCategory::Mixed,
                           b.build()};
@@ -99,8 +99,8 @@ int main() {
     t.add_row({combo.label, format_duration(m.jct),
                TextTable::percent(m.cpu_utilization()),
                TextTable::percent(m.cache.hit_ratio()),
-               TextTable::num(static_cast<double>(m.jct) /
-                                  static_cast<double>(bound),
+               TextTable::num(static_cast<double>(m.jct.count()) /
+                                  static_cast<double>(bound.count()),
                               2)});
   }
   t.print(std::cout);

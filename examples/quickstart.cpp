@@ -33,7 +33,7 @@ int main() {
   base.topology.racks = 1;
   base.topology.nodes_per_rack = 1;
   base.topology.executors_per_node = 1;
-  base.topology.cores_per_executor = 16;
+  base.topology.cores_per_executor = Cpus{16};
   base.topology.cache_bytes_per_executor = 64 * kMiB;
   base.hdfs.replication = 1;
 
@@ -49,7 +49,7 @@ int main() {
               << "  cache hit ratio:     "
               << TextTable::percent(result.metrics.cache.hit_ratio()) << "\n"
               << "  busy vCPUs timeline: "
-              << sparkline(result.metrics.busy_cores, 0, result.metrics.jct,
+              << sparkline(result.metrics.busy_cores, SimTime{0}, result.metrics.jct,
                            40, 16.0)
               << "\n";
   }

@@ -12,7 +12,7 @@ namespace dagon {
 BlockManager::BlockManager(ExecutorId executor, Bytes capacity,
                            const CachePolicy& policy)
     : executor_(executor), capacity_(capacity), policy_(&policy) {
-  DAGON_CHECK(capacity >= 0);
+  DAGON_CHECK(capacity >= Bytes{0});
 }
 
 namespace {
@@ -50,7 +50,7 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& block,
                                                 const ReferenceOracle& oracle,
                                                 bool strict_admission) {
   InsertResult result;
-  DAGON_CHECK(bytes >= 0);
+  DAGON_CHECK(bytes >= Bytes{0});
   if (Entry* e = find(block)) {
     e->meta.last_access = now;
     result.admitted = true;
@@ -86,7 +86,7 @@ BlockManager::InsertResult BlockManager::insert(const BlockId& block,
                 return a.block < b.block;
               });
     const double new_ret = policy_->retention_priority(block, now, oracle);
-    Bytes freed = 0;
+    Bytes freed{};
     for (const Candidate& c : candidates) {
       if (used_ - freed + bytes <= capacity_) break;
       // Value-aware policies (MRD/LRP) refuse to displace blocks that

@@ -27,9 +27,9 @@ class BlockManager {
                const CachePolicy& policy);
 
   struct CachedBlock {
-    Bytes bytes = 0;
-    SimTime last_access = 0;
-    SimTime inserted_at = 0;
+    Bytes bytes{};
+    SimTime last_access{};
+    SimTime inserted_at{};
   };
 
   struct Entry {
@@ -93,7 +93,7 @@ class BlockManager {
   Bytes capacity_;
   const CachePolicy* policy_;
   std::vector<Entry> blocks_;  // sorted by Entry::id
-  Bytes used_ = 0;
+  Bytes used_{};
   /// Dead-sweep memo: last oracle epoch swept at, and whether an insert
   /// landed since (see evict_dead).
   std::uint64_t swept_epoch_ = ~std::uint64_t{0};

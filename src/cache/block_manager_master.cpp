@@ -287,7 +287,8 @@ void BlockManagerMaster::on_block_produced(const BlockId& block,
   // non-cacheable early-out below) then settles Memory vs Disk.
   set_residency(block, BlockResidency::Materializing);
   const Rdd& rdd = dag_->rdd(block.rdd);
-  if (!cache_enabled_ || !rdd.cacheable || rdd.bytes_per_partition <= 0) {
+  if (!cache_enabled_ || !rdd.cacheable ||
+      rdd.bytes_per_partition <= Bytes{0}) {
     set_residency(block, BlockResidency::Disk);
     return;
   }
@@ -314,7 +315,7 @@ void BlockManagerMaster::on_block_read(const BlockId& block, ExecutorId exec,
   }
   // Disk read of a persisted RDD: materialize in the reader's cache.
   const Rdd& rdd = dag_->rdd(block.rdd);
-  if (!rdd.cacheable || rdd.bytes_per_partition <= 0) return;
+  if (!rdd.cacheable || rdd.bytes_per_partition <= Bytes{0}) return;
   auto result = managers_[static_cast<std::size_t>(exec.value())].insert(
       block, rdd.bytes_per_partition, now, *oracle_);
   apply_insert(result, block, exec);
@@ -355,7 +356,7 @@ BlockManagerMaster::prefetch_candidate(ExecutorId exec) const {
        prefetch_by_node_[static_cast<std::size_t>(my_node.value())]) {
     const BlockId block = dag_->block_at(o);
     const Bytes bytes = block_bytes(block);
-    if (bytes <= 0 || bytes > mgr.free_bytes()) continue;
+    if (bytes <= Bytes{0} || bytes > mgr.free_bytes()) continue;
     const auto priority = policy_->prefetch_priority(block, *oracle_);
     if (!priority) continue;
     if (!best || *priority > best_priority ||
@@ -549,7 +550,8 @@ BlockManagerMaster::rereplicate_suspect_blocks(ExecutorId target) {
     ++placement_version_;
     ++result.blocks;
     result.bytes +=
-        std::max<Bytes>(block_bytes(dag_->block_at(static_cast<std::int64_t>(o))), 0);
+        std::max(block_bytes(dag_->block_at(static_cast<std::int64_t>(o))),
+                 Bytes{0});
   }
   return result;
 }

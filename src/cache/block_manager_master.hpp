@@ -72,7 +72,7 @@ class BlockManagerMaster {
   /// candidate fits.
   struct PrefetchChoice {
     BlockId block;
-    Bytes bytes = 0;
+    Bytes bytes{};
     NodeId from_disk = NodeId::invalid();
   };
   [[nodiscard]] std::optional<PrefetchChoice> prefetch_candidate(
@@ -156,7 +156,7 @@ class BlockManagerMaster {
   /// death degrades to a plain crash with zero lineage recomputes.
   struct RereplicationResult {
     std::int64_t blocks = 0;
-    std::int64_t bytes = 0;
+    Bytes bytes{};
   };
   RereplicationResult rereplicate_suspect_blocks(ExecutorId target);
 

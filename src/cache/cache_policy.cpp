@@ -12,7 +12,7 @@ bool CachePolicy::is_dead(const BlockId& block,
 double LruPolicy::retention_priority(const BlockId& /*block*/,
                                      SimTime last_access,
                                      const ReferenceOracle& /*oracle*/) const {
-  return static_cast<double>(last_access);
+  return static_cast<double>(last_access.count());
 }
 
 double LrcPolicy::retention_priority(const BlockId& block,
@@ -40,14 +40,14 @@ std::optional<double> MrdPolicy::prefetch_priority(
 double LrpPolicy::retention_priority(const BlockId& block,
                                      SimTime /*last_access*/,
                                      const ReferenceOracle& oracle) const {
-  return static_cast<double>(oracle.reference_priority(block));
+  return static_cast<double>(oracle.reference_priority(block).count());
 }
 
 std::optional<double> LrpPolicy::prefetch_priority(
     const BlockId& block, const ReferenceOracle& oracle) const {
   const CpuWork p = oracle.reference_priority(block);
-  if (p <= 0) return std::nullopt;
-  return static_cast<double>(p);
+  if (p <= CpuWork{0}) return std::nullopt;
+  return static_cast<double>(p.count());
 }
 
 double LercPolicy::retention_priority(const BlockId& block,

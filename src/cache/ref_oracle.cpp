@@ -205,7 +205,7 @@ int ReferenceOracle::stage_distance(const BlockId& block) const {
 }
 
 CpuWork ReferenceOracle::reference_priority(const BlockId& block) const {
-  CpuWork best = 0;
+  CpuWork best{};
   for (const Ref& r : refs_of(block)) {
     if (!live(r)) continue;
     best = std::max(best, pv_[static_cast<std::size_t>(r.stage.value())]);

@@ -11,7 +11,7 @@ CostModel::CostModel(const CostModelSpec& spec) : spec_(spec) {
       spec_.net_bw_cross <= 0) {
     throw ConfigError("CostModelSpec bandwidths must be positive");
   }
-  if (spec_.disk_latency <= 0 || spec_.net_latency <= 0) {
+  if (spec_.disk_latency <= SimTime{0} || spec_.net_latency <= SimTime{0}) {
     throw ConfigError("CostModelSpec latencies must be positive");
   }
   if (spec_.serde_sec_per_byte < 0) {
@@ -20,8 +20,8 @@ CostModel::CostModel(const CostModelSpec& spec) : spec_(spec) {
 }
 
 SimTime CostModel::transfer(Bytes bytes, BytesPerSec bw) {
-  return static_cast<SimTime>(static_cast<double>(bytes) / bw *
-                              static_cast<double>(kSec));
+  return time_from_usec(static_cast<double>(bytes.count()) / bw *
+                        static_cast<double>(kSec.count()));
 }
 
 SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
@@ -29,12 +29,12 @@ SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
                               double slowdown) const {
   if (slowdown != 1.0 && slowdown > 0.0) {
     const SimTime base = fetch_time(bytes, source, serde_sec_per_byte);
-    return static_cast<SimTime>(static_cast<double>(base) * slowdown);
+    return scale_time(base, slowdown);
   }
-  if (bytes <= 0) return 0;
-  const SimTime serde = static_cast<SimTime>(
+  if (bytes <= Bytes{0}) return SimTime{0};
+  const SimTime serde = time_from_usec(
       serde_sec_per_byte.value_or(spec_.serde_sec_per_byte) *
-      static_cast<double>(bytes) * static_cast<double>(kSec));
+      static_cast<double>(bytes.count()) * static_cast<double>(kSec.count()));
   switch (source) {
     case BlockSource::LocalMemory:
       return transfer(bytes, spec_.memory_bw);
@@ -60,7 +60,7 @@ SimTime CostModel::fetch_time(Bytes bytes, BlockSource source,
                       transfer(bytes, spec_.disk_bw)) +
              serde;
   }
-  return 0;
+  return SimTime{0};
 }
 
 }  // namespace dagon

@@ -52,14 +52,14 @@ enum class BlockSource {
 
 struct CostModelSpec {
   /// Intra-process memory bandwidth (deserialized read).
-  BytesPerSec memory_bw = 8.0 * static_cast<double>(kGiB);
+  BytesPerSec memory_bw = 8.0 * static_cast<double>(kGiB.count());
   /// Sequential disk bandwidth.
-  BytesPerSec disk_bw = 150.0 * static_cast<double>(kMiB);
+  BytesPerSec disk_bw = 150.0 * static_cast<double>(kMiB.count());
   /// Per-read disk latency (seek + open).
   SimTime disk_latency = 5 * kMsec;
   /// Network bandwidth within a rack / across racks (10 Gbps ≈ 1.25e9).
-  BytesPerSec net_bw_rack = 1.1 * static_cast<double>(kGiB);
-  BytesPerSec net_bw_cross = 0.6 * static_cast<double>(kGiB);
+  BytesPerSec net_bw_rack = 1.1 * static_cast<double>(kGiB.count());
+  BytesPerSec net_bw_cross = 0.6 * static_cast<double>(kGiB.count());
   /// Per-transfer network latency (connection + protocol overhead).
   SimTime net_latency = 2 * kMsec;
   /// Ser/de overhead applied to any network transfer, as extra seconds

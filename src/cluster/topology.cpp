@@ -4,7 +4,7 @@ namespace dagon {
 
 Topology::Topology(const TopologySpec& spec) {
   if (spec.racks <= 0 || spec.nodes_per_rack <= 0 ||
-      spec.executors_per_node <= 0 || spec.cores_per_executor <= 0) {
+      spec.executors_per_node <= 0 || spec.cores_per_executor <= Cpus{0}) {
     throw ConfigError("TopologySpec fields must all be positive");
   }
   num_racks_ = static_cast<std::size_t>(spec.racks);

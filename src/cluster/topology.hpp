@@ -24,16 +24,16 @@ struct Node {
 struct Executor {
   ExecutorId id;
   NodeId node;
-  Cpus cores = 0;
+  Cpus cores{};
   /// Memory available for the block cache.
-  Bytes cache_bytes = 0;
+  Bytes cache_bytes{};
 };
 
 struct TopologySpec {
   std::int32_t racks = 1;
   std::int32_t nodes_per_rack = 4;
   std::int32_t executors_per_node = 1;
-  Cpus cores_per_executor = 4;
+  Cpus cores_per_executor{4};
   Bytes cache_bytes_per_executor = 4 * kGiB;
 };
 
@@ -78,7 +78,7 @@ class Topology {
   std::vector<Node> nodes_;
   std::vector<Executor> executors_;
   std::size_t num_racks_ = 0;
-  Cpus total_cores_ = 0;
+  Cpus total_cores_{};
 };
 
 }  // namespace dagon

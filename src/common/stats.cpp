@@ -105,7 +105,7 @@ double StepFunction::integral(SimTime from, SimTime to) const {
     const SimTime seg_end =
         std::min(i + 1 < points_.size() ? points_[i + 1].time : to, to);
     if (seg_end > seg_start) {
-      acc += points_[i].value * static_cast<double>(seg_end - seg_start);
+      acc += points_[i].value * static_cast<double>((seg_end - seg_start).count());
     }
     if (points_[i].time >= to) break;
   }
@@ -114,7 +114,7 @@ double StepFunction::integral(SimTime from, SimTime to) const {
 
 double StepFunction::average(SimTime from, SimTime to) const {
   if (to <= from) return 0.0;
-  return integral(from, to) / static_cast<double>(to - from);
+  return integral(from, to) / static_cast<double>((to - from).count());
 }
 
 double StepFunction::at(SimTime t) const {
@@ -140,12 +140,13 @@ std::string sparkline(const StepFunction& f, SimTime from, SimTime to,
   static const char* kLevels[] = {" ", "▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
   std::string out;
   if (bins == 0 || to <= from || scale_max <= 0.0) return out;
-  const double width = static_cast<double>(to - from) / static_cast<double>(bins);
+  const double width =
+      static_cast<double>((to - from).count()) / static_cast<double>(bins);
   for (std::size_t i = 0; i < bins; ++i) {
-    const auto lo = from + static_cast<SimTime>(width * static_cast<double>(i));
+    const auto lo = from + time_from_usec(width * static_cast<double>(i));
     const auto hi =
-        from + static_cast<SimTime>(width * static_cast<double>(i + 1));
-    const double v = f.average(lo, std::max(hi, lo + 1));
+        from + time_from_usec(width * static_cast<double>(i + 1));
+    const double v = f.average(lo, std::max(hi, lo + kUsec));
     const int idx = std::clamp(static_cast<int>(v / scale_max * 8.0 + 0.5), 0, 8);
     out += kLevels[idx];
   }

@@ -76,7 +76,7 @@ class StepFunction {
  public:
   /// Starts at `initial` at time 0.
   explicit StepFunction(double initial = 0.0) : value_(initial) {
-    points_.push_back({0, initial});
+    points_.push_back({SimTime{0}, initial});
   }
 
   /// Sets the value from time `t` onward. `t` must be non-decreasing

@@ -19,9 +19,8 @@ JobProfile AppProfiler::profile(const JobDag& dag) const {
     const double factor =
         std::clamp(rng.normal(1.0, config_.noise), config_.min_factor,
                    config_.max_factor);
-    est.task_duration = std::max<SimTime>(
-        kMsec, static_cast<SimTime>(
-                   static_cast<double>(est.task_duration) * factor));
+    est.task_duration =
+        std::max(kMsec, scale_time(est.task_duration, factor));
   }
   return truth;
 }

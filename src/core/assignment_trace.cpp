@@ -15,7 +15,7 @@ struct StageState {
   std::int32_t next_task = 0;
   std::int32_t finished = 0;
   std::int32_t running = 0;
-  CpuWork remaining = 0;
+  CpuWork remaining{};
   bool ready = false;
   bool finished_all = false;
 };
@@ -24,7 +24,7 @@ struct StageState {
 
 AssignmentTrace trace_priority_assignment(const JobDag& dag, Cpus capacity,
                                           SchedulerKind kind) {
-  DAGON_CHECK(capacity > 0);
+  DAGON_CHECK(capacity > Cpus{0});
   for (const Stage& s : dag.stages()) {
     if (s.task_cpus > capacity) {
       throw ConfigError("stage '" + s.name + "' cannot fit the pool");
@@ -39,7 +39,7 @@ AssignmentTrace trace_priority_assignment(const JobDag& dag, Cpus capacity,
     state.remaining = s.workload();
     state.ready = s.parents.empty();
     per_task[static_cast<std::size_t>(s.id.value())] =
-        s.num_tasks > 0 ? s.workload() / s.num_tasks : 0;
+        s.num_tasks > 0 ? s.workload() / s.num_tasks : CpuWork{0};
   }
 
   const auto pv_of = [&](StageId id) {
@@ -82,8 +82,8 @@ AssignmentTrace trace_priority_assignment(const JobDag& dag, Cpus capacity,
                          [&](StageId a, StageId b) {
                            const auto score = [&](StageId id) {
                              const Stage& s = dag.stage(id);
-                             return static_cast<double>(s.task_duration) *
-                                    s.task_cpus;
+                             return static_cast<double>(s.task_duration.count()) *
+                                    s.task_cpus.count();
                            };
                            const double sa = score(a);
                            const double sb = score(b);
@@ -119,7 +119,7 @@ AssignmentTrace trace_priority_assignment(const JobDag& dag, Cpus capacity,
 
   AssignmentTrace trace;
   Cpus free = capacity;
-  SimTime now = 0;
+  SimTime now{};
   int step = 0;
 
   const auto try_assign = [&]() {
@@ -132,8 +132,8 @@ AssignmentTrace trace_priority_assignment(const JobDag& dag, Cpus capacity,
         auto& state = st[static_cast<std::size_t>(sid.value())];
         const std::int32_t task = state.next_task++;
         ++state.running;
-        state.remaining = std::max<CpuWork>(
-            0, state.remaining -
+        state.remaining = std::max(
+            CpuWork{0}, state.remaining -
                    per_task[static_cast<std::size_t>(sid.value())]);
         free -= s.task_cpus;
         const SimTime end = now + s.task_compute_time(task);
@@ -197,12 +197,11 @@ AssignmentTrace trace_priority_assignment(const JobDag& dag, Cpus capacity,
   trace.makespan = now;
 
   // Fragmentation: capacity·makespan − total useful work actually run.
-  CpuWork busy = 0;
+  CpuWork busy{};
   for (const PlacedTask& p : trace.placements) {
-    busy += static_cast<CpuWork>(p.cpus) * (p.end - p.start);
+    busy += p.cpus * (p.end - p.start);
   }
-  trace.idle_cpu_time =
-      static_cast<CpuWork>(capacity) * trace.makespan - busy;
+  trace.idle_cpu_time = capacity * trace.makespan - busy;
   return trace;
 }
 

@@ -17,31 +17,31 @@ namespace dagon {
 /// One Algorithm 1 assignment (Table III row).
 struct AssignmentStep {
   int step = 0;
-  SimTime time = 0;
+  SimTime time{};
   StageId chosen;
   /// Remaining workloads w_i and priority values pv_i AFTER the
   /// assignment, indexed by stage.
   std::vector<CpuWork> w_after;
   std::vector<CpuWork> pv_after;
-  Cpus free_after = 0;
+  Cpus free_after{};
 };
 
 /// One placed task (for the Fig. 2 schedule diagram).
 struct PlacedTask {
   StageId stage;
   std::int32_t index = -1;
-  SimTime start = 0;
-  SimTime end = 0;
-  Cpus cpus = 0;
+  SimTime start{};
+  SimTime end{};
+  Cpus cpus{};
 };
 
 struct AssignmentTrace {
   std::vector<AssignmentStep> steps;
   std::vector<PlacedTask> placements;
-  SimTime makespan = 0;
+  SimTime makespan{};
   /// Integral of (capacity − busy) over [0, makespan): the resource
   /// fragmentation the paper's Fig. 2 narration quantifies (vCPU·time).
-  CpuWork idle_cpu_time = 0;
+  CpuWork idle_cpu_time{};
 };
 
 /// Runs `kind` (Fifo / Fair / CriticalPath / Graphene / Dagon) over the

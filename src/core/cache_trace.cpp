@@ -25,14 +25,16 @@ class PvTracker {
     per_task_.reserve(dag.num_stages());
     for (const Stage& s : dag.stages()) {
       remaining_.push_back(s.workload());
-      per_task_.push_back(s.num_tasks > 0 ? s.workload() / s.num_tasks : 0);
+      per_task_.push_back(s.num_tasks > 0 ? s.workload() / s.num_tasks
+                                          : CpuWork{0});
     }
   }
 
   void on_launch(StageId s) {
     auto& rem = remaining_[static_cast<std::size_t>(s.value())];
-    rem = std::max<CpuWork>(0, rem - per_task_[static_cast<std::size_t>(
-                                       s.value())]);
+    rem = std::max(
+        CpuWork{0},
+        rem - per_task_[static_cast<std::size_t>(s.value())]);
   }
 
   [[nodiscard]] std::vector<CpuWork> values() const {
@@ -61,22 +63,20 @@ CacheTraceResult run_cache_trace(const JobDag& dag,
                                  std::int32_t capacity_blocks) {
   DAGON_CHECK(capacity_blocks > 0);
   // Uniform block size across the DAG (the paper's simplification).
-  Bytes block_bytes = 0;
+  Bytes block_bytes{};
   for (const Rdd& r : dag.rdds()) {
-    if (r.bytes_per_partition > 0) {
-      if (block_bytes == 0) block_bytes = r.bytes_per_partition;
+    if (r.bytes_per_partition > Bytes{0}) {
+      if (block_bytes == Bytes{0}) block_bytes = r.bytes_per_partition;
       DAGON_CHECK_MSG(r.bytes_per_partition == block_bytes,
                       "cache trace requires uniform block sizes");
     }
   }
-  DAGON_CHECK(block_bytes > 0);
+  DAGON_CHECK(block_bytes > Bytes{0});
 
   const auto policy = make_cache_policy(policy_kind);
   ReferenceOracle oracle(dag);
   PvTracker pv(dag);
-  BlockManager bm(ExecutorId(0),
-                  static_cast<Bytes>(capacity_blocks) * block_bytes,
-                  *policy);
+  BlockManager bm(ExecutorId(0), capacity_blocks * block_bytes, *policy);
 
   // Blocks that exist (readable / prefetchable): inputs + written output.
   std::set<BlockId> on_disk;
@@ -88,7 +88,7 @@ CacheTraceResult run_cache_trace(const JobDag& dag,
     for (std::int32_t p = 0; p < r.initially_cached_partitions; ++p) {
       // Seeded before the job starts: strictly older than any access.
       const auto res =
-          bm.insert(BlockId{r.id, p}, block_bytes, -1, oracle);
+          bm.insert(BlockId{r.id, p}, block_bytes, SimTime{-1}, oracle);
       DAGON_CHECK(res.admitted);
     }
   }
@@ -103,10 +103,10 @@ CacheTraceResult run_cache_trace(const JobDag& dag,
   std::vector<std::int32_t> done(dag.num_stages(), 0);
 
   CacheTraceResult result;
-  SimTime now = 0;
+  SimTime now{};
   // Sub-step access clock: LRU recency within one time step follows the
   // order in which reads/writes actually happen.
-  SimTime lamport = 0;
+  SimTime lamport{};
 
   const auto process_finishes = [&](SimTime until) {
     std::sort(running.begin(), running.end(),
@@ -124,7 +124,7 @@ CacheTraceResult run_cache_trace(const JobDag& dag,
       const Stage& s = dag.stage(r.stage);
       const Rdd& out = dag.rdd(s.output);
       const BlockId block{out.id, r.task};
-      if (out.bytes_per_partition > 0) {
+      if (out.bytes_per_partition > Bytes{0}) {
         on_disk.insert(block);
         if (out.cacheable) {
           bm.insert(block, block_bytes, r.finish + lamport++, oracle);

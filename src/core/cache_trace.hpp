@@ -18,13 +18,13 @@ namespace dagon {
 
 /// One scheduling step: tasks of one stage launched at `time`.
 struct TraceLaunch {
-  SimTime time = 0;
+  SimTime time{};
   StageId stage;
   std::vector<std::int32_t> tasks;
 };
 
 struct TraceRow {
-  SimTime time = 0;
+  SimTime time{};
   /// "S2,S2" style launch description.
   std::string launched;
   /// Distinct blocks read this step, with hit flags.

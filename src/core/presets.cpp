@@ -7,7 +7,7 @@ SimConfig paper_testbed() {
   config.topology.racks = 2;
   config.topology.nodes_per_rack = 9;   // 18 worker nodes
   config.topology.executors_per_node = 4;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.topology.cache_bytes_per_executor = kGiB;
   config.hdfs.replication = 3;
   // ~40 ns/B deserialization: reading a remote 64 MiB cached partition
@@ -27,7 +27,7 @@ SimConfig case_study_cluster() {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 7;
   config.topology.executors_per_node = 4;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.topology.cache_bytes_per_executor = 8 * kGiB;
   // The case study sets the HDFS replica count to one; block placement
   // is mildly skewed, which is what starves some executors of

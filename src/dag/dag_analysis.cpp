@@ -5,17 +5,17 @@
 namespace dagon {
 
 std::vector<SimTime> critical_path_lengths(const JobDag& dag) {
-  std::vector<SimTime> cp(dag.num_stages(), 0);
+  std::vector<SimTime> cp(dag.num_stages());
   const auto& topo = dag.topological_order();
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     const Stage& s = dag.stage(*it);
-    SimTime best_child = 0;
+    SimTime best_child{};
     for (const StageId c : s.children) {
       best_child =
           std::max(best_child, cp[static_cast<std::size_t>(c.value())]);
     }
     // A stage's serial contribution is its longest task.
-    SimTime longest_task = 0;
+    SimTime longest_task{};
     for (std::int32_t t = 0; t < s.num_tasks; ++t) {
       longest_task = std::max(longest_task, s.task_compute_time(t));
     }
@@ -26,13 +26,13 @@ std::vector<SimTime> critical_path_lengths(const JobDag& dag) {
 
 SimTime critical_path(const JobDag& dag) {
   const auto cp = critical_path_lengths(dag);
-  SimTime best = 0;
+  SimTime best{};
   for (const SimTime v : cp) best = std::max(best, v);
   return best;
 }
 
 std::vector<CpuWork> initial_priority_values(const JobDag& dag) {
-  std::vector<CpuWork> pv(dag.num_stages(), 0);
+  std::vector<CpuWork> pv(dag.num_stages());
   for (const Stage& s : dag.stages()) {
     CpuWork v = s.workload();
     for (const StageId succ : dag.successor_set(s.id)) {
@@ -47,7 +47,7 @@ SimTime makespan_lower_bound(const JobDag& dag, Cpus capacity) {
   const SimTime cp = critical_path(dag);
   const CpuWork work = dag.total_workload();
   const SimTime packing =
-      capacity > 0 ? static_cast<SimTime>(work / capacity) : kTimeInfinity;
+      capacity > Cpus{0} ? work / capacity : kTimeInfinity;
   return std::max(cp, packing);
 }
 
@@ -58,15 +58,15 @@ DagShape analyze_shape(const JobDag& dag) {
   shape.tasks = dag.total_tasks();
   shape.total_work = dag.total_workload();
   shape.critical_path = critical_path(dag);
-  Cpus max_demand = 1;
+  Cpus max_demand{1};
   for (const Stage& s : dag.stages()) {
     max_demand = std::max(max_demand, s.task_cpus);
   }
-  if (shape.critical_path > 0) {
+  if (shape.critical_path > SimTime{0}) {
     shape.parallelism_ratio =
-        static_cast<double>(shape.total_work) /
-        (static_cast<double>(shape.critical_path) *
-         static_cast<double>(max_demand));
+        static_cast<double>(shape.total_work.count()) /
+        (static_cast<double>(shape.critical_path.count()) *
+         static_cast<double>(max_demand.count()));
   }
   return shape;
 }

@@ -30,8 +30,8 @@ struct DagShape {
   int depth = 0;
   std::size_t stages = 0;
   std::int64_t tasks = 0;
-  CpuWork total_work = 0;
-  SimTime critical_path = 0;
+  CpuWork total_work{};
+  SimTime critical_path{};
   /// Work divided by (critical path · max task demand): a rough measure
   /// of how much parallelism the DAG offers.
   double parallelism_ratio = 0.0;

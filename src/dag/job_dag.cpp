@@ -70,15 +70,15 @@ std::vector<TaskInput> JobDag::task_inputs(StageId id,
   for (const RddRef& ref : s.inputs) {
     const Rdd& parent = rdd(ref.rdd);
     // Zero-byte RDDs (pure control dependencies) carry no data to read.
-    if (parent.bytes_per_partition <= 0) continue;
+    if (parent.bytes_per_partition <= Bytes{0}) continue;
     if (ref.kind == DepKind::Narrow) {
       inputs.push_back(TaskInput{BlockId{ref.rdd, task},
                                  parent.bytes_per_partition,
                                  DepKind::Narrow});
     } else {
       // Shuffle: every task pulls a slice of every parent block.
-      const Bytes slice = std::max<Bytes>(
-          1, parent.bytes_per_partition / std::max(1, s.num_tasks));
+      const Bytes slice = std::max(
+          Bytes{1}, parent.bytes_per_partition / std::max(1, s.num_tasks));
       for (std::int32_t p = 0; p < parent.num_partitions; ++p) {
         inputs.push_back(TaskInput{BlockId{ref.rdd, p}, slice,
                                    DepKind::Shuffle});
@@ -109,7 +109,7 @@ std::vector<BlockId> JobDag::stage_input_blocks(StageId id) const {
 }
 
 Bytes JobDag::task_input_bytes(StageId id, std::int32_t task) const {
-  Bytes total = 0;
+  Bytes total{};
   for (const TaskInput& in : task_inputs(id, task)) total += in.bytes;
   return total;
 }
@@ -129,7 +129,7 @@ int JobDag::depth() const {
 }
 
 CpuWork JobDag::total_workload() const {
-  CpuWork total = 0;
+  CpuWork total{};
   for (const Stage& s : stages_) total += s.workload();
   return total;
 }
@@ -174,10 +174,10 @@ StageId JobDagBuilder::add_stage(const StageParams& params) {
   if (params.num_tasks <= 0) {
     throw ConfigError("stage '" + params.name + "' needs positive tasks");
   }
-  if (params.task_cpus <= 0) {
+  if (params.task_cpus <= Cpus{0}) {
     throw ConfigError("stage '" + params.name + "' needs positive d_i");
   }
-  if (params.task_duration <= 0) {
+  if (params.task_duration <= SimTime{0}) {
     throw ConfigError("stage '" + params.name + "' needs positive duration");
   }
   if (!params.duration_skew.empty() &&

@@ -116,11 +116,11 @@ class JobDagBuilder {
     std::string name;
     std::vector<RddRef> inputs;
     std::int32_t num_tasks = 0;
-    Cpus task_cpus = 1;
-    SimTime task_duration = 0;
+    Cpus task_cpus{1};
+    SimTime task_duration{};
     /// Size of each output partition; 0 for terminal stages whose output
     /// is written out / discarded.
-    Bytes output_bytes_per_partition = 0;
+    Bytes output_bytes_per_partition{};
     /// Whether the output RDD is persisted (enters the cache).
     bool cache_output = true;
     std::vector<double> duration_skew;

@@ -17,16 +17,16 @@ namespace dagon {
 
 struct StageEstimate {
   /// Estimated base compute duration of one task.
-  SimTime task_duration = 0;
+  SimTime task_duration{};
   /// Per-task vCPU demand; Spark knows this exactly (spark.task.cpus),
   /// so it is not subject to profiling noise.
-  Cpus task_cpus = 1;
+  Cpus task_cpus{1};
   /// Estimated bytes one task reads (for locality-penalty predictions).
-  Bytes task_input_bytes = 0;
+  Bytes task_input_bytes{};
   /// Of those, bytes that are serialized RDD data and pay the ser/de
   /// cost on any non-process read (raw HDFS input does not) — this is
   /// what makes a stage locality-sensitive.
-  Bytes task_serde_bytes = 0;
+  Bytes task_serde_bytes{};
 };
 
 struct JobProfile {
@@ -42,7 +42,7 @@ struct JobProfile {
   /// tasks (Eq. 2 discussion; used for pv bookkeeping).
   [[nodiscard]] CpuWork workload(StageId id, std::int32_t pending) const {
     const StageEstimate& e = stage(id);
-    return static_cast<CpuWork>(e.task_cpus) * e.task_duration * pending;
+    return e.task_cpus * e.task_duration * pending;
   }
 };
 

@@ -13,7 +13,7 @@ struct Rdd {
   std::string name;
   std::int32_t num_partitions = 0;
   /// Size of each partition block.
-  Bytes bytes_per_partition = 0;
+  Bytes bytes_per_partition{};
   /// Input RDDs are materialized on HDFS (node disks) before the job
   /// starts; non-input RDDs come into existence when their producer
   /// stage's tasks finish.

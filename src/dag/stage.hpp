@@ -23,9 +23,9 @@ struct Stage {
 
   std::int32_t num_tasks = 0;
   /// Per-task vCPU demand (the paper's d_i).
-  Cpus task_cpus = 1;
+  Cpus task_cpus{1};
   /// Base compute duration of one task, excluding input fetch time.
-  SimTime task_duration = 0;
+  SimTime task_duration{};
   /// Optional per-task duration multipliers (stragglers, skew). Empty
   /// means uniform 1.0. Size must equal num_tasks when present.
   std::vector<double> duration_skew;
@@ -38,17 +38,16 @@ struct Stage {
   /// Compute duration of task `t` including skew.
   [[nodiscard]] SimTime task_compute_time(std::int32_t t) const {
     if (duration_skew.empty()) return task_duration;
-    return static_cast<SimTime>(
-        static_cast<double>(task_duration) *
-        duration_skew[static_cast<std::size_t>(t)]);
+    return scale_time(task_duration,
+                      duration_skew[static_cast<std::size_t>(t)]);
   }
 
   /// The paper's stage workload w_i (Eq. 2 discussion): total resource
   /// requirement in vCPU-time units, summed over tasks.
   [[nodiscard]] CpuWork workload() const {
-    CpuWork w = 0;
+    CpuWork w{};
     for (std::int32_t t = 0; t < num_tasks; ++t) {
-      w += static_cast<CpuWork>(task_cpus) * task_compute_time(t);
+      w += task_cpus * task_compute_time(t);
     }
     return w;
   }
@@ -59,7 +58,7 @@ struct Stage {
 /// wide deps).
 struct TaskInput {
   BlockId block;
-  Bytes bytes = 0;
+  Bytes bytes{};
   DepKind kind = DepKind::Narrow;
 };
 

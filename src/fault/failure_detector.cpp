@@ -52,7 +52,7 @@ void FailureDetector::record_heartbeat(ExecutorId exec, SimTime now) {
   if (index >= entries_.size() || !entries_[index].tracked) return;
   Entry& e = entries_[index];
   const SimTime interval = now - e.last_heartbeat;
-  if (interval <= 0) return;  // duplicate delivery at one timestamp
+  if (interval <= SimTime{0}) return;  // duplicate delivery at one timestamp
   e.last_heartbeat = now;
   if (e.count < kWindow) {
     ++e.count;
@@ -68,11 +68,11 @@ double FailureDetector::phi(ExecutorId exec, SimTime now) const {
   const Entry* e = find(exec);
   if (e == nullptr) return 0.0;
   const SimTime elapsed = now - e->last_heartbeat;
-  if (elapsed <= 0) return 0.0;
-  const double mean = static_cast<double>(e->interval_sum) /
+  if (elapsed <= SimTime{0}) return 0.0;
+  const double mean = static_cast<double>(e->interval_sum.count()) /
                       static_cast<double>(e->count);
   if (mean <= 0.0) return 0.0;
-  return kLog10E * static_cast<double>(elapsed) / mean;
+  return kLog10E * static_cast<double>(elapsed.count()) / mean;
 }
 
 FailureDetector::State FailureDetector::classify(ExecutorId exec,
@@ -86,8 +86,8 @@ FailureDetector::State FailureDetector::classify(ExecutorId exec,
 
 SimTime FailureDetector::mean_interval(ExecutorId exec) const {
   const Entry* e = find(exec);
-  if (e == nullptr) return 0;
-  return e->interval_sum / static_cast<SimTime>(e->count);
+  if (e == nullptr) return SimTime{0};
+  return e->interval_sum / static_cast<std::int64_t>(e->count);
 }
 
 }  // namespace dagon

@@ -72,12 +72,12 @@ class FailureDetector {
 
   struct Entry {
     bool tracked = false;
-    SimTime last_heartbeat = 0;
+    SimTime last_heartbeat{};
     // Ring buffer of the last kWindow inter-arrival times.
     SimTime intervals[kWindow] = {};
     std::size_t count = 0;
     std::size_t next = 0;
-    SimTime interval_sum = 0;
+    SimTime interval_sum{};
   };
 
   [[nodiscard]] Entry& entry(ExecutorId exec);

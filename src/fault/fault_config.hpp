@@ -18,7 +18,7 @@ namespace dagon {
 
 /// One scheduled executor crash.
 struct ExecutorCrashSpec {
-  SimTime at = 0;
+  SimTime at{};
   /// Executor id, or -1 to have FaultPlan pick a random distinct
   /// executor (deterministically, from the fault RNG stream).
   std::int32_t executor = -1;
@@ -30,8 +30,8 @@ struct ExecutorCrashSpec {
 /// dropped, their task completions are reported only after the heal,
 /// and fetches crossing the partition stall until it heals.
 struct PartitionSpec {
-  SimTime at = 0;
-  SimTime heal_at = 0;
+  SimTime at{};
+  SimTime heal_at{};
   /// Rack id, or -1 for a random rack (fault RNG stream).
   std::int32_t rack = -1;
 };
@@ -41,8 +41,8 @@ struct PartitionSpec {
 /// `slowdown`, and its heartbeats arrive `slowdown`x late — slow enough
 /// to look sick, alive enough to never crash.
 struct DegradeSpec {
-  SimTime at = 0;
-  SimTime until = 0;
+  SimTime at{};
+  SimTime until{};
   /// Executor id, or -1 for a random executor (fault RNG stream).
   std::int32_t executor = -1;
   double slowdown = 2.0;

@@ -24,10 +24,10 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
   if (config.block_loss_per_gb_hour < 0.0) {
     throw ConfigError("faults.block_loss_per_gb_hour must be >= 0");
   }
-  if (config.block_loss_interval <= 0) {
+  if (config.block_loss_interval <= SimTime{0}) {
     throw ConfigError("faults.block_loss_interval must be positive");
   }
-  if (config.retry_backoff_base <= 0) {
+  if (config.retry_backoff_base <= SimTime{0}) {
     throw ConfigError("faults.retry_backoff_base must be positive");
   }
   if (config.retry_backoff_cap < config.retry_backoff_base) {
@@ -38,7 +38,7 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
     throw ConfigError("faults.max_task_retries must be positive");
   }
   for (const ExecutorCrashSpec& spec : config.crashes) {
-    if (spec.at < 0) {
+    if (spec.at < SimTime{0}) {
       throw ConfigError("faults.crashes: crash time must be >= 0");
     }
     if (spec.executor < -1 ||
@@ -55,7 +55,7 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
         "survive");
   }
   for (const PartitionSpec& spec : config.partitions) {
-    if (spec.at < 0) {
+    if (spec.at < SimTime{0}) {
       throw ConfigError("faults.partitions: start time must be >= 0");
     }
     if (spec.heal_at <= spec.at) {
@@ -73,7 +73,7 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
     throw ConfigError("faults.partitions require a cluster with >= 2 racks");
   }
   for (const DegradeSpec& spec : config.degrades) {
-    if (spec.at < 0) {
+    if (spec.at < SimTime{0}) {
       throw ConfigError("faults.degrades: start time must be >= 0");
     }
     if (spec.until <= spec.at) {
@@ -88,7 +88,7 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
       throw ConfigError("faults.degrades: slowdown must be >= 1.0");
     }
   }
-  if (config.heartbeat_interval <= 0) {
+  if (config.heartbeat_interval <= SimTime{0}) {
     throw ConfigError("faults.heartbeat_interval must be positive");
   }
   if (config.suspect_phi <= 0.0) {
@@ -100,7 +100,7 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
   if (config.blacklist_threshold < 0) {
     throw ConfigError("faults.blacklist_threshold must be >= 0");
   }
-  if (config.blacklist_probation <= 0) {
+  if (config.blacklist_probation <= SimTime{0}) {
     throw ConfigError("faults.blacklist_probation must be positive");
   }
 
@@ -163,7 +163,7 @@ FaultPlan::FaultPlan(const FaultConfig& config, std::size_t num_executors,
 }
 
 SimTime FaultPlan::partitioned_until(RackId rack, SimTime now) const {
-  SimTime heal = 0;
+  SimTime heal{};
   for (const Partition& p : partitions_) {
     if (p.rack == rack && p.at <= now && now < p.heal_at) {
       heal = std::max(heal, p.heal_at);
@@ -174,7 +174,7 @@ SimTime FaultPlan::partitioned_until(RackId rack, SimTime now) const {
 
 SimTime FaultPlan::cross_partition_heal(RackId rack_a, RackId rack_b,
                                         SimTime now) const {
-  if (rack_a == rack_b) return 0;
+  if (rack_a == rack_b) return SimTime{0};
   return std::max(partitioned_until(rack_a, now),
                   partitioned_until(rack_b, now));
 }
@@ -190,8 +190,9 @@ double FaultPlan::degrade_factor(ExecutorId exec, SimTime now) const {
 }
 
 bool FaultPlan::draw_block_loss(Bytes bytes, SimTime interval) {
-  if (bytes <= 0) return false;
-  const double gib = static_cast<double>(bytes) / static_cast<double>(kGiB);
+  if (bytes <= Bytes{0}) return false;
+  const double gib =
+      static_cast<double>(bytes.count()) / static_cast<double>(kGiB.count());
   const double rate_per_sec = config_.block_loss_per_gb_hour / 3600.0;
   const double p = 1.0 - std::exp(-rate_per_sec * gib * to_seconds(interval));
   return rng_.bernoulli(p);
@@ -199,10 +200,10 @@ bool FaultPlan::draw_block_loss(Bytes bytes, SimTime interval) {
 
 SimTime FaultPlan::retry_backoff(std::int32_t attempt) const {
   const double scaled =
-      static_cast<double>(config_.retry_backoff_base) *
+      static_cast<double>(config_.retry_backoff_base.count()) *
       std::pow(2.0, static_cast<double>(std::min(attempt, 30)));
-  return static_cast<SimTime>(
-      std::min(scaled, static_cast<double>(config_.retry_backoff_cap)));
+  return time_from_usec(
+      std::min(scaled, static_cast<double>(config_.retry_backoff_cap.count())));
 }
 
 }  // namespace dagon

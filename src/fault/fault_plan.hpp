@@ -38,22 +38,22 @@ class FaultPlan {
             std::size_t num_racks, std::uint64_t seed);
 
   struct Crash {
-    SimTime at = 0;
+    SimTime at{};
     ExecutorId exec = ExecutorId::invalid();
   };
 
   /// A resolved rack partition: the rack is unreachable during
   /// [at, heal_at).
   struct Partition {
-    SimTime at = 0;
-    SimTime heal_at = 0;
+    SimTime at{};
+    SimTime heal_at{};
     RackId rack = RackId::invalid();
   };
 
   /// A resolved executor degradation over [at, until).
   struct Degrade {
-    SimTime at = 0;
-    SimTime until = 0;
+    SimTime at{};
+    SimTime until{};
     ExecutorId exec = ExecutorId::invalid();
     double slowdown = 1.0;
   };

@@ -127,8 +127,7 @@ std::optional<Assignment> SensitivityAwareDelayPolicy::find(
   const TaskTimeEstimator estimator(state, *cost_);
   // Algorithm 2: accept a lower-locality task when it finishes within
   // the stage's earliest completion time (Eq. 7, with slack).
-  const auto ect = static_cast<SimTime>(
-      ect_slack_ * static_cast<double>(estimator.earliest_completion(s)));
+  const SimTime ect = scale_time(estimator.earliest_completion(s), ect_slack_);
   std::optional<Assignment> chosen;
   state.for_each_free_executor([&](ExecutorId exec) {
     if (!state.executor(exec).schedulable(now)) return false;

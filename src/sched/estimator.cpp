@@ -15,10 +15,10 @@ SimTime TaskTimeEstimator::predicted_fetch(StageId s,
   // over cached data (serde dominates).
   const SimTime serde =
       locality == Locality::Process
-          ? 0
-          : static_cast<SimTime>(cost_->spec().serde_sec_per_byte *
-                                 static_cast<double>(est.task_serde_bytes) *
-                                 static_cast<double>(kSec));
+          ? SimTime{0}
+          : time_from_usec(cost_->spec().serde_sec_per_byte *
+                           static_cast<double>(est.task_serde_bytes.count()) *
+                           static_cast<double>(kSec.count()));
   switch (locality) {
     case Locality::Process:
       return cost_->fetch_time(bytes, BlockSource::LocalMemory, 0.0);
@@ -31,7 +31,7 @@ SimTime TaskTimeEstimator::predicted_fetch(StageId s,
     case Locality::Any:
       return cost_->fetch_time(bytes, BlockSource::RemoteDisk, 0.0) + serde;
   }
-  return 0;
+  return SimTime{0};
 }
 
 SimTime TaskTimeEstimator::estimate(StageId s, Locality locality) const {
@@ -45,7 +45,7 @@ SimTime TaskTimeEstimator::estimate(StageId s, Locality locality) const {
 SimTime TaskTimeEstimator::earliest_completion(StageId s) const {
   const StageRuntime& rt = state_->stage(s);
   const auto pending = static_cast<std::int64_t>(rt.pending.size());
-  if (pending == 0) return 0;
+  if (pending == 0) return SimTime{0};
   // Eq. (7): ect = ceil(pending / parallelism) * avg duration. "Earliest"
   // is optimistic: before the stage ramps up, assume it can reach full
   // cluster parallelism rather than extrapolating from the first task.

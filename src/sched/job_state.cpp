@@ -27,7 +27,7 @@ JobState::JobState(const JobDag& dag, const Topology& topo,
     rt.task_status.assign(static_cast<std::size_t>(s.num_tasks),
                           TaskStatus::Pending);
     rt.ready = s.parents.empty();
-    rt.ready_time = rt.ready ? 0 : -1;
+    rt.ready_time = rt.ready ? SimTime{0} : SimTime{-1};
     stages_.push_back(std::move(rt));
   }
   executors_.reserve(topo.num_executors());
@@ -39,7 +39,7 @@ JobState::JobState(const JobDag& dag, const Topology& topo,
   }
   free_bits_.assign((executors_.size() + 63) / 64, 0);
   for (const ExecutorRuntime& e : executors_) {
-    if (e.free_cores_ > 0) {
+    if (e.free_cores_ > Cpus{0}) {
       const auto idx = static_cast<std::size_t>(e.id.value());
       free_bits_[idx >> 6] |= std::uint64_t{1} << (idx & 63);
       ++num_free_;
@@ -85,10 +85,10 @@ bool JobState::all_finished() const {
 }
 
 void JobState::set_free_cores(ExecutorId exec, Cpus cores) {
-  DAGON_CHECK(cores >= 0);
+  DAGON_CHECK(cores >= Cpus{0});
   ExecutorRuntime& e = executor(exec);
-  const bool was_free = e.free_cores_ > 0;
-  const bool is_free = cores > 0;
+  const bool was_free = e.free_cores_ > Cpus{0};
+  const bool is_free = cores > Cpus{0};
   e.free_cores_ = cores;
   if (was_free != is_free) {
     const auto idx = static_cast<std::size_t>(exec.value());
@@ -137,12 +137,11 @@ void JobState::mark_launched(StageId s, std::int32_t index, ExecutorId exec,
   set_status(rt, index, TaskStatus::Running);
   rt.pending.erase(index);
   ++rt.running;
-  if (rt.first_launch < 0) rt.first_launch = now;
+  if (rt.first_launch < SimTime{0}) rt.first_launch = now;
 
   const StageEstimate& est = profile_->stage(s);
-  rt.remaining_work -=
-      static_cast<CpuWork>(est.task_cpus) * est.task_duration;
-  if (rt.remaining_work < 0) rt.remaining_work = 0;
+  rt.remaining_work -= est.task_cpus * est.task_duration;
+  if (rt.remaining_work < CpuWork{0}) rt.remaining_work = CpuWork{0};
   ++pv_epoch_;
 
   ExecutorRuntime& e = executor(exec);
@@ -164,7 +163,7 @@ bool JobState::mark_finished(StageId s, std::int32_t index, ExecutorId exec,
   ++rt.finished_tasks;
 
   const auto li = static_cast<std::size_t>(locality);
-  rt.locality_duration_sum[li] += static_cast<double>(now - launch_time);
+  rt.locality_duration_sum[li] += static_cast<double>((now - launch_time).count());
   ++rt.locality_count[li];
   rt.finished_durations.push_back(now - launch_time);
 
@@ -175,7 +174,7 @@ bool JobState::mark_finished(StageId s, std::int32_t index, ExecutorId exec,
   if (rt.finished_tasks == rt.num_tasks) {
     rt.finished = true;
     rt.finish_time = now;
-    rt.remaining_work = 0;
+    rt.remaining_work = CpuWork{0};
     ++pv_epoch_;
     return true;
   }
@@ -208,7 +207,7 @@ void JobState::set_stage_gated(StageId s, bool gated) {
     DAGON_CHECK_MSG(rt.running == 0 && rt.finished_tasks == 0,
                     "cannot gate started stage " << s);
     rt.ready = false;
-    rt.ready_time = -1;
+    rt.ready_time = SimTime{-1};
   }
 }
 
@@ -223,8 +222,7 @@ void JobState::readd_pending(StageId s, std::int32_t index) {
   set_status(rt, index, TaskStatus::Pending);
   rt.pending.push_back(index);
   const StageEstimate& est = profile_->stage(s);
-  rt.remaining_work +=
-      static_cast<CpuWork>(est.task_cpus) * est.task_duration;
+  rt.remaining_work += est.task_cpus * est.task_duration;
   ++pv_epoch_;
 }
 
@@ -239,12 +237,11 @@ void JobState::reopen_task(StageId s, std::int32_t index) {
   --rt.finished_tasks;
   if (rt.finished) {
     rt.finished = false;
-    rt.finish_time = -1;
+    rt.finish_time = SimTime{-1};
   }
   rt.pending.push_back(index);
   const StageEstimate& est = profile_->stage(s);
-  rt.remaining_work +=
-      static_cast<CpuWork>(est.task_cpus) * est.task_duration;
+  rt.remaining_work += est.task_cpus * est.task_duration;
   ++pv_epoch_;
 }
 
@@ -276,8 +273,8 @@ std::optional<SimTime> JobState::observed_duration(StageId s,
   const StageRuntime& rt = stage(s);
   const auto li = static_cast<std::size_t>(l);
   if (rt.locality_count[li] == 0) return std::nullopt;
-  return static_cast<SimTime>(rt.locality_duration_sum[li] /
-                              static_cast<double>(rt.locality_count[li]));
+  return time_from_usec(rt.locality_duration_sum[li] /
+                        static_cast<double>(rt.locality_count[li]));
 }
 
 std::optional<SimTime> JobState::observed_duration(StageId s) const {
@@ -291,7 +288,7 @@ std::optional<SimTime> JobState::observed_duration(StageId s) const {
     count += rt.locality_count[i];
   }
   if (count == 0) return std::nullopt;
-  return static_cast<SimTime>(sum / static_cast<double>(count));
+  return time_from_usec(sum / static_cast<double>(count));
 }
 
 }  // namespace dagon

@@ -27,11 +27,11 @@ struct TaskRuntime {
   TaskStatus status = TaskStatus::Pending;
   ExecutorId executor = ExecutorId::invalid();
   Locality locality = Locality::Any;
-  SimTime launch_time = -1;
-  SimTime finish_time = -1;
+  SimTime launch_time{-1};
+  SimTime finish_time{-1};
   /// Split of the actual duration (filled at launch).
-  SimTime fetch_time = 0;
-  SimTime compute_time = 0;
+  SimTime fetch_time{};
+  SimTime compute_time{};
   /// Set when this is a speculative copy of another attempt.
   bool speculative = false;
 };
@@ -57,17 +57,17 @@ struct StageRuntime {
 
   /// Estimated unprocessed workload (the paper's w_i): decremented by
   /// d_i · est_duration as each task is *assigned* (Table III).
-  CpuWork remaining_work = 0;
+  CpuWork remaining_work{};
 
-  SimTime ready_time = -1;
-  SimTime first_launch = -1;
-  SimTime finish_time = -1;
+  SimTime ready_time{-1};
+  SimTime first_launch{-1};
+  SimTime finish_time{-1};
 
   // --- native delay-scheduling state (per TaskSet, as in Spark) ---
   /// Index into the taskset's valid locality levels.
   std::size_t locality_index = 0;
   /// Start of the wait at the current level.
-  SimTime locality_timer = 0;
+  SimTime locality_timer{};
 
   // --- observed per-locality durations for Algorithm 2's estimates ---
   std::array<double, 5> locality_duration_sum{};   // by Locality value
@@ -100,14 +100,14 @@ struct ExecutorRuntime {
   ExecutorHealth health = ExecutorHealth::Healthy;
   /// End of blacklist probation; 0 when not blacklisted. A blacklisted
   /// executor receives no new launches until the probation expires.
-  SimTime blacklisted_until = 0;
+  SimTime blacklisted_until{};
   /// Attempt failures accumulated toward the blacklist threshold; reset
   /// when probation expires.
   std::int32_t blacklist_failures = 0;
   /// Cores currently held by other tenants (multi-tenant reservation).
-  Cpus reserved_cores = 0;
+  Cpus reserved_cores{};
   /// Reservation demand not yet satisfiable (claimed as tasks finish).
-  Cpus pending_reservation = 0;
+  Cpus pending_reservation{};
   /// Block currently being prefetched, if any (one IO channel).
   std::optional<BlockId> prefetching;
   std::int64_t tasks_launched = 0;
@@ -137,7 +137,7 @@ struct ExecutorRuntime {
   /// Writable only through JobState (set_free_cores / add_free_cores /
   /// mark_launched / mark_finished), which keeps the free-slot index in
   /// lockstep with the value.
-  Cpus free_cores_ = 0;
+  Cpus free_cores_{};
 };
 
 /// Wait times per locality level, Spark's spark.locality.wait.* family.
@@ -157,9 +157,9 @@ struct LocalityWaits {
       case Locality::Node: return node;
       case Locality::Rack: return rack;
       case Locality::NoPref:
-      case Locality::Any: return 0;
+      case Locality::Any: return SimTime{0};
     }
-    return 0;
+    return SimTime{0};
   }
 };
 

@@ -33,8 +33,7 @@ std::vector<SpeculationCandidate> speculation_candidates(
     }
     const SimTime median = median_of(rt.finished_durations);
     const double multiplier = is_impaired ? 1.0 : config.multiplier;
-    const auto threshold =
-        static_cast<SimTime>(multiplier * static_cast<double>(median));
+    const SimTime threshold = scale_time(median, multiplier);
     const SimTime elapsed = now - task.launch_time;
     if (elapsed > threshold) {
       out.push_back(SpeculationCandidate{task.stage, task.index, elapsed,

@@ -33,8 +33,8 @@ struct SpeculationConfig {
 struct SpeculationCandidate {
   StageId stage;
   std::int32_t task_index = -1;
-  SimTime running_for = 0;
-  SimTime threshold = 0;
+  SimTime running_for{};
+  SimTime threshold{};
 };
 
 /// Scans running (non-speculative) tasks for stragglers. `running`

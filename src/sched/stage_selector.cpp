@@ -53,10 +53,10 @@ GrapheneSelector::GrapheneSelector(const JobDag& dag,
                                    Cpus executor_cores,
                                    double duration_quantile,
                                    double demand_fraction) {
-  DAGON_CHECK(executor_cores > 0);
+  DAGON_CHECK(executor_cores > Cpus{0});
   SampleSet durations;
   for (const Stage& s : dag.stages()) {
-    durations.add(static_cast<double>(profile.stage(s.id).task_duration));
+    durations.add(static_cast<double>(profile.stage(s.id).task_duration.count()));
   }
   const double cutoff = durations.quantile(duration_quantile);
   troublesome_.resize(dag.num_stages());
@@ -64,14 +64,14 @@ GrapheneSelector::GrapheneSelector(const JobDag& dag,
   for (const Stage& s : dag.stages()) {
     const StageEstimate& est = profile.stage(s.id);
     const bool long_running =
-        static_cast<double>(est.task_duration) >= cutoff;
+        static_cast<double>(est.task_duration.count()) >= cutoff;
     const bool hard_to_pack =
-        static_cast<double>(est.task_cpus) >=
-        demand_fraction * static_cast<double>(executor_cores);
+        static_cast<double>(est.task_cpus.count()) >=
+        demand_fraction * static_cast<double>(executor_cores.count());
     const auto idx = static_cast<std::size_t>(s.id.value());
     troublesome_[idx] = long_running || hard_to_pack;
-    score_[idx] = static_cast<double>(est.task_duration) *
-                  static_cast<double>(est.task_cpus);
+    score_[idx] = static_cast<double>(est.task_duration.count()) *
+                  static_cast<double>(est.task_cpus.count());
   }
 }
 

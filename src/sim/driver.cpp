@@ -64,12 +64,12 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
     // longest root-to-s prefix plus the cp-length through s spans the
     // whole critical path (so ties mark every maximal chain).
     const std::vector<SimTime> cp = critical_path_lengths(dag);
-    SimTime total = 0;
+    SimTime total{};
     for (const SimTime v : cp) total = std::max(total, v);
-    std::vector<SimTime> up(dag.num_stages(), 0);
+    std::vector<SimTime> up(dag.num_stages());
     for (const StageId sid : dag.topological_order()) {
       const Stage& st = dag.stage(sid);
-      SimTime longest_task = 0;
+      SimTime longest_task{};
       for (std::int32_t t = 0; t < st.num_tasks; ++t) {
         longest_task = std::max(longest_task, st.task_compute_time(t));
       }
@@ -83,7 +83,7 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
     for (std::size_t i = 0; i < dag.num_stages(); ++i) {
       if (up[i] + cp[i] == total) stage_critical_[i] = 1;
     }
-    stage_last_launch_.assign(dag.num_stages(), -1);
+    stage_last_launch_.assign(dag.num_stages(), SimTime{-1});
   }
   delay_->set_locality_cache_enabled(config_.incremental_scheduling);
   // LERC scores blocks by effective reference count, which needs the
@@ -98,7 +98,7 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
     jobs_.resize(config_.serving.jobs.size());
     for (std::size_t j = 0; j < config_.serving.jobs.size(); ++j) {
       const SimConfig::ServingJob& job = config_.serving.jobs[j];
-      jobs_[j].submit_time = std::max<SimTime>(0, job.submit_at);
+      jobs_[j].submit_time = std::max(SimTime{0}, job.submit_at);
       jobs_[j].unfinished_stages =
           static_cast<std::int32_t>(job.stages.size());
       for (const StageId s : job.stages) {
@@ -143,7 +143,7 @@ SimDriver::SimDriver(const JobDag& dag, const JobProfile& profile,
 }
 
 void SimDriver::validate() const {
-  Cpus max_cores = 0;
+  Cpus max_cores{};
   for (const Executor& e : topo_.executors()) {
     max_cores = std::max(max_cores, e.cores);
   }
@@ -153,10 +153,10 @@ void SimDriver::validate() const {
                         "' demands more vCPUs than any executor has");
     }
   }
-  if (config_.tick_interval <= 0) {
+  if (config_.tick_interval <= SimTime{0}) {
     throw ConfigError("tick_interval must be positive");
   }
-  if (config_.max_sim_time <= 0) {
+  if (config_.max_sim_time <= SimTime{0}) {
     throw ConfigError("max_sim_time must be positive");
   }
   if (config_.duration_noise < 0.0) {
@@ -189,7 +189,7 @@ void SimDriver::validate() const {
   if (tier_total > 1.0 + 1e-9) {
     throw ConfigError("exec tier fractions must sum to <= 1");
   }
-  if (config_.tail.escalation_wait <= 0) {
+  if (config_.tail.escalation_wait <= SimTime{0}) {
     throw ConfigError("tail.escalation_wait must be positive");
   }
   if (config_.serving.enabled()) {
@@ -222,9 +222,9 @@ void SimDriver::validate() const {
       }
     }
   }
-  SimTime prev = -1;
+  SimTime prev{-1};
   for (const SimConfig::CapacityPhase& phase : config_.capacity_phases) {
-    if (phase.at < 0 || phase.at <= prev) {
+    if (phase.at < SimTime{0} || phase.at <= prev) {
       throw ConfigError("capacity_phases must be sorted by time");
     }
     if (phase.reserved_fraction < 0.0 || phase.reserved_fraction >= 1.0) {
@@ -238,13 +238,13 @@ RunMetrics SimDriver::run() {
   DAGON_CHECK_MSG(!ran_, "SimDriver::run() is single-shot");
   ran_ = true;
 
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   if (serving_) {
     for (std::size_t j = 0; j < config_.serving.jobs.size(); ++j) {
       const SimTime at = config_.serving.jobs[j].submit_at;
-      if (at <= 0) {
+      if (at <= SimTime{0}) {
         // Already here at start of time: ungate directly, no event.
-        handle_job_submit(static_cast<std::int32_t>(j), 0);
+        handle_job_submit(static_cast<std::int32_t>(j), SimTime{0});
       } else {
         queue_.push(Event{at, EventType::JobSubmit, TaskId::invalid(),
                           ExecutorId::invalid(), BlockId{},
@@ -252,11 +252,11 @@ RunMetrics SimDriver::run() {
       }
     }
   }
-  state_.refresh_ready(0);
+  state_.refresh_ready(SimTime{0});
   push_priority_update();
-  schedule_loop(0);
-  issue_prefetches(0);
-  if (config_.per_executor_profiles) sample_pending(0);
+  schedule_loop(SimTime{0});
+  issue_prefetches(SimTime{0});
+  if (config_.per_executor_profiles) sample_pending(SimTime{0});
   queue_.push(Event{config_.tick_interval, EventType::Tick,
                     TaskId::invalid(), ExecutorId::invalid(), BlockId{}});
   for (std::size_t i = 0; i < config_.capacity_phases.size(); ++i) {
@@ -278,14 +278,14 @@ RunMetrics SimDriver::run() {
   }
   if (gray_active_) {
     for (const Executor& e : topo_.executors()) {
-      detector_->track(e.id, 0);
+      detector_->track(e.id, SimTime{0});
       queue_.push(Event{config_.faults.heartbeat_interval,
                         EventType::Heartbeat, TaskId::invalid(), e.id,
                         BlockId{}});
     }
   }
 
-  SimTime now = 0;
+  SimTime now{};
   Event ev;
   while (!state_.all_finished()) {
     DAGON_CHECK_MSG(queue_.pop_into(ev),
@@ -400,9 +400,9 @@ void SimDriver::schedule_loop(SimTime now) {
     std::sort(job_order_.begin(), job_order_.end(),
               [&](std::int32_t a, std::int32_t b) {
                 const auto ca = static_cast<std::int64_t>(
-                    jobs_[static_cast<std::size_t>(a)].running_cores);
+                    jobs_[static_cast<std::size_t>(a)].running_cores.count());
                 const auto cb = static_cast<std::int64_t>(
-                    jobs_[static_cast<std::size_t>(b)].running_cores);
+                    jobs_[static_cast<std::size_t>(b)].running_cores.count());
                 const auto wa = static_cast<std::int64_t>(
                     config_.serving.jobs[static_cast<std::size_t>(a)]
                         .weight);
@@ -434,7 +434,7 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   // remote endpoint), so per-fetch latency is paid once per category,
   // not once per block: bytes are summed and costed in one call.
   std::array<Bytes, 7> bytes_by_source{};
-  Bytes serde_bytes = 0;
+  Bytes serde_bytes{};
   // Gray faults: a degraded executor's transfers and compute are scaled
   // by the slowdown factor; a fetch whose best source sits across an
   // active partition stalls until the heal. Speed tiers compose
@@ -442,7 +442,7 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   const double degrade =
       gray_active_ ? fault_plan_->degrade_factor(a.exec, now) : 1.0;
   const double slow = degrade * state_.executor(a.exec).speed_mult;
-  SimTime partition_stall = 0;
+  SimTime partition_stall{};
   // Effective-hit accounting (LERC's metric): the read is effective only
   // when EVERY cacheable narrow input is served from cluster memory —
   // a remote-memory read is still a BlockManager cache hit; only a disk
@@ -494,17 +494,17 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
       if (all_inputs_memory) ++j.effective_task_hits;
     }
   }
-  SimTime fetch = 0;
+  SimTime fetch{};
   for (std::size_t src = 0; src < bytes_by_source.size(); ++src) {
-    if (bytes_by_source[src] > 0) {
+    if (bytes_by_source[src] > Bytes{0}) {
       fetch += cost_.fetch_time(bytes_by_source[src],
                                 static_cast<BlockSource>(src), 0.0, slow);
     }
   }
-  fetch += static_cast<SimTime>(cost_.spec().serde_sec_per_byte *
-                                static_cast<double>(serde_bytes) *
-                                static_cast<double>(kSec) * slow);
-  if (partition_stall > 0) {
+  fetch += time_from_usec(cost_.spec().serde_sec_per_byte *
+                          static_cast<double>(serde_bytes.count()) *
+                          static_cast<double>(kSec.count()) * slow);
+  if (partition_stall > SimTime{0}) {
     fetch += partition_stall;
     ++metrics_.faults.partition_stalled_fetches;
   }
@@ -513,10 +513,10 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   if (config_.duration_noise > 0.0) {
     const double factor =
         std::max(0.1, rng_.normal(1.0, config_.duration_noise));
-    compute = static_cast<SimTime>(static_cast<double>(compute) * factor);
+    compute = scale_time(compute, factor);
   }
   if (slow != 1.0) {
-    compute = static_cast<SimTime>(static_cast<double>(compute) * slow);
+    compute = scale_time(compute, slow);
   }
   if (degrade > 1.0) ++metrics_.faults.degraded_launches;
   // Heavy-tail injection: one dedicated-stream draw per attempt. The
@@ -524,8 +524,7 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   // redraws and can genuinely escape the tail.
   if (faults_active_ && fault_plan_->samples_heavy_tail() &&
       fault_plan_->draw_heavy_tail()) {
-    compute = static_cast<SimTime>(static_cast<double>(compute) *
-                                   config_.faults.heavy_tail_mult);
+    compute = scale_time(compute, config_.faults.heavy_tail_mult);
     ++metrics_.faults.heavy_tail_injections;
   }
 
@@ -571,15 +570,15 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   if (serving_) {
     JobRuntime& j = jobs_[static_cast<std::size_t>(job_of(s))];
     j.running_cores += demand;
-    if (j.first_launch < 0) j.first_launch = now;
+    if (j.first_launch < SimTime{0}) j.first_launch = now;
   }
 
-  metrics_.busy_cores.add(now, static_cast<double>(demand));
+  metrics_.busy_cores.add(now, static_cast<double>(demand.count()));
   metrics_.running_tasks.add(now, 1.0);
   ++metrics_.locality_histogram[static_cast<std::size_t>(a.locality)];
   if (config_.per_executor_profiles) {
     metrics_.executor_profiles[static_cast<std::size_t>(a.exec.value())]
-        .busy_cores.add(now, static_cast<double>(demand));
+        .busy_cores.add(now, static_cast<double>(demand.count()));
   }
 
   // Transient-failure draw (dedicated RNG stream: fault-free runs never
@@ -590,9 +589,10 @@ void SimDriver::launch_task(StageId s, const Assignment& a, SimTime now,
   if (faults_active_ && fault_plan_->samples_task_failures() &&
       fault_plan_->draw_task_failure()) {
     const double point = fault_plan_->draw_failure_point();
-    terminal_at = now + std::max<SimTime>(
-        1, static_cast<SimTime>(point *
-                                static_cast<double>(fetch + compute)));
+    terminal_at =
+        now + std::max(SimTime{1},
+                       time_from_usec(point * static_cast<double>(
+                                                  (fetch + compute).count())));
     terminal = EventType::TaskFail;
   }
   queue_.push(Event{terminal_at, terminal, id, ExecutorId::invalid(),
@@ -636,13 +636,13 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
     jobs_[static_cast<std::size_t>(job_of(s))].running_cores -= demand;
   }
 
-  metrics_.busy_cores.add(now, -static_cast<double>(demand));
+  metrics_.busy_cores.add(now, -static_cast<double>(demand.count()));
   metrics_.running_tasks.add(now, -1.0);
   if (config_.per_executor_profiles) {
     metrics_
         .executor_profiles[static_cast<std::size_t>(
             attempt.task.executor.value())]
-        .busy_cores.add(now, -static_cast<double>(demand));
+        .busy_cores.add(now, -static_cast<double>(demand.count()));
   }
 
   // Materialize the output block exactly once per task index.
@@ -650,7 +650,7 @@ void SimDriver::handle_task_finish(TaskId id, SimTime now) {
   if (!produced[static_cast<std::size_t>(index)]) {
     produced[static_cast<std::size_t>(index)] = true;
     const Rdd& out = dag_->rdd(dag_->stage(s).output);
-    if (out.bytes_per_partition > 0) {
+    if (out.bytes_per_partition > Bytes{0}) {
       master_.on_block_produced(BlockId{out.id, index},
                                 attempt.task.executor, now);
     }
@@ -691,8 +691,7 @@ void SimDriver::cancel_attempt(TaskId id, SimTime now) {
     ++metrics_.hedge.hedges_cancelled;
     // Work burned on the loser: cores held × time run (core-µs).
     metrics_.hedge.wasted_core_us +=
-        static_cast<std::int64_t>(demand) *
-        (now - attempt.task.launch_time);
+        demand * (now - attempt.task.launch_time);
   }
   state_.add_free_cores(attempt.task.executor, demand);
   --state_.stage(attempt.task.stage).running;
@@ -701,13 +700,13 @@ void SimDriver::cancel_attempt(TaskId id, SimTime now) {
     jobs_[static_cast<std::size_t>(job_of(attempt.task.stage))]
         .running_cores -= demand;
   }
-  metrics_.busy_cores.add(now, -static_cast<double>(demand));
+  metrics_.busy_cores.add(now, -static_cast<double>(demand.count()));
   metrics_.running_tasks.add(now, -1.0);
   if (config_.per_executor_profiles) {
     metrics_
         .executor_profiles[static_cast<std::size_t>(
             attempt.task.executor.value())]
-        .busy_cores.add(now, -static_cast<double>(demand));
+        .busy_cores.add(now, -static_cast<double>(demand.count()));
   }
 }
 
@@ -720,26 +719,26 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
   for (ExecutorRuntime& e : state_.executors()) {
     if (!e.alive()) continue;  // crashed executors have no cores to reserve
     const Cpus cores = topo_.executor(e.id).cores;
-    const auto target = static_cast<Cpus>(
-        fraction * static_cast<double>(cores) + 0.5);
+    const Cpus target =
+        cpus_from_double(fraction * static_cast<double>(cores.count()) + 0.5);
     const Cpus current = e.reserved_cores + e.pending_reservation;
     Cpus delta = target - current;
-    if (delta > 0) {
+    if (delta > Cpus{0}) {
       const Cpus take = std::min(e.free_cores(), delta);
       state_.add_free_cores(e.id, -take);
       e.reserved_cores += take;
       e.pending_reservation += delta - take;
-      metrics_.reserved_cores.add(now, static_cast<double>(take));
-    } else if (delta < 0) {
+      metrics_.reserved_cores.add(now, static_cast<double>(take.count()));
+    } else if (delta < Cpus{0}) {
       // Release pending demand first, then actual reservations.
       const Cpus from_pending = std::min(e.pending_reservation, -delta);
       e.pending_reservation -= from_pending;
       delta += from_pending;
-      if (delta < 0) {
+      if (delta < Cpus{0}) {
         const Cpus release = std::min(e.reserved_cores, -delta);
         e.reserved_cores -= release;
         state_.add_free_cores(e.id, release);
-        metrics_.reserved_cores.add(now, -static_cast<double>(release));
+        metrics_.reserved_cores.add(now, -static_cast<double>(release.count()));
       }
     }
   }
@@ -747,13 +746,13 @@ void SimDriver::handle_capacity_change(std::int32_t index, SimTime now) {
 
 void SimDriver::claim_reservation(ExecutorId exec, SimTime now) {
   ExecutorRuntime& e = state_.executor(exec);
-  if (!e.alive() || e.pending_reservation <= 0) return;
+  if (!e.alive() || e.pending_reservation <= Cpus{0}) return;
   const Cpus take = std::min(e.free_cores(), e.pending_reservation);
-  if (take > 0) {
+  if (take > Cpus{0}) {
     state_.add_free_cores(exec, -take);
     e.reserved_cores += take;
     e.pending_reservation -= take;
-    metrics_.reserved_cores.add(now, static_cast<double>(take));
+    metrics_.reserved_cores.add(now, static_cast<double>(take.count()));
   }
 }
 
@@ -888,6 +887,7 @@ void SimDriver::assign_speed_tiers() {
   std::size_t next = 0;
   for (std::size_t t = 0; t < config_.tail.tiers.size(); ++t) {
     const SimConfig::ExecTier& tier = config_.tail.tiers[t];
+    // dagonlint: allow(narrowing-cast): rounded tier headcount, a dimensionless executor count
     std::size_t count = static_cast<std::size_t>(
         tier.fraction * static_cast<double>(n) + 0.5);
     count = std::min(count, n - next);
@@ -910,7 +910,9 @@ void SimDriver::try_escalation(SimTime now) {
     const SimTime since = std::max(
         rt.ready_time,
         stage_last_launch_[static_cast<std::size_t>(s.value())]);
-    if (since < 0 || now - since < config_.tail.escalation_wait) continue;
+    if (since < SimTime{0} || now - since < config_.tail.escalation_wait) {
+      continue;
+    }
     const Cpus demand = dag_->stage(s).task_cpus;
     const std::int32_t index = *rt.pending.begin();
     if (faults_active_) {
@@ -957,7 +959,7 @@ void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
   // Tear down the gray-failure state first so suspicion/blacklist flags
   // never survive on a dead executor.
   if (e.suspect()) clear_suspicion(exec, now, /*recovered=*/false);
-  e.blacklisted_until = 0;
+  e.blacklisted_until = SimTime{0};
   e.blacklist_failures = 0;
   if (detector_) detector_->stop(exec);
   ++metrics_.faults.executor_crashes;
@@ -980,13 +982,13 @@ void SimDriver::handle_executor_crash(ExecutorId exec, SimTime now) {
   // cleared above, so the edge here is always Healthy → Dead.
   fsm::transition(e.health, ExecutorHealth::Dead, exec.value(),
                   &metrics_.fsm.executor);
-  if (e.reserved_cores > 0) {
+  if (e.reserved_cores > Cpus{0}) {
     metrics_.reserved_cores.add(now,
-                                -static_cast<double>(e.reserved_cores));
+                                -static_cast<double>(e.reserved_cores.count()));
   }
-  e.reserved_cores = 0;
-  e.pending_reservation = 0;
-  state_.set_free_cores(exec, 0);
+  e.reserved_cores = Cpus{0};
+  e.pending_reservation = Cpus{0};
+  state_.set_free_cores(exec, Cpus{0});
 
   // 3. Drop its blocks. Blocks whose last copy died are recomputed from
   // lineage — eagerly when a live reader still wants them, lazily (via
@@ -1026,13 +1028,13 @@ void SimDriver::fail_attempt(TaskId id, SimTime now, bool from_crash) {
     jobs_[static_cast<std::size_t>(job_of(s))].running_cores -= demand;
   }
 
-  metrics_.busy_cores.add(now, -static_cast<double>(demand));
+  metrics_.busy_cores.add(now, -static_cast<double>(demand.count()));
   metrics_.running_tasks.add(now, -1.0);
   if (config_.per_executor_profiles) {
     metrics_
         .executor_profiles[static_cast<std::size_t>(
             attempt.task.executor.value())]
-        .busy_cores.add(now, -static_cast<double>(demand));
+        .busy_cores.add(now, -static_cast<double>(demand.count()));
   }
   if (from_crash) {
     ++metrics_.faults.crash_failures;
@@ -1135,7 +1137,7 @@ void SimDriver::recover_block(const BlockId& block, SimTime now) {
   const Rdd& rdd = dag_->rdd(block.rdd);
   // Zero-byte outputs are never materialized (and never read): nothing
   // to recover.
-  if (rdd.bytes_per_partition <= 0) return;
+  if (rdd.bytes_per_partition <= Bytes{0}) return;
   const auto producer = dag_->producer_of(block.rdd);
   DAGON_CHECK_MSG(producer.has_value(),
                   "lost block " << block << " has no producer stage");
@@ -1153,7 +1155,7 @@ void SimDriver::recover_block(const BlockId& block, SimTime now) {
   // (and a fresh JobFinish emitted) when the recompute lands.
   if (serving_ && was_finished) {
     JobRuntime& j = jobs_[static_cast<std::size_t>(job_of(s))];
-    if (j.unfinished_stages++ == 0) j.finished = -1;
+    if (j.unfinished_stages++ == 0) j.finished = SimTime{-1};
   }
   ++metrics_.faults.lineage_recomputes;
   DAGON_DEBUG("t=" << format_duration(now) << " recomputing stage " << s
@@ -1210,8 +1212,8 @@ void SimDriver::handle_heartbeat(ExecutorId exec, SimTime now) {
   // The emission cadence itself degrades with the executor: a slowed
   // executor heartbeats late, which is exactly what makes it suspicious.
   const double slow = fault_plan_->degrade_factor(exec, now);
-  const auto interval = static_cast<SimTime>(
-      static_cast<double>(config_.faults.heartbeat_interval) * slow);
+  const SimTime interval =
+      scale_time(config_.faults.heartbeat_interval, slow);
   queue_.push(Event{now + interval, EventType::Heartbeat, TaskId::invalid(),
                     exec, BlockId{}});
 }
@@ -1321,11 +1323,12 @@ void SimDriver::note_attempt_failure(ExecutorId exec, SimTime now) {
 void SimDriver::expire_blacklists(SimTime now) {
   if (config_.faults.blacklist_threshold <= 0) return;
   for (ExecutorRuntime& e : state_.executors()) {
-    if (!e.alive() || e.blacklisted_until == 0 || e.blacklisted_until > now) {
+    if (!e.alive() || e.blacklisted_until == SimTime{0} ||
+        e.blacklisted_until > now) {
       continue;
     }
     // Probation over: clean slate.
-    e.blacklisted_until = 0;
+    e.blacklisted_until = SimTime{0};
     e.blacklist_failures = 0;
     ++metrics_.faults.blacklist_exits;
     ++exec_faults(e.id).blacklist_exits;
@@ -1366,12 +1369,13 @@ void SimDriver::verify_quiescent() const {
       DAGON_CHECK_MSG(
           e.free_cores() + e.reserved_cores == topo_.executor(e.id).cores,
           "end of run: cores leaked on executor " << e.id);
-      DAGON_CHECK_MSG(e.pending_reservation == 0,
+      DAGON_CHECK_MSG(e.pending_reservation == Cpus{0},
                       "end of run: unclaimed reservation on executor "
                           << e.id);
     } else {
-      DAGON_CHECK_MSG(e.free_cores() == 0 && e.reserved_cores == 0 &&
-                          e.pending_reservation == 0,
+      DAGON_CHECK_MSG(e.free_cores() == Cpus{0} &&
+                          e.reserved_cores == Cpus{0} &&
+                          e.pending_reservation == Cpus{0},
                       "end of run: crashed executor " << e.id
                                                       << " holds cores");
       DAGON_CHECK_MSG(!e.suspect(), "end of run: dead executor "
@@ -1396,9 +1400,9 @@ void SimDriver::verify_quiescent() const {
     for (std::size_t j = 0; j < jobs_.size(); ++j) {
       const JobRuntime& job = jobs_[j];
       DAGON_CHECK_MSG(job.submitted && job.unfinished_stages == 0 &&
-                          job.finished >= 0,
+                          job.finished >= SimTime{0},
                       "end of run: serving job " << j << " incomplete");
-      DAGON_CHECK_MSG(job.running_cores == 0,
+      DAGON_CHECK_MSG(job.running_cores == Cpus{0},
                       "end of run: serving job " << j << " holds cores");
       DAGON_CHECK_MSG(job.effective_task_hits <= job.effective_task_reads,
                       "end of run: job " << j

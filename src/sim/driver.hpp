@@ -202,13 +202,13 @@ class SimDriver {
   std::vector<std::int32_t> stage_job_;
   struct JobRuntime {
     bool submitted = false;
-    SimTime submit_time = 0;
-    SimTime first_launch = -1;
-    SimTime finished = -1;
+    SimTime submit_time{};
+    SimTime first_launch{-1};
+    SimTime finished{-1};
     /// Stages of this job not yet finished; 0 = job complete.
     std::int32_t unfinished_stages = 0;
     /// vCPUs its running attempts hold right now (fair-share numerator).
-    Cpus running_cores = 0;
+    Cpus running_cores{};
     std::int64_t effective_task_reads = 0;
     std::int64_t effective_task_hits = 0;
   };

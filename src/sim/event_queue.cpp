@@ -25,7 +25,7 @@ void EventQueue::bucket_push(const Entry& entry) {
 }
 
 void EventQueue::push(const Event& e) {
-  DAGON_CHECK_MSG(e.time >= 0, "event scheduled at negative time");
+  DAGON_CHECK_MSG(e.time >= SimTime{0}, "event scheduled at negative time");
   const Entry entry{e, next_seq_++};
   ++size_;
   if (buckets_.empty()) init_calendar(e.time);
@@ -90,7 +90,7 @@ bool EventQueue::pop_into(Event& out) {
   }
   // Advance the current window to bucket b (k forward steps, circular).
   const std::size_t steps = (b - cur_) & (kNumBuckets - 1);
-  base_ += static_cast<SimTime>(steps) * kWidth;
+  base_ += static_cast<std::int64_t>(steps) * kWidth;
   cur_ = b;
   auto& heap = buckets_[b];
   std::pop_heap(heap.begin(), heap.end(), std::greater<>{});

@@ -53,7 +53,7 @@ enum class EventType {
 };
 
 struct Event {
-  SimTime time = 0;
+  SimTime time{};
   EventType type = EventType::Tick;
   /// TaskFinish / TaskFail: which attempt.
   TaskId task = TaskId::invalid();
@@ -100,16 +100,17 @@ class EventQueue {
 
   static constexpr int kWidthBits = 15;   // 32.768 ms per bucket
   static constexpr int kBucketBits = 10;  // 1024 buckets
-  static constexpr SimTime kWidth = SimTime{1} << kWidthBits;
+  static constexpr SimTime kWidth{std::int64_t{1} << kWidthBits};
   static constexpr std::size_t kNumBuckets = std::size_t{1} << kBucketBits;
-  static constexpr SimTime kHorizon =
-      kWidth * static_cast<SimTime>(kNumBuckets);
+  static constexpr SimTime kHorizon{kWidth.count() *
+                                    static_cast<std::int64_t>(kNumBuckets)};
 
   [[nodiscard]] static std::size_t bucket_of(SimTime t) {
-    return static_cast<std::size_t>(t >> kWidthBits) & (kNumBuckets - 1);
+    return static_cast<std::size_t>(t.count() >> kWidthBits) &
+           (kNumBuckets - 1);
   }
   [[nodiscard]] static SimTime window_start(SimTime t) {
-    return (t >> kWidthBits) << kWidthBits;
+    return SimTime{(t.count() >> kWidthBits) << kWidthBits};
   }
 
   void init_calendar(SimTime t);
@@ -123,7 +124,7 @@ class EventQueue {
   std::vector<std::vector<Entry>> buckets_;  // per-bucket min-heaps
   std::vector<std::uint64_t> occupied_;      // bitmap over buckets_
   std::vector<Entry> overflow_;              // min-heap (heap fallback)
-  SimTime base_ = 0;     // window start of bucket cur_
+  SimTime base_{};     // window start of bucket cur_
   std::size_t cur_ = 0;  // bucket holding the current time window
   std::size_t bucketed_ = 0;
   std::size_t size_ = 0;

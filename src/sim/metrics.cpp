@@ -8,13 +8,14 @@
 namespace dagon {
 
 double RunMetrics::cpu_utilization() const {
-  if (jct <= 0 || total_cores <= 0) return 0.0;
-  return busy_cores.average(0, jct) / static_cast<double>(total_cores);
+  if (jct <= SimTime{0} || total_cores <= Cpus{0}) return 0.0;
+  return busy_cores.average(SimTime{0}, jct) /
+         static_cast<double>(total_cores.count());
 }
 
 double RunMetrics::avg_parallelism() const {
-  if (jct <= 0) return 0.0;
-  return running_tasks.average(0, jct);
+  if (jct <= SimTime{0}) return 0.0;
+  return running_tasks.average(SimTime{0}, jct);
 }
 
 double RunMetrics::avg_task_duration_sec() const {
@@ -129,7 +130,7 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
     h.mix_value(m.faults.blacklist_entries);
     h.mix_value(m.faults.blacklist_exits);
     h.mix_value(m.faults.proactive_rereplications);
-    h.mix_value(m.faults.rereplicated_bytes);
+    h.mix_value(m.faults.rereplicated_bytes.count());
     for (const FaultStats::PerExecutor& e : m.faults.per_executor) {
       h.mix_value(e.crashes);
       h.mix_value(e.transient_failures);
@@ -138,7 +139,7 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
       h.mix_value(e.blacklist_entries);
       h.mix_value(e.blacklist_exits);
       h.mix_value(e.rereplicated_blocks);
-      h.mix_value(e.rereplicated_bytes);
+      h.mix_value(e.rereplicated_bytes.count());
     }
     for (const TaskRecord& t : m.tasks) h.mix_value(t.failed);
   }
@@ -148,7 +149,7 @@ std::uint64_t metrics_fingerprint(const RunMetrics& m) {
     h.mix_value(m.hedge.hedges_launched);
     h.mix_value(m.hedge.hedges_won);
     h.mix_value(m.hedge.hedges_cancelled);
-    h.mix_value(m.hedge.wasted_core_us);
+    h.mix_value(m.hedge.wasted_core_us.count());
     h.mix_value(m.hedge.escalations);
   }
   // Lifecycle breaches likewise gate in only when one fired: clean runs

@@ -20,10 +20,10 @@ struct TaskRecord {
   std::int32_t index = -1;
   ExecutorId exec = ExecutorId::invalid();
   Locality locality = Locality::Any;
-  SimTime launch = 0;
-  SimTime finish = 0;
-  SimTime fetch_time = 0;
-  SimTime compute_time = 0;
+  SimTime launch{};
+  SimTime finish{};
+  SimTime fetch_time{};
+  SimTime compute_time{};
   bool speculative = false;
   bool cancelled = false;
   /// Attempt died (transient failure or executor crash) and was retried.
@@ -35,14 +35,14 @@ struct TaskRecord {
 struct StageRecord {
   StageId id;
   std::string name;
-  SimTime ready_time = -1;
-  SimTime first_launch = -1;
-  SimTime finish_time = -1;
+  SimTime ready_time{-1};
+  SimTime first_launch{-1};
+  SimTime finish_time{-1};
 
   [[nodiscard]] SimTime duration() const {
-    return (first_launch >= 0 && finish_time >= 0)
+    return (first_launch >= SimTime{0} && finish_time >= SimTime{0})
                ? finish_time - first_launch
-               : 0;
+               : SimTime{0};
   }
 };
 
@@ -133,7 +133,7 @@ struct FaultStats {
   /// Sole-copy blocks proactively re-replicated off suspect executors,
   /// and the bytes that moved.
   std::int64_t proactive_rereplications = 0;
-  std::int64_t rereplicated_bytes = 0;
+  Bytes rereplicated_bytes{};
 
   /// Per-executor fault breakdown (fault-stats table, bench CSVs).
   /// Sized to the cluster only when faults are enabled.
@@ -145,12 +145,12 @@ struct FaultStats {
     std::int64_t blacklist_entries = 0;
     std::int64_t blacklist_exits = 0;
     std::int64_t rereplicated_blocks = 0;
-    std::int64_t rereplicated_bytes = 0;
+    Bytes rereplicated_bytes{};
 
     [[nodiscard]] bool any() const {
       return crashes | transient_failures | suspicions | false_suspicions |
              blacklist_entries | blacklist_exits | rereplicated_blocks |
-             rereplicated_bytes;
+             rereplicated_bytes.count();
     }
   };
   std::vector<PerExecutor> per_executor;
@@ -163,7 +163,7 @@ struct FaultStats {
            heartbeats_dropped | deferred_reports |
            partition_stalled_fetches | degraded_launches |
            heavy_tail_injections | blacklist_entries | blacklist_exits |
-           proactive_rereplications | rereplicated_bytes;
+           proactive_rereplications | rereplicated_bytes.count();
   }
 };
 
@@ -178,20 +178,20 @@ struct HedgeStats {
   /// Attempts cancelled because a sibling finished first (either the
   /// losing hedge or the out-raced original).
   std::int64_t hedges_cancelled = 0;
-  /// Core-microseconds spent on attempts that were later cancelled —
-  /// the price paid for the tail latency won.
-  std::int64_t wasted_core_us = 0;
+  /// Core-microseconds (vCPU-work) spent on attempts that were later
+  /// cancelled — the price paid for the tail latency won.
+  CpuWork wasted_core_us{};
   /// Critical-path launches escalated to a faster tier past the
   /// locality ladder (TailConfig::escalate).
   std::int64_t escalations = 0;
 
   [[nodiscard]] double wasted_core_seconds() const {
-    return static_cast<double>(wasted_core_us) / 1e6;
+    return static_cast<double>(wasted_core_us.count()) / 1e6;
   }
 
   [[nodiscard]] bool any() const {
     return hedges_launched | hedges_won | hedges_cancelled |
-           wasted_core_us | escalations;
+           wasted_core_us.count() | escalations;
   }
 };
 
@@ -214,9 +214,9 @@ struct FsmStats {
 struct JobStats {
   std::string name;
   std::int32_t weight = 1;
-  SimTime submitted = 0;
-  SimTime first_launch = -1;
-  SimTime finished = -1;
+  SimTime submitted{};
+  SimTime first_launch{-1};
+  SimTime finished{-1};
   std::int64_t tasks = 0;
   std::int64_t stages = 0;
   /// Per-job slice of CacheStats::effective_task_{reads,hits}.
@@ -226,13 +226,13 @@ struct JobStats {
   /// Job completion time = finish − submit (the serving latency, which
   /// includes any queueing delay before the first launch).
   [[nodiscard]] SimTime jct() const {
-    return finished >= 0 ? finished - submitted : -1;
+    return finished >= SimTime{0} ? finished - submitted : SimTime{-1};
   }
 };
 
 /// Sampled pending-task counts for one executor (Fig. 4 top panes).
 struct PendingSample {
-  SimTime time = 0;
+  SimTime time{};
   std::int32_t node_local = 0;
   std::int32_t rack_local = 0;
 };
@@ -246,7 +246,7 @@ struct ExecutorProfile {
 class RunMetrics {
  public:
   /// Job completion time (time the last stage finished).
-  SimTime jct = 0;
+  SimTime jct{};
 
   /// Busy vCPUs across the cluster over time.
   StepFunction busy_cores;
@@ -255,7 +255,7 @@ class RunMetrics {
   /// vCPUs reserved by other tenants over time (capacity fluctuation).
   StepFunction reserved_cores;
 
-  Cpus total_cores = 0;
+  Cpus total_cores{};
 
   /// Number of discrete events the driver processed — the denominator
   /// of the simulator-throughput (events/sec) figure bench_perf reports.

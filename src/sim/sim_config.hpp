@@ -104,7 +104,7 @@ struct SimConfig {
   /// cores first and from task completions after; phases must be sorted
   /// by time.
   struct CapacityPhase {
-    SimTime at = 0;
+    SimTime at{};
     double reserved_fraction = 0.0;
   };
   std::vector<CapacityPhase> capacity_phases;
@@ -115,7 +115,7 @@ struct SimConfig {
   /// are gated (not schedulable, references inactive in the oracle).
   struct ServingJob {
     std::string name;
-    SimTime submit_at = 0;
+    SimTime submit_at{};
     /// Weighted-fair-share weight (>=1); a job with weight 2 is entitled
     /// to twice the running cores of a weight-1 job under contention.
     std::int32_t weight = 1;

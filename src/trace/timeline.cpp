@@ -15,9 +15,9 @@ std::vector<StageSpan> stage_spans(const RunMetrics& metrics) {
     StageSpan span;
     span.stage = s.id;
     span.name = s.name;
-    span.ready = std::max<SimTime>(0, s.ready_time);
-    span.first_launch = std::max<SimTime>(0, s.first_launch);
-    span.finish = std::max<SimTime>(0, s.finish_time);
+    span.ready = std::max(SimTime{0}, s.ready_time);
+    span.first_launch = std::max(SimTime{0}, s.first_launch);
+    span.finish = std::max(SimTime{0}, s.finish_time);
     spans.push_back(std::move(span));
   }
   std::sort(spans.begin(), spans.end(),
@@ -35,14 +35,14 @@ namespace {
 BinnedSeries bin_function(const StepFunction& f, SimTime jct,
                           std::size_t bins) {
   BinnedSeries series;
-  if (bins == 0 || jct <= 0) return series;
-  series.bin_width = jct / static_cast<SimTime>(bins);
-  if (series.bin_width <= 0) series.bin_width = 1;
+  if (bins == 0 || jct <= SimTime{0}) return series;
+  series.bin_width = jct / static_cast<std::int64_t>(bins);
+  if (series.bin_width <= SimTime{0}) series.bin_width = SimTime{1};
   series.values.reserve(bins);
   for (std::size_t i = 0; i < bins; ++i) {
-    const SimTime lo = static_cast<SimTime>(i) * series.bin_width;
+    const SimTime lo = static_cast<std::int64_t>(i) * series.bin_width;
     const SimTime hi = std::min<SimTime>(jct, lo + series.bin_width);
-    series.values.push_back(f.average(lo, std::max(hi, lo + 1)));
+    series.values.push_back(f.average(lo, std::max(hi, lo + SimTime{1})));
   }
   return series;
 }

@@ -16,9 +16,9 @@ namespace dagon {
 struct StageSpan {
   StageId stage;
   std::string name;
-  SimTime ready = 0;
-  SimTime first_launch = 0;
-  SimTime finish = 0;
+  SimTime ready{};
+  SimTime first_launch{};
+  SimTime finish{};
   /// Time the stage spent ready but not yet launched (queueing).
   [[nodiscard]] SimTime queue_delay() const { return first_launch - ready; }
 };
@@ -28,7 +28,7 @@ struct StageSpan {
 
 /// A time series sampled into `bins` equal intervals over [0, jct].
 struct BinnedSeries {
-  SimTime bin_width = 0;
+  SimTime bin_width{};
   std::vector<double> values;
 };
 

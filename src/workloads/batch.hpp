@@ -49,8 +49,8 @@ struct BatchWorkload {
 /// Per-job completion times extracted from a merged run.
 struct JobCompletion {
   std::string name;
-  SimTime first_launch = 0;
-  SimTime finish = 0;
+  SimTime first_launch{};
+  SimTime finish{};
 
   [[nodiscard]] SimTime jct() const { return finish; }
 };

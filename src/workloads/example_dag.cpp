@@ -13,7 +13,7 @@ Workload make_example_dag(const ExampleDagParams& params) {
   const StageId s1 = b.add_stage({.name = "S1",
                                   .inputs = {{a, DepKind::Narrow}},
                                   .num_tasks = 3,
-                                  .task_cpus = 4,
+                                  .task_cpus = Cpus{4},
                                   .task_duration = 4 * params.minute,
                                   .output_bytes_per_partition =
                                       params.block_bytes,
@@ -22,7 +22,7 @@ Workload make_example_dag(const ExampleDagParams& params) {
   const StageId s2 = b.add_stage({.name = "S2",
                                   .inputs = {{c, DepKind::Narrow}},
                                   .num_tasks = 3,
-                                  .task_cpus = 6,
+                                  .task_cpus = Cpus{6},
                                   .task_duration = 2 * params.minute,
                                   .output_bytes_per_partition =
                                       params.block_bytes,
@@ -32,7 +32,7 @@ Workload make_example_dag(const ExampleDagParams& params) {
       b.add_stage({.name = "S3",
                    .inputs = {{b.output_of(s2), DepKind::Shuffle}},
                    .num_tasks = 2,
-                   .task_cpus = 3,
+                   .task_cpus = Cpus{3},
                    .task_duration = 4 * params.minute,
                    .output_bytes_per_partition = params.block_bytes,
                    .output_name = "E"});
@@ -41,9 +41,9 @@ Workload make_example_dag(const ExampleDagParams& params) {
                .inputs = {{b.output_of(s1), DepKind::Shuffle},
                           {b.output_of(s3), DepKind::Shuffle}},
                .num_tasks = 1,
-               .task_cpus = 4,
+               .task_cpus = Cpus{4},
                .task_duration = 1 * params.minute,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{},
                .output_name = "F"});
 
   return Workload{"fig1-example", WorkloadCategory::Mixed, b.build()};

@@ -13,7 +13,7 @@ Workload make_triangle_count(const TriangleCountParams& p) {
   const StageId load = b.add_stage({.name = "load",
                                     .inputs = {{edges, DepKind::Narrow}},
                                     .num_tasks = n,
-                                    .task_cpus = 1,
+                                    .task_cpus = Cpus{1},
                                     .task_duration = 2 * kSec,
                                     .output_bytes_per_partition =
                                         p.adj_block});
@@ -24,7 +24,7 @@ Workload make_triangle_count(const TriangleCountParams& p) {
   const StageId degrees = b.add_stage({.name = "degrees",
                                        .inputs = {{adj, DepKind::Narrow}},
                                        .num_tasks = n,
-                                       .task_cpus = 1,
+                                       .task_cpus = Cpus{1},
                                        .task_duration = kSec,
                                        .output_bytes_per_partition = kMiB,
                                        .cache_output = false});
@@ -32,7 +32,7 @@ Workload make_triangle_count(const TriangleCountParams& p) {
       b.add_stage({.name = "neighbors",
                    .inputs = {{adj, DepKind::Shuffle}},
                    .num_tasks = n,
-                   .task_cpus = 2,
+                   .task_cpus = Cpus{2},
                    .task_duration = 3 * kSec,
                    .output_bytes_per_partition = p.adj_block,
                    .cache_output = false});
@@ -42,7 +42,7 @@ Workload make_triangle_count(const TriangleCountParams& p) {
                    .inputs = {{b.output_of(neighbors), DepKind::Shuffle},
                               {adj, DepKind::Narrow}},
                    .num_tasks = n,
-                   .task_cpus = 3,
+                   .task_cpus = Cpus{3},
                    .task_duration = 4 * kSec,
                    .output_bytes_per_partition = 16 * kMiB,
                    .cache_output = false});
@@ -51,9 +51,9 @@ Workload make_triangle_count(const TriangleCountParams& p) {
                .inputs = {{b.output_of(join), DepKind::Shuffle},
                           {b.output_of(degrees), DepKind::Shuffle}},
                .num_tasks = std::max(2, n / 4),
-               .task_cpus = 2,
+               .task_cpus = Cpus{2},
                .task_duration = 2 * kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{}});
 
   return Workload{"TriangleCount", WorkloadCategory::Mixed, b.build()};
 }
@@ -74,7 +74,7 @@ Workload make_superstep_graph(const SuperstepParams& p) {
     init = b.add_stage({.name = "init-state",
                         .inputs = {{vertices, DepKind::Narrow}},
                         .num_tasks = n,
-                        .task_cpus = 1,
+                        .task_cpus = Cpus{1},
                         .task_duration = kSec,
                         .output_bytes_per_partition = p.state_block});
   }
@@ -82,7 +82,7 @@ Workload make_superstep_graph(const SuperstepParams& p) {
   const StageId build = b.add_stage({.name = "build-adj",
                                      .inputs = {{edges, DepKind::Narrow}},
                                      .num_tasks = n,
-                                     .task_cpus = 1,
+                                     .task_cpus = Cpus{1},
                                      .task_duration = p.build_compute,
                                      .output_bytes_per_partition =
                                          p.adj_block});
@@ -90,7 +90,7 @@ Workload make_superstep_graph(const SuperstepParams& p) {
   const StageId rbuild = b.add_stage({.name = "build-radj",
                                       .inputs = {{edges, DepKind::Shuffle}},
                                       .num_tasks = n,
-                                      .task_cpus = 1,
+                                      .task_cpus = Cpus{1},
                                       .task_duration = p.build_compute,
                                       .output_bytes_per_partition =
                                           p.radj_block});
@@ -105,7 +105,7 @@ Workload make_superstep_graph(const SuperstepParams& p) {
         b.add_stage({.name = "gather" + std::to_string(step),
                      .inputs = std::move(gather_inputs),
                      .num_tasks = n,
-                     .task_cpus = 1,
+                     .task_cpus = Cpus{1},
                      .task_duration = p.gather_compute,
                      .output_bytes_per_partition = p.message_block / 2,
                      .cache_output = false});
@@ -128,7 +128,7 @@ Workload make_superstep_graph(const SuperstepParams& p) {
         b.add_stage({.name = "scatter" + std::to_string(step),
                      .inputs = std::move(scatter_inputs),
                      .num_tasks = n,
-                     .task_cpus = 3,
+                     .task_cpus = Cpus{3},
                      .task_duration = p.scatter_compute,
                      .output_bytes_per_partition = p.message_block,
                      .cache_output = false,
@@ -139,7 +139,7 @@ Workload make_superstep_graph(const SuperstepParams& p) {
                      .inputs = {{b.output_of(gather), DepKind::Shuffle},
                                 {b.output_of(scatter), DepKind::Shuffle}},
                      .num_tasks = n,
-                     .task_cpus = 1,
+                     .task_cpus = Cpus{1},
                      .task_duration = p.update_compute,
                      .output_bytes_per_partition = p.state_block});
     // The previous superstep's state is now dead: proactive-eviction
@@ -150,9 +150,9 @@ Workload make_superstep_graph(const SuperstepParams& p) {
   b.add_stage({.name = "collect",
                .inputs = {{state_rdd, DepKind::Shuffle}},
                .num_tasks = std::max(2, n / 8),
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{}});
 
   return Workload{p.name, p.category, b.build()};
 }

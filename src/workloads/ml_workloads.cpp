@@ -19,7 +19,7 @@ Workload make_kmeans(const KMeansParams& p) {
   const StageId scan = b.add_stage({.name = "scan",
                                     .inputs = {{points, DepKind::Narrow}},
                                     .num_tasks = n,
-                                    .task_cpus = 1,
+                                    .task_cpus = Cpus{1},
                                     .task_duration = p.scan_compute,
                                     .output_bytes_per_partition =
                                         p.feature_block});
@@ -38,7 +38,7 @@ Workload make_kmeans(const KMeansParams& p) {
         b.add_stage({.name = "iter" + std::to_string(i),
                      .inputs = std::move(inputs),
                      .num_tasks = n,
-                     .task_cpus = 1,
+                     .task_cpus = Cpus{1},
                      .task_duration = p.iter_compute,
                      .output_bytes_per_partition = 64 * kKiB,
                      .cache_output = false});
@@ -53,7 +53,7 @@ Workload make_kmeans(const KMeansParams& p) {
                    .inputs = {{points, DepKind::Narrow},
                               {b.output_of(last_iter), DepKind::Shuffle}},
                    .num_tasks = n,
-                   .task_cpus = 1,
+                   .task_cpus = Cpus{1},
                    .task_duration = p.scan_compute * 9 / 10,
                    .output_bytes_per_partition = p.feature_block,
                    .cache_output = false});
@@ -63,9 +63,9 @@ Workload make_kmeans(const KMeansParams& p) {
                .inputs = {{features, DepKind::Narrow},
                           {b.output_of(rescan), DepKind::Shuffle}},
                .num_tasks = n,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = p.iter_compute,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{}});
 
   return Workload{"KMeans", WorkloadCategory::Mixed, b.build()};
 }
@@ -87,7 +87,7 @@ Workload make_linear_regression(const LinearRegressionParams& p) {
   const StageId parse = b.add_stage({.name = "parse",
                                      .inputs = {{data, DepKind::Narrow}},
                                      .num_tasks = n,
-                                     .task_cpus = 1,
+                                     .task_cpus = Cpus{1},
                                      .task_duration = p.parse_compute,
                                      .output_bytes_per_partition =
                                          p.train_block});
@@ -105,7 +105,7 @@ Workload make_linear_regression(const LinearRegressionParams& p) {
         b.add_stage({.name = "eval" + std::to_string(i),
                      .inputs = std::move(eval_inputs),
                      .num_tasks = n,
-                     .task_cpus = 1,
+                     .task_cpus = Cpus{1},
                      .task_duration = p.gradient_compute,
                      .output_bytes_per_partition = 64 * kKiB,
                      .cache_output = false});
@@ -118,7 +118,7 @@ Workload make_linear_regression(const LinearRegressionParams& p) {
         b.add_stage({.name = "gradient" + std::to_string(i),
                      .inputs = std::move(inputs),
                      .num_tasks = n,
-                     .task_cpus = 3,
+                     .task_cpus = Cpus{3},
                      .task_duration = p.gradient_compute,
                      .output_bytes_per_partition = 64 * kKiB,
                      .cache_output = false});
@@ -133,9 +133,9 @@ Workload make_linear_regression(const LinearRegressionParams& p) {
   b.add_stage({.name = "update",
                .inputs = std::move(update_inputs),
                .num_tasks = std::max(2, n / 4),
-               .task_cpus = 2,
+               .task_cpus = Cpus{2},
                .task_duration = 2 * kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{}});
 
   return Workload{"LinearRegression", WorkloadCategory::CpuIntensive,
                   b.build()};
@@ -150,7 +150,7 @@ Workload make_logistic_regression(const LogisticRegressionParams& p) {
   const StageId parse = b.add_stage({.name = "parse",
                                      .inputs = {{data, DepKind::Narrow}},
                                      .num_tasks = n,
-                                     .task_cpus = 1,
+                                     .task_cpus = Cpus{1},
                                      .task_duration = p.parse_compute,
                                      .output_bytes_per_partition =
                                          p.train_block});
@@ -161,7 +161,7 @@ Workload make_logistic_regression(const LogisticRegressionParams& p) {
   const StageId reg = b.add_stage({.name = "reg-path",
                                    .inputs = {{train, DepKind::Shuffle}},
                                    .num_tasks = std::max(2, n / 4),
-                                   .task_cpus = 4,
+                                   .task_cpus = Cpus{4},
                                    .task_duration = 8 * kSec,
                                    .output_bytes_per_partition = kMiB,
                                    .cache_output = false});
@@ -177,7 +177,7 @@ Workload make_logistic_regression(const LogisticRegressionParams& p) {
         b.add_stage({.name = "diag" + std::to_string(i),
                      .inputs = std::move(diag_inputs),
                      .num_tasks = n,
-                     .task_cpus = 1,
+                     .task_cpus = Cpus{1},
                      .task_duration = p.gradient_compute,
                      .output_bytes_per_partition = 64 * kKiB,
                      .cache_output = false});
@@ -189,7 +189,7 @@ Workload make_logistic_regression(const LogisticRegressionParams& p) {
         b.add_stage({.name = "lbfgs" + std::to_string(i),
                      .inputs = std::move(inputs),
                      .num_tasks = n,
-                     .task_cpus = 3,
+                     .task_cpus = Cpus{3},
                      .task_duration = p.gradient_compute,
                      .output_bytes_per_partition = 64 * kKiB,
                      .cache_output = false});
@@ -203,9 +203,9 @@ Workload make_logistic_regression(const LogisticRegressionParams& p) {
   b.add_stage({.name = "model-select",
                .inputs = std::move(select_inputs),
                .num_tasks = std::max(2, n / 4),
-               .task_cpus = 2,
+               .task_cpus = Cpus{2},
                .task_duration = 2 * kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{}});
 
   return Workload{"LogisticRegression", WorkloadCategory::CpuIntensive,
                   b.build()};
@@ -221,13 +221,13 @@ Workload make_decision_tree(const DecisionTreeParams& p) {
   const StageId labels = b.add_stage({.name = "label-index",
                                       .inputs = {{data, DepKind::Narrow}},
                                       .num_tasks = n,
-                                      .task_cpus = 2,
+                                      .task_cpus = Cpus{2},
                                       .task_duration = 3 * kSec,
                                       .output_bytes_per_partition = kMiB});
   const StageId parse = b.add_stage({.name = "binning",
                                      .inputs = {{data, DepKind::Narrow}},
                                      .num_tasks = n,
-                                     .task_cpus = 1,
+                                     .task_cpus = Cpus{1},
                                      .task_duration = p.parse_compute,
                                      .output_bytes_per_partition =
                                          p.feature_block});
@@ -243,7 +243,7 @@ Workload make_decision_tree(const DecisionTreeParams& p) {
         {.name = "prune" + std::to_string(level),
          .inputs = {{prev_split, DepKind::Shuffle}},
          .num_tasks = n,
-         .task_cpus = 1,
+         .task_cpus = Cpus{1},
          .task_duration = 4 * kSec,
          .output_bytes_per_partition = kMiB,
          .cache_output = false});
@@ -254,7 +254,7 @@ Workload make_decision_tree(const DecisionTreeParams& p) {
          .inputs = {{features, DepKind::Narrow},
                     {prev_split, DepKind::Shuffle}},
          .num_tasks = n,
-         .task_cpus = 3,
+         .task_cpus = Cpus{3},
          .task_duration = p.stats_compute,
          .output_bytes_per_partition = 4 * kMiB,
          .cache_output = false});
@@ -262,7 +262,7 @@ Workload make_decision_tree(const DecisionTreeParams& p) {
         {.name = "split" + std::to_string(level),
          .inputs = {{b.output_of(stats), DepKind::Shuffle}},
          .num_tasks = std::max(2, n / 8),
-         .task_cpus = 1,
+         .task_cpus = Cpus{1},
          .task_duration = kSec,
          .output_bytes_per_partition = kMiB,
          .cache_output = false});
@@ -275,9 +275,9 @@ Workload make_decision_tree(const DecisionTreeParams& p) {
   b.add_stage({.name = "assemble",
                .inputs = std::move(assemble_inputs),
                .num_tasks = 2,
-               .task_cpus = 2,
+               .task_cpus = Cpus{2},
                .task_duration = kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{}});
 
   return Workload{"DecisionTree", WorkloadCategory::CpuIntensive, b.build()};
 }

@@ -14,7 +14,7 @@ Workload make_random_dag(Rng& rng, const RandomDagParams& p) {
         rng.uniform_range(p.min_tasks, p.max_tasks));
   };
   const auto rand_bytes = [&] {
-    return static_cast<Bytes>(rng.uniform_range(kMiB, p.max_block));
+    return Bytes{rng.uniform_range(kMiB.count(), p.max_block.count())};
   };
 
   // A couple of input RDDs for the roots to read.
@@ -79,8 +79,10 @@ Workload make_random_dag(Rng& rng, const RandomDagParams& p) {
         {.name = "s" + std::to_string(s),
          .inputs = std::move(refs),
          .num_tasks = tasks,
-         .task_cpus = static_cast<Cpus>(rng.uniform_range(1, p.max_cpus)),
-         .task_duration = rng.uniform_range(p.min_duration, p.max_duration),
+         .task_cpus = Cpus{static_cast<std::int32_t>(
+             rng.uniform_range(1, p.max_cpus.count()))},
+         .task_duration = SimTime{rng.uniform_range(p.min_duration.count(),
+                                    p.max_duration.count())},
          .output_bytes_per_partition = rand_bytes(),
          .cache_output = rng.bernoulli(p.cache_prob)});
     made.push_back(Made{sid, b.output_of(sid), tasks});

@@ -14,7 +14,7 @@ struct RandomDagParams {
   std::int32_t max_parents = 3;
   std::int32_t min_tasks = 1;
   std::int32_t max_tasks = 32;
-  Cpus max_cpus = 4;
+  Cpus max_cpus{4};
   SimTime min_duration = 200 * kMsec;
   SimTime max_duration = 8 * kSec;
   Bytes max_block = 64 * kMiB;

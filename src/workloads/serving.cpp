@@ -15,8 +15,9 @@ SimTime exponential_gap(Rng& rng, double rate_per_sec) {
   DAGON_CHECK_MSG(rate_per_sec > 0.0, "arrival rate must be positive");
   // 1 - uniform() is in (0, 1], so the log argument never hits zero.
   const double gap_sec = -std::log(1.0 - rng.uniform()) / rate_per_sec;
-  return std::max<SimTime>(1, static_cast<SimTime>(
-                                  gap_sec * static_cast<double>(kSec)));
+  return std::max(
+      SimTime{1},
+      time_from_usec(gap_sec * static_cast<double>(kSec.count())));
 }
 
 }  // namespace
@@ -29,7 +30,7 @@ std::vector<SimTime> generate_arrivals(const ArrivalSpec& spec,
   Rng rng = Rng(spec.seed).fork(/*stream=*/0x5e21);
   std::vector<SimTime> at;
   at.reserve(static_cast<std::size_t>(n));
-  SimTime t = 0;
+  SimTime t{};
   for (std::int32_t i = 0; i < n; ++i) {
     if (i > 0) {
       switch (spec.kind) {
@@ -43,7 +44,7 @@ std::vector<SimTime> generate_arrivals(const ArrivalSpec& spec,
               spec.trace_gaps_sec[static_cast<std::size_t>(i - 1) %
                                   spec.trace_gaps_sec.size()];
           DAGON_CHECK_MSG(gap_sec >= 0.0, "trace gaps must be >= 0");
-          t += static_cast<SimTime>(gap_sec * static_cast<double>(kSec));
+          t += time_from_usec(gap_sec * static_cast<double>(kSec.count()));
           break;
         }
         case ArrivalKind::Bursty: {

@@ -33,6 +33,7 @@ struct WorkloadScale {
 
   [[nodiscard]] std::int32_t parts(std::int32_t base) const {
     const auto scaled =
+        // dagonlint: allow(narrowing-cast): scaled partition count, dimensionless
         static_cast<std::int32_t>(static_cast<double>(base) * size);
     return std::max<std::int32_t>(2, scaled);
   }

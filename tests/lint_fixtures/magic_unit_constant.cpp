@@ -1,0 +1,6 @@
+// dagonlint fixture: one unsuppressed magic-unit-constant violation (line 4).
+
+long long fixture_deadline(long long ticks) {
+  const auto deadline_us = ticks * 1000000;
+  return deadline_us;
+}

@@ -1,0 +1,7 @@
+// dagonlint fixture: one unsuppressed narrowing-cast violation (line 6).
+#include <cstdint>
+
+std::int64_t fixture_micros(double seconds) {
+  const double scaled = seconds * 1e6;
+  return static_cast<std::int64_t>(scaled);
+}

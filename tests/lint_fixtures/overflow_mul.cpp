@@ -1,0 +1,7 @@
+// dagonlint fixture: one unsuppressed overflow-mul violation (line 6).
+
+long long fixture_product(long long a, long long b) {
+  const auto span_us = a;
+  const auto load_work = b;
+  return span_us * load_work;
+}

@@ -1,0 +1,6 @@
+// dagonlint fixture: one unsuppressed raw-unit-decl violation (line 5).
+#include <cstdint>
+
+struct FixtureBudget {
+  std::int64_t deadline_us = 0;
+};

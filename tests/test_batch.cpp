@@ -20,15 +20,15 @@ Workload tiny_job(const std::string& name, SimTime duration, Cpus cpus) {
   b.add_stage({.name = "reduce",
                .inputs = {{b.output_of(first), DepKind::Shuffle}},
                .num_tasks = 4,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = duration / 2,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{0}});
   return Workload{name, WorkloadCategory::Mixed, b.build()};
 }
 
 TEST(Batch, MergePreservesStructure) {
   const BatchWorkload batch = merge_workloads(
-      {tiny_job("alpha", 2 * kSec, 1), tiny_job("beta", 4 * kSec, 2)});
+      {tiny_job("alpha", 2 * kSec, Cpus{1}), tiny_job("beta", 4 * kSec, Cpus{2})});
   EXPECT_EQ(batch.combined.name, "alpha+beta");
   EXPECT_EQ(batch.combined.dag.num_stages(), 4u);
   ASSERT_EQ(batch.jobs.size(), 2u);
@@ -47,8 +47,8 @@ TEST(Batch, MergePreservesStructure) {
 }
 
 TEST(Batch, MergePreservesWorkloads) {
-  const Workload a = tiny_job("alpha", 2 * kSec, 1);
-  const Workload b = tiny_job("beta", 4 * kSec, 2);
+  const Workload a = tiny_job("alpha", 2 * kSec, Cpus{1});
+  const Workload b = tiny_job("beta", 4 * kSec, Cpus{2});
   const BatchWorkload batch = merge_workloads({a, b});
   EXPECT_EQ(batch.combined.dag.total_workload(),
             a.dag.total_workload() + b.dag.total_workload());
@@ -60,16 +60,16 @@ TEST(Batch, MergeRejectsEmpty) {
 
 TEST(Batch, PerJobCompletionsAreConsistent) {
   const BatchWorkload batch = merge_workloads(
-      {tiny_job("alpha", 2 * kSec, 1), tiny_job("beta", 4 * kSec, 1)});
+      {tiny_job("alpha", 2 * kSec, Cpus{1}), tiny_job("beta", 4 * kSec, Cpus{1})});
   SimConfig config;
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   const RunMetrics m = run_workload(batch.combined, config).metrics;
   const auto completions = per_job_completions(batch, m);
   ASSERT_EQ(completions.size(), 2u);
-  SimTime latest = 0;
+  SimTime latest{};
   for (const JobCompletion& jc : completions) {
     EXPECT_GT(jc.finish, jc.first_launch);
     latest = std::max(latest, jc.finish);
@@ -81,12 +81,12 @@ TEST(Batch, FairSharesAcrossJobsFifoSerializes) {
   // Two identical jobs on a tight cluster: FIFO runs alpha before beta
   // (beta's first launch is late); Fair interleaves (both start early).
   const BatchWorkload batch = merge_workloads(
-      {tiny_job("alpha", 4 * kSec, 1), tiny_job("beta", 4 * kSec, 1)});
+      {tiny_job("alpha", 4 * kSec, Cpus{1}), tiny_job("beta", 4 * kSec, Cpus{1})});
   SimConfig config;
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 1;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 4;  // 8+8 tasks on 4 cores
+  config.topology.cores_per_executor = Cpus{4};  // 8+8 tasks on 4 cores
 
   config.scheduler = SchedulerKind::Fifo;
   const auto fifo =
@@ -105,12 +105,12 @@ TEST(Batch, DagonPrioritizesBiggerRemainingWork) {
   // A heavy and a light job: Dagon's pv ranks the heavy job's stages
   // first, so the light job finishes close to last (makespan-friendly).
   const BatchWorkload batch = merge_workloads(
-      {tiny_job("light", kSec, 1), tiny_job("heavy", 8 * kSec, 1)});
+      {tiny_job("light", kSec, Cpus{1}), tiny_job("heavy", 8 * kSec, Cpus{1})});
   SimConfig config;
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 1;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.scheduler = SchedulerKind::Dagon;
   const auto done =
       per_job_completions(batch, run_workload(batch.combined,
@@ -126,7 +126,7 @@ SimConfig capacity_cluster() {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   return config;
 }
 
@@ -136,9 +136,9 @@ Workload wide_job() {
   b.add_stage({.name = "map",
                .inputs = {{in, DepKind::Narrow}},
                .num_tasks = 48,  // 3 waves on 16 cores, 6 on 8
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = 4 * kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{0}});
   return Workload{"wide", WorkloadCategory::Mixed, b.build()};
 }
 
@@ -146,20 +146,20 @@ TEST(CapacityPhases, ReservationSlowsTheJob) {
   const Workload w = wide_job();
   SimConfig config = capacity_cluster();
   const SimTime base = run_workload(w, config).metrics.jct;
-  config.capacity_phases = {{0, 0.5}};
+  config.capacity_phases = {{SimTime{0}, 0.5}};
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_GT(m.jct, base * 15 / 10);
   // Reservations never preempt: the first wave (launched before the
   // phase applied) runs to completion, then the full 8-core reservation
   // holds for the rest of the job.
-  EXPECT_DOUBLE_EQ(m.reserved_cores.at(m.jct - 1), 8.0);
+  EXPECT_DOUBLE_EQ(m.reserved_cores.at(m.jct - SimTime{1}), 8.0);
   EXPECT_GE(m.reserved_cores.average(kSec, m.jct), 6.0);
 }
 
 TEST(CapacityPhases, ReleaseRestoresCapacity) {
-  const Workload w = tiny_job("job", 4 * kSec, 1);
+  const Workload w = tiny_job("job", 4 * kSec, Cpus{1});
   SimConfig config = capacity_cluster();
-  config.capacity_phases = {{0, 0.5}, {6 * kSec, 0.0}};
+  config.capacity_phases = {{SimTime{0}, 0.5}, {6 * kSec, 0.0}};
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_DOUBLE_EQ(m.reserved_cores.at(7 * kSec), 0.0);
   // Busy + reserved never exceed capacity.
@@ -171,7 +171,7 @@ TEST(CapacityPhases, ReleaseRestoresCapacity) {
 TEST(CapacityPhases, PendingReservationClaimsAsTasksFinish) {
   // Reserve 100%-ish mid-run: claims must wait for completions, never
   // preempt, and the job must still finish.
-  const Workload w = tiny_job("job", 4 * kSec, 1);
+  const Workload w = tiny_job("job", 4 * kSec, Cpus{1});
   SimConfig config = capacity_cluster();
   config.capacity_phases = {{kSec, 0.75}, {10 * kSec, 0.0}};
   const RunMetrics m = run_workload(w, config).metrics;
@@ -182,16 +182,16 @@ TEST(CapacityPhases, PendingReservationClaimsAsTasksFinish) {
 }
 
 TEST(CapacityPhases, RejectsBadPhases) {
-  const Workload w = tiny_job("job", kSec, 1);
+  const Workload w = tiny_job("job", kSec, Cpus{1});
   SimConfig config = capacity_cluster();
   config.capacity_phases = {{5 * kSec, 0.5}, {2 * kSec, 0.1}};  // unsorted
   EXPECT_THROW(run_workload(w, config), ConfigError);
-  config.capacity_phases = {{0, 1.5}};  // fraction out of range
+  config.capacity_phases = {{SimTime{0}, 1.5}};  // fraction out of range
   EXPECT_THROW(run_workload(w, config), ConfigError);
 }
 
 TEST(CapacityPhases, DeterministicUnderFluctuation) {
-  const Workload w = tiny_job("job", 2 * kSec, 1);
+  const Workload w = tiny_job("job", 2 * kSec, Cpus{1});
   SimConfig config = capacity_cluster();
   config.capacity_phases = {{kSec, 0.5}, {4 * kSec, 0.25}};
   config.duration_noise = 0.2;

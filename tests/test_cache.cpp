@@ -84,18 +84,19 @@ TEST_F(CacheFixture, OracleDistanceNeverUsed) {
 
 TEST_F(CacheFixture, OracleReferencePriorityIsMaxPvOfReaders) {
   // Initial pv (Table III): pv1=52, pv2=64, pv3=28, pv4=4 (vCPU·min).
-  EXPECT_EQ(oracle_.reference_priority(A(0)), 52 * kMinute);
-  EXPECT_EQ(oracle_.reference_priority(C(0)), 64 * kMinute);
-  EXPECT_EQ(oracle_.reference_priority(B(0)), 4 * kMinute);
+  EXPECT_EQ(oracle_.reference_priority(A(0)), CpuWork{52 * kMinute.count()});
+  EXPECT_EQ(oracle_.reference_priority(C(0)), CpuWork{64 * kMinute.count()});
+  EXPECT_EQ(oracle_.reference_priority(B(0)), CpuWork{4 * kMinute.count()});
   oracle_.mark_stage_finished(StageId(3));
-  EXPECT_EQ(oracle_.reference_priority(B(0)), 0);
+  EXPECT_EQ(oracle_.reference_priority(B(0)), CpuWork{0});
 }
 
 TEST_F(CacheFixture, OraclePriorityUpdates) {
-  std::vector<CpuWork> pv{10, 20, 30, 40};
+  std::vector<CpuWork> pv{CpuWork{10}, CpuWork{20}, CpuWork{30},
+                          CpuWork{40}};
   oracle_.set_priority_values(pv);
-  EXPECT_EQ(oracle_.priority_value(StageId(2)), 30);
-  EXPECT_EQ(oracle_.reference_priority(D(0)), 30);
+  EXPECT_EQ(oracle_.priority_value(StageId(2)), CpuWork{30});
+  EXPECT_EQ(oracle_.reference_priority(D(0)), CpuWork{30});
 }
 
 TEST_F(CacheFixture, OracleLiveReaders) {
@@ -107,8 +108,8 @@ TEST_F(CacheFixture, OracleLiveReaders) {
 
 TEST_F(CacheFixture, LruRetentionIsRecency) {
   LruPolicy lru;
-  EXPECT_LT(lru.retention_priority(A(0), 10, oracle_),
-            lru.retention_priority(B(0), 20, oracle_));
+  EXPECT_LT(lru.retention_priority(A(0), SimTime{10}, oracle_),
+            lru.retention_priority(B(0), SimTime{20}, oracle_));
   EXPECT_TRUE(lru.always_admit());
   EXPECT_FALSE(lru.prefetch_priority(A(0), oracle_).has_value());
   EXPECT_FALSE(lru.is_dead(A(0), oracle_));
@@ -117,8 +118,8 @@ TEST_F(CacheFixture, LruRetentionIsRecency) {
 TEST_F(CacheFixture, LrcRetentionIsRefCount) {
   LrcPolicy lrc;
   oracle_.on_task_launched(StageId(0), 0);  // consume A0
-  EXPECT_LT(lrc.retention_priority(A(0), 99, oracle_),
-            lrc.retention_priority(A(1), 0, oracle_));
+  EXPECT_LT(lrc.retention_priority(A(0), SimTime{99}, oracle_),
+            lrc.retention_priority(A(1), SimTime{0}, oracle_));
   EXPECT_TRUE(lrc.is_dead(A(0), oracle_));
 }
 
@@ -126,8 +127,8 @@ TEST_F(CacheFixture, MrdEvictsFurthestPrefetchesNearest) {
   MrdPolicy mrd;
   oracle_.set_current_stage(StageId(0));
   // B (used by S4, distance 3) must be evicted before C (distance 1).
-  EXPECT_LT(mrd.retention_priority(B(0), 0, oracle_),
-            mrd.retention_priority(C(0), 0, oracle_));
+  EXPECT_LT(mrd.retention_priority(B(0), SimTime{0}, oracle_),
+            mrd.retention_priority(C(0), SimTime{0}, oracle_));
   EXPECT_GT(*mrd.prefetch_priority(C(0), oracle_),
             *mrd.prefetch_priority(B(0), oracle_));
   oracle_.mark_stage_finished(StageId(3));
@@ -136,8 +137,8 @@ TEST_F(CacheFixture, MrdEvictsFurthestPrefetchesNearest) {
 
 TEST_F(CacheFixture, LrpFollowsReferencePriority) {
   LrpPolicy lrp;
-  EXPECT_GT(lrp.retention_priority(C(0), 0, oracle_),
-            lrp.retention_priority(A(0), 0, oracle_));
+  EXPECT_GT(lrp.retention_priority(C(0), SimTime{0}, oracle_),
+            lrp.retention_priority(A(0), SimTime{0}, oracle_));
   EXPECT_GT(*lrp.prefetch_priority(C(0), oracle_),
             *lrp.prefetch_priority(B(0), oracle_));
   oracle_.mark_stage_finished(StageId(3));
@@ -178,14 +179,14 @@ class LercFixture : public ::testing::Test {
     load_ = builder.add_stage({.name = "load",
                                .inputs = {{ds, DepKind::Narrow}},
                                .num_tasks = 2,
-                               .task_cpus = 1,
+                               .task_cpus = Cpus{1},
                                .task_duration = kSec,
                                .output_bytes_per_partition = kMiB,
                                .output_name = "a"});
     feat_ = builder.add_stage({.name = "feat",
                                .inputs = {{ds, DepKind::Narrow}},
                                .num_tasks = 2,
-                               .task_cpus = 1,
+                               .task_cpus = Cpus{1},
                                .task_duration = kSec,
                                .output_bytes_per_partition = kMiB,
                                .output_name = "b"});
@@ -195,9 +196,9 @@ class LercFixture : public ::testing::Test {
                                .inputs = {{a_, DepKind::Narrow},
                                           {b_, DepKind::Narrow}},
                                .num_tasks = 2,
-                               .task_cpus = 1,
+                               .task_cpus = Cpus{1},
                                .task_duration = kSec,
-                               .output_bytes_per_partition = 0,
+                               .output_bytes_per_partition = Bytes{0},
                                .cache_output = false});
     dag_ = builder.build();
     oracle_ = std::make_unique<ReferenceOracle>(dag_);
@@ -259,13 +260,13 @@ TEST_F(LercFixture, LercRetentionRanksCompleteGroupsAboveBroken) {
   oracle_->set_memory_resident(a(0), true);
   oracle_->set_memory_resident(b(0), true);
   oracle_->set_memory_resident(a(1), true);  // b1 missing: broken group
-  const double complete = lerc.retention_priority(a(0), 0, *oracle_);
-  const double broken = lerc.retention_priority(a(1), 0, *oracle_);
+  const double complete = lerc.retention_priority(a(0), SimTime{0}, *oracle_);
+  const double broken = lerc.retention_priority(a(1), SimTime{0}, *oracle_);
   EXPECT_GT(complete, broken);
   // The raw reference count still separates broken-but-live data from
   // dead data.
   oracle_->mark_stage_finished(join_);
-  EXPECT_LT(lerc.retention_priority(a(0), 0, *oracle_), 1.0);
+  EXPECT_LT(lerc.retention_priority(a(0), SimTime{0}, *oracle_), 1.0);
   EXPECT_TRUE(lerc.is_dead(a(0), *oracle_));
 }
 
@@ -275,13 +276,13 @@ TEST_F(LercFixture, CompletingBlockDisplacesBrokenResidents) {
   // refuses the tie and strands the half group.
   LercPolicy lerc;
   BlockManager bm(ExecutorId(0), 3 * kMiB, lerc);
-  (void)bm.insert(a(0), kMiB, 1, *oracle_);
+  (void)bm.insert(a(0), kMiB, SimTime{1}, *oracle_);
   oracle_->set_memory_resident(a(0), true);
-  (void)bm.insert(b(0), kMiB, 2, *oracle_);
+  (void)bm.insert(b(0), kMiB, SimTime{2}, *oracle_);
   oracle_->set_memory_resident(b(0), true);
-  (void)bm.insert(a(1), kMiB, 3, *oracle_);
+  (void)bm.insert(a(1), kMiB, SimTime{3}, *oracle_);
   oracle_->set_memory_resident(a(1), true);
-  const auto res = bm.insert(b(1), kMiB, 4, *oracle_);
+  const auto res = bm.insert(b(1), kMiB, SimTime{4}, *oracle_);
   ASSERT_TRUE(res.admitted);
   ASSERT_EQ(res.evicted.size(), 1u);
   EXPECT_EQ(res.evicted[0], a(1));
@@ -305,19 +306,19 @@ TEST_F(LercFixture, PeerTrackingIsIdempotentAndGated) {
 TEST_F(CacheFixture, ManagerInsertAndCapacity) {
   LruPolicy lru;
   BlockManager bm(ExecutorId(0), 2 * kMiB, lru);
-  EXPECT_TRUE(bm.insert(A(0), kMiB, 1, oracle_).admitted);
-  EXPECT_TRUE(bm.insert(A(1), kMiB, 2, oracle_).admitted);
-  EXPECT_EQ(bm.free_bytes(), 0);
+  EXPECT_TRUE(bm.insert(A(0), kMiB, SimTime{1}, oracle_).admitted);
+  EXPECT_TRUE(bm.insert(A(1), kMiB, SimTime{2}, oracle_).admitted);
+  EXPECT_EQ(bm.free_bytes(), Bytes{0});
   EXPECT_EQ(bm.num_blocks(), 2u);
 }
 
 TEST_F(CacheFixture, ManagerLruEvictsOldest) {
   LruPolicy lru;
   BlockManager bm(ExecutorId(0), 2 * kMiB, lru);
-  (void)bm.insert(A(0), kMiB, 1, oracle_);
-  (void)bm.insert(A(1), kMiB, 2, oracle_);
-  bm.touch(A(0), 3);  // A0 now most recent
-  const auto res = bm.insert(A(2), kMiB, 4, oracle_);
+  (void)bm.insert(A(0), kMiB, SimTime{1}, oracle_);
+  (void)bm.insert(A(1), kMiB, SimTime{2}, oracle_);
+  bm.touch(A(0), SimTime{3});  // A0 now most recent
+  const auto res = bm.insert(A(2), kMiB, SimTime{4}, oracle_);
   ASSERT_TRUE(res.admitted);
   ASSERT_EQ(res.evicted.size(), 1u);
   EXPECT_EQ(res.evicted[0], A(1));
@@ -327,8 +328,8 @@ TEST_F(CacheFixture, ManagerLruEvictsOldest) {
 TEST_F(CacheFixture, ManagerReinsertIsTouch) {
   LruPolicy lru;
   BlockManager bm(ExecutorId(0), 2 * kMiB, lru);
-  (void)bm.insert(A(0), kMiB, 1, oracle_);
-  const auto res = bm.insert(A(0), kMiB, 5, oracle_);
+  (void)bm.insert(A(0), kMiB, SimTime{1}, oracle_);
+  const auto res = bm.insert(A(0), kMiB, SimTime{5}, oracle_);
   EXPECT_TRUE(res.admitted);
   EXPECT_TRUE(res.evicted.empty());
   EXPECT_EQ(bm.used_bytes(), kMiB);
@@ -337,7 +338,7 @@ TEST_F(CacheFixture, ManagerReinsertIsTouch) {
 TEST_F(CacheFixture, ManagerOversizeBlockRefused) {
   LruPolicy lru;
   BlockManager bm(ExecutorId(0), kMiB, lru);
-  EXPECT_FALSE(bm.insert(A(0), 2 * kMiB, 1, oracle_).admitted);
+  EXPECT_FALSE(bm.insert(A(0), 2 * kMiB, SimTime{1}, oracle_).admitted);
   EXPECT_EQ(bm.num_blocks(), 0u);
 }
 
@@ -345,9 +346,9 @@ TEST_F(CacheFixture, ManagerLrpDeclinesLowPriorityInsert) {
   LrpPolicy lrp;
   BlockManager bm(ExecutorId(0), 2 * kMiB, lrp);
   // C blocks: priority 64; A blocks: 52; B blocks: 4.
-  (void)bm.insert(C(0), kMiB, 1, oracle_);
-  (void)bm.insert(C(1), kMiB, 1, oracle_);
-  const auto res = bm.insert(B(0), kMiB, 2, oracle_);
+  (void)bm.insert(C(0), kMiB, SimTime{1}, oracle_);
+  (void)bm.insert(C(1), kMiB, SimTime{1}, oracle_);
+  const auto res = bm.insert(B(0), kMiB, SimTime{2}, oracle_);
   EXPECT_FALSE(res.admitted);  // would displace more valuable C blocks
   EXPECT_TRUE(res.evicted.empty());
   EXPECT_TRUE(bm.contains(C(0)));
@@ -357,9 +358,9 @@ TEST_F(CacheFixture, ManagerLrpDeclinesLowPriorityInsert) {
 TEST_F(CacheFixture, ManagerLrpEvictsLowestPriority) {
   LrpPolicy lrp;
   BlockManager bm(ExecutorId(0), 2 * kMiB, lrp);
-  (void)bm.insert(B(0), kMiB, 1, oracle_);  // priority 4
-  (void)bm.insert(A(0), kMiB, 1, oracle_);  // priority 52
-  const auto res = bm.insert(C(0), kMiB, 2, oracle_);  // priority 64
+  (void)bm.insert(B(0), kMiB, SimTime{1}, oracle_);  // priority 4
+  (void)bm.insert(A(0), kMiB, SimTime{1}, oracle_);  // priority 52
+  const auto res = bm.insert(C(0), kMiB, SimTime{2}, oracle_);  // priority 64
   ASSERT_TRUE(res.admitted);
   ASSERT_EQ(res.evicted.size(), 1u);
   EXPECT_EQ(res.evicted[0], B(0));
@@ -368,18 +369,18 @@ TEST_F(CacheFixture, ManagerLrpEvictsLowestPriority) {
 TEST_F(CacheFixture, ManagerStrictAdmissionRejectsEqualValue) {
   LrpPolicy lrp;
   BlockManager bm(ExecutorId(0), kMiB, lrp);
-  (void)bm.insert(A(0), kMiB, 1, oracle_);
+  (void)bm.insert(A(0), kMiB, SimTime{1}, oracle_);
   // A1 has the same priority as A0: a strict (prefetch) insert must not
   // thrash; a normal insert may swap.
-  EXPECT_FALSE(bm.insert(A(1), kMiB, 2, oracle_, true).admitted);
+  EXPECT_FALSE(bm.insert(A(1), kMiB, SimTime{2}, oracle_, true).admitted);
   EXPECT_TRUE(bm.contains(A(0)));
 }
 
 TEST_F(CacheFixture, ManagerProactiveEviction) {
   LrpPolicy lrp;
   BlockManager bm(ExecutorId(0), 4 * kMiB, lrp);
-  (void)bm.insert(A(0), kMiB, 1, oracle_);
-  (void)bm.insert(C(0), kMiB, 1, oracle_);
+  (void)bm.insert(A(0), kMiB, SimTime{1}, oracle_);
+  (void)bm.insert(C(0), kMiB, SimTime{1}, oracle_);
   oracle_.on_task_launched(StageId(0), 0);  // consumes A0
   const auto evicted = bm.evict_dead(oracle_);
   ASSERT_EQ(evicted.size(), 1u);
@@ -391,19 +392,19 @@ TEST_F(CacheFixture, ManagerMinRetention) {
   LrpPolicy lrp;
   BlockManager bm(ExecutorId(0), 4 * kMiB, lrp);
   EXPECT_TRUE(std::isinf(bm.min_retention(oracle_)));
-  (void)bm.insert(B(0), kMiB, 1, oracle_);
-  (void)bm.insert(C(0), kMiB, 1, oracle_);
+  (void)bm.insert(B(0), kMiB, SimTime{1}, oracle_);
+  (void)bm.insert(C(0), kMiB, SimTime{1}, oracle_);
   EXPECT_DOUBLE_EQ(bm.min_retention(oracle_),
-                   static_cast<double>(4 * kMinute));
+                   static_cast<double>((4 * kMinute).count()));
 }
 
 TEST_F(CacheFixture, ManagerRemove) {
   LruPolicy lru;
   BlockManager bm(ExecutorId(0), 4 * kMiB, lru);
-  (void)bm.insert(A(0), kMiB, 1, oracle_);
+  (void)bm.insert(A(0), kMiB, SimTime{1}, oracle_);
   EXPECT_TRUE(bm.remove(A(0)));
   EXPECT_FALSE(bm.remove(A(0)));
-  EXPECT_EQ(bm.used_bytes(), 0);
+  EXPECT_EQ(bm.used_bytes(), Bytes{0});
 }
 
 // --- BlockManagerMaster ----------------------------------------------------
@@ -422,7 +423,7 @@ class MasterFixture : public CacheFixture {
     spec.racks = 1;
     spec.nodes_per_rack = 2;
     spec.executors_per_node = 1;
-    spec.cores_per_executor = 4;
+    spec.cores_per_executor = Cpus{4};
     spec.cache_bytes_per_executor = 3 * kMiB;
     return spec;
   }
@@ -440,7 +441,7 @@ class MasterFixture : public CacheFixture {
 };
 
 TEST_F(MasterFixture, LookupPrefersMemoryOverDisk) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   // A0..A2 are seeded into the executor on their replica node.
   const auto holders = master_.memory_holders(A(0));
   ASSERT_EQ(holders.size(), 1u);
@@ -464,7 +465,7 @@ TEST_F(MasterFixture, LookupNonexistentBlockThrows) {
 }
 
 TEST_F(MasterFixture, ProducedBlockGetsDiskAndMemoryCopy) {
-  master_.on_block_produced(B(0), ExecutorId(0), 5);
+  master_.on_block_produced(B(0), ExecutorId(0), SimTime{5});
   EXPECT_TRUE(master_.exists(B(0)));
   const auto disks = master_.disk_holders(B(0));
   ASSERT_EQ(disks.size(), 1u);
@@ -475,15 +476,15 @@ TEST_F(MasterFixture, ProducedBlockGetsDiskAndMemoryCopy) {
 }
 
 TEST_F(MasterFixture, EvictionDropsMemoryNotDisk) {
-  master_.on_block_produced(B(0), ExecutorId(0), 1);
+  master_.on_block_produced(B(0), ExecutorId(0), SimTime{1});
   ASSERT_TRUE(master_.manager(ExecutorId(0)).contains(B(0)));
   // Fill the 3-block cache with higher-priority C blocks (pv2 = 64).
   master_.on_block_read(C(0), ExecutorId(0),
-                        master_.lookup(C(0), ExecutorId(0)), 2);
+                        master_.lookup(C(0), ExecutorId(0)), SimTime{2});
   master_.on_block_read(C(1), ExecutorId(0),
-                        master_.lookup(C(1), ExecutorId(0)), 3);
+                        master_.lookup(C(1), ExecutorId(0)), SimTime{3});
   master_.on_block_read(C(2), ExecutorId(0),
-                        master_.lookup(C(2), ExecutorId(0)), 4);
+                        master_.lookup(C(2), ExecutorId(0)), SimTime{4});
   EXPECT_FALSE(master_.manager(ExecutorId(0)).contains(B(0)));
   // Disk copy survives; lookup degrades to local disk.
   EXPECT_EQ(master_.lookup(B(0), ExecutorId(0)).source,
@@ -492,22 +493,22 @@ TEST_F(MasterFixture, EvictionDropsMemoryNotDisk) {
 
 TEST_F(MasterFixture, DiskReadOfCacheableRddCaches) {
   const auto look = master_.lookup(C(0), ExecutorId(0));
-  master_.on_block_read(C(0), ExecutorId(0), look, 1);
+  master_.on_block_read(C(0), ExecutorId(0), look, SimTime{1});
   EXPECT_EQ(master_.lookup(C(0), ExecutorId(0)).source,
             BlockSource::LocalMemory);
 }
 
 TEST_F(MasterFixture, RemoteMemoryReadDoesNotDuplicate) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   const ExecutorId holder = master_.memory_holders(A(0))[0];
   const ExecutorId other(holder == ExecutorId(0) ? 1 : 0);
   const auto look = master_.lookup(A(0), other);
-  master_.on_block_read(A(0), other, look, 1);
+  master_.on_block_read(A(0), other, look, SimTime{1});
   EXPECT_EQ(master_.memory_holders(A(0)).size(), 1u);
 }
 
 TEST_F(MasterFixture, ProactiveSweepDropsDeadBlocks) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   oracle_.mark_stage_finished(StageId(0));  // A is now dead
   const int dropped = master_.proactive_sweep();
   EXPECT_EQ(dropped, 3);
@@ -523,13 +524,13 @@ TEST_F(MasterFixture, PrefetchCandidatePicksHighestPriorityLocalBlock) {
   const auto choice = master_.prefetch_candidate(exec);
   ASSERT_TRUE(choice.has_value());
   EXPECT_EQ(choice->block.rdd, RddId(1));
-  EXPECT_TRUE(master_.finish_prefetch(choice->block, exec, 1));
+  EXPECT_TRUE(master_.finish_prefetch(choice->block, exec, SimTime{1}));
   EXPECT_EQ(master_.lookup(choice->block, exec).source,
             BlockSource::LocalMemory);
 }
 
 TEST_F(MasterFixture, PrefetchSkipsBlocksAlreadyInMemory) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   for (const Executor& e : topo_.executors()) {
     if (const auto choice = master_.prefetch_candidate(e.id)) {
       EXPECT_NE(choice->block.rdd, RddId(0));  // A blocks are cached
@@ -540,16 +541,16 @@ TEST_F(MasterFixture, PrefetchSkipsBlocksAlreadyInMemory) {
 TEST_F(MasterFixture, CacheDisabledMasterIsInert) {
   BlockManagerMaster off(topo_, dag(), hdfs_, oracle_, *policy_,
                          /*cache_enabled=*/false);
-  off.seed_initial_cache(0);
+  off.seed_initial_cache(SimTime{0});
   EXPECT_TRUE(off.memory_holders(A(0)).empty());
-  off.on_block_produced(B(0), ExecutorId(0), 1);
+  off.on_block_produced(B(0), ExecutorId(0), SimTime{1});
   EXPECT_EQ(off.lookup(B(0), ExecutorId(0)).source, BlockSource::LocalDisk);
   EXPECT_FALSE(off.prefetch_candidate(ExecutorId(0)).has_value());
   EXPECT_EQ(off.proactive_sweep(), 0);
 }
 
 TEST_F(MasterFixture, CountersTrackActivity) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   const auto& counters = master_.counters();
   EXPECT_EQ(counters.insertions, 3);
   oracle_.mark_stage_finished(StageId(0));

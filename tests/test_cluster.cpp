@@ -16,7 +16,7 @@ TopologySpec small_spec() {
   spec.racks = 2;
   spec.nodes_per_rack = 3;
   spec.executors_per_node = 2;
-  spec.cores_per_executor = 4;
+  spec.cores_per_executor = Cpus{4};
   spec.cache_bytes_per_executor = 256 * kMiB;
   return spec;
 }
@@ -25,7 +25,7 @@ TEST(Topology, BuildsExpectedShape) {
   const Topology topo(small_spec());
   EXPECT_EQ(topo.num_nodes(), 6u);
   EXPECT_EQ(topo.num_executors(), 12u);
-  EXPECT_EQ(topo.total_cores(), 48);
+  EXPECT_EQ(topo.total_cores(), Cpus{48});
 }
 
 TEST(Topology, NodeAndRackWiring) {
@@ -49,7 +49,7 @@ TEST(Topology, NodeLocalityClassification) {
 
 TEST(Topology, RejectsInvalidSpec) {
   TopologySpec spec = small_spec();
-  spec.cores_per_executor = 0;
+  spec.cores_per_executor = Cpus{0};
   EXPECT_THROW(Topology{spec}, ConfigError);
 }
 
@@ -107,7 +107,7 @@ TEST(Hdfs, SkewConcentratesBlocks) {
   b.add_stage({.name = "s",
                .inputs = {{RddId(0), DepKind::Narrow}},
                .num_tasks = 400,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec});
   const JobDag dag = b.build();
   const Topology topo(small_spec());
@@ -164,7 +164,7 @@ TEST(CostModel, ZeroBytesIsFree) {
   for (const auto src :
        {BlockSource::LocalMemory, BlockSource::LocalDisk,
         BlockSource::RemoteDisk}) {
-    EXPECT_EQ(cost.fetch_time(0, src), 0);
+    EXPECT_EQ(cost.fetch_time(Bytes{0}, src), SimTime{0});
   }
 }
 
@@ -176,8 +176,9 @@ TEST(CostModel, SerdeAppliesToAllButLocalMemory) {
   const double serde = 40e-9;  // 40 ns/B
   EXPECT_EQ(cost.fetch_time(b, BlockSource::LocalMemory, serde),
             cost.fetch_time(b, BlockSource::LocalMemory, 0.0));
-  const SimTime extra = static_cast<SimTime>(
-      serde * static_cast<double>(b) * static_cast<double>(kSec));
+  const SimTime extra = time_from_usec(
+      serde * static_cast<double>(b.count()) *
+      static_cast<double>(kSec.count()));
   EXPECT_EQ(cost.fetch_time(b, BlockSource::RackMemory, serde),
             cost.fetch_time(b, BlockSource::RackMemory, 0.0) + extra);
   EXPECT_EQ(cost.fetch_time(b, BlockSource::LocalDisk, serde),
@@ -202,9 +203,9 @@ TEST(CostModel, ScanStagesAreLocalityInsensitive) {
   const CostModel cost{CostModelSpec{}};
   const Bytes b = 256 * kMiB;
   const double local =
-      static_cast<double>(cost.fetch_time(b, BlockSource::LocalDisk, 0.0));
+      static_cast<double>(cost.fetch_time(b, BlockSource::LocalDisk, 0.0).count());
   const double rack =
-      static_cast<double>(cost.fetch_time(b, BlockSource::RackDisk, 0.0));
+      static_cast<double>(cost.fetch_time(b, BlockSource::RackDisk, 0.0).count());
   EXPECT_LT(rack / local, 1.3);
 }
 
@@ -216,10 +217,10 @@ TEST(CostModel, RejectsBadSpec) {
 
 TEST(CostModel, RejectsNonPositiveLatencies) {
   CostModelSpec spec;
-  spec.disk_latency = 0;
+  spec.disk_latency = SimTime{0};
   EXPECT_THROW(CostModel{spec}, ConfigError);
   spec = CostModelSpec{};
-  spec.net_latency = -1;
+  spec.net_latency = SimTime{-1};
   EXPECT_THROW(CostModel{spec}, ConfigError);
 }
 
@@ -250,7 +251,7 @@ TEST(CostModel, SlowdownScalesTheWholeFetch) {
   const Bytes b = 64 * kMiB;
   const SimTime base = cost.fetch_time(b, BlockSource::LocalDisk);
   EXPECT_EQ(cost.fetch_time(b, BlockSource::LocalDisk, std::nullopt, 2.0),
-            static_cast<SimTime>(static_cast<double>(base) * 2.0));
+            scale_time(base, 2.0));
 }
 
 TEST(BlockSource, Names) {

@@ -41,7 +41,7 @@ TEST(StrongId, DistinctTagTypesDoNotMix) {
 }
 
 TEST(SimTime, Conversions) {
-  EXPECT_EQ(from_seconds(1.5), 1'500'000);
+  EXPECT_EQ(from_seconds(1.5), SimTime{1'500'000});
   EXPECT_DOUBLE_EQ(to_seconds(2 * kSec + 500 * kMsec), 2.5);
   EXPECT_EQ(kMinute, 60 * kSec);
 }
@@ -143,14 +143,15 @@ TEST(Rng, RejectsNonPositiveBound) {
 }
 
 TEST(MedianOf, OddAndEvenSampleCounts) {
-  EXPECT_EQ(median_of({7}), 7);
-  EXPECT_EQ(median_of({3, 1, 2}), 2);
+  EXPECT_EQ(median_of({SimTime{7}}), SimTime{7});
+  EXPECT_EQ(median_of({SimTime{3}, SimTime{1}, SimTime{2}}), SimTime{2});
   // Even count: midpoint of the two middle elements, not the upper one.
   EXPECT_EQ(median_of({4 * kSec, 2 * kSec, kSec, 3 * kSec}),
             2 * kSec + kSec / 2);
-  EXPECT_EQ(median_of({10, 20}), 15);
+  EXPECT_EQ(median_of({SimTime{10}, SimTime{20}}), SimTime{15});
   // Duplicates around the middle collapse to the shared value.
-  EXPECT_EQ(median_of({5, 5, 1, 9}), 5);
+  EXPECT_EQ(median_of({SimTime{5}, SimTime{5}, SimTime{1}, SimTime{9}}),
+            SimTime{5});
 }
 
 TEST(OnlineStats, BasicMoments) {
@@ -198,52 +199,53 @@ TEST(SampleSet, EmptyIsZero) {
 
 TEST(StepFunction, IntegralAndAverage) {
   StepFunction f(0.0);
-  f.set(0, 4.0);
-  f.set(10, 8.0);
-  f.set(20, 0.0);
+  f.set(SimTime{0}, 4.0);
+  f.set(SimTime{10}, 8.0);
+  f.set(SimTime{20}, 0.0);
   // [0,10): 4, [10,20): 8 -> integral 120, average 6 over [0,20).
-  EXPECT_DOUBLE_EQ(f.integral(0, 20), 120.0);
-  EXPECT_DOUBLE_EQ(f.average(0, 20), 6.0);
-  EXPECT_DOUBLE_EQ(f.average(5, 15), 6.0);
+  EXPECT_DOUBLE_EQ(f.integral(SimTime{0}, SimTime{20}), 120.0);
+  EXPECT_DOUBLE_EQ(f.average(SimTime{0}, SimTime{20}), 6.0);
+  EXPECT_DOUBLE_EQ(f.average(SimTime{5}, SimTime{15}), 6.0);
 }
 
 TEST(StepFunction, AddDelta) {
   StepFunction f;
-  f.add(0, 3.0);
-  f.add(5, 2.0);
-  f.add(10, -5.0);
-  EXPECT_DOUBLE_EQ(f.at(0), 3.0);
-  EXPECT_DOUBLE_EQ(f.at(7), 5.0);
-  EXPECT_DOUBLE_EQ(f.at(10), 0.0);
-  EXPECT_DOUBLE_EQ(f.max_over(0, 11), 5.0);
+  f.add(SimTime{0}, 3.0);
+  f.add(SimTime{5}, 2.0);
+  f.add(SimTime{10}, -5.0);
+  EXPECT_DOUBLE_EQ(f.at(SimTime{0}), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(SimTime{7}), 5.0);
+  EXPECT_DOUBLE_EQ(f.at(SimTime{10}), 0.0);
+  EXPECT_DOUBLE_EQ(f.max_over(SimTime{0}, SimTime{11}), 5.0);
 }
 
 TEST(StepFunction, UpdatesAtSameInstantCollapse) {
   StepFunction f;
-  f.add(5, 1.0);
-  f.add(5, 1.0);
-  f.add(5, -2.0);
-  EXPECT_DOUBLE_EQ(f.at(5), 0.0);
-  EXPECT_DOUBLE_EQ(f.integral(0, 10), 0.0);
+  f.add(SimTime{5}, 1.0);
+  f.add(SimTime{5}, 1.0);
+  f.add(SimTime{5}, -2.0);
+  EXPECT_DOUBLE_EQ(f.at(SimTime{5}), 0.0);
+  EXPECT_DOUBLE_EQ(f.integral(SimTime{0}, SimTime{10}), 0.0);
 }
 
 TEST(StepFunction, RejectsTimeTravel) {
   StepFunction f;
-  f.set(10, 1.0);
-  EXPECT_THROW(f.set(5, 2.0), InvariantError);
+  f.set(SimTime{10}, 1.0);
+  EXPECT_THROW(f.set(SimTime{5}, 2.0), InvariantError);
 }
 
 TEST(StepFunction, AtBeforeFirstPoint) {
   StepFunction f(2.5);
-  EXPECT_DOUBLE_EQ(f.at(0), 2.5);
-  EXPECT_DOUBLE_EQ(f.at(1000), 2.5);
+  EXPECT_DOUBLE_EQ(f.at(SimTime{0}), 2.5);
+  EXPECT_DOUBLE_EQ(f.at(SimTime{1000}), 2.5);
 }
 
 TEST(Sparkline, ProducesExpectedWidth) {
   StepFunction f;
-  f.set(0, 1.0);
-  f.set(50, 8.0);
-  const std::string line = sparkline(f, 0, 100, 10, 8.0);
+  f.set(SimTime{0}, 1.0);
+  f.set(SimTime{50}, 8.0);
+  const std::string line =
+      sparkline(f, SimTime{0}, SimTime{100}, 10, 8.0);
   // Each glyph is a 3-byte UTF-8 codepoint (or a 1-byte space).
   EXPECT_GE(line.size(), 10u);
 }

@@ -65,7 +65,7 @@ TEST(Presets, PaperTestbedShape) {
   const Topology topo(config.topology);
   EXPECT_EQ(topo.num_nodes(), 18u);
   EXPECT_EQ(topo.num_executors(), 72u);
-  EXPECT_EQ(topo.executor(ExecutorId(0)).cores, 4);
+  EXPECT_EQ(topo.executor(ExecutorId(0)).cores, Cpus{4});
   EXPECT_EQ(config.hdfs.replication, 3);
 }
 
@@ -97,9 +97,9 @@ TEST(Runner, RunsWorkloadEndToEnd) {
   p.minute = kSec;
   const Workload w = make_example_dag(p);
   SimConfig config;
-  config.topology.cores_per_executor = 16;
+  config.topology.cores_per_executor = Cpus{16};
   const RunResult r = run_workload(w, config);
-  EXPECT_GT(r.metrics.jct, 0);
+  EXPECT_GT(r.metrics.jct, SimTime{0});
   EXPECT_EQ(r.profile.stages.size(), w.dag.num_stages());
 }
 
@@ -193,50 +193,50 @@ TEST(CacheTrace, RejectsUnorderedSchedule) {
 TEST(AssignmentTrace, FifoMakespanIs13Minutes) {
   const Workload w = make_example_dag();
   const auto trace =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Fifo);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Fifo);
   EXPECT_EQ(trace.makespan, 13 * kMinute);
 }
 
 TEST(AssignmentTrace, DagonMakespanIs9Minutes) {
   const Workload w = make_example_dag();
   const auto trace =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Dagon);
   EXPECT_EQ(trace.makespan, 9 * kMinute);
 }
 
 TEST(AssignmentTrace, DagonReducesFragmentation) {
   const Workload w = make_example_dag();
-  const auto fifo = trace_priority_assignment(w.dag, 16, SchedulerKind::Fifo);
+  const auto fifo = trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Fifo);
   const auto dagon =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Dagon);
   EXPECT_LT(dagon.idle_cpu_time, fifo.idle_cpu_time);
 }
 
 TEST(AssignmentTrace, Table3FirstSteps) {
   const Workload w = make_example_dag();
   const auto trace =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Dagon);
   ASSERT_GE(trace.steps.size(), 4u);
   // Step 1: stage 2 chosen; w2 36->24, pv2 64->52, free 16->10.
   EXPECT_EQ(trace.steps[0].chosen, StageId(1));
-  EXPECT_EQ(trace.steps[0].w_after[1], 24 * kMinute);
-  EXPECT_EQ(trace.steps[0].pv_after[1], 52 * kMinute);
-  EXPECT_EQ(trace.steps[0].free_after, 10);
+  EXPECT_EQ(trace.steps[0].w_after[1], CpuWork{24 * kMinute.count()});
+  EXPECT_EQ(trace.steps[0].pv_after[1], CpuWork{52 * kMinute.count()});
+  EXPECT_EQ(trace.steps[0].free_after, Cpus{10});
   // Step 2: tie pv1 == pv2 == 52 -> stage 1; w1 48->32, free 10->6.
   EXPECT_EQ(trace.steps[1].chosen, StageId(0));
-  EXPECT_EQ(trace.steps[1].w_after[0], 32 * kMinute);
-  EXPECT_EQ(trace.steps[1].pv_after[0], 36 * kMinute);
-  EXPECT_EQ(trace.steps[1].free_after, 6);
+  EXPECT_EQ(trace.steps[1].w_after[0], CpuWork{32 * kMinute.count()});
+  EXPECT_EQ(trace.steps[1].pv_after[0], CpuWork{36 * kMinute.count()});
+  EXPECT_EQ(trace.steps[1].free_after, Cpus{6});
   // Step 3: stage 2 again; w2 24->12, pv 52->40, free 6->0.
   EXPECT_EQ(trace.steps[2].chosen, StageId(1));
-  EXPECT_EQ(trace.steps[2].pv_after[1], 40 * kMinute);
-  EXPECT_EQ(trace.steps[2].free_after, 0);
+  EXPECT_EQ(trace.steps[2].pv_after[1], CpuWork{40 * kMinute.count()});
+  EXPECT_EQ(trace.steps[2].free_after, Cpus{0});
   // Step 4 (t=2): stage 2's last task; w2 -> 0, pv2 -> 28, free 12->6.
   EXPECT_EQ(trace.steps[3].chosen, StageId(1));
   EXPECT_EQ(trace.steps[3].time, 2 * kMinute);
-  EXPECT_EQ(trace.steps[3].w_after[1], 0);
-  EXPECT_EQ(trace.steps[3].pv_after[1], 28 * kMinute);
-  EXPECT_EQ(trace.steps[3].free_after, 6);
+  EXPECT_EQ(trace.steps[3].w_after[1], CpuWork{0});
+  EXPECT_EQ(trace.steps[3].pv_after[1], CpuWork{28 * kMinute.count()});
+  EXPECT_EQ(trace.steps[3].free_after, Cpus{6});
 }
 
 TEST(AssignmentTrace, PlacementsRespectCapacityAndDeps) {
@@ -244,14 +244,14 @@ TEST(AssignmentTrace, PlacementsRespectCapacityAndDeps) {
   for (const auto kind :
        {SchedulerKind::Fifo, SchedulerKind::Dagon, SchedulerKind::Graphene,
         SchedulerKind::CriticalPath}) {
-    const auto trace = trace_priority_assignment(w.dag, 16, kind);
+    const auto trace = trace_priority_assignment(w.dag, Cpus{16}, kind);
     // Capacity: sample each placement boundary.
     for (const PlacedTask& p : trace.placements) {
-      Cpus busy = 0;
+      Cpus busy{};
       for (const PlacedTask& q : trace.placements) {
         if (q.start <= p.start && p.start < q.end) busy += q.cpus;
       }
-      EXPECT_LE(busy, 16);
+      EXPECT_LE(busy, Cpus{16});
     }
     // Dependencies: a stage's first start >= parents' last end.
     for (const Stage& s : w.dag.stages()) {
@@ -260,7 +260,7 @@ TEST(AssignmentTrace, PlacementsRespectCapacityAndDeps) {
         if (p.stage == s.id) first = std::min(first, p.start);
       }
       for (const StageId parent : s.parents) {
-        SimTime last = 0;
+        SimTime last{};
         for (const PlacedTask& p : trace.placements) {
           if (p.stage == parent) last = std::max(last, p.end);
         }
@@ -272,7 +272,7 @@ TEST(AssignmentTrace, PlacementsRespectCapacityAndDeps) {
 
 TEST(AssignmentTrace, RejectsOversizedDemand) {
   const Workload w = make_example_dag();
-  EXPECT_THROW(trace_priority_assignment(w.dag, 4, SchedulerKind::Fifo),
+  EXPECT_THROW(trace_priority_assignment(w.dag, Cpus{4}, SchedulerKind::Fifo),
                ConfigError);
 }
 

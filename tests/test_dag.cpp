@@ -17,30 +17,30 @@ JobDag make_diamond() {
   const StageId a = b.add_stage({.name = "a",
                                  .inputs = {{in, DepKind::Narrow}},
                                  .num_tasks = 4,
-                                 .task_cpus = 1,
+                                 .task_cpus = Cpus{1},
                                  .task_duration = kSec,
                                  .output_bytes_per_partition = kMiB});
   const StageId s_b = b.add_stage({.name = "b",
                                    .inputs = {{b.output_of(a),
                                                DepKind::Narrow}},
                                    .num_tasks = 4,
-                                   .task_cpus = 2,
+                                   .task_cpus = Cpus{2},
                                    .task_duration = 2 * kSec,
                                    .output_bytes_per_partition = kMiB});
   const StageId s_c = b.add_stage({.name = "c",
                                    .inputs = {{b.output_of(a),
                                                DepKind::Shuffle}},
                                    .num_tasks = 2,
-                                   .task_cpus = 1,
+                                   .task_cpus = Cpus{1},
                                    .task_duration = 3 * kSec,
                                    .output_bytes_per_partition = kMiB});
   b.add_stage({.name = "d",
                .inputs = {{b.output_of(s_b), DepKind::Shuffle},
                           {b.output_of(s_c), DepKind::Shuffle}},
                .num_tasks = 2,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{0}});
   return b.build();
 }
 
@@ -103,7 +103,7 @@ TEST(JobDagBuilder, RejectsMismatchedNarrowDep) {
   EXPECT_THROW(b.add_stage({.name = "s",
                             .inputs = {{in, DepKind::Narrow}},
                             .num_tasks = 3,  // != 4 partitions
-                            .task_cpus = 1,
+                            .task_cpus = Cpus{1},
                             .task_duration = kSec}),
                ConfigError);
 }
@@ -113,7 +113,7 @@ TEST(JobDagBuilder, RejectsUnknownRdd) {
   EXPECT_THROW(b.add_stage({.name = "s",
                             .inputs = {{RddId(99), DepKind::Shuffle}},
                             .num_tasks = 2,
-                            .task_cpus = 1,
+                            .task_cpus = Cpus{1},
                             .task_duration = kSec}),
                ConfigError);
 }
@@ -124,20 +124,20 @@ TEST(JobDagBuilder, RejectsNonPositiveFields) {
   EXPECT_THROW(b.add_stage({.name = "s",
                             .inputs = {{in, DepKind::Shuffle}},
                             .num_tasks = 0,
-                            .task_cpus = 1,
+                            .task_cpus = Cpus{1},
                             .task_duration = kSec}),
                ConfigError);
   EXPECT_THROW(b.add_stage({.name = "s",
                             .inputs = {{in, DepKind::Shuffle}},
                             .num_tasks = 2,
-                            .task_cpus = 0,
+                            .task_cpus = Cpus{0},
                             .task_duration = kSec}),
                ConfigError);
   EXPECT_THROW(b.add_stage({.name = "s",
                             .inputs = {{in, DepKind::Shuffle}},
                             .num_tasks = 2,
-                            .task_cpus = 1,
-                            .task_duration = 0}),
+                            .task_cpus = Cpus{1},
+                            .task_duration = SimTime{0}}),
                ConfigError);
 }
 
@@ -152,9 +152,9 @@ TEST(JobDagBuilder, RejectsBadSkewVector) {
   EXPECT_THROW(b.add_stage({.name = "s",
                             .inputs = {{in, DepKind::Narrow}},
                             .num_tasks = 2,
-                            .task_cpus = 1,
+                            .task_cpus = Cpus{1},
                             .task_duration = kSec,
-                            .output_bytes_per_partition = 0,
+                            .output_bytes_per_partition = Bytes{0},
                             .cache_output = true,
                             .duration_skew = {1.0}}),
                ConfigError);
@@ -196,36 +196,36 @@ TEST(Stage, WorkloadAndSkew) {
   b.add_stage({.name = "s",
                .inputs = {{in, DepKind::Narrow}},
                .num_tasks = 2,
-               .task_cpus = 3,
+               .task_cpus = Cpus{3},
                .task_duration = 10 * kSec,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{0},
                .cache_output = true,
                .duration_skew = {1.0, 2.0}});
   const JobDag dag = b.build();
   const Stage& s = dag.stage(StageId(0));
   EXPECT_EQ(s.task_compute_time(0), 10 * kSec);
   EXPECT_EQ(s.task_compute_time(1), 20 * kSec);
-  EXPECT_EQ(s.workload(), 3 * (10 + 20) * kSec);
+  EXPECT_EQ(s.workload(), Cpus{3} * ((10 + 20) * kSec));
 }
 
 TEST(DagAnalysis, ExampleDagWorkloadsMatchPaper) {
   // w1=48, w2=36, w3=24, w4=4 vCPU-minutes (paper §III-A).
   const Workload w = make_example_dag();
   const JobDag& dag = w.dag;
-  EXPECT_EQ(dag.stage(StageId(0)).workload(), 48 * kMinute);
-  EXPECT_EQ(dag.stage(StageId(1)).workload(), 36 * kMinute);
-  EXPECT_EQ(dag.stage(StageId(2)).workload(), 24 * kMinute);
-  EXPECT_EQ(dag.stage(StageId(3)).workload(), 4 * kMinute);
+  EXPECT_EQ(dag.stage(StageId(0)).workload(), CpuWork{48 * kMinute.count()});
+  EXPECT_EQ(dag.stage(StageId(1)).workload(), CpuWork{36 * kMinute.count()});
+  EXPECT_EQ(dag.stage(StageId(2)).workload(), CpuWork{24 * kMinute.count()});
+  EXPECT_EQ(dag.stage(StageId(3)).workload(), CpuWork{4 * kMinute.count()});
 }
 
 TEST(DagAnalysis, ExampleDagPriorityValuesMatchTable3) {
   // pv1 = 52, pv2 = 64 vCPU-minutes (Table III, initial row).
   const Workload w = make_example_dag();
   const auto pv = initial_priority_values(w.dag);
-  EXPECT_EQ(pv[0], 52 * kMinute);
-  EXPECT_EQ(pv[1], 64 * kMinute);
-  EXPECT_EQ(pv[2], 28 * kMinute);
-  EXPECT_EQ(pv[3], 4 * kMinute);
+  EXPECT_EQ(pv[0], CpuWork{52 * kMinute.count()});
+  EXPECT_EQ(pv[1], CpuWork{64 * kMinute.count()});
+  EXPECT_EQ(pv[2], CpuWork{28 * kMinute.count()});
+  EXPECT_EQ(pv[3], CpuWork{4 * kMinute.count()});
 }
 
 TEST(DagAnalysis, CriticalPath) {
@@ -243,7 +243,7 @@ TEST(DagAnalysis, MakespanLowerBound) {
   const Workload w = make_example_dag();
   // Total work 112 vCPU-min on 16 vCPUs -> 7 min; critical path
   // S2->S3->S4 = 7 min.
-  EXPECT_EQ(makespan_lower_bound(w.dag, 16), 7 * kMinute);
+  EXPECT_EQ(makespan_lower_bound(w.dag, Cpus{16}), 7 * kMinute);
 }
 
 TEST(DagAnalysis, ShapeSummary) {
@@ -252,7 +252,7 @@ TEST(DagAnalysis, ShapeSummary) {
   EXPECT_EQ(shape.stages, 4u);
   EXPECT_EQ(shape.tasks, 9);
   EXPECT_EQ(shape.depth, 3);
-  EXPECT_EQ(shape.total_work, 112 * kMinute);
+  EXPECT_EQ(shape.total_work, CpuWork{112 * kMinute.count()});
   EXPECT_EQ(shape.critical_path, 7 * kMinute);
 }
 
@@ -261,9 +261,9 @@ TEST(Profile, ExactProfileMatchesDag) {
   const JobProfile p = exact_profile(w.dag);
   ASSERT_EQ(p.stages.size(), 4u);
   EXPECT_EQ(p.stage(StageId(0)).task_duration, 4 * kMinute);
-  EXPECT_EQ(p.stage(StageId(1)).task_cpus, 6);
-  EXPECT_EQ(p.workload(StageId(0), 3), 48 * kMinute);
-  EXPECT_EQ(p.workload(StageId(0), 1), 16 * kMinute);
+  EXPECT_EQ(p.stage(StageId(1)).task_cpus, Cpus{6});
+  EXPECT_EQ(p.workload(StageId(0), 3), CpuWork{48 * kMinute.count()});
+  EXPECT_EQ(p.workload(StageId(0), 1), CpuWork{16 * kMinute.count()});
 }
 
 TEST(Profile, InitiallyCachedPartitions) {
@@ -287,7 +287,7 @@ TEST(JobDagBuilder, SetCacheableFlags) {
   const StageId s = b.add_stage({.name = "s",
                                  .inputs = {{in, DepKind::Narrow}},
                                  .num_tasks = 2,
-                                 .task_cpus = 1,
+                                 .task_cpus = Cpus{1},
                                  .task_duration = kSec,
                                  .output_bytes_per_partition = kMiB});
   b.set_output_cacheable(s, false);

@@ -33,7 +33,7 @@ class LadderFixture : public ::testing::Test {
     s.racks = 2;
     s.nodes_per_rack = 2;
     s.executors_per_node = 1;
-    s.cores_per_executor = 16;
+    s.cores_per_executor = Cpus{16};
     s.cache_bytes_per_executor = 16 * kMiB;
     return s;
   }
@@ -48,11 +48,11 @@ class LadderFixture : public ::testing::Test {
   /// Leaves cores only on an executor whose rack holds no input data.
   ExecutorId isolate_far_executor() {
     for (const ExecutorRuntime& e : state_.executors()) {
-      state_.set_free_cores(e.id, 0);
+      state_.set_free_cores(e.id, Cpus{0});
     }
     for (const Executor& e : topo_.executors()) {
       if (topo_.rack_of(topo_.node_of(e.id)) == RackId(1)) {
-        state_.set_free_cores(e.id, 16);
+        state_.set_free_cores(e.id, Cpus{16});
         return e.id;
       }
     }
@@ -75,7 +75,7 @@ TEST_F(LadderFixture, HoldsAtNodeLevelWithinWait) {
   const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
   isolate_far_executor();
   // Inside the 3s node wait: the far executor gets nothing.
-  EXPECT_FALSE(delay.find(state_, master_, StageId(0), 0).has_value());
+  EXPECT_FALSE(delay.find(state_, master_, StageId(0), SimTime{0}).has_value());
   EXPECT_FALSE(
       delay.find(state_, master_, StageId(0), 2900 * kMsec).has_value());
 }
@@ -95,7 +95,7 @@ TEST_F(LadderFixture, EscalatesToRackAfterNodeWait) {
 
 TEST_F(LadderFixture, PerLevelWaitsDiffer) {
   LocalityWaits waits;
-  waits.process = 0;
+  waits.process = SimTime{0};
   waits.node = 1 * kSec;
   waits.rack = 10 * kSec;
   const NativeDelayPolicy delay(waits, cost_);
@@ -141,20 +141,20 @@ TEST_F(LadderFixture, NoPrefTasksLaunchImmediately) {
   // Stage 3 (S3) is a pure shuffle consumer: NoPref, no waiting — even
   // at t=0 on the far executor.
   state_.stage(StageId(2)).ready = true;
-  state_.stage(StageId(2)).ready_time = 0;
+  state_.stage(StageId(2)).ready_time = SimTime{0};
   // Pretend D exists so lookups at launch would succeed (not needed for
   // find(), which only consults locality).
   const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
   isolate_far_executor();
-  const auto a = delay.find(state_, master_, StageId(2), 0);
+  const auto a = delay.find(state_, master_, StageId(2), SimTime{0});
   ASSERT_TRUE(a.has_value());
   EXPECT_EQ(a->locality, Locality::NoPref);
 }
 
 TEST_F(LadderFixture, ZeroWaitsCollapseTheLadder) {
-  const NativeDelayPolicy delay(LocalityWaits::uniform(0), cost_);
+  const NativeDelayPolicy delay(LocalityWaits::uniform(SimTime{0}), cost_);
   isolate_far_executor();
-  const auto a = delay.find(state_, master_, StageId(0), 0);
+  const auto a = delay.find(state_, master_, StageId(0), SimTime{0});
   ASSERT_TRUE(a.has_value());
   EXPECT_EQ(a->locality, Locality::Any);
 }
@@ -166,7 +166,7 @@ TEST_F(LadderFixture, ReadyTimeAnchorsTheWait) {
   // t=0: pretend stage 0 becomes ready at t=100s.
   StageRuntime& rt = state_.stage(StageId(0));
   rt.ready_time = 100 * kSec;
-  rt.locality_timer = 0;  // stale timer from before readiness
+  rt.locality_timer = SimTime{0};  // stale timer from before readiness
   EXPECT_FALSE(
       delay.find(state_, master_, StageId(0), 101 * kSec).has_value());
   EXPECT_TRUE(
@@ -179,21 +179,21 @@ TEST_F(LadderFixture, SensitivityAwareSkipsLadderForInsensitiveTasks) {
   const SensitivityAwareDelayPolicy delay(LocalityWaits::uniform(3 * kSec),
                                           cost_);
   isolate_far_executor();
-  const auto a = delay.find(state_, master_, StageId(0), 0);
+  const auto a = delay.find(state_, master_, StageId(0), SimTime{0});
   ASSERT_TRUE(a.has_value());
 }
 
 TEST_F(LadderFixture, WaitForLevelAccessors) {
   LocalityWaits waits;
-  waits.process = 1;
-  waits.node = 2;
-  waits.rack = 3;
-  EXPECT_EQ(waits.wait_for(Locality::Process), 1);
-  EXPECT_EQ(waits.wait_for(Locality::Node), 2);
-  EXPECT_EQ(waits.wait_for(Locality::Rack), 3);
-  EXPECT_EQ(waits.wait_for(Locality::NoPref), 0);
-  EXPECT_EQ(waits.wait_for(Locality::Any), 0);
-  EXPECT_EQ(LocalityWaits::uniform(5).node, 5);
+  waits.process = SimTime{1};
+  waits.node = SimTime{2};
+  waits.rack = SimTime{3};
+  EXPECT_EQ(waits.wait_for(Locality::Process), SimTime{1});
+  EXPECT_EQ(waits.wait_for(Locality::Node), SimTime{2});
+  EXPECT_EQ(waits.wait_for(Locality::Rack), SimTime{3});
+  EXPECT_EQ(waits.wait_for(Locality::NoPref), SimTime{0});
+  EXPECT_EQ(waits.wait_for(Locality::Any), SimTime{0});
+  EXPECT_EQ(LocalityWaits::uniform(SimTime{5}).node, SimTime{5});
 }
 
 }  // namespace

@@ -69,13 +69,13 @@ void drain_and_compare(EventQueue& q, ReferenceQueue& ref) {
 
 TEST(EventQueueProperty, MatchesBinaryHeapOnUniformStorm) {
   std::mt19937_64 rng(20260809);
-  std::uniform_int_distribution<SimTime> dist(0, 600 * kSec);
+  std::uniform_int_distribution<std::int64_t> dist(0, (600 * kSec).count());
   for (int round = 0; round < 20; ++round) {
     EventQueue q;
     ReferenceQueue ref;
     std::uint32_t tag = 0;
     for (int i = 0; i < 2000; ++i) {
-      const Event e = make_event(dist(rng), tag++);
+      const Event e = make_event(SimTime{dist(rng)}, tag++);
       q.push(e);
       ref.push(e);
     }
@@ -86,7 +86,7 @@ TEST(EventQueueProperty, MatchesBinaryHeapOnUniformStorm) {
 // Heavy duplicate times: seq must break every tie identically.
 TEST(EventQueueProperty, MatchesBinaryHeapOnClusteredTies) {
   std::mt19937_64 rng(42);
-  std::uniform_int_distribution<SimTime> cluster(0, 7);
+  std::uniform_int_distribution<std::int64_t> cluster(0, 7);
   for (int round = 0; round < 20; ++round) {
     EventQueue q;
     ReferenceQueue ref;
@@ -105,13 +105,13 @@ TEST(EventQueueProperty, MatchesBinaryHeapOnClusteredTies) {
 // in-window bucketing, circular wrap, and bucket advance.
 TEST(EventQueueProperty, MatchesBinaryHeapOnMonotoneInterleaving) {
   std::mt19937_64 rng(777);
-  std::uniform_int_distribution<SimTime> delay(0, 90 * kSec);
+  std::uniform_int_distribution<std::int64_t> delay(0, (90 * kSec).count());
   std::uniform_int_distribution<int> burst(1, 4);
   for (int round = 0; round < 10; ++round) {
     EventQueue q;
     ReferenceQueue ref;
     std::uint32_t tag = 0;
-    const Event seed = make_event(0, tag++);
+    const Event seed = make_event(SimTime{0}, tag++);
     q.push(seed);
     ref.push(seed);
     Event got;
@@ -125,7 +125,8 @@ TEST(EventQueueProperty, MatchesBinaryHeapOnMonotoneInterleaving) {
       if (pops < 3000) {
         const int n = burst(rng);
         for (int i = 0; i < n; ++i) {
-          const Event e = make_event(want.time + delay(rng), tag++);
+          const Event e =
+              make_event(want.time + SimTime{delay(rng)}, tag++);
           q.push(e);
           ref.push(e);
         }
@@ -140,19 +141,21 @@ TEST(EventQueueProperty, MatchesBinaryHeapOnMonotoneInterleaving) {
 // come out in order (they ride the overflow heap).
 TEST(EventQueueProperty, MatchesBinaryHeapAcrossHorizonJumps) {
   std::mt19937_64 rng(1234);
-  std::uniform_int_distribution<SimTime> near(0, 10 * kSec);
-  std::uniform_int_distribution<SimTime> far(0, 4 * 3600 * kSec);
+  std::uniform_int_distribution<std::int64_t> near(0, (10 * kSec).count());
+  std::uniform_int_distribution<std::int64_t> far(0,
+                                                  (4 * 3600 * kSec).count());
   std::uniform_int_distribution<int> pick(0, 9);
   for (int round = 0; round < 10; ++round) {
     EventQueue q;
     ReferenceQueue ref;
     std::uint32_t tag = 0;
-    SimTime now = 0;
+    SimTime now{};
     for (int step = 0; step < 400; ++step) {
       const int n = pick(rng) + 1;
       for (int i = 0; i < n; ++i) {
         // 30% of pushes land hours out, the rest near `now`.
-        const SimTime t = pick(rng) < 3 ? far(rng) : now + near(rng);
+        const SimTime t =
+            pick(rng) < 3 ? SimTime{far(rng)} : now + SimTime{near(rng)};
         const Event e = make_event(t, tag++);
         q.push(e);
         ref.push(e);
@@ -182,23 +185,24 @@ TEST(EventQueueProperty, MatchesBinaryHeapAcrossHorizonJumps) {
 TEST(EventQueueProperty, MatchesBinaryHeapOnExactBoundaryJumps) {
   // Mirror of EventQueue's private geometry (event_queue.hpp): 2^15 µs
   // buckets x 1024 buckets = 2^25 µs horizon. Keep in sync.
-  constexpr SimTime kWidth = SimTime{1} << 15;
-  constexpr SimTime kHorizon = SimTime{1} << 25;
+  constexpr SimTime kWidth{std::int64_t{1} << 15};
+  constexpr SimTime kHorizon{std::int64_t{1} << 25};
+  constexpr SimTime kTick{1};
   const std::vector<SimTime> offsets = {
-      0,
-      1,
-      kWidth - 1,
+      SimTime{0},
+      kTick,
+      kWidth - kTick,
       kWidth,
-      kWidth + 1,
+      kWidth + kTick,
       2 * kWidth,
       513 * kWidth,  // mid-calendar: forces circular bucket wrap
       kHorizon - kWidth,
-      kHorizon - 1,
+      kHorizon - kTick,
       kHorizon,  // first overflow-eligible offset
-      kHorizon + 1,
-      2 * kHorizon - 1,
+      kHorizon + kTick,
+      2 * kHorizon - kTick,
       2 * kHorizon,
-      2 * kHorizon + 1,
+      2 * kHorizon + kTick,
       5 * kHorizon + 3 * kWidth,  // multi-horizon jump, off-rim landing
   };
   std::mt19937_64 rng(9001);
@@ -209,8 +213,8 @@ TEST(EventQueueProperty, MatchesBinaryHeapOnExactBoundaryJumps) {
     EventQueue q;
     ReferenceQueue ref;
     std::uint32_t tag = 0;
-    SimTime now = 0;
-    const Event seed = make_event(0, tag++);
+    SimTime now{};
+    const Event seed = make_event(SimTime{0}, tag++);
     q.push(seed);
     ref.push(seed);
     for (int step = 0; step < 600; ++step) {
@@ -243,8 +247,9 @@ TEST(EventQueueProperty, MatchesBinaryHeapOnExactBoundaryJumps) {
 // pushed BELOW the re-anchored window afterwards (it must ride the
 // overflow heap back out in (time, seq) order).
 TEST(EventQueueProperty, PromotionSplitsExactHorizonRim) {
-  constexpr SimTime kWidth = SimTime{1} << 15;
-  constexpr SimTime kHorizon = SimTime{1} << 25;
+  constexpr SimTime kWidth{std::int64_t{1} << 15};
+  constexpr SimTime kHorizon{std::int64_t{1} << 25};
+  constexpr SimTime kTick{1};
   EventQueue q;
   ReferenceQueue ref;
   std::uint32_t tag = 0;
@@ -253,13 +258,13 @@ TEST(EventQueueProperty, PromotionSplitsExactHorizonRim) {
     q.push(e);
     ref.push(e);
   };
-  push(0);
-  for (SimTime k = 1; k <= 4; ++k) {
-    push(k * kHorizon - 1);  // last bucket of the k-1 window
-    push(k * kHorizon);      // exactly on the anchor candidate
-    push(k * kHorizon + 1);
-    push(k * kHorizon + (kWidth - 1));  // last slot of the first bucket
-    push(k * kHorizon + kWidth);        // first slot of the second
+  push(SimTime{0});
+  for (std::int64_t k = 1; k <= 4; ++k) {
+    push(k * kHorizon - kTick);  // last bucket of the k-1 window
+    push(k * kHorizon);          // exactly on the anchor candidate
+    push(k * kHorizon + kTick);
+    push(k * kHorizon + (kWidth - kTick));  // last slot of the first bucket
+    push(k * kHorizon + kWidth);            // first slot of the second
   }
   // Pop through the first rim only: 0, h-1, h, h+1. The pop of `h`
   // lands the rebase anchor exactly on the horizon multiple.

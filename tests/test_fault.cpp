@@ -35,10 +35,10 @@ TEST(FaultPlan, RejectsBadKnobs) {
   f.block_loss_per_gb_hour = -1.0;
   EXPECT_THROW(plan(f), ConfigError);
   f = enabled_faults();
-  f.block_loss_interval = 0;
+  f.block_loss_interval = SimTime{0};
   EXPECT_THROW(plan(f), ConfigError);
   f = enabled_faults();
-  f.retry_backoff_base = 0;
+  f.retry_backoff_base = SimTime{0};
   EXPECT_THROW(plan(f), ConfigError);
   f = enabled_faults();
   f.retry_backoff_cap = f.retry_backoff_base / 2;
@@ -101,7 +101,7 @@ SimConfig fault_test_cluster() {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 8;
+  config.topology.cores_per_executor = Cpus{8};
   config.topology.cache_bytes_per_executor = 64 * kMiB;
   config.hdfs.replication = 1;
   return config;
@@ -126,7 +126,7 @@ TEST(SimConfigValidation, RejectsOutOfRangeKnobs) {
   config.speculation.multiplier = 0.0;
   expect_rejected(config);
   config = fault_test_cluster();
-  config.max_sim_time = 0;
+  config.max_sim_time = SimTime{0};
   expect_rejected(config);
   config = fault_test_cluster();
   config.faults.enabled = true;
@@ -155,7 +155,7 @@ TEST(FaultRecovery, CompletesUnderExecutorCrash) {
   config.faults.crashes = {{120 * kSec, 0}};
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_EQ(m.faults.executor_crashes, 1);
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
   // No task record ever ran on the dead executor after the crash.
   for (const TaskRecord& t : m.tasks) {
     if (t.exec == ExecutorId(0)) {
@@ -172,7 +172,7 @@ TEST(FaultRecovery, CompletesUnderTransientFailures) {
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_GT(m.faults.transient_failures, 0);
   EXPECT_GT(m.faults.retries, 0);
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 
   // Failed attempts are excluded from the mean task duration.
   SimConfig clean = fault_test_cluster();
@@ -191,7 +191,7 @@ TEST(FaultRecovery, CompletesUnderBlockLoss) {
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_GT(m.faults.memory_blocks_lost, 0);
   EXPECT_EQ(m.faults.blocks_fully_lost, 0);  // disk copies survive
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 }
 
 TEST(FaultRecovery, FaultyRunsAreDeterministic) {
@@ -219,7 +219,7 @@ TEST(FaultRecovery, CrashedExecutorLeavesClusterAndCacheStaysDiskBacked) {
   EXPECT_EQ(m.faults.executor_crashes, 1);
 
   EXPECT_FALSE(driver.state().executor(ExecutorId(0)).alive());
-  EXPECT_EQ(driver.state().executor(ExecutorId(0)).free_cores(), 0);
+  EXPECT_EQ(driver.state().executor(ExecutorId(0)).free_cores(), Cpus{0});
   EXPECT_EQ(driver.master().manager(ExecutorId(0)).num_blocks(), 0u);
 
   // Recovery invariant: every memory copy anywhere is still disk-backed,
@@ -245,7 +245,7 @@ TEST(FaultRecovery, LostBlocksAreRecomputedFromLineage) {
   EXPECT_GT(m.faults.disk_copies_lost, 0);
   EXPECT_GT(m.faults.blocks_fully_lost, 0);
   EXPECT_GT(m.faults.lineage_recomputes, 0);
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 
   // Recomputation costs time: the faulty run cannot beat the clean one.
   SimConfig clean = fault_test_cluster();
@@ -277,7 +277,7 @@ TEST(FaultRecovery, FaultyPresetRunsToCompletion) {
   const SimConfig config = faulty_testbed();
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_TRUE(m.faults.any());
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 }
 
 }  // namespace

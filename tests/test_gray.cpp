@@ -22,7 +22,7 @@ namespace {
 TEST(FailureDetector, ClassifiesByAccruedPhi) {
   FailureDetector d(kSec, 1.0, 8.0);
   const ExecutorId e0(0);
-  d.track(e0, 0);
+  d.track(e0, SimTime{0});
   EXPECT_TRUE(d.tracking(e0));
   for (SimTime t = kSec; t <= 3 * kSec; t += kSec) d.record_heartbeat(e0, t);
   // phi = log10(e) * elapsed / mean ~= 0.434 * elapsed_intervals.
@@ -40,7 +40,7 @@ TEST(FailureDetector, UntrackedAndStoppedExecutorsAreDead) {
   FailureDetector d(kSec, 1.0, 8.0);
   EXPECT_FALSE(d.tracking(ExecutorId(3)));
   EXPECT_EQ(d.classify(ExecutorId(3), kSec), FailureDetector::State::Dead);
-  d.track(ExecutorId(3), 0);
+  d.track(ExecutorId(3), SimTime{0});
   EXPECT_EQ(d.classify(ExecutorId(3), kSec), FailureDetector::State::Healthy);
   d.stop(ExecutorId(3));
   EXPECT_FALSE(d.tracking(ExecutorId(3)));
@@ -50,12 +50,12 @@ TEST(FailureDetector, UntrackedAndStoppedExecutorsAreDead) {
 TEST(FailureDetector, WindowAdaptsToObservedCadence) {
   FailureDetector d(kSec, 1.0, 8.0);
   const ExecutorId e0(0);
-  d.track(e0, 0);
+  d.track(e0, SimTime{0});
   EXPECT_EQ(d.mean_interval(e0), kSec);
   // A slow-but-steady 3s cadence drags the window mean up, so the same
   // wall-clock silence accrues less phi (degraded executors eventually
   // stop being suspected once their cadence is learned).
-  SimTime t = 0;
+  SimTime t{};
   for (int i = 0; i < 16; ++i) d.record_heartbeat(e0, t += 3 * kSec);
   EXPECT_EQ(d.mean_interval(e0), 3 * kSec);
   EXPECT_EQ(d.classify(e0, t + 4 * kSec), FailureDetector::State::Healthy);
@@ -95,7 +95,7 @@ TEST(FaultPlanGray, RejectsBadGrayKnobs) {
   f.degrades.push_back({10 * kSec, 20 * kSec, 0, 0.5});  // speed-up, not slow
   EXPECT_THROW(plan(f), ConfigError);
   f = gray_faults();
-  f.heartbeat_interval = 0;
+  f.heartbeat_interval = SimTime{0};
   EXPECT_THROW(plan(f), ConfigError);
   f = gray_faults();
   f.suspect_phi = 0.0;
@@ -107,7 +107,7 @@ TEST(FaultPlanGray, RejectsBadGrayKnobs) {
   f.blacklist_threshold = -1;
   EXPECT_THROW(plan(f), ConfigError);
   f = gray_faults();
-  f.blacklist_probation = 0;
+  f.blacklist_probation = SimTime{0};
   EXPECT_THROW(plan(f), ConfigError);
 }
 
@@ -120,19 +120,20 @@ TEST(FaultPlanGray, PartitionAndDegradeQueries) {
   const FaultPlan plan(f, 4, 2, 1);
   EXPECT_TRUE(plan.monitors_heartbeats());
 
-  EXPECT_EQ(plan.partitioned_until(RackId(0), 5 * kSec), 0);
+  EXPECT_EQ(plan.partitioned_until(RackId(0), 5 * kSec), SimTime{0});
   // Heal of the window(s) active *now*; a chained window extending the
   // outage is picked up on re-examination at the first heal (that is
   // why deferred reports re-check instead of trusting one timestamp).
   EXPECT_EQ(plan.partitioned_until(RackId(0), 12 * kSec), 20 * kSec);
   EXPECT_EQ(plan.partitioned_until(RackId(0), 17 * kSec), 30 * kSec);
   EXPECT_EQ(plan.partitioned_until(RackId(0), 25 * kSec), 30 * kSec);
-  EXPECT_EQ(plan.partitioned_until(RackId(0), 30 * kSec), 0);  // healed
-  EXPECT_EQ(plan.partitioned_until(RackId(1), 12 * kSec), 0);
+  EXPECT_EQ(plan.partitioned_until(RackId(0), 30 * kSec), SimTime{0});  // healed
+  EXPECT_EQ(plan.partitioned_until(RackId(1), 12 * kSec), SimTime{0});
 
   // Same rack never crosses a partition; distinct racks stall when
   // either side is isolated.
-  EXPECT_EQ(plan.cross_partition_heal(RackId(0), RackId(0), 12 * kSec), 0);
+  EXPECT_EQ(plan.cross_partition_heal(RackId(0), RackId(0), 12 * kSec),
+            SimTime{0});
   EXPECT_EQ(plan.cross_partition_heal(RackId(0), RackId(1), 12 * kSec),
             20 * kSec);
   EXPECT_EQ(plan.cross_partition_heal(RackId(1), RackId(0), 17 * kSec),
@@ -171,7 +172,7 @@ SimConfig gray_test_cluster() {
   config.topology.racks = 2;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 8;
+  config.topology.cores_per_executor = Cpus{8};
   config.topology.cache_bytes_per_executor = 64 * kMiB;
   config.hdfs.replication = 1;
   return config;
@@ -282,8 +283,8 @@ TEST(GraySuspicion, NeverResumingSuspectIsDeclaredDeadAndRecovered) {
   EXPECT_FALSE(driver.state().executor(ExecutorId(0)).alive());
   EXPECT_FALSE(driver.state().executor(ExecutorId(1)).alive());
   // The job still finishes, on the surviving rack alone.
-  EXPECT_GT(m.jct, 0);
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  EXPECT_GT(m.jct, SimTime{0});
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
   // No dead executor holds a memory copy.
   EXPECT_EQ(driver.master().manager(ExecutorId(0)).num_blocks(), 0u);
   EXPECT_EQ(driver.master().manager(ExecutorId(1)).num_blocks(), 0u);
@@ -301,7 +302,7 @@ TEST(GraySuspicion, PartitionDefersReportsAndStallsCrossRackFetches) {
   // may be observed while its executor is unreachable.
   EXPECT_GT(m.faults.deferred_reports, 0);
   EXPECT_GT(m.faults.heartbeats_dropped, 0);
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 }
 
 TEST(GraySuspicion, ProactiveRereplicationProtectsSoleCopies) {
@@ -313,7 +314,7 @@ TEST(GraySuspicion, ProactiveRereplicationProtectsSoleCopies) {
   config.faults.partitions.push_back({30 * kSec, 45 * kSec, 0});
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_GT(m.faults.proactive_rereplications, 0);
-  EXPECT_GT(m.faults.rereplicated_bytes, 0);
+  EXPECT_GT(m.faults.rereplicated_bytes, Bytes{0});
 }
 
 // --- degraded executors ------------------------------------------------------
@@ -331,14 +332,14 @@ TEST(GrayDegrade, DegradedAttemptsAreSpeculatedAsStragglers) {
                   [](const TaskRecord& t) { return t.speculative; });
   EXPECT_TRUE(speculated)
       << "8x-degraded attempts never drew a speculative twin";
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 }
 
 TEST(GrayDegrade, DegradeSlowsExactlyTheTargetExecutor) {
   const Workload w = make_example_dag();
   SimConfig slow = gray_test_cluster();
   slow.faults.enabled = true;
-  slow.faults.degrades.push_back({0, 100000 * kSec, 0, 4.0});
+  slow.faults.degrades.push_back({SimTime{0}, 100000 * kSec, 0, 4.0});
   const RunMetrics m = run_workload(w, slow).metrics;
   // Same-stage attempts share the base compute (noise is off here), so
   // wherever executor 0 did run, its attempts must take ~4x the compute
@@ -353,10 +354,10 @@ TEST(GrayDegrade, DegradeSlowsExactlyTheTargetExecutor) {
     if (t.cancelled || t.failed) continue;
     Sums& s = per_stage[static_cast<std::size_t>(t.stage.value())];
     if (t.exec == ExecutorId(0)) {
-      s.on += static_cast<double>(t.compute_time);
+      s.on += static_cast<double>(t.compute_time.count());
       ++s.n_on;
     } else {
-      s.off += static_cast<double>(t.compute_time);
+      s.off += static_cast<double>(t.compute_time.count());
       ++s.n_off;
     }
   }
@@ -381,7 +382,7 @@ TEST(GrayBlacklist, SchedulableGatesOnLivenessSuspicionAndProbation) {
   e.blacklisted_until = 20 * kSec;
   EXPECT_FALSE(e.schedulable(10 * kSec));
   EXPECT_TRUE(e.schedulable(20 * kSec));  // probation over
-  e.blacklisted_until = 0;
+  e.blacklisted_until = SimTime{0};
   fsm::transition(e.health, ExecutorHealth::Dead);
   EXPECT_FALSE(e.schedulable(10 * kSec));
 }
@@ -397,7 +398,7 @@ TEST(GrayBlacklist, RepeatOffendersEnterAndLeaveProbation) {
   EXPECT_GT(m.faults.blacklist_entries, 0);
   EXPECT_GT(m.faults.blacklist_exits, 0);
   EXPECT_LE(m.faults.blacklist_exits, m.faults.blacklist_entries);
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 
   // Per-executor counters reconcile with the globals.
   std::int64_t entries = 0, exits = 0;
@@ -427,7 +428,7 @@ TEST(GrayChained, CrashDuringPartitionDrainsToQuiescence) {
   EXPECT_GT(m.faults.suspicions, 0);
   EXPECT_EQ(m.faults.executors_declared_dead, 0);
   EXPECT_FALSE(driver.state().executor(ExecutorId(2)).alive());
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 }
 
 TEST(GrayChained, BlockLossOnBlacklistedExecutorRecovers) {
@@ -444,7 +445,7 @@ TEST(GrayChained, BlockLossOnBlacklistedExecutorRecovers) {
   EXPECT_GT(m.faults.blacklist_entries, 0);
   EXPECT_GT(m.faults.memory_blocks_lost, 0);
   EXPECT_EQ(m.faults.blocks_fully_lost, 0);  // disk copies survive
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 }
 
 // --- determinism -------------------------------------------------------------
@@ -488,9 +489,9 @@ TEST(GrayDeterminism, GrayboxPresetCompletesOnSuiteWorkloads) {
        {WorkloadId::KMeans, WorkloadId::PageRank}) {
     const Workload w = make_workload(id, WorkloadScale{0.3});
     const RunMetrics m = run_system(w, dagon_full(), graybox_testbed()).metrics;
-    EXPECT_GT(m.jct, 0);
+    EXPECT_GT(m.jct, SimTime{0});
     EXPECT_TRUE(m.faults.any()) << w.name;
-    for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+    for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
   }
 }
 

@@ -15,7 +15,7 @@ SimConfig small_cluster() {
   config.topology.racks = 2;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.topology.cache_bytes_per_executor = 512 * kMiB;
   return config;
 }
@@ -108,8 +108,8 @@ TEST(JointOperation, HeterogeneousDemandNeverOversubscribes) {
     SimConfig config = small_cluster();
     config.scheduler = kind;
     const RunMetrics m = run_workload(w, config).metrics;
-    EXPECT_LE(m.busy_cores.max_over(0, m.jct),
-              static_cast<double>(m.total_cores));
+    EXPECT_LE(m.busy_cores.max_over(SimTime{0}, m.jct),
+              static_cast<double>(m.total_cores.count()));
   }
 }
 
@@ -129,7 +129,7 @@ TEST(JointOperation, RunnerEndToEndAcrossTheWholeGrid) {
         config.cache = cache;
         config.delay = delay;
         const RunMetrics m = run_workload(w, config).metrics;
-        EXPECT_GT(m.jct, 0) << scheduler_name(sched);
+        EXPECT_GT(m.jct, SimTime{0}) << scheduler_name(sched);
         EXPECT_GT(m.cpu_utilization(), 0.0);
         EXPECT_LE(m.cpu_utilization(), 1.0);
       }
@@ -140,7 +140,7 @@ TEST(JointOperation, RunnerEndToEndAcrossTheWholeGrid) {
 TEST(JointOperation, ChromeTraceRoundTripsFromRunner) {
   const Workload w = make_example_dag();
   SimConfig config;
-  config.topology.cores_per_executor = 16;
+  config.topology.cores_per_executor = Cpus{16};
   const RunResult r = run_workload(w, config);
   const std::string json = chrome_trace_json(r.metrics, w.dag);
   EXPECT_GT(json.size(), 100u);
@@ -152,12 +152,12 @@ TEST(JointOperation, AssignmentTraceAgreesWithFullSim) {
   const Workload w = make_example_dag();
   for (const SchedulerKind kind :
        {SchedulerKind::Fifo, SchedulerKind::Dagon}) {
-    const auto trace = trace_priority_assignment(w.dag, 16, kind);
+    const auto trace = trace_priority_assignment(w.dag, Cpus{16}, kind);
     SimConfig config;
     config.topology.racks = 1;
     config.topology.nodes_per_rack = 1;
     config.topology.executors_per_node = 1;
-    config.topology.cores_per_executor = 16;
+    config.topology.cores_per_executor = Cpus{16};
     config.scheduler = kind;
     const RunMetrics m = run_workload(w, config).metrics;
     EXPECT_NEAR(to_seconds(m.jct), to_seconds(trace.makespan),
@@ -173,25 +173,25 @@ TEST(JointOperation, FairSchedulerBalancesTwoBranches) {
   const StageId a = b.add_stage({.name = "a",
                                  .inputs = {{in, DepKind::Narrow}},
                                  .num_tasks = 8,
-                                 .task_cpus = 1,
+                                 .task_cpus = Cpus{1},
                                  .task_duration = 4 * kSec});
   const StageId c = b.add_stage({.name = "b",
                                  .inputs = {{in, DepKind::Narrow}},
                                  .num_tasks = 8,
-                                 .task_cpus = 1,
+                                 .task_cpus = Cpus{1},
                                  .task_duration = 4 * kSec});
   b.add_stage({.name = "join",
                .inputs = {{b.output_of(a), DepKind::Shuffle},
                           {b.output_of(c), DepKind::Shuffle}},
                .num_tasks = 2,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec});
   const Workload w{"two-branches", WorkloadCategory::Mixed, b.build()};
   SimConfig config;
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 1;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 8;
+  config.topology.cores_per_executor = Cpus{8};
   config.scheduler = SchedulerKind::Fair;
   const RunMetrics m = run_workload(w, config).metrics;
   const double fin_a = to_seconds(m.stages[0].finish_time);

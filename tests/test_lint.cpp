@@ -122,6 +122,92 @@ TEST(Lint, EventHandlerRuleInertWithoutDriverInScope) {
   EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
 }
 
+TEST(Lint, RawUnitDeclFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("raw_unit_decl.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("raw_unit_decl.cpp", 5, "raw-unit-decl")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, NarrowingCastFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("narrowing_cast.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("narrowing_cast.cpp", 6,
+                                  "narrowing-cast")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, MagicUnitConstantFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("magic_unit_constant.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("magic_unit_constant.cpp", 4,
+                                  "magic-unit-constant")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, OverflowMulFixtureFiresWithExactLocation) {
+  const LintResult r = run_lint(fixture("overflow_mul.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(finding("overflow_mul.cpp", 6, "overflow-mul")),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("1 finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, GithubFormatEmitsErrorAnnotations) {
+  const LintResult r =
+      run_lint("--format=github " + fixture("unordered_iter.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("::error file=" + fixture("unordered_iter.cpp") +
+                          ",line=9,title=dagonlint unordered-iter::"),
+            std::string::npos)
+      << r.output;
+  // Annotations only — no plain-text footer in this format.
+  EXPECT_EQ(r.output.find("finding(s)"), std::string::npos) << r.output;
+}
+
+TEST(Lint, SarifFormatEmitsResultWithRuleAndLine) {
+  const LintResult r =
+      run_lint("--format=sarif " + fixture("unordered_iter.cpp"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"version\":\"2.1.0\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"ruleId\":\"unordered-iter\""),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"startLine\":9"), std::string::npos) << r.output;
+}
+
+TEST(Lint, SarifFormatOnCleanFileHasEmptyResults) {
+  const LintResult r = run_lint("--format=sarif " + fixture("suppressed.cpp"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"results\":[]"), std::string::npos) << r.output;
+}
+
+TEST(Lint, UnknownFormatExitsTwo) {
+  const LintResult r =
+      run_lint("--format=xml " + fixture("unordered_iter.cpp"));
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+// The scan pass fans out across a thread pool; findings are sorted
+// (path, line, rule) before printing, so output must be byte-identical
+// to a serial run regardless of worker count.
+TEST(Lint, ParallelScanOutputMatchesSerial) {
+  const LintResult serial =
+      run_lint("--jobs=1 " + std::string(LINT_FIXTURES_DIR));
+  const LintResult parallel =
+      run_lint("--jobs=8 " + std::string(LINT_FIXTURES_DIR));
+  EXPECT_EQ(serial.exit_code, parallel.exit_code);
+  EXPECT_EQ(serial.output, parallel.output);
+}
+
 TEST(Lint, JustifiedAllowSuppressesAndExitsZero) {
   const LintResult r = run_lint(fixture("suppressed.cpp"));
   EXPECT_EQ(r.exit_code, 0) << r.output;
@@ -147,22 +233,24 @@ TEST(Lint, WholeFixtureDirReportsEveryRuleOnce) {
   for (const char* rule :
        {"unordered-iter", "nondet-source", "ptr-order", "float-accum",
         "bare-allow", "raw-transition", "enum-switch-default",
-        "event-handler-complete"}) {
+        "event-handler-complete", "raw-unit-decl", "narrowing-cast",
+        "magic-unit-constant", "overflow-mul"}) {
     EXPECT_NE(r.output.find(std::string("[") + rule + "]"),
               std::string::npos)
         << "missing " << rule << " in:\n"
         << r.output;
   }
-  EXPECT_NE(r.output.find("8 finding(s)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("12 finding(s)"), std::string::npos) << r.output;
 }
 
 TEST(Lint, ListRulesNamesEveryRule) {
   const LintResult r = run_lint("--list-rules");
   EXPECT_EQ(r.exit_code, 0);
-  for (const char* rule : {"unordered-iter", "nondet-source", "ptr-order",
-                           "float-accum", "bare-allow", "raw-transition",
-                           "enum-switch-default",
-                           "event-handler-complete"}) {
+  for (const char* rule :
+       {"unordered-iter", "nondet-source", "ptr-order", "float-accum",
+        "bare-allow", "raw-transition", "enum-switch-default",
+        "event-handler-complete", "raw-unit-decl", "narrowing-cast",
+        "magic-unit-constant", "overflow-mul"}) {
     EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
   }
 }
@@ -176,7 +264,9 @@ TEST(Lint, MissingPathExitsTwo) {
 // zero unsuppressed findings. If this fails, either fix the new hazard
 // or add an audited `// dagonlint: allow(<rule>): <why>` annotation.
 TEST(Lint, RepoSourceTreeIsClean) {
-  const LintResult r = run_lint(std::string(DAGON_SRC_DIR));
+  const LintResult r =
+      run_lint(std::string(DAGON_SRC_DIR) + " " + DAGON_TOOLS_DIR + " " +
+               DAGON_BENCH_DIR);
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("0 finding(s)"), std::string::npos) << r.output;
 }

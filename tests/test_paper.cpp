@@ -28,9 +28,9 @@ WorkloadScale mini_scale() { return WorkloadScale{0.5}; }
 
 TEST(PaperFig2, DagAwareBeatsFifoByPaperMargin) {
   const Workload w = make_example_dag();
-  const auto fifo = trace_priority_assignment(w.dag, 16, SchedulerKind::Fifo);
+  const auto fifo = trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Fifo);
   const auto dagon =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Dagon);
   EXPECT_EQ(fifo.makespan, 13 * kMinute);
   EXPECT_EQ(dagon.makespan, 9 * kMinute);
   // Fig. 2(a): FIFO wastes 4 vCPUs from t=0 to t=4 on top of the tail.
@@ -40,9 +40,9 @@ TEST(PaperFig2, DagAwareBeatsFifoByPaperMargin) {
 TEST(PaperFig2, DagonMatchesLowerBoundShape) {
   const Workload w = make_example_dag();
   const auto dagon =
-      trace_priority_assignment(w.dag, 16, SchedulerKind::Dagon);
+      trace_priority_assignment(w.dag, Cpus{16}, SchedulerKind::Dagon);
   // 9 min vs the 7-min bound: within 30% of optimal for this DAG.
-  EXPECT_LE(dagon.makespan, makespan_lower_bound(w.dag, 16) * 13 / 10);
+  EXPECT_LE(dagon.makespan, makespan_lower_bound(w.dag, Cpus{16}) * 13 / 10);
 }
 
 // --- Fig. 3: locality-wait sensitivity ----------------------------------------
@@ -66,7 +66,7 @@ class Fig3KMeans : public ::testing::Test {
 };
 
 TEST_F(Fig3KMeans, DelaySchedulingSpeedsUpIterationStages) {
-  const RunResult no_delay = run_with_wait(0);
+  const RunResult no_delay = run_with_wait(SimTime{0});
   const RunResult delay = run_with_wait(3 * kSec);
   // Iteration stages (1..4) read cached 64 MiB features: process
   // locality matters ~15x, so the 3 s wait pays off handsomely.
@@ -81,7 +81,7 @@ TEST_F(Fig3KMeans, DelaySchedulingSpeedsUpIterationStages) {
 }
 
 TEST_F(Fig3KMeans, LongDelaySlowsScanStage) {
-  const RunResult no_delay = run_with_wait(0);
+  const RunResult no_delay = run_with_wait(SimTime{0});
   const RunResult delay = run_with_wait(5 * kSec);
   // Stage 0 scans raw HDFS blocks (rep=1, skewed): waiting for
   // node-local slots only idles executors (paper: 15 s -> 27 s with a
@@ -92,7 +92,7 @@ TEST_F(Fig3KMeans, LongDelaySlowsScanStage) {
 }
 
 TEST_F(Fig3KMeans, DelayImprovesIterationLocality) {
-  const RunResult no_delay = run_with_wait(0);
+  const RunResult no_delay = run_with_wait(SimTime{0});
   const RunResult delay = run_with_wait(3 * kSec);
   EXPECT_GT(delay.metrics.high_locality_fraction(),
             no_delay.metrics.high_locality_fraction());
@@ -250,7 +250,7 @@ TEST(PaperJoint, LrpPrioritiesTrackSchedulerState) {
   // updates: dead blocks reclaimed, hot blocks hit.
   const Workload w = make_example_dag();
   SimConfig config;
-  config.topology.cores_per_executor = 16;
+  config.topology.cores_per_executor = Cpus{16};
   config.topology.cache_bytes_per_executor = 3 * kMiB;
   config.scheduler = SchedulerKind::Dagon;
   config.cache = CachePolicyKind::Lrp;

@@ -14,7 +14,7 @@ SimConfig property_cluster(std::uint64_t seed) {
   config.topology.racks = 2;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 8;
+  config.topology.cores_per_executor = Cpus{8};
   config.topology.cache_bytes_per_executor = 64 * kMiB;
   config.hdfs.replication = 2;
   config.seed = seed;
@@ -41,7 +41,7 @@ class SimInvariants : public ::testing::TestWithParam<PropertyCase> {
     RandomDagParams p;
     p.max_stages = 14;
     p.max_tasks = 12;
-    p.max_cpus = 4;
+    p.max_cpus = Cpus{4};
     return p;
   }
 };
@@ -67,8 +67,8 @@ TEST_P(SimInvariants, HoldOnRandomDags) {
 
   // 2. Resource conservation: busy cores within [0, capacity], back to 0.
   EXPECT_DOUBLE_EQ(m.busy_cores.value(), 0.0);
-  EXPECT_LE(m.busy_cores.max_over(0, m.jct),
-            static_cast<double>(m.total_cores));
+  EXPECT_LE(m.busy_cores.max_over(SimTime{0}, m.jct),
+            static_cast<double>(m.total_cores.count()));
   EXPECT_DOUBLE_EQ(m.running_tasks.value(), 0.0);
 
   // 3. Stage dependency order.
@@ -135,9 +135,9 @@ TEST_P(TraceInvariants, HoldForEverySelector) {
   RandomDagParams p;
   p.max_stages = 16;
   p.max_tasks = 10;
-  p.max_cpus = 4;
+  p.max_cpus = Cpus{4};
   const Workload w = make_random_dag(rng, p);
-  const Cpus capacity = 12;
+  const Cpus capacity{12};
 
   for (const SchedulerKind kind :
        {SchedulerKind::Fifo, SchedulerKind::Fair, SchedulerKind::CriticalPath,
@@ -150,7 +150,7 @@ TEST_P(TraceInvariants, HoldForEverySelector) {
 
     // Capacity respected at every placement start.
     for (const PlacedTask& t : trace.placements) {
-      Cpus busy = 0;
+      Cpus busy{};
       for (const PlacedTask& q : trace.placements) {
         if (q.start <= t.start && t.start < q.end) busy += q.cpus;
       }
@@ -161,7 +161,7 @@ TEST_P(TraceInvariants, HoldForEverySelector) {
     EXPECT_GE(trace.makespan, makespan_lower_bound(w.dag, capacity));
     for (const Stage& s : w.dag.stages()) {
       SimTime first = kTimeInfinity;
-      SimTime parent_last = 0;
+      SimTime parent_last{};
       for (const PlacedTask& t : trace.placements) {
         if (t.stage == s.id) first = std::min(first, t.start);
         for (const StageId parent : s.parents) {
@@ -172,12 +172,12 @@ TEST_P(TraceInvariants, HoldForEverySelector) {
     }
 
     // Fragmentation accounting is exact.
-    CpuWork busy_time = 0;
+    CpuWork busy_time{};
     for (const PlacedTask& t : trace.placements) {
-      busy_time += static_cast<CpuWork>(t.cpus) * (t.end - t.start);
+      busy_time += t.cpus * (t.end - t.start);
     }
     EXPECT_EQ(trace.idle_cpu_time,
-              static_cast<CpuWork>(capacity) * trace.makespan - busy_time);
+              capacity * trace.makespan - busy_time);
   }
 }
 
@@ -204,7 +204,7 @@ TEST_P(PolicyInvariants, RetentionAndPrefetchAgree) {
         const BlockId block{rdd.id, part};
         const auto prefetch = policy->prefetch_priority(block, oracle);
         const double retention =
-            policy->retention_priority(block, 0, oracle);
+            policy->retention_priority(block, SimTime{0}, oracle);
         if (prefetch.has_value()) {
           // The two scales must agree, or prefetch admission thrashes.
           EXPECT_DOUBLE_EQ(*prefetch, retention)
@@ -214,7 +214,7 @@ TEST_P(PolicyInvariants, RetentionAndPrefetchAgree) {
           // Nothing prefetchable is worth keeping either (dead), except
           // LRP's zero-priority convention.
           EXPECT_TRUE(policy->is_dead(block, oracle) ||
-                      oracle.reference_priority(block) <= 0);
+                      oracle.reference_priority(block) <= CpuWork{0});
         }
       }
     }
@@ -248,7 +248,7 @@ TEST_P(OracleInvariants, RefCountsNeverGoNegativeAndReachZero) {
     for (std::int32_t part = 0; part < rdd.num_partitions; ++part) {
       const BlockId block{rdd.id, part};
       EXPECT_EQ(oracle.remaining_ref_count(block), 0);
-      EXPECT_EQ(oracle.reference_priority(block), 0);
+      EXPECT_EQ(oracle.reference_priority(block), CpuWork{0});
       EXPECT_EQ(oracle.stage_distance(block), ReferenceOracle::kNeverUsed);
     }
   }

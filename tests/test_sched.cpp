@@ -35,7 +35,7 @@ class SchedFixture : public ::testing::Test {
     s.racks = 2;
     s.nodes_per_rack = 2;
     s.executors_per_node = 1;
-    s.cores_per_executor = 16;
+    s.cores_per_executor = Cpus{16};
     s.cache_bytes_per_executor = 16 * kMiB;
     return s;
   }
@@ -70,48 +70,49 @@ TEST_F(SchedFixture, InitialJobState) {
 }
 
 TEST_F(SchedFixture, PriorityValuesMatchTable3Initial) {
-  EXPECT_EQ(state_.priority_value(StageId(0)), 52 * kMinute);
-  EXPECT_EQ(state_.priority_value(StageId(1)), 64 * kMinute);
+  EXPECT_EQ(state_.priority_value(StageId(0)), CpuWork{52 * kMinute.count()});
+  EXPECT_EQ(state_.priority_value(StageId(1)), CpuWork{64 * kMinute.count()});
 }
 
 TEST_F(SchedFixture, MarkLaunchedUpdatesWorkAndCores) {
-  state_.mark_launched(StageId(1), 0, ExecutorId(0), 0);
+  state_.mark_launched(StageId(1), 0, ExecutorId(0), SimTime{0});
   // Table III step 1: w2 36 -> 24, pv2 64 -> 52, free 16 -> 10.
-  EXPECT_EQ(state_.stage(StageId(1)).remaining_work, 24 * kMinute);
-  EXPECT_EQ(state_.priority_value(StageId(1)), 52 * kMinute);
-  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores(), 10);
+  EXPECT_EQ(state_.stage(StageId(1)).remaining_work,
+            CpuWork{24 * kMinute.count()});
+  EXPECT_EQ(state_.priority_value(StageId(1)), CpuWork{52 * kMinute.count()});
+  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores(), Cpus{10});
   EXPECT_EQ(state_.stage(StageId(1)).running, 1);
   EXPECT_EQ(state_.stage(StageId(1)).pending.size(), 2u);
 }
 
 TEST_F(SchedFixture, MarkLaunchedRejectsOverflow) {
-  state_.mark_launched(StageId(1), 0, ExecutorId(0), 0);
-  state_.mark_launched(StageId(1), 1, ExecutorId(0), 0);
+  state_.mark_launched(StageId(1), 0, ExecutorId(0), SimTime{0});
+  state_.mark_launched(StageId(1), 1, ExecutorId(0), SimTime{0});
   // 4 free cores < 6 demanded.
-  EXPECT_THROW(state_.mark_launched(StageId(1), 2, ExecutorId(0), 0),
+  EXPECT_THROW(state_.mark_launched(StageId(1), 2, ExecutorId(0), SimTime{0}),
                InvariantError);
 }
 
 TEST_F(SchedFixture, MarkFinishedCompletesStage) {
   for (const std::int32_t t : {0, 1, 2}) {
-    state_.mark_launched(StageId(0), t, ExecutorId(t), 0);
+    state_.mark_launched(StageId(0), t, ExecutorId(t), SimTime{0});
   }
   EXPECT_FALSE(state_.mark_finished(StageId(0), 0, ExecutorId(0),
-                                    Locality::Node, 0, 4 * kMinute));
+                                    Locality::Node, SimTime{0}, 4 * kMinute));
   EXPECT_FALSE(state_.mark_finished(StageId(0), 1, ExecutorId(1),
-                                    Locality::Node, 0, 4 * kMinute));
+                                    Locality::Node, SimTime{0}, 4 * kMinute));
   EXPECT_TRUE(state_.mark_finished(StageId(0), 2, ExecutorId(2),
-                                   Locality::Node, 0, 4 * kMinute));
+                                   Locality::Node, SimTime{0}, 4 * kMinute));
   EXPECT_TRUE(state_.stage(StageId(0)).finished);
   EXPECT_EQ(state_.stage(StageId(0)).finish_time, 4 * kMinute);
-  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores(), 16);
+  EXPECT_EQ(state_.executor(ExecutorId(0)).free_cores(), Cpus{16});
 }
 
 TEST_F(SchedFixture, RefreshReadyPromotesChildren) {
   // Finish S2 -> S3 becomes ready; S4 still blocked on S1/S3.
   for (const std::int32_t t : {0, 1, 2}) {
-    state_.mark_launched(StageId(1), t, ExecutorId(t), 0);
-    state_.mark_finished(StageId(1), t, ExecutorId(t), Locality::Node, 0,
+    state_.mark_launched(StageId(1), t, ExecutorId(t), SimTime{0});
+    state_.mark_finished(StageId(1), t, ExecutorId(t), Locality::Node, SimTime{0},
                          2 * kMinute);
   }
   const auto newly = state_.refresh_ready(2 * kMinute);
@@ -121,11 +122,11 @@ TEST_F(SchedFixture, RefreshReadyPromotesChildren) {
 }
 
 TEST_F(SchedFixture, ObservedDurations) {
-  state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
-  state_.mark_finished(StageId(0), 0, ExecutorId(0), Locality::Process, 0,
+  state_.mark_launched(StageId(0), 0, ExecutorId(0), SimTime{0});
+  state_.mark_finished(StageId(0), 0, ExecutorId(0), Locality::Process, SimTime{0},
                        10 * kSec);
-  state_.mark_launched(StageId(0), 1, ExecutorId(0), 0);
-  state_.mark_finished(StageId(0), 1, ExecutorId(0), Locality::Process, 0,
+  state_.mark_launched(StageId(0), 1, ExecutorId(0), SimTime{0});
+  state_.mark_finished(StageId(0), 1, ExecutorId(0), Locality::Process, SimTime{0},
                        20 * kSec);
   EXPECT_EQ(*state_.observed_duration(StageId(0), Locality::Process),
             15 * kSec);
@@ -135,14 +136,14 @@ TEST_F(SchedFixture, ObservedDurations) {
 }
 
 TEST_F(SchedFixture, ReaddPendingRestoresWork) {
-  state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
+  state_.mark_launched(StageId(0), 0, ExecutorId(0), SimTime{0});
   const CpuWork after_launch = state_.stage(StageId(0)).remaining_work;
   // The legal route back to pending is through a failure (the retry
   // path the driver takes); readd_pending enforces Failed -> Pending.
   state_.mark_failed(StageId(0), 0);
   state_.readd_pending(StageId(0), 0);
   EXPECT_EQ(state_.stage(StageId(0)).remaining_work,
-            after_launch + 16 * kMinute);
+            after_launch + CpuWork{16 * kMinute.count()});
   EXPECT_EQ(state_.stage(StageId(0)).pending.size(), 3u);
 }
 
@@ -157,7 +158,7 @@ TEST_F(SchedFixture, TaskPreferencesFollowHdfsReplicas) {
 }
 
 TEST_F(SchedFixture, TaskPreferencesIncludeMemoryHolders) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   const TaskPreferences prefs =
       task_preferences(dag(), master_, topo_, StageId(0), 0);
   ASSERT_EQ(prefs.executors.size(), 1u);
@@ -165,7 +166,7 @@ TEST_F(SchedFixture, TaskPreferencesIncludeMemoryHolders) {
 }
 
 TEST_F(SchedFixture, TaskLocalityLevels) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   const ExecutorId holder = master_.memory_holders(BlockId{RddId(0), 0})[0];
   EXPECT_EQ(task_locality_on(dag(), master_, topo_, StageId(0), 0, holder),
             Locality::Process);
@@ -176,7 +177,7 @@ TEST_F(SchedFixture, TaskLocalityLevels) {
 }
 
 TEST_F(SchedFixture, ValidLocalityLevels) {
-  master_.seed_initial_cache(0);
+  master_.seed_initial_cache(SimTime{0});
   const auto levels_s1 =
       valid_locality_levels(dag(), master_, topo_, state_.stage(StageId(0)));
   ASSERT_FALSE(levels_s1.empty());
@@ -192,8 +193,8 @@ TEST_F(SchedFixture, ValidLocalityLevels) {
 
 TEST_F(SchedFixture, EstimatorUsesObservedDurations) {
   const TaskTimeEstimator est(state_, cost_);
-  state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
-  state_.mark_finished(StageId(0), 0, ExecutorId(0), Locality::Rack, 0,
+  state_.mark_launched(StageId(0), 0, ExecutorId(0), SimTime{0});
+  state_.mark_finished(StageId(0), 0, ExecutorId(0), Locality::Rack, SimTime{0},
                        9 * kSec);
   EXPECT_EQ(est.estimate(StageId(0), Locality::Rack), 9 * kSec);
 }
@@ -213,8 +214,8 @@ TEST_F(SchedFixture, EarliestCompletionTime) {
   const SimTime ect0 = est.earliest_completion(StageId(0));
   EXPECT_GE(ect0, dag().stage(StageId(0)).task_duration);
   EXPECT_LT(ect0, 2 * dag().stage(StageId(0)).task_duration);
-  state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
-  state_.mark_launched(StageId(0), 1, ExecutorId(1), 0);
+  state_.mark_launched(StageId(0), 0, ExecutorId(0), SimTime{0});
+  state_.mark_launched(StageId(0), 1, ExecutorId(1), SimTime{0});
   const SimTime ect1 = est.earliest_completion(StageId(0));
   EXPECT_LE(ect1, ect0);
 }
@@ -222,16 +223,16 @@ TEST_F(SchedFixture, EarliestCompletionTime) {
 TEST_F(SchedFixture, EarliestCompletionZeroWhenNoPending) {
   const TaskTimeEstimator est(state_, cost_);
   for (const std::int32_t t : {0, 1, 2}) {
-    state_.mark_launched(StageId(0), t, ExecutorId(0), 0);
+    state_.mark_launched(StageId(0), t, ExecutorId(0), SimTime{0});
   }
-  EXPECT_EQ(est.earliest_completion(StageId(0)), 0);
+  EXPECT_EQ(est.earliest_completion(StageId(0)), SimTime{0});
 }
 
 // --- delay scheduling ---------------------------------------------------------
 
 TEST_F(SchedFixture, NativeDelayLaunchesBestLocalityImmediately) {
   const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
-  const auto a = delay.find(state_, master_, StageId(0), 0);
+  const auto a = delay.find(state_, master_, StageId(0), SimTime{0});
   ASSERT_TRUE(a.has_value());
   // With replication 1 the task must be node-local on its replica node.
   EXPECT_EQ(a->locality, Locality::Node);
@@ -245,17 +246,17 @@ TEST_F(SchedFixture, NativeDelayHoldsBackLowLocality) {
   // rack/any on every executor with spare cores.
   // Occupy the replica nodes' executors fully with fake core usage.
   for (const ExecutorRuntime& e : state_.executors()) {
-    state_.set_free_cores(e.id, 0);
+    state_.set_free_cores(e.id, Cpus{0});
   }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   // Give cores only to an executor on a different rack.
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) != topo_.rack_of(n0)) {
-      state_.set_free_cores(e.id, 16);
+      state_.set_free_cores(e.id, Cpus{16});
       break;
     }
   }
-  const auto a = delay.find(state_, master_, StageId(0), 0);
+  const auto a = delay.find(state_, master_, StageId(0), SimTime{0});
   // All pending S1 tasks might still be node-local for that rack's own
   // executor if a replica landed there; accept either "no launch" or a
   // node-local launch, but never a rack/any launch at t=0.
@@ -267,7 +268,7 @@ TEST_F(SchedFixture, NativeDelayHoldsBackLowLocality) {
 TEST_F(SchedFixture, NativeDelayEscalatesAfterWait) {
   const NativeDelayPolicy delay(LocalityWaits::uniform(3 * kSec), cost_);
   for (const ExecutorRuntime& e : state_.executors()) {
-    state_.set_free_cores(e.id, 0);
+    state_.set_free_cores(e.id, Cpus{0});
   }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   ExecutorId far = ExecutorId::invalid();
@@ -278,7 +279,7 @@ TEST_F(SchedFixture, NativeDelayEscalatesAfterWait) {
     }
   }
   ASSERT_TRUE(far.valid());
-  state_.set_free_cores(far, 16);
+  state_.set_free_cores(far, Cpus{16});
   // Find a task that is NOT local to `far` to ensure the low-locality
   // case exists; after two full waits (node -> rack -> any) every task
   // is launchable anywhere.
@@ -287,30 +288,30 @@ TEST_F(SchedFixture, NativeDelayEscalatesAfterWait) {
 }
 
 TEST_F(SchedFixture, ZeroWaitDisablesDelay) {
-  const NativeDelayPolicy delay(LocalityWaits::uniform(0), cost_);
+  const NativeDelayPolicy delay(LocalityWaits::uniform(SimTime{0}), cost_);
   for (const ExecutorRuntime& e : state_.executors()) {
-    state_.set_free_cores(e.id, 0);
+    state_.set_free_cores(e.id, Cpus{0});
   }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) != topo_.rack_of(n0)) {
-      state_.set_free_cores(e.id, 16);
+      state_.set_free_cores(e.id, Cpus{16});
       break;
     }
   }
-  const auto a = delay.find(state_, master_, StageId(0), 0);
+  const auto a = delay.find(state_, master_, StageId(0), SimTime{0});
   EXPECT_TRUE(a.has_value());  // anything goes immediately
 }
 
 TEST_F(SchedFixture, DelayRespectsResourceDemand) {
-  const NativeDelayPolicy delay(LocalityWaits::uniform(0), cost_);
+  const NativeDelayPolicy delay(LocalityWaits::uniform(SimTime{0}), cost_);
   for (const ExecutorRuntime& e : state_.executors()) {
-    state_.set_free_cores(e.id, 5);
+    state_.set_free_cores(e.id, Cpus{5});
   }
   // S2 demands 6 vCPUs: no executor fits.
-  EXPECT_FALSE(delay.find(state_, master_, StageId(1), 0).has_value());
+  EXPECT_FALSE(delay.find(state_, master_, StageId(1), SimTime{0}).has_value());
   // S1 demands 4: fits.
-  EXPECT_TRUE(delay.find(state_, master_, StageId(0), 0).has_value());
+  EXPECT_TRUE(delay.find(state_, master_, StageId(0), SimTime{0}).has_value());
 }
 
 TEST_F(SchedFixture, SensitivityAwareLaunchesInsensitiveTasksEarly) {
@@ -320,16 +321,16 @@ TEST_F(SchedFixture, SensitivityAwareLaunchesInsensitiveTasksEarly) {
   // locality penalty negligible vs its 4-minute compute, so Algorithm 2
   // must launch immediately instead of idling.
   for (const ExecutorRuntime& e : state_.executors()) {
-    state_.set_free_cores(e.id, 0);
+    state_.set_free_cores(e.id, Cpus{0});
   }
   const NodeId n0 = hdfs_.replicas(BlockId{RddId(0), 0})[0];
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) != topo_.rack_of(n0)) {
-      state_.set_free_cores(e.id, 16);
+      state_.set_free_cores(e.id, Cpus{16});
       break;
     }
   }
-  const auto a = delay.find(state_, master_, StageId(0), 0);
+  const auto a = delay.find(state_, master_, StageId(0), SimTime{0});
   ASSERT_TRUE(a.has_value());
 }
 
@@ -341,16 +342,16 @@ TEST_F(SchedFixture, SensitivityAwareHoldsBackSensitiveTasks) {
   const StageId parse = b.add_stage({.name = "parse",
                                      .inputs = {{in, DepKind::Narrow}},
                                      .num_tasks = 4,
-                                     .task_cpus = 1,
+                                     .task_cpus = Cpus{1},
                                      .task_duration = kSec,
                                      .output_bytes_per_partition =
                                          256 * kMiB});
   b.add_stage({.name = "iter",
                .inputs = {{b.output_of(parse), DepKind::Narrow}},
                .num_tasks = 4,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = 100 * kMsec,
-               .output_bytes_per_partition = 0});
+               .output_bytes_per_partition = Bytes{0}});
   const JobDag dag2 = b.build();
   const JobProfile profile2 = exact_profile(dag2);
 
@@ -371,9 +372,9 @@ TEST_F(SchedFixture, SensitivityAwareHoldsBackSensitiveTasks) {
   for (std::int32_t t = 0; t < 4; ++t) {
     state2.stage(StageId(0)).pending.clear();
     master2.on_block_produced(BlockId{dag2.stage(StageId(0)).output, t},
-                              ExecutorId(0), 0);
+                              ExecutorId(0), SimTime{0});
   }
-  state2.refresh_ready(0);
+  state2.refresh_ready(SimTime{0});
 
   const SensitivityAwareDelayPolicy delay(LocalityWaits::uniform(3 * kSec),
                                           cost2);
@@ -381,21 +382,21 @@ TEST_F(SchedFixture, SensitivityAwareHoldsBackSensitiveTasks) {
   // serde) dwarfs ect (~0.4s for 4 process-local waves), so Algorithm 2
   // must NOT launch there at t=0.
   for (const ExecutorRuntime& e : state2.executors()) {
-    state2.set_free_cores(e.id, 0);
+    state2.set_free_cores(e.id, Cpus{0});
   }
   for (const Executor& e : topo_.executors()) {
     if (topo_.rack_of(topo_.node_of(e.id)) !=
         topo_.rack_of(topo_.node_of(ExecutorId(0)))) {
-      state2.set_free_cores(e.id, 16);
+      state2.set_free_cores(e.id, Cpus{16});
       break;
     }
   }
-  EXPECT_FALSE(delay.find(state2, master2, StageId(1), 0).has_value());
+  EXPECT_FALSE(delay.find(state2, master2, StageId(1), SimTime{0}).has_value());
   // The data-holding executor is immediately usable. (The fixture's
   // 16 MiB caches cannot hold the 256 MiB partitions, so the best
   // locality is Node — the block sits on executor 0's node disk.)
-  state2.set_free_cores(ExecutorId(0), 16);
-  const auto a = delay.find(state2, master2, StageId(1), 0);
+  state2.set_free_cores(ExecutorId(0), Cpus{16});
+  const auto a = delay.find(state2, master2, StageId(1), SimTime{0});
   ASSERT_TRUE(a.has_value());
   EXPECT_TRUE(at_least(a->locality, Locality::Node));
   EXPECT_EQ(topo_.node_of(a->exec), topo_.node_of(ExecutorId(0)));
@@ -426,7 +427,7 @@ TEST_F(SchedFixture, DagonOrdersByPriorityValue) {
             (std::vector<StageId>{StageId(1), StageId(0)}));
   // After one S2 assignment both pv are 52: tie goes to the lower id
   // (Table III step 2 picks stage 1).
-  state_.mark_launched(StageId(1), 0, ExecutorId(0), 0);
+  state_.mark_launched(StageId(1), 0, ExecutorId(0), SimTime{0});
   EXPECT_EQ(dagon.order(state_),
             (std::vector<StageId>{StageId(0), StageId(1)}));
 }
@@ -440,14 +441,14 @@ TEST_F(SchedFixture, CriticalPathOrdersByRemainingChain) {
 
 TEST_F(SchedFixture, FairPrefersLeastAllocated) {
   const FairSelector fair;
-  state_.mark_launched(StageId(0), 0, ExecutorId(0), 0);
+  state_.mark_launched(StageId(0), 0, ExecutorId(0), SimTime{0});
   // S1 now holds 4 cores, S2 none -> S2 first.
   EXPECT_EQ(fair.order(state_),
             (std::vector<StageId>{StageId(1), StageId(0)}));
 }
 
 TEST_F(SchedFixture, GrapheneFlagsTroublesomeStages) {
-  const GrapheneSelector graphene(dag(), profile_, 16);
+  const GrapheneSelector graphene(dag(), profile_, Cpus{16});
   // S1 and S3 (4-minute tasks) are long-running; S2 (6/16 cores) is not
   // hard-to-pack under the 0.5 default, S4 is neither.
   EXPECT_TRUE(graphene.troublesome(StageId(0)));
@@ -458,7 +459,7 @@ TEST_F(SchedFixture, GrapheneFlagsTroublesomeStages) {
 }
 
 TEST_F(SchedFixture, GrapheneDemandFractionFlagsWideStages) {
-  const GrapheneSelector graphene(dag(), profile_, 8, 0.99, 0.5);
+  const GrapheneSelector graphene(dag(), profile_, Cpus{8}, 0.99, 0.5);
   // With 8-core executors, S2's 6-vCPU tasks exceed half an executor.
   EXPECT_TRUE(graphene.troublesome(StageId(1)));
 }
@@ -467,7 +468,7 @@ TEST_F(SchedFixture, SelectorFactoryCoversAllKinds) {
   for (const auto kind :
        {SchedulerKind::Fifo, SchedulerKind::Fair, SchedulerKind::CriticalPath,
         SchedulerKind::Graphene, SchedulerKind::Dagon}) {
-    const auto sel = make_stage_selector(kind, dag(), profile_, 16);
+    const auto sel = make_stage_selector(kind, dag(), profile_, Cpus{16});
     EXPECT_STREQ(sel->name(), scheduler_name(kind));
     EXPECT_FALSE(sel->order(state_).empty());
   }
@@ -490,7 +491,7 @@ TEST_F(SchedFixture, SpeculationFlagsStragglers) {
   running[0].stage = StageId(0);
   running[0].index = 2;
   running[0].status = TaskStatus::Running;
-  running[0].launch_time = 0;
+  running[0].launch_time = SimTime{0};
 
   const auto candidates =
       speculation_candidates(state_, running, config, 60 * kSec);
@@ -515,7 +516,7 @@ TEST_F(SchedFixture, SpeculationMedianAveragesEvenSampleCounts) {
   running[0].stage = StageId(0);
   running[0].index = 2;
   running[0].status = TaskStatus::Running;
-  running[0].launch_time = 0;
+  running[0].launch_time = SimTime{0};
 
   EXPECT_TRUE(
       speculation_candidates(state_, running, config, 5 * kSec).empty());
@@ -535,7 +536,7 @@ TEST_F(SchedFixture, SpeculationRespectsQuantileGate) {
   std::vector<TaskRuntime> running(1);
   running[0].stage = StageId(0);
   running[0].status = TaskStatus::Running;
-  running[0].launch_time = 0;
+  running[0].launch_time = SimTime{0};
   EXPECT_TRUE(
       speculation_candidates(state_, running, config, kMinute).empty());
 }
@@ -550,7 +551,7 @@ TEST_F(SchedFixture, SpeculationIgnoresSpeculativeAttempts) {
   std::vector<TaskRuntime> running(1);
   running[0].stage = StageId(0);
   running[0].status = TaskStatus::Running;
-  running[0].launch_time = 0;
+  running[0].launch_time = SimTime{0};
   running[0].speculative = true;
   EXPECT_TRUE(
       speculation_candidates(state_, running, config, kMinute).empty());

@@ -19,14 +19,14 @@ Workload paired_job(const std::string& name) {
   const StageId load = b.add_stage({.name = "load",
                                     .inputs = {{ds, DepKind::Narrow}},
                                     .num_tasks = 4,
-                                    .task_cpus = 1,
+                                    .task_cpus = Cpus{1},
                                     .task_duration = kSec,
                                     .output_bytes_per_partition = kMiB,
                                     .output_name = "a"});
   const StageId feat = b.add_stage({.name = "feat",
                                     .inputs = {{ds, DepKind::Narrow}},
                                     .num_tasks = 4,
-                                    .task_cpus = 1,
+                                    .task_cpus = Cpus{1},
                                     .task_duration = kSec,
                                     .output_bytes_per_partition = kMiB,
                                     .output_name = "b"});
@@ -34,9 +34,9 @@ Workload paired_job(const std::string& name) {
                .inputs = {{b.output_of(load), DepKind::Narrow},
                           {b.output_of(feat), DepKind::Narrow}},
                .num_tasks = 4,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{0},
                .cache_output = false});
   return Workload{name, WorkloadCategory::Mixed, b.build()};
 }
@@ -46,7 +46,7 @@ SimConfig serve_cluster() {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 2;
+  config.topology.cores_per_executor = Cpus{2};
   return config;
 }
 
@@ -60,9 +60,9 @@ TEST(Arrivals, PoissonIsDeterministicAndOrdered) {
   const auto b = generate_arrivals(spec, 16);
   EXPECT_EQ(a, b);
   ASSERT_EQ(a.size(), 16u);
-  EXPECT_EQ(a.front(), 0);  // the stream starts with work
+  EXPECT_EQ(a.front(), SimTime{0});  // the stream starts with work
   EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
-  EXPECT_GT(a.back(), 0);
+  EXPECT_GT(a.back(), SimTime{0});
   // A different seed draws a different pattern.
   spec.seed = 8;
   EXPECT_NE(generate_arrivals(spec, 16), a);
@@ -73,8 +73,8 @@ TEST(Arrivals, TraceGapsCycle) {
   spec.kind = ArrivalKind::Trace;
   spec.trace_gaps_sec = {1.0, 2.0};
   const auto at = generate_arrivals(spec, 5);
-  const std::vector<SimTime> expected = {0, kSec, 3 * kSec, 4 * kSec,
-                                         6 * kSec};
+  const std::vector<SimTime> expected = {SimTime{0}, kSec, 3 * kSec,
+                                         4 * kSec, 6 * kSec};
   EXPECT_EQ(at, expected);
 }
 
@@ -123,9 +123,9 @@ TEST(ServeMerge, SharedInputShapeMismatchThrows) {
     b.add_stage({.name = "map",
                  .inputs = {{ds, DepKind::Narrow}},
                  .num_tasks = 8,
-                 .task_cpus = 1,
+                 .task_cpus = Cpus{1},
                  .task_duration = kSec,
-                 .output_bytes_per_partition = 0,
+                 .output_bytes_per_partition = Bytes{0},
                  .cache_output = false});
     return b.build();
   }());
@@ -145,7 +145,7 @@ TEST(MakeServing, BuildsGatedJobsWithArrivals) {
   const ServingWorkload sw =
       make_serving({paired_job("j0"), paired_job("j1")}, spec, opt);
   ASSERT_EQ(sw.serving.jobs.size(), 2u);
-  EXPECT_EQ(sw.serving.jobs[0].submit_at, 0);
+  EXPECT_EQ(sw.serving.jobs[0].submit_at, SimTime{0});
   EXPECT_EQ(sw.serving.jobs[1].submit_at, 5 * kSec);
   EXPECT_EQ(sw.serving.jobs[1].weight, 3);
   EXPECT_EQ(sw.serving.jobs[0].stages,
@@ -190,7 +190,7 @@ TEST(Serving, EveryJobQuiescesAndAccountsItsReads) {
   for (const JobStats& j : m.jobs) {
     EXPECT_GE(j.first_launch, j.submitted) << j.name;
     EXPECT_GT(j.finished, j.submitted) << j.name;
-    EXPECT_GT(j.jct(), 0) << j.name;
+    EXPECT_GT(j.jct(), SimTime{0}) << j.name;
     EXPECT_LE(j.effective_task_hits, j.effective_task_reads) << j.name;
     reads += j.effective_task_reads;
     hits += j.effective_task_hits;
@@ -200,7 +200,7 @@ TEST(Serving, EveryJobQuiescesAndAccountsItsReads) {
   EXPECT_EQ(hits, m.cache.effective_task_hits);
   EXPECT_EQ(tasks, 3 * 12);  // 3 jobs x (3 stages x 4 tasks)
   // The last finisher defines the stream's makespan.
-  SimTime last = 0;
+  SimTime last{};
   for (const JobStats& j : m.jobs) last = std::max(last, j.finished);
   EXPECT_EQ(last, m.jct);
 }
@@ -244,7 +244,7 @@ TEST(Serving, WeightedFairShareFavorsHeavyJobs) {
   SimConfig config = serve_cluster();
   config.topology.nodes_per_rack = 1;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.serving = sw.serving;
   const RunMetrics m = run_workload(sw.batch.combined, config).metrics;
   EXPECT_LT(m.jobs[1].finished, m.jobs[0].finished);

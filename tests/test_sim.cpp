@@ -15,13 +15,13 @@ namespace {
 
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
-  q.push(Event{30, EventType::Tick, TaskId::invalid(),
+  q.push(Event{SimTime{30}, EventType::Tick, TaskId::invalid(),
                ExecutorId::invalid(), BlockId{}});
-  q.push(Event{10, EventType::TaskFinish, TaskId(1), ExecutorId::invalid(),
+  q.push(Event{SimTime{10}, EventType::TaskFinish, TaskId(1), ExecutorId::invalid(),
                BlockId{}});
-  q.push(Event{20, EventType::PrefetchDone, TaskId::invalid(),
+  q.push(Event{SimTime{20}, EventType::PrefetchDone, TaskId::invalid(),
                ExecutorId(0), BlockId{}});
-  EXPECT_EQ(q.next_time(), 10);
+  EXPECT_EQ(q.next_time(), SimTime{10});
   EXPECT_EQ(q.pop()->type, EventType::TaskFinish);
   EXPECT_EQ(q.pop()->type, EventType::PrefetchDone);
   EXPECT_EQ(q.pop()->type, EventType::Tick);
@@ -31,9 +31,9 @@ TEST(EventQueue, PopsInTimeOrder) {
 
 TEST(EventQueue, TiesBreakByInsertionOrder) {
   EventQueue q;
-  q.push(Event{5, EventType::TaskFinish, TaskId(1), ExecutorId::invalid(),
+  q.push(Event{SimTime{5}, EventType::TaskFinish, TaskId(1), ExecutorId::invalid(),
                BlockId{}});
-  q.push(Event{5, EventType::TaskFinish, TaskId(2), ExecutorId::invalid(),
+  q.push(Event{SimTime{5}, EventType::TaskFinish, TaskId(2), ExecutorId::invalid(),
                BlockId{}});
   EXPECT_EQ(q.pop()->task, TaskId(1));
   EXPECT_EQ(q.pop()->task, TaskId(2));
@@ -41,7 +41,7 @@ TEST(EventQueue, TiesBreakByInsertionOrder) {
 
 TEST(EventQueue, RejectsNegativeTime) {
   EventQueue q;
-  EXPECT_THROW(q.push(Event{-1, EventType::Tick, TaskId::invalid(),
+  EXPECT_THROW(q.push(Event{SimTime{-1}, EventType::Tick, TaskId::invalid(),
                             ExecutorId::invalid(), BlockId{}}),
                InvariantError);
 }
@@ -51,12 +51,12 @@ TEST(EventQueue, RejectsNegativeTime) {
 TEST(RunMetrics, DerivedQuantities) {
   RunMetrics m;
   m.jct = 10 * kSec;
-  m.total_cores = 10;
-  m.busy_cores.set(0, 5.0);
+  m.total_cores = Cpus{10};
+  m.busy_cores.set(SimTime{0}, 5.0);
   m.busy_cores.set(10 * kSec, 0.0);
   EXPECT_DOUBLE_EQ(m.cpu_utilization(), 0.5);
 
-  m.running_tasks.set(0, 4.0);
+  m.running_tasks.set(SimTime{0}, 4.0);
   m.running_tasks.set(10 * kSec, 0.0);
   EXPECT_DOUBLE_EQ(m.avg_parallelism(), 4.0);
 
@@ -80,7 +80,7 @@ SimConfig single_executor_config() {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 1;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 16;
+  config.topology.cores_per_executor = Cpus{16};
   config.topology.cache_bytes_per_executor = 64 * kMiB;
   config.hdfs.replication = 1;
   return config;
@@ -112,7 +112,7 @@ TEST(SimDriver, ConservesResourceAccounting) {
   const RunResult r = run_workload(w, config);
   // Busy cores returns to zero and never exceeds capacity.
   EXPECT_DOUBLE_EQ(r.metrics.busy_cores.value(), 0.0);
-  EXPECT_LE(r.metrics.busy_cores.max_over(0, r.metrics.jct), 16.0);
+  EXPECT_LE(r.metrics.busy_cores.max_over(SimTime{0}, r.metrics.jct), 16.0);
   EXPECT_DOUBLE_EQ(r.metrics.running_tasks.value(), 0.0);
 }
 
@@ -123,7 +123,7 @@ TEST(SimDriver, AllTasksRunExactlyOnce) {
             static_cast<std::size_t>(w.dag.total_tasks()));
   for (const TaskRecord& t : r.metrics.tasks) {
     EXPECT_FALSE(t.cancelled);
-    EXPECT_GE(t.launch, 0);
+    EXPECT_GE(t.launch, SimTime{0});
     EXPECT_GT(t.finish, t.launch);
   }
 }
@@ -132,7 +132,7 @@ TEST(SimDriver, StageRecordsRespectDependencies) {
   const Workload w = make_example_dag();
   const RunResult r = run_workload(w, single_executor_config());
   for (const StageRecord& s : r.metrics.stages) {
-    EXPECT_GE(s.first_launch, 0);
+    EXPECT_GE(s.first_launch, SimTime{0});
     EXPECT_GT(s.finish_time, s.first_launch);
     for (const StageId p : w.dag.stage(s.id).parents) {
       EXPECT_GE(s.first_launch, r.metrics.stages[static_cast<std::size_t>(
@@ -151,7 +151,7 @@ TEST(SimDriver, DeterministicAcrossRuns) {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 4;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.seed = 77;
   config.duration_noise = 0.1;
   const RunResult a = run_workload(w, config);
@@ -204,7 +204,7 @@ TEST(SimDriver, RejectsUnplaceableDemand) {
   b.add_stage({.name = "s",
                .inputs = {{in, DepKind::Narrow}},
                .num_tasks = 1,
-               .task_cpus = 32,  // > 16-core executors
+               .task_cpus = Cpus{32},  // > 16-core executors
                .task_duration = kSec});
   const Workload w{"toofat", WorkloadCategory::Mixed, b.build()};
   EXPECT_THROW(run_workload(w, single_executor_config()), ConfigError);
@@ -227,9 +227,9 @@ TEST(SimDriver, SpeculationRecoversFromStraggler) {
   b.add_stage({.name = "s",
                .inputs = {{in, DepKind::Narrow}},
                .num_tasks = 8,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = 2 * kSec,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{0},
                .cache_output = false,
                .duration_skew = skew});
   const Workload w{"straggler", WorkloadCategory::Mixed, b.build()};
@@ -238,7 +238,7 @@ TEST(SimDriver, SpeculationRecoversFromStraggler) {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
 
   const RunResult without = run_workload(w, config);
   config.speculation.enabled = true;
@@ -277,7 +277,7 @@ TEST(SimDriver, PrefetchingHappensForLrp) {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 2;
-  config.topology.cores_per_executor = 4;
+  config.topology.cores_per_executor = Cpus{4};
   config.topology.cache_bytes_per_executor = 512 * kMiB;
   config.cache = CachePolicyKind::Lrp;
   const RunResult r = run_workload(w, config);

@@ -41,7 +41,7 @@ TEST(TailValidation, DriverRejectsBadTierAndEscalationKnobs) {
     SimDriver driver(w.dag, profile, config);
   };
   SimConfig base = paper_testbed();
-  base.topology.cores_per_executor = 8;  // fits the example dag's 6-vCPU stage
+  base.topology.cores_per_executor = Cpus{8};  // fits the example dag's 6-vCPU stage
 
   SimConfig config = base;
   config.tail.tiers.push_back(SimConfig::ExecTier{"bad", -0.1, 2.0});
@@ -63,7 +63,7 @@ TEST(TailValidation, DriverRejectsBadTierAndEscalationKnobs) {
   config = base;
   config.tail.tiers.push_back(SimConfig::ExecTier{"slow", 0.25, 2.0});
   config.tail.escalate = true;
-  config.tail.escalation_wait = 0;
+  config.tail.escalation_wait = SimTime{0};
   EXPECT_THROW(driver_with(config), ConfigError);
 
   config = base;
@@ -82,7 +82,7 @@ SimConfig quad_cluster() {
   config.topology.racks = 2;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 8;
+  config.topology.cores_per_executor = Cpus{8};
   config.topology.cache_bytes_per_executor = 64 * kMiB;
   config.hdfs.replication = 1;
   return config;
@@ -152,10 +152,10 @@ TEST(TierAssignment, SlowTierStretchesComputeProportionally) {
     if (t.cancelled || t.failed) continue;
     Sums& s = per_stage[static_cast<std::size_t>(t.stage.value())];
     if (t.exec.value() == slow_exec) {
-      s.on += static_cast<double>(t.compute_time);
+      s.on += static_cast<double>(t.compute_time.count());
       ++s.n_on;
     } else {
-      s.off += static_cast<double>(t.compute_time);
+      s.off += static_cast<double>(t.compute_time.count());
       ++s.n_off;
     }
   }
@@ -225,7 +225,7 @@ SimConfig two_exec_cluster() {
   config.topology.racks = 1;
   config.topology.nodes_per_rack = 2;
   config.topology.executors_per_node = 1;
-  config.topology.cores_per_executor = 1;
+  config.topology.cores_per_executor = Cpus{1};
   config.topology.cache_bytes_per_executor = 64 * kMiB;
   config.hdfs.replication = 2;
   return config;
@@ -234,13 +234,13 @@ SimConfig two_exec_cluster() {
 /// Two independent 1-second tasks over a zero-byte input.
 Workload two_task_stage() {
   JobDagBuilder b("tail-micro");
-  const RddId in = b.input_rdd("in", 2, 0);
+  const RddId in = b.input_rdd("in", 2, Bytes{0});
   b.add_stage({.name = "S",
                .inputs = {{in, DepKind::Narrow}},
                .num_tasks = 2,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec,
-               .output_bytes_per_partition = 0,
+               .output_bytes_per_partition = Bytes{0},
                .output_name = "out"});
   return Workload{"tail-micro", WorkloadCategory::Mixed, b.build()};
 }
@@ -274,7 +274,7 @@ TEST(Hedge, SameTickFinishTieGoesToTheOriginal) {
   EXPECT_EQ(m.hedge.hedges_won, 0);
   EXPECT_EQ(m.hedge.hedges_cancelled, 1);
   // The cancelled hedge held one core from 1.1s to 2.1s.
-  EXPECT_EQ(m.hedge.wasted_core_us, static_cast<std::int64_t>(kSec));
+  EXPECT_EQ(m.hedge.wasted_core_us.count(), kSec.count());
   EXPECT_EQ(m.hedge.escalations, 0);
   EXPECT_FALSE(m.fsm.any());
   EXPECT_FALSE(m.faults.any());
@@ -316,7 +316,7 @@ TEST(Hedge, WinningHedgeCancelsTheOriginal) {
   EXPECT_EQ(m.hedge.hedges_launched, 1);
   EXPECT_EQ(m.hedge.hedges_won, 1);
   EXPECT_EQ(m.hedge.hedges_cancelled, 1);  // the out-raced original
-  EXPECT_EQ(m.hedge.wasted_core_us, static_cast<std::int64_t>(2100 * kMsec));
+  EXPECT_EQ(m.hedge.wasted_core_us.count(), (2100 * kMsec).count());
   EXPECT_FALSE(m.fsm.any());
   const TaskRecord* original = nullptr;
   for (const TaskRecord& t : m.tasks) {
@@ -324,7 +324,7 @@ TEST(Hedge, WinningHedgeCancelsTheOriginal) {
   }
   ASSERT_NE(original, nullptr);
   EXPECT_FALSE(original->speculative);
-  EXPECT_EQ(original->launch, 0);
+  EXPECT_EQ(original->launch, SimTime{0});
   EXPECT_EQ(original->finish, 2100 * kMsec);
 }
 
@@ -360,7 +360,7 @@ TEST(Hedge, HedgeExecutorCrashLeavesTheOriginalToFinish) {
   EXPECT_EQ(m.hedge.hedges_launched, 1);
   EXPECT_EQ(m.hedge.hedges_won, 0);
   EXPECT_EQ(m.hedge.hedges_cancelled, 0);  // crash != cancellation
-  EXPECT_EQ(m.hedge.wasted_core_us, 0);
+  EXPECT_EQ(m.hedge.wasted_core_us.count(), 0);
   EXPECT_EQ(m.faults.executor_crashes, 1);
   EXPECT_EQ(m.faults.crash_failures, 1);
   EXPECT_EQ(m.faults.retries, 0) << "live original owes no retry";
@@ -405,7 +405,7 @@ TEST(Hedge, SurvivesLineageRecoveryReopeningHedgedStages) {
   EXPECT_GT(m.faults.lineage_recomputes, 0);
   EXPECT_GT(m.hedge.hedges_launched, 0);
   EXPECT_FALSE(m.fsm.any());
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
   // Hedge accounting stays coherent under the chaos: every cancelled
   // record is a HedgeStats cancellation and vice versa.
   std::int64_t cancelled = 0;
@@ -431,7 +431,7 @@ TEST(Escalation, FiresOntoTheFastTierUnderCongestion) {
   const RunMetrics m = run_workload(w, config).metrics;
   EXPECT_GT(m.hedge.escalations, 0);
   EXPECT_FALSE(m.fsm.any());
-  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, 0);
+  for (const StageRecord& s : m.stages) EXPECT_GE(s.finish_time, SimTime{0});
 }
 
 TEST(Escalation, StaysQuietWithoutCongestion) {

@@ -17,7 +17,7 @@ class TraceFixture : public ::testing::Test {
  protected:
   TraceFixture() : workload_(make_example_dag()) {
     SimConfig config;
-    config.topology.cores_per_executor = 16;
+    config.topology.cores_per_executor = Cpus{16};
     config.topology.cache_bytes_per_executor = 16 * kMiB;
     config.scheduler = SchedulerKind::Dagon;
     metrics_ = run_workload(workload_, config).metrics;
@@ -66,7 +66,7 @@ TEST(ChromeTrace, EscapesSpecialCharacters) {
   const RddId in = b.input_rdd("in", 1, kMiB);
   b.add_stage({.name = "stage \"x\"\n", .inputs = {{in, DepKind::Narrow}},
                .num_tasks = 1,
-               .task_cpus = 1,
+               .task_cpus = Cpus{1},
                .task_duration = kSec});
   const Workload w{"quoted", WorkloadCategory::Mixed, b.build()};
   const RunMetrics m = run_workload(w, SimConfig{}).metrics;
@@ -82,7 +82,7 @@ TEST_F(TraceFixture, StageSpansOrderedByLaunch) {
   }
   for (const StageSpan& s : spans) {
     EXPECT_GE(s.first_launch, s.ready);
-    EXPECT_GE(s.queue_delay(), 0);
+    EXPECT_GE(s.queue_delay(), SimTime{0});
     EXPECT_GT(s.finish, s.first_launch);
   }
 }
@@ -95,7 +95,7 @@ TEST_F(TraceFixture, BinnedSeriesAverageMatchesMetrics) {
   // The mean of the binned means approximates the exact time-weighted
   // mean (bins are equal width).
   EXPECT_NEAR(sum / 20.0,
-              metrics_.busy_cores.average(0, metrics_.jct),
+              metrics_.busy_cores.average(SimTime{0}, metrics_.jct),
               0.5);
   const BinnedSeries par = parallelism_series(metrics_, 10);
   EXPECT_EQ(par.values.size(), 10u);

@@ -18,8 +18,8 @@ TEST(ExampleDag, MatchesPaperStructure) {
   const Workload w = make_example_dag();
   ASSERT_EQ(w.dag.num_stages(), 4u);
   EXPECT_EQ(w.dag.stage(StageId(0)).num_tasks, 3);
-  EXPECT_EQ(w.dag.stage(StageId(0)).task_cpus, 4);
-  EXPECT_EQ(w.dag.stage(StageId(1)).task_cpus, 6);
+  EXPECT_EQ(w.dag.stage(StageId(0)).task_cpus, Cpus{4});
+  EXPECT_EQ(w.dag.stage(StageId(1)).task_cpus, Cpus{6});
   EXPECT_EQ(w.dag.stage(StageId(2)).num_tasks, 2);
   EXPECT_EQ(w.dag.stage(StageId(3)).num_tasks, 1);
   // RDD names match Fig. 1 for readable trace output.

@@ -1,4 +1,4 @@
-// dagonlint — Dagon's determinism-audit static-analysis pass.
+// dagonlint — Dagon's determinism- and unit-safety static-analysis pass.
 //
 // Every claim this reproduction makes rests on bit-identical
 // determinism: the parallel sweep engine, the faults-off fingerprint
@@ -42,17 +42,48 @@
 //                    event that can be scheduled but never handled is
 //                    a silently dropped simulation step.
 //
+// The unit-safety rules guard the dagonunits strong-type layer
+// (common/quantity.hpp): the compiler rejects dimensionally invalid
+// operator mixes, and dagonlint rejects the idioms that would smuggle a
+// raw integer past the type system:
+//
+//   raw-unit-decl    an int64_t / long long declaration of a name with
+//                    a unit suffix (*_us, *_usec, *_bytes, *_work)
+//                    outside common/ — the value has a dimension, so it
+//                    must be a SimTime / Bytes / CpuWork.
+//   narrowing-cast   static_cast from a floating expression to an
+//                    integer type outside the sanctioned common/
+//                    converters (from_seconds, time_from_usec,
+//                    scale_time, bytes_from_double, cpus_from_double):
+//                    rounding decisions stay centralized and audited.
+//   magic-unit-constant
+//                    a magic unit literal (1000 / 1000000 / 86400 /
+//                    1024-family) multiplying or dividing a time/byte
+//                    expression; use kMsec / kSec / kMinute / kMiB so
+//                    the scale is named and grep-able.
+//   overflow-mul     int64 quantity × quantity multiplication without
+//                    widening (__int128 / double) — the exact shape
+//                    that can silently wrap in a fair-share style
+//                    cross-multiplication. Justify fits-in-int64 cases
+//                    with an allow().
+//
 // Suppression syntax (audited, grep-able):
 //   // dagonlint: allow(<rule-id>): <one-line justification>
 // on the offending line, or alone on a comment line directly above it.
 // The justification is mandatory — an allow() without one is itself a
 // finding (bare-allow), so every exception in the tree stays audited.
 //
-// Usage: dagonlint [--list-rules] <file-or-dir>...
+// The per-file scan fans out across a dagon::ThreadPool (the sweep
+// engine's substrate); findings are sorted (path, line, rule) before
+// printing, so output is byte-identical to a serial run (--jobs=1).
+//
+// Usage: dagonlint [--list-rules] [--format=plain|github|sarif]
+//                  [--jobs=N] <file-or-dir>...
 // Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <map>
@@ -60,7 +91,10 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
+
+#include "exp/thread_pool.hpp"
 
 namespace {
 
@@ -80,7 +114,12 @@ struct Rule {
 //  * common/rng.* is the seeded RNG implementation itself;
 //  * tools/ is off the decision path (CLIs may read argv/env freely);
 //  * sim/metrics.* is the sanctioned home of FP reductions — every
-//    derived metric is computed there, in one fixed order.
+//    derived metric is computed there, in one fixed order;
+//  * common/ is where the unit strong types, named scale constants and
+//    sanctioned converters are *defined*, so the declaration/conversion
+//    unit rules do not apply there;
+//  * common/quantity.hpp + common/units.hpp implement the checked
+//    multiply itself, so overflow-mul does not apply there.
 const Rule kRules[] = {
     {"unordered-iter",
      "iteration over an unordered container outside dagon::sorted_view()/"
@@ -112,6 +151,23 @@ const Rule kRules[] = {
      "EventType enumerator with no `case EventType::X` dispatch in "
      "driver.cpp (schedulable but unhandled event)",
      {}},
+    {"raw-unit-decl",
+     "raw int64_t/long long declaration of a unit-suffixed name "
+     "(*_us/*_usec/*_bytes/*_work); declare it SimTime/Bytes/CpuWork",
+     {"common/"}},
+    {"narrowing-cast",
+     "static_cast from a floating expression to an integer type outside "
+     "the sanctioned common/ converters (from_seconds, time_from_usec, "
+     "...)",
+     {"common/"}},
+    {"magic-unit-constant",
+     "magic unit literal (1000/1000000/86400/1024-family) scaling a "
+     "time/byte expression; name the scale with kMsec/kSec/kMinute/kMiB",
+     {"common/"}},
+    {"overflow-mul",
+     "int64 quantity*quantity multiplication without widening; lift one "
+     "side to __int128/double or justify with an allow()",
+     {"common/quantity.hpp", "common/units.hpp"}},
 };
 
 const Rule* find_rule(std::string_view id) {
@@ -401,14 +457,16 @@ struct Context {
   std::vector<Finding> findings;
 };
 
-void report(Context& ctx, const FileScan& scan,
+/// Appends a finding to `out` unless the rule is path-exempt or covered
+/// by an allow(). Checks write into a per-file vector so the scan pass
+/// can fan out across threads without mutating shared Context state.
+void report(std::vector<Finding>& out, const FileScan& scan,
             const std::set<std::pair<std::string, int>>& allowed,
             int line, std::string_view rule, std::string message) {
   const Rule* r = find_rule(rule);
   if (r != nullptr && rule_exempt(*r, scan.path)) return;
   if (allowed.count({std::string(rule), line}) != 0) return;
-  ctx.findings.push_back(
-      {scan.path, line, std::string(rule), std::move(message)});
+  out.push_back({scan.path, line, std::string(rule), std::move(message)});
 }
 
 // ---------------------------------------------------------------------------
@@ -551,7 +609,7 @@ bool in_any_region(const std::vector<LoopRegion>& regions, std::size_t idx) {
                      });
 }
 
-/// float/double variable names declared in this file.
+/// float/double variable + function names declared in `toks`.
 std::set<std::string> float_names(const std::vector<Token>& toks) {
   std::set<std::string> names;
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
@@ -575,11 +633,29 @@ std::set<std::string> float_names(const std::vector<Token>& toks) {
   return names;
 }
 
-// ---------------------------------------------------------------------------
-// Pass B: rule checks.
+/// True when `name` carries a unit suffix: *_us, *_usec, *_bytes,
+/// *_work, including the `_`-suffixed member forms (elapsed_us_).
+bool unit_suffixed(const std::string& name) {
+  static const std::string_view kSuffixes[] = {"_us", "_usec", "_bytes",
+                                               "_work"};
+  std::string_view n = name;
+  if (!n.empty() && n.back() == '_') n.remove_suffix(1);
+  for (std::string_view suffix : kSuffixes) {
+    if (n.size() > suffix.size() &&
+        n.substr(n.size() - suffix.size()) == suffix) {
+      return true;
+    }
+  }
+  return false;
+}
 
-void check_unordered_iter(const FileScan& scan, Context& ctx,
-                          const std::set<std::pair<std::string, int>>& ok) {
+// ---------------------------------------------------------------------------
+// Pass B: rule checks. Each writes findings into `out` (per-file, so
+// the pass can run one file per thread; see run()).
+
+void check_unordered_iter(const FileScan& scan, const Context& ctx,
+                          const std::set<std::pair<std::string, int>>& ok,
+                          std::vector<Finding>& out) {
   const auto& toks = scan.tokens;
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
     // Range-for: for ( decl : range )
@@ -619,7 +695,7 @@ void check_unordered_iter(const FileScan& scan, Context& ctx,
         }
       }
       if (!sanctioned && !culprit.empty()) {
-        report(ctx, scan, ok, toks[i].line, "unordered-iter",
+        report(out, scan, ok, toks[i].line, "unordered-iter",
                "range-for over unordered container '" + culprit +
                    "'; iterate dagon::sorted_view()/sorted_keys() instead");
       }
@@ -632,15 +708,16 @@ void check_unordered_iter(const FileScan& scan, Context& ctx,
         (toks[i + 2].text == "begin" || toks[i + 2].text == "cbegin" ||
          toks[i + 2].text == "rbegin") &&
         i + 3 < toks.size() && toks[i + 3].text == "(") {
-      report(ctx, scan, ok, toks[i].line, "unordered-iter",
+      report(out, scan, ok, toks[i].line, "unordered-iter",
              "iterator walk over unordered container '" + toks[i].text +
                  "'; iterate dagon::sorted_view()/sorted_keys() instead");
     }
   }
 }
 
-void check_nondet_source(const FileScan& scan, Context& ctx,
-                         const std::set<std::pair<std::string, int>>& ok) {
+void check_nondet_source(const FileScan& scan, const Context&,
+                         const std::set<std::pair<std::string, int>>& ok,
+                         std::vector<Finding>& out) {
   const auto& toks = scan.tokens;
   for (std::size_t i = 0; i < toks.size(); ++i) {
     if (toks[i].kind != TokKind::Identifier) continue;
@@ -648,7 +725,7 @@ void check_nondet_source(const FileScan& scan, Context& ctx,
     const bool member = i > 0 && (toks[i - 1].text == "." ||
                                   toks[i - 1].text == "->");
     if (t == "random_device" || t == "system_clock") {
-      report(ctx, scan, ok, toks[i].line, "nondet-source",
+      report(out, scan, ok, toks[i].line, "nondet-source",
              "'" + t + "' is an ambient nondeterminism source; draw from "
                  "the run's seeded dagon::Rng stream instead");
       continue;
@@ -658,15 +735,16 @@ void check_nondet_source(const FileScan& scan, Context& ctx,
     if (!call) continue;
     if (t == "rand" || t == "srand" || t == "time" || t == "getenv" ||
         t == "clock") {
-      report(ctx, scan, ok, toks[i].line, "nondet-source",
+      report(out, scan, ok, toks[i].line, "nondet-source",
              "call to '" + t + "()' outside the seeded RNG streams; wire "
                  "the value through SimConfig or dagon::Rng");
     }
   }
 }
 
-void check_ptr_order(const FileScan& scan, Context& ctx,
-                     const std::set<std::pair<std::string, int>>& ok) {
+void check_ptr_order(const FileScan& scan, const Context&,
+                     const std::set<std::pair<std::string, int>>& ok,
+                     std::vector<Finding>& out) {
   const auto& toks = scan.tokens;
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
     if (toks[i].kind != TokKind::Identifier) continue;
@@ -676,7 +754,7 @@ void check_ptr_order(const FileScan& scan, Context& ctx,
       const std::size_t close = matching_close(toks, i + 1, "<", ">");
       for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
         if (toks[j].text == "*") {
-          report(ctx, scan, ok, toks[i].line, "ptr-order",
+          report(out, scan, ok, toks[i].line, "ptr-order",
                  "std::" + t + " over a raw pointer type orders/hashes "
                      "allocator-dependent addresses; key on a stable id");
           break;
@@ -687,7 +765,7 @@ void check_ptr_order(const FileScan& scan, Context& ctx,
       const std::size_t close = matching_close(toks, i + 1, "<", ">");
       for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
         if (toks[j].text == "uintptr_t" || toks[j].text == "intptr_t") {
-          report(ctx, scan, ok, toks[i].line, "ptr-order",
+          report(out, scan, ok, toks[i].line, "ptr-order",
                  "pointer-to-integer cast used as an ordering/hash key is "
                      "allocator-dependent; key on a stable id");
           break;
@@ -697,8 +775,9 @@ void check_ptr_order(const FileScan& scan, Context& ctx,
   }
 }
 
-void check_float_accum(const FileScan& scan, Context& ctx,
-                       const std::set<std::pair<std::string, int>>& ok) {
+void check_float_accum(const FileScan& scan, const Context&,
+                       const std::set<std::pair<std::string, int>>& ok,
+                       std::vector<Finding>& out) {
   const auto& toks = scan.tokens;
   const std::vector<LoopRegion> loops = loop_regions(toks);
   const std::set<std::string> floats = float_names(toks);
@@ -727,7 +806,7 @@ void check_float_accum(const FileScan& scan, Context& ctx,
       }
     }
     if (commented) continue;
-    report(ctx, scan, ok, toks[i].line, "float-accum",
+    report(out, scan, ok, toks[i].line, "float-accum",
            "floating-point accumulation into '" + toks[i].text +
                "' in a loop; comment the reduction-order contract or move "
                "it to sim/metrics");
@@ -753,8 +832,9 @@ bool lifecycle_field_name(const std::string& name) {
   return false;
 }
 
-void check_raw_transition(const FileScan& scan, Context& ctx,
-                          const std::set<std::pair<std::string, int>>& ok) {
+void check_raw_transition(const FileScan& scan, const Context&,
+                          const std::set<std::pair<std::string, int>>& ok,
+                          std::vector<Finding>& out) {
   const auto& toks = scan.tokens;
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
     if (toks[i].kind != TokKind::Identifier ||
@@ -784,15 +864,16 @@ void check_raw_transition(const FileScan& scan, Context& ctx,
       ++j;
     }
     if (j >= toks.size() || toks[j].text != "=") continue;
-    report(ctx, scan, ok, toks[i].line, "raw-transition",
+    report(out, scan, ok, toks[i].line, "raw-transition",
            "direct write to lifecycle field '" + toks[i].text +
                "'; route the transition through fsm::transition()");
   }
 }
 
-void check_enum_switch_default(const FileScan& scan, Context& ctx,
+void check_enum_switch_default(const FileScan& scan, const Context& ctx,
                                const std::set<std::pair<std::string, int>>&
-                                   ok) {
+                                   ok,
+                               std::vector<Finding>& out) {
   const auto& toks = scan.tokens;
   for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
     if (toks[i].kind != TokKind::Identifier || toks[i].text != "switch" ||
@@ -829,10 +910,239 @@ void check_enum_switch_default(const FileScan& scan, Context& ctx,
       }
     }
     if (!enum_name.empty() && default_line != 0) {
-      report(ctx, scan, ok, default_line, "enum-switch-default",
+      report(out, scan, ok, default_line, "enum-switch-default",
              "`default:` in a switch over enum class '" + enum_name +
                  "' defeats -Wswitch-enum; list every enumerator instead");
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass B: unit-safety rule checks (the dagonunits companion rules).
+
+void check_raw_unit_decl(const FileScan& scan, const Context&,
+                         const std::set<std::pair<std::string, int>>& ok,
+                         std::vector<Finding>& out) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier) continue;
+    std::size_t j;
+    if (toks[i].text == "int64_t") {
+      j = i + 1;  // also the int64_t of a qualified std::int64_t
+    } else if (toks[i].text == "long" && toks[i + 1].text == "long") {
+      j = i + 2;
+    } else {
+      continue;
+    }
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != TokKind::Identifier) continue;
+    if (!unit_suffixed(toks[j].text)) continue;
+    report(out, scan, ok, toks[j].line, "raw-unit-decl",
+           "raw integer declaration of unit-suffixed '" + toks[j].text +
+               "'; declare it as the strong type (SimTime/Bytes/CpuWork) "
+               "from common/quantity.hpp");
+  }
+}
+
+/// A literal with floating syntax: `1.5`, `1e6`, `2.f` (hex literals
+/// like 0x1e are integers and excluded).
+bool float_literal(const std::string& text) {
+  if (text.size() > 1 && text[0] == '0' &&
+      (text[1] == 'x' || text[1] == 'X')) {
+    return false;
+  }
+  return text.find('.') != std::string::npos ||
+         text.find('e') != std::string::npos ||
+         text.find('E') != std::string::npos;
+}
+
+void check_narrowing_cast(const FileScan& scan, const Context& ctx,
+                          const std::set<std::pair<std::string, int>>& ok,
+                          std::vector<Finding>& out) {
+  static const std::set<std::string> kIntTargets = {
+      "int",      "long",     "short",    "char",     "unsigned",
+      "int8_t",   "int16_t",  "int32_t",  "int64_t",  "uint8_t",
+      "uint16_t", "uint32_t", "uint64_t", "size_t",   "ptrdiff_t"};
+  (void)ctx;
+  // Float-declared names are collected per file: evidence must be local
+  // (a `double` declared in an unrelated file must not poison casts of
+  // identically named integer variables elsewhere).
+  const std::set<std::string> floats = float_names(scan.tokens);
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier ||
+        toks[i].text != "static_cast" || toks[i + 1].text != "<") {
+      continue;
+    }
+    const std::size_t close = matching_close(toks, i + 1, "<", ">");
+    if (close >= toks.size()) continue;
+    bool to_int = false;
+    bool to_float = false;
+    for (std::size_t j = i + 2; j < close; ++j) {
+      if (toks[j].kind != TokKind::Identifier) continue;
+      if (kIntTargets.count(toks[j].text) != 0) to_int = true;
+      if (toks[j].text == "float" || toks[j].text == "double") {
+        to_float = true;
+      }
+    }
+    if (!to_int || to_float) continue;
+    if (close + 1 >= toks.size() || toks[close + 1].text != "(") continue;
+    const std::size_t pclose = matching_close(toks, close + 1, "(", ")");
+    // The argument is floating when it mentions a float literal, a
+    // float/double-declared name from this file, or a nested widening
+    // cast to double.
+    for (std::size_t j = close + 2; j < pclose && j < toks.size(); ++j) {
+      const bool floating =
+          (toks[j].kind == TokKind::Number && float_literal(toks[j].text)) ||
+          (toks[j].kind == TokKind::Identifier &&
+           (toks[j].text == "double" || toks[j].text == "float" ||
+            floats.count(toks[j].text) != 0));
+      if (floating) {
+        report(out, scan, ok, toks[i].line, "narrowing-cast",
+               "static_cast of a floating expression to an integer type; "
+               "use a sanctioned converter (from_seconds, time_from_usec, "
+               "scale_time, bytes_from_double, cpus_from_double)");
+        break;
+      }
+    }
+  }
+}
+
+/// Magic scale factors the named constants replace: decimal time scales
+/// (msec/sec/minute/hour/day in usec) and binary byte scales.
+bool magic_unit_value(const std::string& text) {
+  static const std::set<std::string> kMagic = {
+      "1000",       "1000000",    "60000000", "3600000000",
+      "1000000000", "86400",      "86400000000",
+      "1024",       "1048576",    "1073741824"};
+  std::string digits;
+  for (char c : text) {
+    if (c == '\'') continue;  // 1'000'000 digit separators
+    digits += c;
+  }
+  if (digits.size() > 1 && digits[0] == '0' &&
+      (digits[1] == 'x' || digits[1] == 'X')) {
+    return false;
+  }
+  // Strip integer suffixes (LL, u, ...); any remaining non-digit (a
+  // float literal's '.' or exponent) disqualifies.
+  while (!digits.empty() &&
+         (digits.back() == 'l' || digits.back() == 'L' ||
+          digits.back() == 'u' || digits.back() == 'U')) {
+    digits.pop_back();
+  }
+  if (digits.empty() ||
+      !std::all_of(digits.begin(), digits.end(), [](char c) {
+        return std::isdigit(static_cast<unsigned char>(c)) != 0;
+      })) {
+    return false;
+  }
+  return kMagic.count(digits) != 0;
+}
+
+/// True when the raw line mentions a unit-typed quantity: a strong type
+/// name, a named scale constant, or a unit-suffixed identifier.
+bool unit_context_line(const std::string& line) {
+  static const std::string_view kMarkers[] = {
+      "SimTime", "Bytes",  "CpuWork", "kUsec", "kMsec",  "kSec",
+      "kMinute", "kKiB",   "kMiB",    "kGiB",  "_us",    "_usec",
+      "_bytes",  "_work"};
+  return std::any_of(std::begin(kMarkers), std::end(kMarkers),
+                     [&](std::string_view m) {
+                       return line.find(m) != std::string::npos;
+                     });
+}
+
+void check_magic_unit_constant(const FileScan& scan, const Context&,
+                               const std::set<std::pair<std::string, int>>&
+                                   ok,
+                               std::vector<Finding>& out) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Number || !magic_unit_value(toks[i].text)) {
+      continue;
+    }
+    // Only as a scale factor: the literal multiplies or divides
+    // something. Bare element counts (reserve(1024)) stay legal.
+    const bool scaled =
+        (i > 0 && (toks[i - 1].text == "*" || toks[i - 1].text == "/")) ||
+        (i + 1 < toks.size() &&
+         (toks[i + 1].text == "*" || toks[i + 1].text == "/"));
+    if (!scaled) continue;
+    const std::size_t ln = static_cast<std::size_t>(toks[i].line);
+    if (ln == 0 || ln > scan.raw_lines.size()) continue;
+    if (!unit_context_line(scan.raw_lines[ln - 1])) continue;
+    report(out, scan, ok, toks[i].line, "magic-unit-constant",
+           "magic unit literal " + toks[i].text +
+               " scaling a unit expression; use the named constant "
+               "(kMsec/kSec/kMinute/kMiB/...) instead");
+  }
+}
+
+/// True when the operand ending at the `*` token denotes an int64
+/// quantity: a unit-suffixed identifier (bare or tail of a member
+/// chain) or a `.count()` escape from a strong type.
+bool quantity_operand_left(const std::vector<Token>& toks, std::size_t star) {
+  if (star == 0) return false;
+  const Token& prev = toks[star - 1];
+  if (prev.kind == TokKind::Identifier && unit_suffixed(prev.text)) {
+    return true;
+  }
+  // `x.count() *` — tokens: x . count ( ) *
+  return star >= 4 && prev.text == ")" && toks[star - 2].text == "(" &&
+         toks[star - 3].text == "count" &&
+         (toks[star - 4].text == "." || toks[star - 4].text == "->");
+}
+
+/// Same, for the operand starting right after the `*` token.
+bool quantity_operand_right(const std::vector<Token>& toks,
+                            std::size_t star) {
+  std::size_t j = star + 1;
+  if (j >= toks.size() || toks[j].kind != TokKind::Identifier) return false;
+  // Walk a member chain (state.fair_us, cfg->budget.count()).
+  std::size_t last = j;
+  while (j + 2 < toks.size() &&
+         (toks[j + 1].text == "." || toks[j + 1].text == "->") &&
+         toks[j + 2].kind == TokKind::Identifier) {
+    j += 2;
+    last = j;
+  }
+  if (toks[last].text == "count" && last + 1 < toks.size() &&
+      toks[last + 1].text == "(") {
+    return true;
+  }
+  return unit_suffixed(toks[last].text);
+}
+
+void check_overflow_mul(const FileScan& scan, const Context&,
+                        const std::set<std::pair<std::string, int>>& ok,
+                        std::vector<Finding>& out) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Punct || toks[i].text != "*") continue;
+    if (!quantity_operand_left(toks, i) ||
+        !quantity_operand_right(toks, i)) {
+      continue;
+    }
+    // A widened multiply is safe: one side lifted to __int128 or double
+    // before the product forms.
+    const std::size_t ln = static_cast<std::size_t>(toks[i].line);
+    if (ln >= 1 && ln <= scan.raw_lines.size()) {
+      const std::string& raw = scan.raw_lines[ln - 1];
+      if (raw.find("__int128") != std::string::npos ||
+          raw.find("static_cast<double>") != std::string::npos ||
+          raw.find("static_cast<long double>") != std::string::npos) {
+        continue;
+      }
+    }
+    report(out, scan, ok, toks[i].line, "overflow-mul",
+           "int64 quantity*quantity multiplication can overflow; widen "
+           "one side (__int128/double) or justify with "
+           "`// dagonlint: allow(overflow-mul): <why>`");
   }
 }
 
@@ -875,6 +1185,84 @@ void check_event_handler_complete(const std::vector<FileScan>& scans,
 }
 
 // ---------------------------------------------------------------------------
+// Output formats.
+
+enum class Format { Plain, Github, Sarif };
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void print_plain(const std::vector<Finding>& findings,
+                 std::size_t files_scanned) {
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  std::printf("dagonlint: %zu finding(s) in %zu file(s) scanned\n",
+              findings.size(), files_scanned);
+}
+
+/// GitHub Actions workflow-command annotations: one `::error` line per
+/// finding, surfaced inline on the PR diff by the runner.
+void print_github(const std::vector<Finding>& findings) {
+  for (const Finding& f : findings) {
+    std::printf("::error file=%s,line=%d,title=dagonlint %s::%s\n",
+                f.path.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+}
+
+/// Minimal SARIF 2.1.0: one run, the full rule table as driver rules,
+/// one result per finding — enough for GitHub code-scanning upload.
+void print_sarif(const std::vector<Finding>& findings) {
+  std::string out;
+  out += "{\"version\":\"2.1.0\",";
+  out += "\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",";
+  out += "\"runs\":[{\"tool\":{\"driver\":{\"name\":\"dagonlint\",";
+  out += "\"rules\":[";
+  bool first = true;
+  for (const Rule& r : kRules) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"id\":\"" + json_escape(std::string(r.id)) + "\",";
+    out += "\"shortDescription\":{\"text\":\"" +
+           json_escape(std::string(r.summary)) + "\"}}";
+  }
+  out += "]}},\"results\":[";
+  first = true;
+  for (const Finding& f : findings) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ruleId\":\"" + json_escape(f.rule) + "\",";
+    out += "\"level\":\"error\",";
+    out += "\"message\":{\"text\":\"" + json_escape(f.message) + "\"},";
+    out += "\"locations\":[{\"physicalLocation\":{\"artifactLocation\":";
+    out += "{\"uri\":\"" + json_escape(f.path) + "\"},";
+    out += "\"region\":{\"startLine\":" + std::to_string(f.line) + "}}}]}";
+  }
+  out += "]}]}";
+  std::printf("%s\n", out.c_str());
+}
+
+// ---------------------------------------------------------------------------
 // Driver.
 
 bool source_file(const std::filesystem::path& p) {
@@ -882,7 +1270,8 @@ bool source_file(const std::filesystem::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
-int run(const std::vector<std::string>& roots) {
+int run(const std::vector<std::string>& roots, Format format,
+        std::size_t jobs) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& root : roots) {
@@ -904,46 +1293,88 @@ int run(const std::vector<std::string>& roots) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<FileScan> scans;
-  scans.reserve(files.size());
-  Context ctx;
-  for (const std::string& f : files) {
-    std::ifstream in(f);
+  // IO stays serial (error reporting must be ordered and fatal); the
+  // lexing — the bulk of the wall time — fans out per file.
+  std::vector<std::string> texts(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::ifstream in(files[i]);
     if (!in) {
-      std::fprintf(stderr, "dagonlint: cannot read %s\n", f.c_str());
+      std::fprintf(stderr, "dagonlint: cannot read %s\n", files[i].c_str());
       return 2;
     }
     std::ostringstream ss;
     ss << in.rdbuf();
-    scans.push_back(lex_file(f, ss.str()));
-    collect_unordered_names(scans.back(), ctx);
-    collect_enum_info(scans.back(), ctx);
-    if (std::filesystem::path(f).filename() == "driver.cpp") {
+    texts[i] = ss.str();
+  }
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(jobs, files.size()));
+  std::vector<FileScan> scans(files.size());
+  {
+    dagon::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      pool.submit([&scans, &files, &texts, i] {
+        scans[i] = lex_file(files[i], texts[i]);
+      });
+    }
+    pool.wait();
+  }
+
+  // Pass A (serial, cross-file): the name collections every check reads.
+  Context ctx;
+  for (const FileScan& scan : scans) {
+    collect_unordered_names(scan, ctx);
+    collect_enum_info(scan, ctx);
+    if (std::filesystem::path(scan.path).filename() == "driver.cpp") {
       ctx.saw_driver_cpp = true;
     }
   }
 
-  for (const FileScan& scan : scans) {
-    const std::vector<Allow> allows = parse_allows(scan);
-    const auto ok = allow_coverage(scan, allows);
-    for (const Allow& a : allows) {
-      if (find_rule(a.rule) == nullptr) {
-        ctx.findings.push_back(
-            {scan.path, a.line, "bare-allow",
-             "allow() names unknown rule '" + a.rule + "'"});
-      } else if (!a.justified) {
-        ctx.findings.push_back(
-            {scan.path, a.line, "bare-allow",
-             "allow(" + a.rule + ") without a one-line justification"});
-      }
+  // Pass B (parallel, per-file): every check writes into its own file's
+  // slot; the in-order merge + (path, line, rule) sort below makes the
+  // output byte-identical to a serial (--jobs=1) run.
+  struct FileChecks {
+    std::vector<Finding> findings;
+    std::set<std::pair<std::string, int>> ok;
+  };
+  std::vector<FileChecks> per_file(scans.size());
+  {
+    dagon::ThreadPool pool(workers);
+    for (std::size_t i = 0; i < scans.size(); ++i) {
+      pool.submit([&scans, &per_file, &ctx, i] {
+        const FileScan& scan = scans[i];
+        FileChecks& fc = per_file[i];
+        const std::vector<Allow> allows = parse_allows(scan);
+        fc.ok = allow_coverage(scan, allows);
+        for (const Allow& a : allows) {
+          if (find_rule(a.rule) == nullptr) {
+            fc.findings.push_back(
+                {scan.path, a.line, "bare-allow",
+                 "allow() names unknown rule '" + a.rule + "'"});
+          } else if (!a.justified) {
+            fc.findings.push_back(
+                {scan.path, a.line, "bare-allow",
+                 "allow(" + a.rule + ") without a one-line justification"});
+          }
+        }
+        check_unordered_iter(scan, ctx, fc.ok, fc.findings);
+        check_nondet_source(scan, ctx, fc.ok, fc.findings);
+        check_ptr_order(scan, ctx, fc.ok, fc.findings);
+        check_float_accum(scan, ctx, fc.ok, fc.findings);
+        check_raw_transition(scan, ctx, fc.ok, fc.findings);
+        check_enum_switch_default(scan, ctx, fc.ok, fc.findings);
+        check_raw_unit_decl(scan, ctx, fc.ok, fc.findings);
+        check_narrowing_cast(scan, ctx, fc.ok, fc.findings);
+        check_magic_unit_constant(scan, ctx, fc.ok, fc.findings);
+        check_overflow_mul(scan, ctx, fc.ok, fc.findings);
+      });
     }
-    check_unordered_iter(scan, ctx, ok);
-    check_nondet_source(scan, ctx, ok);
-    check_ptr_order(scan, ctx, ok);
-    check_float_accum(scan, ctx, ok);
-    check_raw_transition(scan, ctx, ok);
-    check_enum_switch_default(scan, ctx, ok);
-    ctx.allowed_by_path.emplace(scan.path, ok);
+    pool.wait();
+  }
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    ctx.findings.insert(ctx.findings.end(), per_file[i].findings.begin(),
+                        per_file[i].findings.end());
+    ctx.allowed_by_path.emplace(scans[i].path, std::move(per_file[i].ok));
   }
   check_event_handler_complete(scans, ctx);
 
@@ -953,19 +1384,31 @@ int run(const std::vector<std::string>& roots) {
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
-  for (const Finding& f : ctx.findings) {
-    std::printf("%s:%d: [%s] %s\n", f.path.c_str(), f.line, f.rule.c_str(),
-                f.message.c_str());
+  switch (format) {
+    case Format::Plain:
+      print_plain(ctx.findings, scans.size());
+      break;
+    case Format::Github:
+      print_github(ctx.findings);
+      break;
+    case Format::Sarif:
+      print_sarif(ctx.findings);
+      break;
   }
-  std::printf("dagonlint: %zu finding(s) in %zu file(s) scanned\n",
-              ctx.findings.size(), scans.size());
   return ctx.findings.empty() ? 0 : 1;
 }
+
+constexpr const char* kUsage =
+    "usage: dagonlint [--list-rules] [--format=plain|github|sarif] "
+    "[--jobs=N] <file-or-dir>...\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
+  Format format = Format::Plain;
+  std::size_t jobs = std::thread::hardware_concurrency();
+  if (jobs == 0) jobs = 4;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--list-rules") {
@@ -976,14 +1419,42 @@ int main(int argc, char** argv) {
       return 0;
     }
     if (arg == "--help" || arg == "-h") {
-      std::printf("usage: dagonlint [--list-rules] <file-or-dir>...\n");
+      std::printf("%s", kUsage);
       return 0;
+    }
+    if (arg.rfind("--format=", 0) == 0) {
+      const std::string_view value = arg.substr(9);
+      if (value == "plain") {
+        format = Format::Plain;
+      } else if (value == "github") {
+        format = Format::Github;
+      } else if (value == "sarif") {
+        format = Format::Sarif;
+      } else {
+        std::fprintf(stderr,
+                     "dagonlint: unknown format '%.*s' "
+                     "(plain|github|sarif)\n",
+                     static_cast<int>(value.size()), value.data());
+        return 2;
+      }
+      continue;
+    }
+    if (arg.rfind("--jobs=", 0) == 0) {
+      const std::string value(arg.substr(7));
+      char* end = nullptr;
+      const long n = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || n < 1) {
+        std::fprintf(stderr, "dagonlint: --jobs wants a positive integer\n");
+        return 2;
+      }
+      jobs = static_cast<std::size_t>(n);
+      continue;
     }
     roots.emplace_back(arg);
   }
   if (roots.empty()) {
-    std::fprintf(stderr, "usage: dagonlint [--list-rules] <file-or-dir>...\n");
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
-  return run(roots);
+  return run(roots, format, jobs);
 }

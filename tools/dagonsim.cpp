@@ -82,7 +82,7 @@ std::int64_t parse_int(const std::string& flag, const std::string& v) {
   if (v.empty() || end != v.c_str() + v.size() || errno == ERANGE) {
     usage_error("malformed integer '" + v + "' for " + flag);
   }
-  return static_cast<std::int64_t>(x);
+  return x;
 }
 
 /// Splits a colon-separated fault spec and bounds the field count.
@@ -593,9 +593,10 @@ int main(int argc, char** argv) {
   summary.add_row({"proactive evictions",
                    std::to_string(m.cache.proactive_evictions)});
   summary.add_row({"makespan lower bound x",
-                   TextTable::num(static_cast<double>(m.jct) /
+                   TextTable::num(static_cast<double>(m.jct.count()) /
                                       static_cast<double>(makespan_lower_bound(
-                                          workload.dag, m.total_cores)),
+                                          workload.dag, m.total_cores)
+                                                              .count()),
                                   2)});
   summary.print(std::cout);
 
@@ -611,8 +612,8 @@ int main(int argc, char** argv) {
               : 0.0;
       jt.add_row({j.name, std::to_string(j.weight),
                   format_duration(j.submitted),
-                  j.finished >= 0 ? format_duration(j.finished) : "-",
-                  j.jct() >= 0 ? format_duration(j.jct()) : "-",
+                  j.finished >= SimTime{0} ? format_duration(j.finished) : "-",
+                  j.jct() >= SimTime{0} ? format_duration(j.jct()) : "-",
                   std::to_string(j.effective_task_reads),
                   TextTable::percent(ratio)});
     }
@@ -663,7 +664,7 @@ int main(int argc, char** argv) {
       faults.add_row({"proactive re-replications",
                       std::to_string(m.faults.proactive_rereplications)});
       faults.add_row({"re-replicated bytes",
-                      std::to_string(m.faults.rereplicated_bytes)});
+                      std::to_string(m.faults.rereplicated_bytes.count())});
     }
     if (opt.faults.blacklist_threshold > 0) {
       faults.add_row({"blacklist entries",
@@ -692,7 +693,7 @@ int main(int argc, char** argv) {
                      std::to_string(pe.blacklist_entries),
                      std::to_string(pe.blacklist_exits),
                      std::to_string(pe.rereplicated_blocks),
-                     std::to_string(pe.rereplicated_bytes)});
+                     std::to_string(pe.rereplicated_bytes.count())});
       }
       per.print(std::cout);
     }
