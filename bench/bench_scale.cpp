@@ -35,6 +35,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cinttypes>
 #include <chrono>
 #include <cstdio>
@@ -113,7 +114,7 @@ double peak_rss_mb_now() {
 
 /// True when the per-point RSS numbers came from isolated child
 /// processes (accurate) rather than one cumulative process.
-bool g_forked_rss = true;
+std::atomic<bool> g_forked_rss{true};
 
 ScaleResult run_point(const ScalePoint& p) {
   const Workload w = make_scale_workload(p.fan_tasks);

@@ -29,6 +29,7 @@ struct BenchOptions {
 };
 
 inline BenchOptions& options() {
+  // dagonlint: allow(unguarded-global): written only during single-threaded flag parsing in main; read-only once any pool starts
   static BenchOptions opts = [] {
     BenchOptions o;
     // dagonlint: allow(nondet-source): bench harness knob, affects parallelism only, not sim state

@@ -1,0 +1,5 @@
+// One half of an include cycle: cycle_b.hpp includes this file back.
+#include "base/cycle_b.hpp"
+struct CycleA {
+  CycleB* peer = nullptr;
+};

@@ -1,0 +1,6 @@
+// Other half of the include cycle: this include closes the loop back
+// to cycle_a.hpp, so it carries the layering-cycle finding.
+#include "base/cycle_a.hpp"
+struct CycleB {
+  CycleA* peer = nullptr;
+};

@@ -1,0 +1,3 @@
+// Dead-include target: top/app.cpp includes this header but never
+// references unused_helper (or anything else it provides).
+inline int unused_helper() { return 3; }

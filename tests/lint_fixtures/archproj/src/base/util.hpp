@@ -1,0 +1,2 @@
+// Legal downward-include target: mid/widget.hpp uses base_util().
+inline int base_util() { return 1; }

@@ -1,0 +1,7 @@
+// mid-layer peer of widget.hpp: the same upward include, but with a
+// justified layering allow riding on the include line itself.
+#pragma once
+#include "top/app_defs.hpp"  // dagonlint: allow(layering): transitional shim until AppDefs moves down to base
+struct Allowed {
+  AppDefs defs;
+};

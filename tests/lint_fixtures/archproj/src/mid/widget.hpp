@@ -1,0 +1,9 @@
+// mid layer: base/util.hpp is a legal downward include; the
+// top/app_defs.hpp include points UP the manifest order (mid -> top)
+// and carries the upward-include finding.
+#include "base/util.hpp"
+#include "top/app_defs.hpp"
+struct Widget {
+  int size = base_util();
+  AppDefs defs;
+};

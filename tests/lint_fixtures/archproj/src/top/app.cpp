@@ -1,0 +1,8 @@
+// top layer consumer: mid/widget.hpp is alive (Widget is used), while
+// base/unused.hpp contributes nothing referenced here — dead-include.
+#include "base/unused.hpp"
+#include "mid/widget.hpp"
+int main() {
+  Widget w;
+  return w.size;
+}

@@ -1,0 +1,5 @@
+// Top-layer header that mid/widget.hpp reaches UP for — the target of
+// the upward-include violation.
+struct AppDefs {
+  int version = 7;
+};

@@ -1,0 +1,17 @@
+// doc-drift fixture: `--undocumented` and preset "beta" are parsed
+// here but missing from the sibling README.md, and the sibling
+// DESIGN.md rule table deliberately lacks the `doc-drift` id itself —
+// three findings with --docs-root pointed at this directory.
+#include <string>
+
+bool parse_flag(const std::string& arg) {
+  if (arg == "--documented") return true;
+  if (arg == "--undocumented") return true;
+  return false;
+}
+
+bool parse_preset(const std::string& name) {
+  if (name == "alpha") return true;
+  if (name == "beta") return true;
+  return false;
+}

@@ -1,0 +1,16 @@
+// unguarded-capture fixture: the lambda handed to submit() captures
+// `total` by reference and mutates it with no lock/atomic evidence in
+// the body — the classic fan-out data race.
+struct FixturePool {
+  template <typename F>
+  void submit(F&& task) {
+    task();
+  }
+};
+
+inline int racy_sum() {
+  FixturePool pool;
+  int total = 0;
+  pool.submit([&total] { total += 1; });
+  return total;
+}

@@ -1,0 +1,8 @@
+// unguarded-global fixture: the function-local `static` counter below
+// is shared mutable state with no atomic/mutex/thread_local evidence —
+// two pooled tasks calling next_ticket() race on it.
+inline int next_ticket() {
+  static int calls = 0;
+  ++calls;
+  return calls;
+}

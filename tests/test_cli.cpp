@@ -5,6 +5,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -39,6 +41,19 @@ TEST(Cli, HelpAndListExitZero) {
   const CliResult list = run_cli("--list");
   EXPECT_EQ(list.exit_code, 0);
   EXPECT_NE(list.output.find("KMeans"), std::string::npos);
+}
+
+// The full --help text is pinned at docs/cli/dagonsim_help.txt: adding
+// or renaming a flag must update the snapshot in the same commit
+// (dagonlint's doc-drift rule separately requires README coverage).
+TEST(Cli, HelpTextMatchesCheckedInSnapshot) {
+  const CliResult r = run_cli("--help");
+  EXPECT_EQ(r.exit_code, 0);
+  std::ifstream in(DAGONSIM_HELP_SNAPSHOT);
+  ASSERT_TRUE(in.good()) << "missing snapshot " << DAGONSIM_HELP_SNAPSHOT;
+  std::ostringstream golden;
+  golden << in.rdbuf();
+  EXPECT_EQ(r.output, golden.str());
 }
 
 TEST(Cli, ValidRunExitsZero) {

@@ -1,4 +1,5 @@
-// dagonlint — Dagon's determinism- and unit-safety static-analysis pass.
+// dagonlint — Dagon's determinism-, unit-safety- and architecture-audit
+// static-analysis pass.
 //
 // Every claim this reproduction makes rests on bit-identical
 // determinism: the parallel sweep engine, the faults-off fingerprint
@@ -67,6 +68,50 @@
 //                    cross-multiplication. Justify fits-in-int64 cases
 //                    with an allow().
 //
+// The dagonarch family lifts the scan from line-level rules to
+// whole-program structure: the scanner extracts the full quoted-include
+// graph of the scanned set and checks it against the declared layer
+// order in tools/dagonlint/layers.toml (see DESIGN.md §15):
+//
+//   layering-cycle   a cycle in the include graph — two headers that
+//                    cannot be understood (or extracted) independently.
+//   upward-include   a file in layer M includes a header from a layer
+//                    declared *above* M in the manifest (or from a
+//                    module missing from the manifest entirely):
+//                    dependencies must point down the stack.
+//                    `// dagonlint: allow(layering): <why>` covers both
+//                    layering rules on the include line below it.
+//   dead-include     IWYU-lite: a quoted include whose header (and its
+//                    whole transitive include subtree) contributes no
+//                    identifier the including file references.
+//
+// The concurrency-safety rules guard the ThreadPool fan-out paths
+// (outside src/exp — the pool implementation itself — and
+// src/common/log, the sanctioned mutex-guarded sink):
+//
+//   unguarded-global a mutable `static` (local or member) or
+//                    namespace-scope global with no std::atomic / mutex
+//                    / thread_local evidence in its declaration: shared
+//                    mutable state a pooled task could race on.
+//   unguarded-capture
+//                    a lambda handed to ThreadPool::submit() that
+//                    captures by reference something it then mutates,
+//                    with no lock/atomic evidence in the body. The
+//                    disjoint-slot idiom (each task writes its own
+//                    index) is legal but must carry a justified allow.
+//
+// The doc-drift rule keeps the docs and the binaries in lockstep:
+//
+//   doc-drift        with --docs-root=DIR: every `--flag` literal and
+//                    `name == "<preset>"` comparison parsed by
+//                    dagonsim.cpp must appear in DIR/README.md, and
+//                    every rule id in this table must appear backticked
+//                    in DIR/DESIGN.md.
+//
+// `--graph-dot` prints the include graph (module-clustered Graphviz
+// DOT) instead of linting; the checked-in docs/arch/include_graph.dot
+// is diffed against it in CI exactly like docs/fsm/*.dot.
+//
 // Suppression syntax (audited, grep-able):
 //   // dagonlint: allow(<rule-id>): <one-line justification>
 // on the offending line, or alone on a comment line directly above it.
@@ -78,7 +123,8 @@
 // printing, so output is byte-identical to a serial run (--jobs=1).
 //
 // Usage: dagonlint [--list-rules] [--format=plain|github|sarif]
-//                  [--jobs=N] <file-or-dir>...
+//                  [--jobs=N] [--layers=FILE] [--docs-root=DIR]
+//                  [--graph-dot] <file-or-dir>...
 // Exit codes: 0 = clean, 1 = findings, 2 = usage/IO error.
 #include <algorithm>
 #include <cctype>
@@ -168,13 +214,53 @@ const Rule kRules[] = {
      "int64 quantity*quantity multiplication without widening; lift one "
      "side to __int128/double or justify with an allow()",
      {"common/quantity.hpp", "common/units.hpp"}},
+    // dagonarch: whole-program structure rules.
+    //  * core/dagon.hpp is the sanctioned umbrella header — its whole
+    //    purpose is to include without referencing;
+    //  * exp/ is the ThreadPool/sweep implementation itself and
+    //    common/log. is the mutex-guarded logging sink, so the
+    //    concurrency rules do not apply there.
+    {"layering-cycle",
+     "cycle in the include graph; break it (forward-declare or split "
+     "the header) so every layer is independently buildable",
+     {}},
+    {"upward-include",
+     "include that points UP the declared layer order in layers.toml "
+     "(or into a module the manifest does not declare)",
+     {}},
+    {"dead-include",
+     "included header (incl. its transitive subtree) contributes no "
+     "identifier this file references (IWYU-lite); drop the include",
+     {"core/dagon.hpp"}},
+    {"unguarded-global",
+     "mutable static or namespace-scope global without "
+     "std::atomic/mutex/thread_local evidence (ThreadPool race hazard)",
+     {"exp/", "common/log."}},
+    {"unguarded-capture",
+     "ThreadPool-submitted lambda mutates a by-reference capture with "
+     "no lock/atomic evidence in the body",
+     {"exp/", "common/log."}},
+    {"doc-drift",
+     "dagonsim flag/preset missing from README.md, or a dagonlint rule "
+     "id missing from the DESIGN.md rule table (needs --docs-root)",
+     {}},
 };
+
+/// `allow(layering)` is the documented escape hatch covering BOTH
+/// layering rules (cycle + upward) on the include line it annotates.
+constexpr std::string_view kLayeringAlias = "layering";
+
+bool known_allow_rule(const std::string& rule);
 
 const Rule* find_rule(std::string_view id) {
   for (const Rule& r : kRules) {
     if (r.id == id) return &r;
   }
   return nullptr;
+}
+
+bool known_allow_rule(const std::string& rule) {
+  return rule == kLayeringAlias || find_rule(rule) != nullptr;
 }
 
 bool rule_exempt(const Rule& rule, const std::string& path) {
@@ -197,12 +283,23 @@ struct Token {
   int line;
 };
 
+/// A quoted `#include "path"` directive (system includes are external
+/// to the architecture and not captured).
+struct IncludeDirective {
+  std::string text;
+  int line;
+};
+
 struct FileScan {
   std::string path;
   std::vector<Token> tokens;
   /// 1-based line -> concatenated comment text on that line ("" = none).
   std::vector<std::string> comments;
   std::vector<std::string> raw_lines;
+  /// Quoted includes, in file order — the edges of the include graph.
+  std::vector<IncludeDirective> includes;
+  /// `#define NAME` macro names — provided symbols for IWYU purposes.
+  std::vector<std::string> defines;
 };
 
 bool ident_char(char c) {
@@ -236,10 +333,44 @@ FileScan lex_file(const std::string& path, const std::string& text) {
     std::string code;
     std::size_t i = 0;
 
-    // Preprocessor directives carry no decision-path code.
+    // Preprocessor directives carry no decision-path code, but they DO
+    // carry architecture: quoted includes become include-graph edges,
+    // #define names count as provided symbols (IWYU), and a trailing
+    // // comment may hold an allow() directive for the include line.
     if (!in_block_comment) {
       std::size_t first = line.find_first_not_of(" \t");
-      if (first != std::string::npos && line[first] == '#') continue;
+      if (first != std::string::npos && line[first] == '#') {
+        std::size_t p = line.find_first_not_of(" \t", first + 1);
+        const auto word_at = [&](std::string_view w) {
+          return p != std::string::npos && line.compare(p, w.size(), w) == 0;
+        };
+        if (word_at("include")) {
+          const std::size_t open = line.find('"', p);
+          const std::size_t close =
+              open == std::string::npos ? std::string::npos
+                                        : line.find('"', open + 1);
+          if (close != std::string::npos) {
+            scan.includes.push_back(
+                {line.substr(open + 1, close - open - 1), lineno});
+          }
+        } else if (word_at("define")) {
+          std::size_t n = line.find_first_not_of(" \t", p + 6);
+          std::size_t e = n;
+          while (e != std::string::npos && e < line.size() &&
+                 ident_char(line[e])) {
+            ++e;
+          }
+          if (n != std::string::npos && e > n) {
+            scan.defines.push_back(line.substr(n, e - n));
+          }
+        }
+        const std::size_t slashes = line.find("//");
+        if (slashes != std::string::npos) {
+          scan.comments[static_cast<std::size_t>(lineno)] +=
+              line.substr(slashes + 2) + " ";
+        }
+        continue;
+      }
     }
 
     while (i < line.size()) {
@@ -393,12 +524,19 @@ std::vector<Allow> parse_allows(const FileScan& scan) {
   return out;
 }
 
-/// Lines with at least one code token, ascending.
+/// Lines with at least one code token, ascending. Include directives
+/// count as code-bearing even though they tokenize to nothing, so an
+/// allow() on (or directly above) an include line covers that include.
 std::vector<int> code_lines(const FileScan& scan) {
   std::vector<int> lines;
   for (const Token& t : scan.tokens) {
     if (lines.empty() || lines.back() != t.line) lines.push_back(t.line);
   }
+  for (const IncludeDirective& inc : scan.includes) {
+    lines.push_back(inc.line);
+  }
+  std::sort(lines.begin(), lines.end());
+  lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
   return lines;
 }
 
@@ -1146,6 +1284,272 @@ void check_overflow_mul(const FileScan& scan, const Context&,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pass B: concurrency-safety rule checks (the ThreadPool companions).
+
+/// Guard evidence in a declaration: the token chain names a
+/// synchronization primitive or strips mutability entirely.
+bool sync_guard_token(const Token& t) {
+  return t.text == "const" || t.text == "constexpr" ||
+         t.text == "constinit" || t.text == "thread_local" ||
+         t.text == "once_flag" || t.text == "condition_variable" ||
+         t.text.find("atomic") != std::string::npos ||
+         t.text.find("mutex") != std::string::npos;
+}
+
+/// Identifier-position keywords that must not be mistaken for a
+/// declaring type or a declared name.
+bool decl_keyword(const std::string& t) {
+  static const std::set<std::string> kKeywords = {
+      "return",   "if",     "for",      "while",  "switch", "case",
+      "new",      "delete", "throw",    "else",   "do",     "catch",
+      "goto",     "sizeof", "co_await", "co_return", "co_yield"};
+  return kKeywords.count(t) != 0;
+}
+
+void check_unguarded_global(const FileScan& scan, const Context&,
+                            const std::set<std::pair<std::string, int>>& ok,
+                            std::vector<Finding>& out) {
+  const auto& toks = scan.tokens;
+
+  // (i) `static` storage anywhere (function-local statics, static data
+  // members): scan the declaration up to its first structural token.
+  // `(` first means a static member *function* — no shared state.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::Identifier || toks[i].text != "static") {
+      continue;
+    }
+    bool guarded = false;
+    std::size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == ";" || t == "=" || t == "{") break;
+      if (sync_guard_token(toks[j])) guarded = true;
+    }
+    if (guarded || j >= toks.size() || toks[j].text == "(") continue;
+    // The declared name: the last identifier before the terminator.
+    std::size_t name = toks.size();
+    for (std::size_t k = j; k-- > i + 1;) {
+      if (toks[k].kind == TokKind::Identifier && !decl_keyword(toks[k].text)) {
+        name = k;
+        break;
+      }
+    }
+    if (name == toks.size()) continue;
+    report(out, scan, ok, toks[name].line, "unguarded-global",
+           "mutable static '" + toks[name].text +
+               "' without atomic/mutex/thread_local evidence; a pooled "
+               "task could race on it");
+  }
+
+  // (ii) namespace-scope globals: walk the top level of the file.
+  // namespace / extern-"C" braces are transparent (their contents stay
+  // top-level); every other brace body is opaque and skipped whole.
+  const auto analyze_stmt = [&](std::size_t begin, std::size_t end) {
+    if (begin >= end) return;
+    // Type/alias/template introductions and re-declarations carry no
+    // mutable storage of their own; `static` is handled by pass (i).
+    static const std::set<std::string> kSkipLead = {
+        "class",    "struct", "enum",   "union",     "using", "typedef",
+        "template", "friend", "extern", "namespace", "static"};
+    if (toks[begin].kind != TokKind::Identifier ||
+        kSkipLead.count(toks[begin].text) != 0) {
+      return;
+    }
+    std::size_t idents = 0;
+    std::size_t eq = end;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (toks[k].text == "(") return;  // function decl / paren init
+      if (sync_guard_token(toks[k])) return;
+      if (toks[k].kind == TokKind::Identifier &&
+          !decl_keyword(toks[k].text)) {
+        ++idents;
+      }
+      if (eq == end && toks[k].text == "=") eq = k;
+    }
+    if (idents < 2) return;  // a declaration needs a type and a name
+    std::size_t name = end;
+    for (std::size_t k = eq; k-- > begin;) {
+      if (toks[k].kind == TokKind::Identifier &&
+          !decl_keyword(toks[k].text)) {
+        name = k;
+        break;
+      }
+    }
+    if (name == end) return;
+    report(out, scan, ok, toks[name].line, "unguarded-global",
+           "mutable namespace-scope global '" + toks[name].text +
+               "' without atomic/mutex evidence; a pooled task could race "
+               "on it");
+  };
+
+  std::size_t i = 0;
+  while (i < toks.size()) {
+    const std::string& t = toks[i].text;
+    if (t == "}" || t == ";") {  // closes a transparent scope / empty stmt
+      ++i;
+      continue;
+    }
+    if (t == "namespace") {
+      while (i < toks.size() && toks[i].text != "{" && toks[i].text != ";") {
+        ++i;
+      }
+      ++i;  // past the `{` (scope) or `;` (namespace alias)
+      continue;
+    }
+    if (t == "extern" && i + 1 < toks.size() && toks[i + 1].text == "{") {
+      i += 2;  // extern "C" linkage block
+      continue;
+    }
+    // One top-level statement. A `{` before the `;` is either a brace
+    // initializer / class body (a `;` follows its close — analyze the
+    // declarator before the brace) or a function body (skip it whole).
+    std::size_t j = i;
+    bool has_paren = false;
+    bool done = false;
+    while (j < toks.size()) {
+      const std::string& u = toks[j].text;
+      if (u == ";") {
+        analyze_stmt(i, j);
+        i = j + 1;
+        done = true;
+        break;
+      }
+      if (u == "{") {
+        const std::size_t close = matching_close(toks, j, "{", "}");
+        if (!has_paren && close + 1 < toks.size() &&
+            toks[close + 1].text == ";") {
+          analyze_stmt(i, j);
+          i = close + 2;
+        } else {
+          i = close + 1;
+        }
+        done = true;
+        break;
+      }
+      if (u == "(") has_paren = true;
+      ++j;
+    }
+    if (!done) break;  // trailing tokens with no terminator
+  }
+}
+
+void check_unguarded_capture(const FileScan& scan, const Context&,
+                             const std::set<std::pair<std::string, int>>& ok,
+                             std::vector<Finding>& out) {
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 1; i + 2 < toks.size(); ++i) {
+    // pool.submit([caps](params) { body }) / pool->submit(...).
+    if (toks[i].kind != TokKind::Identifier || toks[i].text != "submit" ||
+        (toks[i - 1].text != "." && toks[i - 1].text != "->") ||
+        toks[i + 1].text != "(" || toks[i + 2].text != "[") {
+      continue;
+    }
+    const std::size_t caps = i + 2;
+    const std::size_t caps_end = matching_close(toks, caps, "[", "]");
+    if (caps_end >= toks.size()) continue;
+    bool all_by_ref = false;
+    std::set<std::string> ref_caps;
+    for (std::size_t j = caps + 1; j < caps_end; ++j) {
+      if (toks[j].text != "&") continue;
+      if (j + 1 < caps_end && toks[j + 1].kind == TokKind::Identifier) {
+        ref_caps.insert(toks[j + 1].text);
+        ++j;
+      } else {
+        all_by_ref = true;  // bare [&]
+      }
+    }
+    if (!all_by_ref && ref_caps.empty()) continue;
+    std::size_t body = caps_end + 1;
+    if (body < toks.size() && toks[body].text == "(") {
+      body = matching_close(toks, body, "(", ")") + 1;
+    }
+    while (body < toks.size() && toks[body].text != "{") ++body;
+    if (body >= toks.size()) continue;
+    const std::size_t body_end = matching_close(toks, body, "{", "}");
+
+    // Lock/atomic evidence anywhere in the body vouches for the whole
+    // lambda: the fine-grained pairing is the reviewer's job.
+    bool guarded = false;
+    for (std::size_t j = body; j <= body_end && j < toks.size(); ++j) {
+      const std::string& u = toks[j].text;
+      if (u.find("lock") != std::string::npos ||
+          u.find("atomic") != std::string::npos ||
+          u.find("mutex") != std::string::npos) {
+        guarded = true;
+        break;
+      }
+    }
+    if (guarded) continue;
+
+    // Names the body declares itself (locals shadow captures, and a
+    // bare [&] only captures what the body does NOT declare).
+    std::set<std::string> declared;
+    const auto decl_context = [&](std::size_t j) {
+      if (j == 0) return false;
+      const Token& prev = toks[j - 1];
+      return (prev.kind == TokKind::Identifier &&
+              !decl_keyword(prev.text)) ||
+             prev.text == ">" || prev.text == "&" || prev.text == "*";
+    };
+    for (std::size_t j = body + 1; j < body_end; ++j) {
+      if (toks[j].kind == TokKind::Identifier && decl_context(j)) {
+        declared.insert(toks[j].text);
+      }
+    }
+
+    // Mutations of a candidate capture inside the body.
+    std::set<std::string> flagged;
+    for (std::size_t j = body + 1; j < body_end; ++j) {
+      if (toks[j].kind != TokKind::Identifier) continue;
+      const std::string& name = toks[j].text;
+      if (decl_keyword(name)) continue;
+      const bool candidate =
+          ref_caps.count(name) != 0 ||
+          (all_by_ref && declared.count(name) == 0);
+      if (!candidate || decl_context(j)) continue;
+      std::size_t after = j + 1;
+      if (after < body_end && toks[after].text == "[") {
+        after = matching_close(toks, after, "[", "]") + 1;
+      }
+      bool mutated = false;
+      if (after < body_end) {
+        const std::string& op = toks[after].text;
+        mutated = op == "=" || op == "+=" || op == "-=" || op == "*=";
+        // x++ / ++x (both halves tokenize as two single-char puncts).
+        if (!mutated && after + 1 < body_end &&
+            ((toks[after].text == "+" && toks[after + 1].text == "+") ||
+             (toks[after].text == "-" && toks[after + 1].text == "-"))) {
+          mutated = true;
+        }
+        if (!mutated && j >= 2 &&
+            ((toks[j - 1].text == "+" && toks[j - 2].text == "+") ||
+             (toks[j - 1].text == "-" && toks[j - 2].text == "-"))) {
+          mutated = true;
+        }
+        // Mutating member calls: x.push_back(...), x->clear(), ...
+        if (!mutated && after + 2 < body_end &&
+            (toks[after].text == "." || toks[after].text == "->") &&
+            toks[after + 1].kind == TokKind::Identifier &&
+            toks[after + 2].text == "(") {
+          static const std::set<std::string> kMutators = {
+              "push_back", "emplace_back", "emplace", "insert", "erase",
+              "clear",     "resize",       "assign",  "append",
+              "pop_back",  "push",         "pop"};
+          mutated = kMutators.count(toks[after + 1].text) != 0;
+        }
+      }
+      if (mutated && flagged.insert(name).second) {
+        report(out, scan, ok, toks[i].line, "unguarded-capture",
+               "lambda submitted to a ThreadPool mutates by-reference "
+               "capture '" + name + "' with no lock/atomic evidence; "
+               "guard it or justify the disjoint-slot idiom with an "
+               "allow()");
+      }
+    }
+  }
+}
+
 /// Cross-file check, run once after every file is scanned: each
 /// EventType enumerator must be dispatched somewhere in driver.cpp as
 /// `case EventType::X`. Only meaningful when driver.cpp is in the
@@ -1182,6 +1586,510 @@ void check_event_handler_complete(const std::vector<FileScan>& scans,
              "` dispatch in driver.cpp; the event would be scheduled but "
              "never handled"});
   }
+}
+
+// ---------------------------------------------------------------------------
+// dagonarch: whole-program include-graph analysis. These checks are
+// inherently cross-file, so they run serially once after the per-file
+// fan-out, against the same sorted scan set — output stays byte-
+// identical at any --jobs value.
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+/// The module of a scanned path: the path component directly after the
+/// last `src` component ("src/sched/dagps.cpp" -> "sched"). Files with
+/// no src/ component (tools/, bench/, tests/) are unlayered ("") — they
+/// sit above the whole stack and may include anything.
+std::string module_of_path(const std::string& path) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  for (std::size_t i = parts.size(); i-- > 0;) {
+    if (parts[i] == "src") {
+      // A module needs a directory level between src/ and the file.
+      return i + 2 < parts.size() ? parts[i + 1] : std::string();
+    }
+  }
+  return "";
+}
+
+/// Stable display name for a file: the path after its src/ component,
+/// so graph output is independent of the invocation path.
+std::string arch_node_name(const std::string& path) {
+  const std::size_t pos = path.rfind("/src/");
+  if (pos != std::string::npos) return path.substr(pos + 5);
+  if (path.rfind("src/", 0) == 0) return path.substr(4);
+  return path;
+}
+
+/// Parses the layer manifest: the quoted strings inside the
+/// `order = [...]` array, bottom layer first. The format is a TOML
+/// subset — one key, one string array — so no TOML library is needed.
+bool parse_layer_manifest(const std::string& path,
+                          std::vector<std::string>& order) {
+  std::string text;
+  if (!read_file(path, text)) return false;
+  const std::size_t key = text.find("order");
+  if (key == std::string::npos) return false;
+  const std::size_t open = text.find('[', key);
+  if (open == std::string::npos) return false;
+  const std::size_t close = text.find(']', open);
+  if (close == std::string::npos) return false;
+  std::size_t i = open;
+  while (true) {
+    const std::size_t q1 = text.find('"', i);
+    if (q1 == std::string::npos || q1 > close) break;
+    const std::size_t q2 = text.find('"', q1 + 1);
+    if (q2 == std::string::npos || q2 > close) break;
+    order.push_back(text.substr(q1 + 1, q2 - q1 - 1));
+    i = q2 + 1;
+  }
+  return !order.empty();
+}
+
+struct IncludeEdge {
+  std::size_t from;  // scan index of the including file
+  std::size_t to;    // scan index of the included file
+  int line;          // include line in `from`
+  std::string text;  // the include path as written
+};
+
+struct IncludeGraph {
+  std::vector<IncludeEdge> edges;
+  /// Per scan index: indices into `edges`, in include (line) order.
+  std::vector<std::vector<std::size_t>> adj;
+};
+
+/// Resolves every quoted include to the scanned file it names: an exact
+/// generic-path match, or a "/"-boundary suffix match (headers are
+/// included module-relative while the scan roots are repo-relative).
+/// Scans are path-sorted, so the first match is the lexicographically
+/// smallest — resolution is deterministic on ambiguity. Unresolved
+/// includes are external headers and carry no edge.
+IncludeGraph build_include_graph(const std::vector<FileScan>& scans) {
+  IncludeGraph g;
+  g.adj.resize(scans.size());
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    for (const IncludeDirective& inc : scans[i].includes) {
+      std::size_t target = scans.size();
+      for (std::size_t j = 0; j < scans.size(); ++j) {
+        const std::string& p = scans[j].path;
+        const bool match =
+            p == inc.text ||
+            (p.size() > inc.text.size() + 1 &&
+             p[p.size() - inc.text.size() - 1] == '/' &&
+             p.compare(p.size() - inc.text.size(), inc.text.size(),
+                       inc.text) == 0);
+        if (match) {
+          target = j;
+          break;
+        }
+      }
+      if (target == scans.size() || target == i) continue;
+      g.adj[i].push_back(g.edges.size());
+      g.edges.push_back({i, target, inc.line, inc.text});
+    }
+  }
+  return g;
+}
+
+/// Reports a graph-pass finding unless the rule is path-exempt or an
+/// allow() covers the line — under the rule's own id, or under the
+/// documented `layering` alias for the two layering rules.
+void report_graph(Context& ctx, const std::string& path, int line,
+                  std::string_view rule, std::string message) {
+  const Rule* r = find_rule(rule);
+  if (r != nullptr && rule_exempt(*r, path)) return;
+  const auto it = ctx.allowed_by_path.find(path);
+  if (it != ctx.allowed_by_path.end()) {
+    if (it->second.count({std::string(rule), line}) != 0) return;
+    if ((rule == "layering-cycle" || rule == "upward-include") &&
+        it->second.count({std::string(kLayeringAlias), line}) != 0) {
+      return;
+    }
+  }
+  ctx.findings.push_back({path, line, std::string(rule), std::move(message)});
+}
+
+void check_layering(const std::vector<FileScan>& scans,
+                    const IncludeGraph& g,
+                    const std::vector<std::string>& order, Context& ctx) {
+  std::map<std::string, std::size_t> rank;
+  for (std::size_t i = 0; i < order.size(); ++i) rank.emplace(order[i], i);
+  for (const IncludeEdge& e : g.edges) {
+    const std::string from_mod = module_of_path(scans[e.from].path);
+    const std::string to_mod = module_of_path(scans[e.to].path);
+    if (from_mod.empty() || to_mod.empty()) continue;  // unlayered side
+    const auto from_it = rank.find(from_mod);
+    const auto to_it = rank.find(to_mod);
+    if (to_it == rank.end()) {
+      report_graph(ctx, scans[e.from].path, e.line, "upward-include",
+                   "include of '" + e.text + "': module '" + to_mod +
+                       "' is not declared in the layer manifest");
+      continue;
+    }
+    if (from_it == rank.end()) {
+      report_graph(ctx, scans[e.from].path, e.line, "upward-include",
+                   "file's module '" + from_mod +
+                       "' is not declared in the layer manifest");
+      continue;
+    }
+    if (to_it->second > from_it->second) {
+      report_graph(ctx, scans[e.from].path, e.line, "upward-include",
+                   "include of '" + e.text +
+                       "' points up the layer order (" + from_mod +
+                       " -> " + to_mod +
+                       "); dependencies must point down the stack");
+    }
+  }
+}
+
+void check_cycles(const std::vector<FileScan>& scans, const IncludeGraph& g,
+                  Context& ctx) {
+  enum class Color : char { White, Gray, Black };
+  struct Dfs {
+    const std::vector<FileScan>& scans;
+    const IncludeGraph& g;
+    Context& ctx;
+    std::vector<Color> color;
+    std::vector<std::size_t> path;  // current gray chain
+    void visit(std::size_t u) {
+      color[u] = Color::Gray;
+      path.push_back(u);
+      for (std::size_t ei : g.adj[u]) {
+        const IncludeEdge& e = g.edges[ei];
+        if (color[e.to] == Color::Gray) {
+          // Back edge: this include closes a cycle. Name the chain so
+          // the finding is actionable without re-running anything.
+          std::string chain;
+          bool in_cycle = false;
+          for (std::size_t n : path) {
+            if (n == e.to) in_cycle = true;
+            if (in_cycle) chain += arch_node_name(scans[n].path) + " -> ";
+          }
+          chain += arch_node_name(scans[e.to].path);
+          report_graph(ctx, scans[u].path, e.line, "layering-cycle",
+                       "include of '" + e.text +
+                           "' closes an include cycle: " + chain);
+        } else if (color[e.to] == Color::White) {
+          visit(e.to);
+        }
+      }
+      path.pop_back();
+      color[u] = Color::Black;
+    }
+  };
+  Dfs dfs{scans, g, ctx,
+          std::vector<Color>(scans.size(), Color::White), {}};
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    if (dfs.color[i] == Color::White) dfs.visit(i);
+  }
+}
+
+/// Names a header *declares* — type names, enumerators, using-aliases,
+/// function and variable names, #define macros. Deliberately an
+/// over-approximation: a false "provided" name only makes dead-include
+/// quieter, which is the safe direction for a heuristic.
+std::set<std::string> declared_names(const FileScan& scan) {
+  std::set<std::string> names(scan.defines.begin(), scan.defines.end());
+  const auto& toks = scan.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind != TokKind::Identifier) continue;
+    if (t.text == "class" || t.text == "struct" || t.text == "union" ||
+        t.text == "enum") {
+      std::size_t j = i + 1;
+      if (j < toks.size() &&
+          (toks[j].text == "class" || toks[j].text == "struct")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == TokKind::Identifier) {
+        names.insert(toks[j].text);
+      }
+      if (t.text == "enum") {
+        while (j < toks.size() && toks[j].text != "{" &&
+               toks[j].text != ";") {
+          ++j;
+        }
+        if (j < toks.size() && toks[j].text == "{") {
+          const std::size_t end = matching_close(toks, j, "{", "}");
+          for (std::size_t k = j + 1; k < end && k < toks.size(); ++k) {
+            if (toks[k].kind == TokKind::Identifier &&
+                (toks[k - 1].text == "{" || toks[k - 1].text == ",")) {
+              names.insert(toks[k].text);
+            }
+          }
+        }
+      }
+      continue;
+    }
+    if (t.text == "using" && i + 2 < toks.size() &&
+        toks[i + 1].kind == TokKind::Identifier &&
+        toks[i + 2].text == "=") {
+      names.insert(toks[i + 1].text);
+      continue;
+    }
+    if (decl_keyword(t.text) || i == 0 || i + 1 >= toks.size()) continue;
+    const Token& prev = toks[i - 1];
+    const bool decl_prev = (prev.kind == TokKind::Identifier &&
+                            !decl_keyword(prev.text)) ||
+                           prev.text == ">" || prev.text == "&" ||
+                           prev.text == "*";
+    if (!decl_prev) continue;
+    const std::string& next = toks[i + 1].text;
+    // Function (Ret name(...)) or variable (Type name = / ; / { / [).
+    if (next == "(" || next == "=" || next == ";" || next == "{" ||
+        next == "[") {
+      names.insert(t.text);
+    }
+  }
+  return names;
+}
+
+/// memo[idx] = names provided by file idx AND its transitive include
+/// subtree. Cycle-guarded: a gray node contributes what it has so far
+/// (at least its own declarations).
+void provided_closure(const std::vector<FileScan>& scans,
+                      const IncludeGraph& g, std::size_t idx,
+                      std::vector<std::set<std::string>>& memo,
+                      std::vector<char>& mark) {
+  if (mark[idx] != 0) return;
+  mark[idx] = 1;
+  memo[idx] = declared_names(scans[idx]);
+  for (std::size_t ei : g.adj[idx]) {
+    const std::size_t to = g.edges[ei].to;
+    provided_closure(scans, g, to, memo, mark);
+    memo[idx].insert(memo[to].begin(), memo[to].end());
+  }
+  mark[idx] = 2;
+}
+
+void check_dead_include(const std::vector<FileScan>& scans,
+                        const IncludeGraph& g, Context& ctx) {
+  std::vector<std::set<std::string>> provided(scans.size());
+  std::vector<char> mark(scans.size(), 0);
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    provided_closure(scans, g, i, provided, mark);
+  }
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    // Everything this file references: its code identifiers plus the
+    // names on its preprocessor lines (#ifdef FOO never tokenizes).
+    // #include lines are skipped — a header's path words must not vouch
+    // for the header's own liveness.
+    std::set<std::string> used;
+    for (const Token& t : scans[i].tokens) {
+      if (t.kind == TokKind::Identifier) used.insert(t.text);
+    }
+    for (const std::string& line : scans[i].raw_lines) {
+      const std::size_t first = line.find_first_not_of(" \t");
+      if (first == std::string::npos || line[first] != '#') continue;
+      const std::size_t word = line.find_first_not_of(" \t", first + 1);
+      if (word != std::string::npos &&
+          line.compare(word, 7, "include") == 0) {
+        continue;
+      }
+      std::string cur;
+      for (char c : line) {
+        if (ident_char(c)) {
+          cur += c;
+        } else {
+          if (!cur.empty()) used.insert(cur);
+          cur.clear();
+        }
+      }
+      if (!cur.empty()) used.insert(cur);
+    }
+    for (std::size_t ei : g.adj[i]) {
+      const IncludeEdge& e = g.edges[ei];
+      const std::set<std::string>& prov = provided[e.to];
+      const bool alive =
+          std::any_of(prov.begin(), prov.end(), [&](const std::string& n) {
+            return used.count(n) != 0;
+          });
+      if (!alive) {
+        report_graph(ctx, scans[i].path, e.line, "dead-include",
+                     "'" + e.text +
+                         "' (and its whole include subtree) contributes "
+                         "no identifier referenced here; drop the "
+                         "include");
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// doc-drift: the binaries and the docs cross-checked.
+
+/// Quoted string literals on one raw line.
+std::vector<std::string> quoted_strings(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (true) {
+    const std::size_t q1 = line.find('"', i);
+    if (q1 == std::string::npos) break;
+    const std::size_t q2 = line.find('"', q1 + 1);
+    if (q2 == std::string::npos) break;
+    out.push_back(line.substr(q1 + 1, q2 - q1 - 1));
+    i = q2 + 1;
+  }
+  return out;
+}
+
+/// An exact long-option literal: --lowercase[-digits]. Help-text lines
+/// ("  --workload NAME  ...") never match — only the parse-loop
+/// comparisons do.
+bool flag_literal(const std::string& s) {
+  if (s.size() < 3 || s[0] != '-' || s[1] != '-') return false;
+  if (std::islower(static_cast<unsigned char>(s[2])) == 0) return false;
+  return std::all_of(s.begin() + 2, s.end(), [](char c) {
+    return std::islower(static_cast<unsigned char>(c)) != 0 ||
+           std::isdigit(static_cast<unsigned char>(c)) != 0 || c == '-';
+  });
+}
+
+/// Every --flag literal and `name == "<preset>"` comparison in a
+/// scanned dagonsim.cpp must appear in <docs-root>/README.md, and every
+/// rule id in kRules must appear backticked in <docs-root>/DESIGN.md.
+/// Returns 2 when the docs themselves are unreadable.
+int check_doc_drift(const std::vector<FileScan>& scans,
+                    const std::string& docs_root, Context& ctx) {
+  const std::string readme_path = docs_root + "/README.md";
+  const std::string design_path = docs_root + "/DESIGN.md";
+  std::string readme;
+  std::string design;
+  if (!read_file(readme_path, readme) || !read_file(design_path, design)) {
+    std::fprintf(stderr,
+                 "dagonlint: --docs-root needs README.md and DESIGN.md "
+                 "under %s\n",
+                 docs_root.c_str());
+    return 2;
+  }
+  // README lines mentioning "preset" — where preset names must live, so
+  // an incidental word match elsewhere ("tail", "case") cannot vouch.
+  std::vector<std::string> preset_lines;
+  {
+    std::istringstream ss(readme);
+    std::string line;
+    while (std::getline(ss, line)) {
+      if (line.find("preset") != std::string::npos) {
+        preset_lines.push_back(line);
+      }
+    }
+  }
+  for (const FileScan& scan : scans) {
+    if (std::filesystem::path(scan.path).filename() != "dagonsim.cpp") {
+      continue;
+    }
+    std::set<std::string> seen;
+    for (std::size_t ln = 0; ln < scan.raw_lines.size(); ++ln) {
+      const std::string& line = scan.raw_lines[ln];
+      const int lineno = static_cast<int>(ln) + 1;
+      for (const std::string& s : quoted_strings(line)) {
+        if (!flag_literal(s) || !seen.insert(s).second) continue;
+        if (readme.find(s) == std::string::npos) {
+          report_graph(ctx, scan.path, lineno, "doc-drift",
+                       "flag '" + s +
+                           "' is parsed here but README.md never "
+                           "mentions it");
+        }
+      }
+      std::size_t p = line.find("name == \"");
+      while (p != std::string::npos) {
+        const std::size_t start = p + 9;
+        const std::size_t q2 = line.find('"', start);
+        if (q2 == std::string::npos) break;
+        const std::string preset = line.substr(start, q2 - start);
+        if (seen.insert("preset:" + preset).second) {
+          const bool documented = std::any_of(
+              preset_lines.begin(), preset_lines.end(),
+              [&](const std::string& l) {
+                return l.find(preset) != std::string::npos;
+              });
+          if (!documented) {
+            report_graph(ctx, scan.path, lineno, "doc-drift",
+                         "preset '" + preset +
+                             "' is parsed here but no README.md line "
+                             "documents it as a preset");
+          }
+        }
+        p = line.find("name == \"", q2);
+      }
+    }
+  }
+  for (const Rule& r : kRules) {
+    const std::string tick = "`" + std::string(r.id) + "`";
+    if (design.find(tick) == std::string::npos) {
+      report_graph(ctx, design_path, 1, "doc-drift",
+                   "rule id " + tick +
+                       " is missing from the DESIGN.md rule table");
+    }
+  }
+  return 0;
+}
+
+/// --graph-dot: the include graph as module-clustered Graphviz DOT.
+/// Only src/-module files appear (tools/bench/tests consume the
+/// architecture, they are not part of it); clusters follow the manifest
+/// order bottom-up, nodes and edges are sorted — the output is a stable
+/// golden, diffed in CI like docs/fsm/*.dot.
+void print_graph_dot(const std::vector<FileScan>& scans,
+                     const IncludeGraph& g,
+                     const std::vector<std::string>& order) {
+  std::vector<std::string> node(scans.size());
+  std::map<std::string, std::vector<std::string>> by_module;
+  for (std::size_t i = 0; i < scans.size(); ++i) {
+    const std::string mod = module_of_path(scans[i].path);
+    if (mod.empty()) continue;
+    node[i] = arch_node_name(scans[i].path);
+    by_module[mod].push_back(node[i]);
+  }
+  std::printf("digraph include_graph {\n");
+  std::printf("  rankdir=BT;\n");
+  std::printf("  node [shape=box, fontsize=10];\n");
+  std::vector<std::string> mods;
+  for (const std::string& m : order) {
+    if (by_module.count(m) != 0) mods.push_back(m);
+  }
+  for (const auto& [m, files] : by_module) {
+    (void)files;
+    if (std::find(order.begin(), order.end(), m) == order.end()) {
+      mods.push_back(m);
+    }
+  }
+  for (const std::string& m : mods) {
+    std::printf("  subgraph \"cluster_%s\" {\n", m.c_str());
+    std::printf("    label=\"%s\";\n", m.c_str());
+    std::vector<std::string>& names = by_module[m];
+    std::sort(names.begin(), names.end());
+    for (const std::string& n : names) {
+      std::printf("    \"%s\";\n", n.c_str());
+    }
+    std::printf("  }\n");
+  }
+  std::set<std::pair<std::string, std::string>> edges;
+  for (const IncludeEdge& e : g.edges) {
+    if (node[e.from].empty() || node[e.to].empty()) continue;
+    edges.insert({node[e.from], node[e.to]});
+  }
+  for (const auto& [from, to] : edges) {
+    std::printf("  \"%s\" -> \"%s\";\n", from.c_str(), to.c_str());
+  }
+  std::printf("}\n");
 }
 
 // ---------------------------------------------------------------------------
@@ -1270,8 +2178,17 @@ bool source_file(const std::filesystem::path& p) {
   return ext == ".cpp" || ext == ".hpp" || ext == ".cc" || ext == ".h";
 }
 
+/// dagonarch options: empty paths disable the corresponding pass, so a
+/// bare `dagonlint <dir>` stays exactly the line-rule scan plus the
+/// manifest-free graph rules (dead-include).
+struct ArchOptions {
+  std::string layers_path;  // --layers=FILE: layering-cycle + upward
+  std::string docs_root;    // --docs-root=DIR: doc-drift
+  bool graph_dot = false;   // --graph-dot: print DOT and exit
+};
+
 int run(const std::vector<std::string>& roots, Format format,
-        std::size_t jobs) {
+        std::size_t jobs, const ArchOptions& arch) {
   namespace fs = std::filesystem;
   std::vector<std::string> files;
   for (const std::string& root : roots) {
@@ -1313,11 +2230,27 @@ int run(const std::vector<std::string>& roots, Format format,
   {
     dagon::ThreadPool pool(workers);
     for (std::size_t i = 0; i < files.size(); ++i) {
+      // dagonlint: allow(unguarded-capture): each task writes only its own pre-sized slot i; pool.wait() is the sole reader's barrier
       pool.submit([&scans, &files, &texts, i] {
         scans[i] = lex_file(files[i], texts[i]);
       });
     }
     pool.wait();
+  }
+
+  std::vector<std::string> layer_order;
+  if (!arch.layers_path.empty() &&
+      !parse_layer_manifest(arch.layers_path, layer_order)) {
+    std::fprintf(stderr,
+                 "dagonlint: cannot parse layer manifest %s (want "
+                 "`order = [\"bottom\", ..., \"top\"]`)\n",
+                 arch.layers_path.c_str());
+    return 2;
+  }
+
+  if (arch.graph_dot) {
+    print_graph_dot(scans, build_include_graph(scans), layer_order);
+    return 0;
   }
 
   // Pass A (serial, cross-file): the name collections every check reads.
@@ -1347,7 +2280,7 @@ int run(const std::vector<std::string>& roots, Format format,
         const std::vector<Allow> allows = parse_allows(scan);
         fc.ok = allow_coverage(scan, allows);
         for (const Allow& a : allows) {
-          if (find_rule(a.rule) == nullptr) {
+          if (!known_allow_rule(a.rule)) {
             fc.findings.push_back(
                 {scan.path, a.line, "bare-allow",
                  "allow() names unknown rule '" + a.rule + "'"});
@@ -1367,6 +2300,8 @@ int run(const std::vector<std::string>& roots, Format format,
         check_narrowing_cast(scan, ctx, fc.ok, fc.findings);
         check_magic_unit_constant(scan, ctx, fc.ok, fc.findings);
         check_overflow_mul(scan, ctx, fc.ok, fc.findings);
+        check_unguarded_global(scan, ctx, fc.ok, fc.findings);
+        check_unguarded_capture(scan, ctx, fc.ok, fc.findings);
       });
     }
     pool.wait();
@@ -1377,6 +2312,20 @@ int run(const std::vector<std::string>& roots, Format format,
     ctx.allowed_by_path.emplace(scans[i].path, std::move(per_file[i].ok));
   }
   check_event_handler_complete(scans, ctx);
+
+  // dagonarch (serial, cross-file): the include graph is one shared
+  // structure, so the graph rules run once after the per-file fan-out —
+  // after allowed_by_path is filled, so include-line allows apply.
+  const IncludeGraph graph = build_include_graph(scans);
+  if (!layer_order.empty()) {
+    check_layering(scans, graph, layer_order, ctx);
+    check_cycles(scans, graph, ctx);
+  }
+  check_dead_include(scans, graph, ctx);
+  if (!arch.docs_root.empty() &&
+      check_doc_drift(scans, arch.docs_root, ctx) != 0) {
+    return 2;
+  }
 
   std::sort(ctx.findings.begin(), ctx.findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -1400,13 +2349,15 @@ int run(const std::vector<std::string>& roots, Format format,
 
 constexpr const char* kUsage =
     "usage: dagonlint [--list-rules] [--format=plain|github|sarif] "
-    "[--jobs=N] <file-or-dir>...\n";
+    "[--jobs=N] [--layers=FILE] [--docs-root=DIR] [--graph-dot] "
+    "<file-or-dir>...\n";
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> roots;
   Format format = Format::Plain;
+  ArchOptions arch;
   std::size_t jobs = std::thread::hardware_concurrency();
   if (jobs == 0) jobs = 4;
   for (int i = 1; i < argc; ++i) {
@@ -1450,11 +2401,23 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(n);
       continue;
     }
+    if (arg.rfind("--layers=", 0) == 0) {
+      arch.layers_path = std::string(arg.substr(9));
+      continue;
+    }
+    if (arg.rfind("--docs-root=", 0) == 0) {
+      arch.docs_root = std::string(arg.substr(12));
+      continue;
+    }
+    if (arg == "--graph-dot") {
+      arch.graph_dot = true;
+      continue;
+    }
     roots.emplace_back(arg);
   }
   if (roots.empty()) {
     std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
-  return run(roots, format, jobs);
+  return run(roots, format, jobs, arch);
 }
